@@ -1,0 +1,45 @@
+//! End-to-end simulation throughput: wall-clock cost of simulating whole
+//! invocations through the full cluster (containers + network + stores +
+//! engines). One simulated invocation per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasflow_core::{ClientConfig, Cluster, ClusterConfig, ScheduleMode};
+use faasflow_workloads::Benchmark;
+
+fn bench_invocation_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_invocations");
+    group.sample_size(20);
+    for (label, mode, faastore) in [
+        ("faasflow_faastore", ScheduleMode::WorkerSp, true),
+        ("hyperflow_serverless", ScheduleMode::MasterSp, false),
+    ] {
+        for b in [Benchmark::WordCount, Benchmark::Genome] {
+            group.bench_with_input(
+                BenchmarkId::new(label, b.short_name()),
+                &b,
+                |bench, &b| {
+                    bench.iter(|| {
+                        let config = ClusterConfig {
+                            mode,
+                            faastore,
+                            ..ClusterConfig::default()
+                        };
+                        let mut cluster = Cluster::new(config).expect("valid config");
+                        cluster
+                            .register(
+                                &b.workflow(),
+                                ClientConfig::ClosedLoop { invocations: 5 },
+                            )
+                            .expect("registers");
+                        cluster.run_until_idle();
+                        cluster.report().workflow(b.short_name()).completed
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation_cost);
+criterion_main!(benches);

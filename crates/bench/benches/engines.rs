@@ -1,0 +1,136 @@
+//! Microbenchmarks of the engine hot paths: the per-trigger cost of
+//! WorkerSP's local state updates versus MasterSP's central dispatch.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasflow_engine::{MasterAction, MasterEngine, WorkerAction, WorkerEngine};
+use faasflow_scheduler::{ContentionSet, GraphScheduler, RuntimeMetrics, WorkerInfo};
+use faasflow_sim::{InvocationId, NodeId, SimRng, WorkflowId};
+use faasflow_wdl::DagParser;
+use faasflow_workloads::Benchmark;
+
+fn setup() -> (
+    Arc<faasflow_wdl::WorkflowDag>,
+    Arc<faasflow_scheduler::Assignment>,
+) {
+    let dag = Arc::new(
+        DagParser::default()
+            .parse(&Benchmark::Cycles.workflow())
+            .expect("parses"),
+    );
+    let workers: Vec<WorkerInfo> = (0..7)
+        .map(|i| WorkerInfo::new(NodeId::new(i + 1), 12))
+        .collect();
+    let metrics = RuntimeMetrics::initial(&dag);
+    let mut rng = SimRng::seed_from(5);
+    let assignment = Arc::new(
+        GraphScheduler::default()
+            .partition(
+                &dag,
+                &workers,
+                &metrics,
+                &ContentionSet::default(),
+                u64::MAX,
+                &mut rng,
+            )
+            .expect("partition succeeds"),
+    );
+    (dag, assignment)
+}
+
+/// Drives one full Cycles invocation through the distributed worker
+/// engines, completing instances as they trigger.
+fn bench_workersp_invocation(c: &mut Criterion) {
+    let (dag, assignment) = setup();
+    c.bench_function("workersp/full_cycles_invocation", |b| {
+        let wf = WorkflowId::new(0);
+        let mut next_inv = 0u32;
+        b.iter(|| {
+            let inv = InvocationId::new(next_inv);
+            next_inv += 1;
+            let mut engines: Vec<WorkerEngine> = (0..7)
+                .map(|i| {
+                    let mut e = WorkerEngine::new(NodeId::new(i + 1));
+                    e.install(wf, dag.clone(), assignment.clone(), 9);
+                    e
+                })
+                .collect();
+            let mut pending: Vec<WorkerAction> = Vec::new();
+            for e in &mut engines {
+                pending.extend(e.begin_invocation(wf, inv));
+            }
+            let mut completed = 0usize;
+            while let Some(action) = pending.pop() {
+                match action {
+                    WorkerAction::TriggerFunction {
+                        workflow,
+                        invocation,
+                        function,
+                    } => {
+                        let worker = assignment.worker_of(function).index() - 1;
+                        let par = dag.node(function).parallelism.max(1);
+                        for _ in 0..par {
+                            pending.extend(engines[worker].on_instance_complete(
+                                workflow, invocation, function,
+                            ));
+                        }
+                    }
+                    WorkerAction::SyncState {
+                        to,
+                        workflow,
+                        invocation,
+                        completed: f,
+                    } => {
+                        pending.extend(
+                            engines[to.index() - 1].on_state_sync(workflow, invocation, f),
+                        );
+                    }
+                    WorkerAction::ExitComplete { .. } => completed += 1,
+                }
+            }
+            for e in &mut engines {
+                e.release_invocation(wf, inv);
+            }
+            completed
+        });
+    });
+}
+
+/// The same invocation through the central MasterSP engine.
+fn bench_mastersp_invocation(c: &mut Criterion) {
+    let (dag, assignment) = setup();
+    c.bench_function("mastersp/full_cycles_invocation", |b| {
+        let wf = WorkflowId::new(0);
+        let mut next_inv = 0u32;
+        b.iter(|| {
+            let inv = InvocationId::new(next_inv);
+            next_inv += 1;
+            let mut engine = MasterEngine::new();
+            engine.install(wf, dag.clone(), assignment.clone(), 9);
+            let mut pending = engine.begin_invocation(wf, inv);
+            let mut completed = 0usize;
+            while let Some(action) = pending.pop() {
+                match action {
+                    MasterAction::AssignTask {
+                        workflow,
+                        invocation,
+                        function,
+                        ..
+                    } => {
+                        let par = dag.node(function).parallelism.max(1);
+                        for _ in 0..par {
+                            pending.extend(engine.on_state_return(workflow, invocation, function));
+                        }
+                    }
+                    MasterAction::ExitComplete { .. } => completed += 1,
+                }
+            }
+            engine.release_invocation(wf, inv);
+            completed
+        });
+    });
+}
+
+criterion_group!(benches, bench_workersp_invocation, bench_mastersp_invocation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of the max-min fair flow network: the progressive
+//! filling recompute runs on every flow arrival/departure, so it dominates
+//! data-heavy experiments (Cycles moves >1 GB per invocation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasflow_net::{FlowNet, NicSpec};
+use faasflow_sim::{NodeId, SimRng, SimTime};
+
+fn storage_cluster() -> Vec<NicSpec> {
+    // 1 storage node at 50 MB/s + 7 workers at 10 Gbit/s (the paper's
+    // topology).
+    let mut nics = vec![NicSpec::symmetric(50e6)];
+    nics.extend(std::iter::repeat(NicSpec::symmetric(1.25e9)).take(7));
+    nics
+}
+
+fn bench_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flownet_recompute");
+    for &flows in &[8usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("arrival_departure", flows),
+            &flows,
+            |b, &flows| {
+                let mut rng = SimRng::seed_from(3);
+                let endpoints: Vec<(NodeId, NodeId)> = (0..flows)
+                    .map(|_| {
+                        let w = NodeId::from(1 + rng.next_below(7) as usize);
+                        (NodeId::new(0), w)
+                    })
+                    .collect();
+                b.iter(|| {
+                    let mut net: FlowNet<usize> = FlowNet::new(storage_cluster());
+                    // `flows` arrivals, each triggering a recompute...
+                    let ids: Vec<_> = endpoints
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(src, dst))| {
+                            net.start_flow(src, dst, 1 << 20, i, SimTime::ZERO)
+                        })
+                        .collect();
+                    // ...then `flows` departures.
+                    for id in ids {
+                        net.cancel_flow(id, SimTime::ZERO);
+                    }
+                    net.active_flows()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    c.bench_function("flownet/drain_64_flows_to_completion", |b| {
+        b.iter(|| {
+            let mut net: FlowNet<usize> = FlowNet::new(storage_cluster());
+            for i in 0..64 {
+                let w = NodeId::from(1 + (i % 7));
+                net.start_flow(NodeId::new(0), w, 4 << 20, i, SimTime::ZERO);
+            }
+            let mut delivered = 0u64;
+            while let Some(t) = net.next_completion() {
+                for (_, f) in net.take_completed(t) {
+                    delivered += f.bytes;
+                }
+            }
+            delivered
+        });
+    });
+}
+
+criterion_group!(benches, bench_recompute, bench_drain);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the DES kernel: event queue and RNG throughput.
+//! These bound how fast every simulated experiment can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasflow_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = SimRng::seed_from(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000_000)).collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_nanos(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cancel_heavy", n), &n, |b, &n| {
+            // The flow timer pattern: schedule, cancel, reschedule.
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut last = None;
+                for i in 0..n {
+                    if let Some(id) = last.take() {
+                        q.cancel(id);
+                    }
+                    last = Some(q.schedule(SimTime::from_nanos(i as u64 + 1), i));
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_u64_x1000", |b| {
+        let mut rng = SimRng::seed_from(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        });
+    });
+    c.bench_function("rng/exp_f64_x1000", |b| {
+        let mut rng = SimRng::seed_from(42);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.exp_f64(10.0);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmark of Algorithm 1 — the criterion counterpart of Figure 16:
+//! partitioning cost versus workflow size on the Genome generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faasflow_scheduler::{ContentionSet, GraphScheduler, RuntimeMetrics, WorkerInfo};
+use faasflow_sim::{NodeId, SimRng};
+use faasflow_wdl::DagParser;
+use faasflow_workloads::scientific;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_genome");
+    let parser = DagParser::default();
+    let scheduler = GraphScheduler::default();
+    let workers: Vec<WorkerInfo> = (0..7)
+        .map(|i| WorkerInfo::new(NodeId::new(i + 1), 40))
+        .collect();
+    for &nodes in &[10usize, 25, 50, 100, 200] {
+        let dag = parser
+            .parse(&scientific::genome(nodes))
+            .expect("genome parses");
+        let metrics = RuntimeMetrics::initial(&dag);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            let mut rng = SimRng::seed_from(7);
+            b.iter(|| {
+                scheduler
+                    .partition(
+                        &dag,
+                        &workers,
+                        &metrics,
+                        &ContentionSet::default(),
+                        u64::MAX,
+                        &mut rng,
+                    )
+                    .expect("partition succeeds")
+                    .groups
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let parser = DagParser::default();
+    let dag = parser
+        .parse(&scientific::genome(200))
+        .expect("genome parses");
+    c.bench_function("critical_path_200_nodes", |b| {
+        b.iter(|| dag.critical_path().0.len());
+    });
+}
+
+criterion_group!(benches, bench_partition, bench_critical_path);
+criterion_main!(benches);

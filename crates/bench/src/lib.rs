@@ -1,0 +1,204 @@
+//! # faasflow-bench
+//!
+//! The benchmark harness of the FaaSFlow reproduction. The `repro` binary
+//! regenerates every table and figure of the paper's evaluation (§5); this
+//! library holds the shared experiment plumbing:
+//!
+//! * [`run_one`] — build a cluster, register one workflow, warm it up,
+//!   measure, and return the steady-state report.
+//! * [`run_colocated`] — all eight benchmarks co-running in one cluster
+//!   (§5.5).
+//! * [`parallel_map`] — fan independent simulation cells (bandwidth ×
+//!   rate grids) across OS threads; each cell is its own deterministic
+//!   simulation, so parallelism cannot perturb results.
+//! * formatting helpers for the paper-style tables the binary prints.
+
+use faasflow_core::{ClientConfig, Cluster, ClusterConfig, RunReport, WorkflowReport};
+use faasflow_wdl::Workflow;
+use faasflow_workloads::Benchmark;
+
+/// How one experiment cell drives its workflow.
+#[derive(Debug, Clone, Copy)]
+pub struct Drive {
+    /// Warm-up invocations excluded from the statistics (closed loop).
+    pub warmup: u32,
+    /// Measured invocations.
+    pub measure: u32,
+    /// `Some(rate)` switches the measured phase to an open loop at
+    /// `rate` invocations/minute (the §5.4 methodology); `None` stays
+    /// closed-loop.
+    pub open_loop_per_min: Option<f64>,
+}
+
+impl Drive {
+    /// Closed-loop: `warmup` unmeasured + `measure` measured invocations.
+    pub fn closed(warmup: u32, measure: u32) -> Self {
+        Drive {
+            warmup,
+            measure,
+            open_loop_per_min: None,
+        }
+    }
+
+    /// Open-loop at `per_min` invocations/minute after a closed warm-up.
+    pub fn open(warmup: u32, measure: u32, per_min: f64) -> Self {
+        Drive {
+            warmup,
+            measure,
+            open_loop_per_min: Some(per_min),
+        }
+    }
+}
+
+/// Runs one workflow through one cluster configuration and returns its
+/// steady-state report (warm-up excluded) plus the whole-cluster report.
+///
+/// # Panics
+///
+/// Panics if the configuration or workflow is invalid — experiment cells
+/// are fixed inputs, so failing loudly is correct.
+pub fn run_one(
+    config: ClusterConfig,
+    workflow: &Workflow,
+    drive: Drive,
+) -> (WorkflowReport, RunReport) {
+    let mut cluster = Cluster::new(config).expect("valid experiment configuration");
+    let id = cluster
+        .register(
+            workflow,
+            ClientConfig::ClosedLoop {
+                invocations: drive.warmup.max(1),
+            },
+        )
+        .expect("valid workflow");
+    cluster.run_until_idle();
+    cluster.reset_metrics();
+    match drive.open_loop_per_min {
+        None => cluster.extend_client(id, drive.measure),
+        Some(per_min) => cluster.switch_to_open_loop(id, per_min, drive.measure),
+    }
+    cluster.run_until_idle();
+    let report = cluster.report();
+    let wf_report = report.workflow(&workflow.name).clone();
+    (wf_report, report)
+}
+
+/// Runs all eight benchmarks co-located in one cluster (§5.5), each with
+/// its own closed-loop client, and returns the full report.
+pub fn run_colocated(config: ClusterConfig, warmup: u32, measure: u32) -> RunReport {
+    let (report, _) = run_colocated_with_distribution(config, warmup, measure);
+    report
+}
+
+/// Like [`run_colocated`], also returning each benchmark's placement
+/// distribution (Figure 15).
+pub fn run_colocated_with_distribution(
+    config: ClusterConfig,
+    warmup: u32,
+    measure: u32,
+) -> (RunReport, Vec<(Benchmark, Vec<faasflow_core::DistributionRow>)>) {
+    let mut cluster = Cluster::new(config).expect("valid experiment configuration");
+    let mut ids = Vec::new();
+    for b in Benchmark::ALL {
+        let id = cluster
+            .register(
+                &b.workflow(),
+                ClientConfig::ClosedLoop {
+                    invocations: warmup.max(1),
+                },
+            )
+            .expect("benchmarks are valid");
+        ids.push((b, id));
+    }
+    cluster.run_until_idle();
+    cluster.reset_metrics();
+    for &(_, id) in &ids {
+        cluster.extend_client(id, measure);
+    }
+    cluster.run_until_idle();
+    let dist = ids
+        .iter()
+        .map(|&(b, id)| (b, cluster.distribution(id)))
+        .collect();
+    (cluster.report(), dist)
+}
+
+/// Maps `f` over `items` on up to `threads` OS threads, preserving order.
+/// Each item is an independent simulation cell, so results are identical
+/// to a sequential run.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "at least one thread required");
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for pair in (Vec::from_iter(items.into_iter().enumerate())).into_iter() {
+        queue.push(pair);
+    }
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(n.max(1)) {
+            handles.push(scope.spawn(|_| {
+                let mut results = Vec::new();
+                while let Some((idx, item)) = queue.pop() {
+                    results.push((idx, f(item)));
+                }
+                results
+            }));
+        }
+        for handle in handles {
+            for (idx, r) in handle.join().expect("worker thread panicked") {
+                slots[idx] = Some(r);
+            }
+        }
+    })
+    .expect("scoped threads join");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell computed"))
+        .collect()
+}
+
+/// Formats a byte count as mebibytes with one decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1048576.0)
+}
+
+/// Formats milliseconds as seconds with two decimals.
+pub fn secs(ms: f64) -> String {
+    format!("{:.2}", ms / 1000.0)
+}
+
+/// Prints a separator line sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), 8, |x: i32| x * x);
+        let expect: Vec<i32> = (0..100).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_map_single_thread_matches() {
+        let a = parallel_map(vec![1, 2, 3], 1, |x: i32| x + 1);
+        let b = parallel_map(vec![1, 2, 3], 3, |x: i32| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mb(1048576), "1.0");
+        assert_eq!(secs(2500.0), "2.50");
+    }
+}

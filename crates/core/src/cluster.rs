@@ -1,0 +1,1652 @@
+//! The cluster simulation: the world that wires engines, containers,
+//! stores, and the network into one deterministic discrete-event system.
+//!
+//! Topology (matching the artifact, §A.4): node 0 is the master/storage
+//! node — it runs the Graph Scheduler, generates invocations, and hosts the
+//! remote store (and, under MasterSP, the central workflow engine). Nodes
+//! `1..=workers` are workers, each running a container manager, a FaaStore
+//! instance, and (under WorkerSP) a per-worker workflow engine.
+//!
+//! Every latency of the real system maps to a simulated cost:
+//!
+//! | real mechanism | model |
+//! |---|---|
+//! | task assignment / state return / state sync (TCP) | [`faasflow_net::MessageModel`] latency |
+//! | master engine trigger checks | single-server CPU queue, `master_task_cost` per message |
+//! | worker engine event handling | fixed `worker_engine_cost` |
+//! | container cold/warm start, keep-alive, caps | [`ContainerManager`] |
+//! | remote store reads/writes | per-op overhead + max-min fair flow through the storage NIC |
+//! | FaaStore local passing | loopback flow (no NIC usage) |
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use faasflow_container::{Admission, ContainerManager, StartKind};
+use faasflow_engine::{MasterAction, MasterEngine, WorkerAction, WorkerEngine};
+use faasflow_net::{FlowNet, NicSpec};
+use faasflow_scheduler::{
+    ContentionSet, DeploymentManager, FeedbackCollector, GraphScheduler, PartitionConfig,
+    RuntimeMetrics, WorkerInfo,
+};
+use faasflow_sim::{
+    ContainerId, EventId, EventQueue, FunctionId, InvocationId, NodeId, SimDuration, SimRng,
+    SimTime, WorkflowId,
+};
+use faasflow_store::{quota, DataKey, FaaStore, Placement, RemoteStore, StorageType};
+use faasflow_wdl::{DagParser, NodeKind, ParserConfig, Workflow, WorkflowDag};
+
+use crate::config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
+use crate::error::ClusterError;
+use crate::invocation::{InstanceState, InstanceToken, InvState};
+use crate::metrics::{DistributionRow, RunReport, WorkerUtilization, WorkflowMetrics};
+use crate::trace::{TraceEvent, Tracer};
+
+/// Tag attached to every network flow.
+#[derive(Debug, Clone, Copy)]
+enum FlowTag {
+    /// An instance reading one producer's output.
+    Read {
+        token: InstanceToken,
+        producer: FunctionId,
+        started: SimTime,
+        remote: bool,
+    },
+    /// An instance writing its output share.
+    Write {
+        token: InstanceToken,
+        started: SimTime,
+        remote: bool,
+    },
+}
+
+/// Messages the master CPU processes one at a time.
+#[derive(Debug, Clone, Copy)]
+enum MasterInbox {
+    Begin {
+        wf: WorkflowId,
+        inv: InvocationId,
+    },
+    StateReturn {
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+    },
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A client sends an invocation of `wf`.
+    Arrival { wf: WorkflowId },
+    /// WorkerSP: the begin notification reaches a worker engine.
+    DeliverBegin {
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+    },
+    /// WorkerSP: a state-sync message reaches a worker engine.
+    DeliverSync {
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        completed: FunctionId,
+    },
+    /// MasterSP: a task assignment reaches a worker.
+    DeliverAssign {
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+    },
+    /// An exit-node completion report reaches the master/client.
+    DeliverExitReport { wf: WorkflowId, inv: InvocationId },
+    /// A message arrives in the master engine's inbox.
+    MasterArrive { msg: MasterInbox },
+    /// The master engine finishes processing its current message.
+    MasterDone,
+    /// WorkerSP: a virtual node completes on a worker.
+    VirtualDone {
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+    },
+    /// A container finished booting/dispatching; the instance starts
+    /// fetching inputs.
+    InstanceReady {
+        worker: usize,
+        token: InstanceToken,
+        container: ContainerId,
+        cold: bool,
+    },
+    /// Remote-store read begins after the server-side overhead.
+    StartRemoteRead {
+        worker: usize,
+        token: InstanceToken,
+        producer: FunctionId,
+        bytes: u64,
+        started: SimTime,
+    },
+    /// Remote-store write begins after the server-side overhead.
+    StartRemoteWrite {
+        worker: usize,
+        token: InstanceToken,
+        bytes: u64,
+        started: SimTime,
+    },
+    /// An instance's compute finished; write the output.
+    ExecDone {
+        worker: usize,
+        token: InstanceToken,
+    },
+    /// WorkerSP: the worker engine processes an instance completion.
+    WorkerInstanceDone {
+        worker: usize,
+        token: InstanceToken,
+    },
+    /// The earliest network flow completes.
+    FlowTick,
+    /// A worker's earliest container keep-alive expires.
+    ContainerExpiry { worker: usize },
+    /// An invocation exceeded the timeout.
+    Timeout { wf: WorkflowId, inv: InvocationId },
+}
+
+/// Per-workflow cluster state.
+struct WorkflowState {
+    name: String,
+    /// Mutable master copy of the DAG (edge weights evolve with feedback).
+    dag: WorkflowDag,
+    /// Snapshot deployed to engines for the current version.
+    dag_arc: Arc<WorkflowDag>,
+    deployment: DeploymentManager,
+    client: ClientConfig,
+    contention: ContentionSet,
+    feedback: FeedbackCollector,
+    prev_metrics: RuntimeMetrics,
+    quota: u64,
+    critical_exec: SimDuration,
+    sent: u32,
+    completed_since_partition: u32,
+    arm_seed: u64,
+}
+
+/// The FaaSFlow cluster simulation.
+///
+/// ```
+/// use faasflow_core::{Cluster, ClusterConfig, ClientConfig};
+/// use faasflow_wdl::{Workflow, Step, FunctionProfile};
+///
+/// let mut cluster = Cluster::new(ClusterConfig::default())?;
+/// let wf = Workflow::steps(
+///     "hello",
+///     Step::task("hi", FunctionProfile::with_millis(10, 0)),
+/// );
+/// cluster.register(&wf, ClientConfig::ClosedLoop { invocations: 3 })?;
+/// cluster.run_until_idle();
+/// let report = cluster.report();
+/// assert_eq!(report.workflow("hello").completed, 3);
+/// # Ok::<(), faasflow_core::ClusterError>(())
+/// ```
+pub struct Cluster {
+    config: ClusterConfig,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    net: FlowNet<FlowTag>,
+    flow_timer: Option<EventId>,
+    containers: Vec<ContainerManager<InstanceToken>>,
+    expiry_timers: Vec<Option<EventId>>,
+    faastores: Vec<FaaStore>,
+    remote: RemoteStore,
+    worker_engines: Vec<WorkerEngine>,
+    master_engine: MasterEngine,
+    master_inbox: VecDeque<MasterInbox>,
+    master_current: Option<MasterInbox>,
+    master_busy_time: SimDuration,
+    workflows: HashMap<WorkflowId, WorkflowState>,
+    names: HashMap<String, WorkflowId>,
+    invocations: HashMap<(WorkflowId, InvocationId), InvState>,
+    metrics: HashMap<WorkflowId, WorkflowMetrics>,
+    next_workflow: u32,
+    next_invocation: u32,
+    scheduler: GraphScheduler,
+    /// Wall-clock seconds spent inside `GraphScheduler::partition`.
+    partition_wall_secs: f64,
+    partition_runs: u32,
+    /// Arrival events scheduled but not yet handled (keeps the run loop
+    /// alive while clients still owe invocations).
+    pending_arrivals: u32,
+    /// Instance executions that failed and were retried.
+    exec_retries: u64,
+    tracer: Tracer,
+    /// Time-weighted busy cores per worker.
+    cpu_util: Vec<faasflow_sim::stats::TimeWeighted>,
+    /// Time-weighted resident container memory per worker.
+    mem_util: Vec<faasflow_sim::stats::TimeWeighted>,
+}
+
+impl Cluster {
+    /// Builds the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        config.validate().map_err(ClusterError::InvalidConfig)?;
+        let mut rng = SimRng::seed_from(config.seed);
+        let mut nics = Vec::with_capacity(config.node_count());
+        nics.push(NicSpec::symmetric(config.storage_bandwidth)); // master/storage
+        for _ in 0..config.workers {
+            nics.push(NicSpec::symmetric(config.worker_bandwidth));
+        }
+        let containers = (0..config.workers)
+            .map(|_| ContainerManager::new(config.node_caps, config.container))
+            .collect();
+        let faastores = (0..config.workers)
+            .map(|_| FaaStore::new(config.faastore))
+            .collect();
+        let worker_engines = (0..config.workers)
+            .map(|i| WorkerEngine::new(NodeId::new(i + 1)))
+            .collect();
+        let _ = rng.next_u64(); // decorrelate from the seed value itself
+        Ok(Cluster {
+            queue: EventQueue::new(),
+            rng,
+            net: FlowNet::new(nics),
+            flow_timer: None,
+            containers,
+            expiry_timers: vec![None; config.workers as usize],
+            faastores,
+            remote: RemoteStore::new(config.remote_store),
+            worker_engines,
+            master_engine: MasterEngine::new(),
+            master_inbox: VecDeque::new(),
+            master_current: None,
+            master_busy_time: SimDuration::ZERO,
+            workflows: HashMap::new(),
+            names: HashMap::new(),
+            invocations: HashMap::new(),
+            metrics: HashMap::new(),
+            next_workflow: 0,
+            next_invocation: 0,
+            scheduler: GraphScheduler::new(PartitionConfig {
+                placement: config.placement,
+                ..PartitionConfig::default()
+            }),
+            partition_wall_secs: 0.0,
+            partition_runs: 0,
+            pending_arrivals: 0,
+            exec_retries: 0,
+            tracer: Tracer::new(config.trace),
+            cpu_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
+            mem_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Registers a workflow and its driving client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WDL validation and scheduling failures.
+    pub fn register(
+        &mut self,
+        workflow: &Workflow,
+        client: ClientConfig,
+    ) -> Result<WorkflowId, ClusterError> {
+        self.register_with_contention(workflow, client, ContentionSet::default())
+    }
+
+    /// Registers a workflow with declared contention pairs (`cont(G)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WDL validation and scheduling failures.
+    pub fn register_with_contention(
+        &mut self,
+        workflow: &Workflow,
+        client: ClientConfig,
+        contention: ContentionSet,
+    ) -> Result<WorkflowId, ClusterError> {
+        client.validate().map_err(ClusterError::InvalidClient)?;
+        if self.names.contains_key(&workflow.name) {
+            return Err(ClusterError::DuplicateWorkflow(workflow.name.clone()));
+        }
+        let parser = DagParser::new(ParserConfig {
+            reference_bandwidth: self.config.storage_bandwidth,
+            ..ParserConfig::default()
+        });
+        let dag = parser.parse(workflow)?;
+        let wf = WorkflowId::new(self.next_workflow);
+        self.next_workflow += 1;
+
+        let q = quota::workflow_quota(&dag, self.config.mu);
+        let prev_metrics = RuntimeMetrics::initial(&dag);
+        let mut state = WorkflowState {
+            name: workflow.name.clone(),
+            feedback: FeedbackCollector::new(&dag),
+            critical_exec: dag.critical_path_exec(),
+            dag_arc: Arc::new(dag.clone()),
+            dag,
+            deployment: DeploymentManager::new(),
+            client,
+            contention,
+            prev_metrics,
+            quota: q,
+            sent: 0,
+            completed_since_partition: 0,
+            arm_seed: self.rng.next_u64(),
+        };
+        self.partition_and_deploy(wf, &mut state)?;
+        self.workflows.insert(wf, state);
+        self.names.insert(workflow.name.clone(), wf);
+        self.metrics.insert(wf, WorkflowMetrics::default());
+
+        // Kick off the client.
+        match client {
+            ClientConfig::ClosedLoop { .. } => {
+                self.schedule_arrival(self.queue.now(), wf);
+            }
+            ClientConfig::OpenLoop { per_minute, .. } => {
+                let gap = self.rng.exp_f64(60.0 / per_minute);
+                let at = self.queue.now() + SimDuration::from_secs_f64(gap);
+                self.schedule_arrival(at, wf);
+            }
+            ClientConfig::Manual => {}
+        }
+        Ok(wf)
+    }
+
+    /// The id of a registered workflow.
+    pub fn workflow_id(&self, name: &str) -> Option<WorkflowId> {
+        self.names.get(name).copied()
+    }
+
+    /// The current placement of a workflow (Figure 15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wf` is unknown.
+    pub fn distribution(&self, wf: WorkflowId) -> Vec<DistributionRow> {
+        let ws = &self.workflows[&wf];
+        let (_, assignment) = ws.deployment.current().expect("workflow deployed");
+        assignment
+            .distribution(&ws.dag)
+            .into_iter()
+            .map(|(worker, groups, functions)| DistributionRow {
+                worker,
+                groups,
+                functions,
+            })
+            .collect()
+    }
+
+    /// Replaces a workflow's client with an open loop at `per_minute`
+    /// sending `invocations` further invocations. Call only when the
+    /// previous client has drained (e.g. after a closed-loop warm-up and
+    /// [`Cluster::run_until_idle`]) — the §5.4 methodology warms containers
+    /// closed-loop, then measures open-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wf` is unknown or `per_minute` is not positive.
+    pub fn switch_to_open_loop(&mut self, wf: WorkflowId, per_minute: f64, invocations: u32) {
+        assert!(
+            per_minute.is_finite() && per_minute > 0.0,
+            "open-loop rate must be positive"
+        );
+        let state = self.workflows.get_mut(&wf).expect("unknown workflow");
+        state.client = ClientConfig::OpenLoop {
+            per_minute,
+            invocations: state.sent + invocations,
+        };
+        let gap = self.rng.exp_f64(60.0 / per_minute);
+        let at = self.queue.now() + SimDuration::from_secs_f64(gap);
+        self.schedule_arrival(at, wf);
+    }
+
+    /// Sends one invocation immediately (manual clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wf` is unknown.
+    pub fn invoke_now(&mut self, wf: WorkflowId) {
+        assert!(self.workflows.contains_key(&wf), "unknown workflow {wf}");
+        self.schedule_arrival(self.queue.now(), wf);
+    }
+
+    /// Runs until no *work* remains: no live invocation and no pending
+    /// client arrival. Maintenance timers (container keep-alive expiry)
+    /// stay queued, so warm pools survive between measurement phases
+    /// instead of the clock fast-forwarding 600 s to drain them.
+    /// Returns the final simulated time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.work_pending() {
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
+            self.handle(t, ev);
+        }
+        self.queue.now()
+    }
+
+    /// True while an invocation is in flight or an arrival is scheduled.
+    fn work_pending(&self) -> bool {
+        self.pending_arrivals > 0 || !self.invocations.is_empty()
+    }
+
+    /// Schedules a client arrival, keeping the pending count in step.
+    fn schedule_arrival(&mut self, at: SimTime, wf: WorkflowId) {
+        self.pending_arrivals += 1;
+        self.queue.schedule(at, Event::Arrival { wf });
+    }
+
+    /// Runs until the clock reaches `deadline` (events at the deadline are
+    /// processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.handle(t, ev);
+        }
+    }
+
+    /// Wall-clock seconds spent in the graph partitioner (Figure 16) and
+    /// the number of partition runs.
+    pub fn partition_wall_time(&self) -> (f64, u32) {
+        (self.partition_wall_secs, self.partition_runs)
+    }
+
+    /// Drains the recorded trace (empty unless `config.trace` is set).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take()
+    }
+
+    /// Time-averaged and peak CPU/memory usage per worker, up to the
+    /// current simulated instant (§5.6–5.7).
+    pub fn utilization(&self) -> Vec<WorkerUtilization> {
+        let now = self.queue.now();
+        (0..self.config.workers as usize)
+            .map(|w| WorkerUtilization {
+                worker: self.config.worker_node(w as u32),
+                cpu_mean_cores: self.cpu_util[w].mean(now),
+                cpu_peak_cores: self.cpu_util[w].peak(),
+                mem_mean_bytes: self.mem_util[w].mean(now),
+                mem_peak_bytes: self.mem_util[w].peak(),
+            })
+            .collect()
+    }
+
+    /// Clears the per-workflow measurement histograms, keeping all cluster
+    /// state (warm containers, deployments, in-flight work). Call after a
+    /// warm-up phase so that one-time cold starts do not pollute the
+    /// steady-state statistics — the paper's closed-loop methodology
+    /// explicitly excludes cold-start effects from its latency numbers
+    /// (§2.3).
+    pub fn reset_metrics(&mut self) {
+        for m in self.metrics.values_mut() {
+            *m = WorkflowMetrics::default();
+        }
+    }
+
+    /// Grants a workflow more client invocations (same client shape). Used
+    /// by harnesses that warm up and then measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wf` is unknown.
+    pub fn extend_client(&mut self, wf: WorkflowId, additional: u32) {
+        let state = self.workflows.get_mut(&wf).expect("unknown workflow");
+        // Whether the previous allotment already ran out — only then does
+        // the arrival chain need re-arming (a live chain keeps itself
+        // going; re-arming it would double the rate).
+        let drained = state.sent >= state.client.total_invocations();
+        match &mut state.client {
+            ClientConfig::ClosedLoop { invocations }
+            | ClientConfig::OpenLoop { invocations, .. } => {
+                *invocations += additional;
+            }
+            ClientConfig::Manual => {}
+        }
+        if !drained {
+            return;
+        }
+        match state.client {
+            ClientConfig::ClosedLoop { .. } => {
+                let no_inflight = !self.invocations.keys().any(|&(w, _)| w == wf);
+                if no_inflight {
+                    self.schedule_arrival(self.queue.now(), wf);
+                }
+            }
+            ClientConfig::OpenLoop { per_minute, .. } => {
+                let gap = self.rng.exp_f64(60.0 / per_minute);
+                let at = self.queue.now() + SimDuration::from_secs_f64(gap);
+                self.schedule_arrival(at, wf);
+            }
+            ClientConfig::Manual => {}
+        }
+    }
+
+    /// Produces the aggregated run report.
+    pub fn report(&mut self) -> RunReport {
+        let mut workflows = BTreeMap::new();
+        for (wf, metrics) in &mut self.metrics {
+            let name = self.workflows[wf].name.clone();
+            workflows.insert(name.clone(), metrics.snapshot(&name));
+        }
+        let now = self.queue.now();
+        let sim_secs = now.as_secs_f64();
+        let master_node = ClusterConfig::MASTER_NODE;
+        let storage_node_bytes = self.net.bytes_delivered_to(master_node)
+            + self.net.bytes_sent_from(master_node);
+        let (mut syncs, mut local_updates) = (0u64, 0u64);
+        for e in &self.worker_engines {
+            syncs += e.stats().syncs_sent.get();
+            local_updates += e.stats().local_updates.get();
+        }
+        let (mut cold, mut warm) = (0u64, 0u64);
+        for c in &self.containers {
+            cold += c.stats().cold_starts.get();
+            warm += c.stats().warm_starts.get();
+        }
+        let faastore_local_bytes = self
+            .faastores
+            .iter()
+            .map(|f| f.memstore().total_bytes_stored())
+            .sum();
+        let live_invocation_states = self
+            .worker_engines
+            .iter()
+            .map(|e| e.live_invocations() as u64)
+            .sum::<u64>()
+            + self.master_engine.live_invocations() as u64;
+        RunReport {
+            workflows,
+            sim_time_secs: sim_secs,
+            master_busy_fraction: if sim_secs > 0.0 {
+                self.master_busy_time.as_secs_f64() / sim_secs
+            } else {
+                0.0
+            },
+            master_tasks_assigned: self.master_engine.stats().tasks_assigned.get(),
+            master_state_returns: self.master_engine.stats().state_returns.get(),
+            worker_syncs: syncs,
+            worker_local_updates: local_updates,
+            cold_starts: cold,
+            warm_starts: warm,
+            storage_node_bytes,
+            faastore_local_bytes,
+            live_invocation_states,
+            exec_retries: self.exec_retries,
+        }
+    }
+
+    // ==================================================================
+    // Partitioning / deployment
+    // ==================================================================
+
+    fn partition_and_deploy(
+        &mut self,
+        wf: WorkflowId,
+        state: &mut WorkflowState,
+    ) -> Result<(), ClusterError> {
+        let workers: Vec<WorkerInfo> = (0..self.config.workers)
+            .map(|i| WorkerInfo::new(self.config.worker_node(i), self.config.worker_capacity()))
+            .collect();
+        let start = std::time::Instant::now();
+        let assignment = self.scheduler.partition(
+            &state.dag,
+            &workers,
+            &state.prev_metrics,
+            &state.contention,
+            state.quota,
+            &mut self.rng,
+        )?;
+        self.partition_wall_secs += start.elapsed().as_secs_f64();
+        self.partition_runs += 1;
+
+        let assignment = Arc::new(assignment);
+        state.dag_arc = Arc::new(state.dag.clone());
+        let (_version, _retired) = state.deployment.deploy((*assignment).clone());
+
+        // Install on the engines and budget the memstores.
+        match self.config.mode {
+            ScheduleMode::WorkerSp => {
+                for e in &mut self.worker_engines {
+                    e.install(wf, state.dag_arc.clone(), assignment.clone(), state.arm_seed);
+                }
+            }
+            ScheduleMode::MasterSp => {
+                self.master_engine.install(
+                    wf,
+                    state.dag_arc.clone(),
+                    assignment.clone(),
+                    state.arm_seed,
+                );
+            }
+        }
+        for i in 0..self.config.workers as usize {
+            let node = self.config.worker_node(i as u32);
+            let members = assignment
+                .groups
+                .iter()
+                .filter(|g| g.worker == node)
+                .flat_map(|g| g.members.iter().copied());
+            let budget = quota::subset_quota(&state.dag, members, self.config.mu);
+            self.faastores[i].memstore_mut().set_budget(wf, budget);
+        }
+        Ok(())
+    }
+
+    fn maybe_repartition(&mut self, wf: WorkflowId, qos_violated: bool) {
+        let due_by_count = match self.config.repartition_every {
+            Some(period) => {
+                self.workflows[&wf].completed_since_partition >= period
+            }
+            None => false,
+        };
+        // A QoS violation forces an iteration, but only if at least one
+        // invocation completed since the last one (fresh feedback exists).
+        let due_by_qos =
+            qos_violated && self.workflows[&wf].completed_since_partition > 0;
+        if !due_by_count && !due_by_qos {
+            return;
+        }
+        let state = self.workflows.get_mut(&wf).expect("workflow exists");
+        state.completed_since_partition = 0;
+        let collector = std::mem::replace(&mut state.feedback, FeedbackCollector::new(&state.dag));
+        let prev = state.prev_metrics.clone();
+        state.prev_metrics = collector.finish(&mut state.dag, &prev);
+        // Take the state out to satisfy the borrow checker, then reinsert.
+        let mut state = self.workflows.remove(&wf).expect("workflow exists");
+        let result = self.partition_and_deploy(wf, &mut state);
+        self.workflows.insert(wf, state);
+        if let Err(e) = result {
+            // A repartition that no longer fits keeps the previous version.
+            debug_assert!(false, "repartition failed: {e}");
+        }
+    }
+
+    // ==================================================================
+    // Event dispatch
+    // ==================================================================
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Arrival { wf } => self.on_arrival(now, wf),
+            Event::DeliverBegin { worker, wf, inv } => {
+                let actions = self.worker_engines[worker].begin_invocation(wf, inv);
+                self.apply_worker_actions(now, worker, actions);
+            }
+            Event::DeliverSync {
+                worker,
+                wf,
+                inv,
+                completed,
+            } => {
+                if self.invocation_alive(wf, inv) {
+                    let actions = self.worker_engines[worker].on_state_sync(wf, inv, completed);
+                    self.apply_worker_actions(now, worker, actions);
+                }
+            }
+            Event::DeliverAssign {
+                worker,
+                wf,
+                inv,
+                function,
+            } => self.spawn_instances(now, worker, wf, inv, function),
+            Event::DeliverExitReport { wf, inv } => self.on_exit_report(now, wf, inv),
+            Event::MasterArrive { msg } => {
+                self.master_inbox.push_back(msg);
+                self.try_start_master(now);
+            }
+            Event::MasterDone => self.on_master_done(now),
+            Event::VirtualDone {
+                worker,
+                wf,
+                inv,
+                function,
+            } => {
+                if self.invocation_alive(wf, inv) {
+                    if let Some(state) = self.invocations.get_mut(&(wf, inv)) {
+                        state.completed_nodes.insert(function);
+                    }
+                    let actions =
+                        self.worker_engines[worker].on_instance_complete(wf, inv, function);
+                    self.apply_worker_actions(now, worker, actions);
+                }
+            }
+            Event::InstanceReady {
+                worker,
+                token,
+                container,
+                cold,
+            } => self.on_instance_ready(now, worker, token, container, cold),
+            Event::StartRemoteRead {
+                worker,
+                token,
+                producer,
+                bytes,
+                started,
+            } => {
+                let dst = self.config.worker_node(worker as u32);
+                self.net.start_flow(
+                    ClusterConfig::MASTER_NODE,
+                    dst,
+                    bytes,
+                    FlowTag::Read {
+                        token,
+                        producer,
+                        started,
+                        remote: true,
+                    },
+                    now,
+                );
+                self.reschedule_flow_timer(now);
+            }
+            Event::StartRemoteWrite {
+                worker,
+                token,
+                bytes,
+                started,
+            } => {
+                let src = self.config.worker_node(worker as u32);
+                self.net.start_flow(
+                    src,
+                    ClusterConfig::MASTER_NODE,
+                    bytes,
+                    FlowTag::Write {
+                        token,
+                        started,
+                        remote: true,
+                    },
+                    now,
+                );
+                self.reschedule_flow_timer(now);
+            }
+            Event::ExecDone { worker, token } => self.on_exec_done(now, worker, token),
+            Event::WorkerInstanceDone { worker, token } => {
+                if self.invocation_alive(token.workflow, token.invocation) {
+                    let actions = self.worker_engines[worker].on_instance_complete(
+                        token.workflow,
+                        token.invocation,
+                        token.function,
+                    );
+                    self.apply_worker_actions(now, worker, actions);
+                }
+            }
+            Event::FlowTick => {
+                self.flow_timer = None;
+                let done = self.net.take_completed(now);
+                for (_, flow) in done {
+                    self.on_flow_done(now, flow.tag);
+                }
+                self.reschedule_flow_timer(now);
+            }
+            Event::ContainerExpiry { worker } => {
+                self.expiry_timers[worker] = None;
+                let admissions = self.containers[worker].evict_expired(now, &mut self.rng);
+                self.schedule_admissions(worker, admissions);
+                self.track_utilization(now, worker);
+                self.reschedule_expiry(now, worker);
+            }
+            Event::Timeout { wf, inv } => self.on_timeout(now, wf, inv),
+        }
+    }
+
+    fn invocation_alive(&self, wf: WorkflowId, inv: InvocationId) -> bool {
+        self.invocations
+            .get(&(wf, inv))
+            .map(|s| !s.completed)
+            .unwrap_or(false)
+    }
+
+    // ==================================================================
+    // Client & invocation lifecycle
+    // ==================================================================
+
+    fn on_arrival(&mut self, now: SimTime, wf: WorkflowId) {
+        self.pending_arrivals = self
+            .pending_arrivals
+            .checked_sub(1)
+            .expect("arrival bookkeeping out of step");
+        let state = self.workflows.get_mut(&wf).expect("workflow exists");
+        if state.sent >= state.client.total_invocations() {
+            return;
+        }
+        state.sent += 1;
+        // Open-loop: schedule the next arrival independently of completion.
+        let next_open_rate = match state.client {
+            ClientConfig::OpenLoop { per_minute, .. }
+                if state.sent < state.client.total_invocations() =>
+            {
+                Some(per_minute)
+            }
+            _ => None,
+        };
+        if let Some(per_minute) = next_open_rate {
+            let gap = self.rng.exp_f64(60.0 / per_minute);
+            let at = now + SimDuration::from_secs_f64(gap);
+            self.schedule_arrival(at, wf);
+        }
+        let state = self.workflows.get_mut(&wf).expect("workflow exists");
+        let inv = InvocationId::new(self.next_invocation);
+        self.next_invocation += 1;
+        self.tracer.record(|| TraceEvent::InvocationArrived {
+            workflow: wf,
+            invocation: inv,
+            at: now,
+        });
+        let version = state.deployment.invocation_started();
+        let assignment = Arc::new(
+            state
+                .deployment
+                .assignment(version)
+                .expect("current version has an assignment")
+                .clone(),
+        );
+        let mut inv_state = InvState::new(version, state.dag_arc.clone(), assignment, now);
+        let timeout_at = now + self.config.timeout;
+        inv_state.timeout_event = Some(self.queue.schedule(timeout_at, Event::Timeout { wf, inv }));
+        self.metrics.get_mut(&wf).expect("metrics exist").sent += 1;
+
+        match self.config.mode {
+            ScheduleMode::WorkerSp => {
+                // Notify each worker hosting an entry node.
+                let mut entry_workers: Vec<usize> = inv_state
+                    .dag
+                    .entry_nodes()
+                    .iter()
+                    .filter_map(|&e| {
+                        self.config
+                            .worker_index(inv_state.assignment.worker_of(e))
+                    })
+                    .collect();
+                entry_workers.sort_unstable();
+                entry_workers.dedup();
+                self.invocations.insert((wf, inv), inv_state);
+                for worker in entry_workers {
+                    let delay = self.config.lan.latency(256, &mut self.rng);
+                    self.queue
+                        .schedule(now + delay, Event::DeliverBegin { worker, wf, inv });
+                }
+            }
+            ScheduleMode::MasterSp => {
+                self.invocations.insert((wf, inv), inv_state);
+                self.queue.schedule(
+                    now,
+                    Event::MasterArrive {
+                        msg: MasterInbox::Begin { wf, inv },
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, _now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
+            return;
+        };
+        if state.completed {
+            return;
+        }
+        state.timed_out = true;
+        state.timeout_event = None;
+        let critical = self.workflows[&wf].critical_exec;
+        let metrics = self.metrics.get_mut(&wf).expect("metrics exist");
+        metrics.timeouts += 1;
+        let cap_ms = self.config.timeout.as_millis_f64();
+        metrics.e2e.record(cap_ms);
+        metrics
+            .sched_overhead
+            .record((self.config.timeout.saturating_sub(critical)).as_millis_f64());
+    }
+
+    fn on_exit_report(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
+            return;
+        };
+        if state.completed {
+            return;
+        }
+        state.exits_remaining = state.exits_remaining.saturating_sub(1);
+        if state.exits_remaining == 0 {
+            self.complete_invocation(now, wf, inv);
+        }
+    }
+
+    fn complete_invocation(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        let mut state = self
+            .invocations
+            .remove(&(wf, inv))
+            .expect("completing a live invocation");
+        state.completed = true;
+        if let Some(ev) = state.timeout_event.take() {
+            self.queue.cancel(ev);
+        }
+        self.tracer.record(|| TraceEvent::InvocationCompleted {
+            workflow: wf,
+            invocation: inv,
+            at: now,
+            timed_out: state.timed_out,
+        });
+
+        // Metrics (skip latency if the timeout already recorded it).
+        let ws = self.workflows.get_mut(&wf).expect("workflow exists");
+        let metrics = self.metrics.get_mut(&wf).expect("metrics exist");
+        metrics.completed += 1;
+        let mut qos_violated = false;
+        {
+            let e2e = now - state.started;
+            if let Some(target) = self.config.qos_target {
+                qos_violated = state.timed_out || e2e > target;
+            }
+            if !state.timed_out {
+                metrics.e2e.record(e2e.as_millis_f64());
+                metrics
+                    .sched_overhead
+                    .record(e2e.saturating_sub(ws.critical_exec).as_millis_f64());
+            }
+        }
+        metrics
+            .transfer_total
+            .record(state.ledger.total_latency.as_millis_f64());
+        metrics
+            .bytes_moved
+            .record((state.ledger.remote_bytes + state.ledger.local_bytes) as f64);
+        metrics.remote_bytes += state.ledger.remote_bytes;
+        metrics.local_bytes += state.ledger.local_bytes;
+        metrics.first_completion.get_or_insert(now);
+        metrics.last_completion = Some(now);
+
+        // Feedback: observed container scale and executor maps.
+        for node in state.dag.nodes() {
+            if !node.kind.is_function() {
+                continue;
+            }
+            let worker = state.assignment.worker_of(node.id);
+            if let Some(wi) = self.config.worker_index(worker) {
+                let pool = self.containers[wi].pool_size((wf, node.id)).max(1);
+                ws.feedback.observe_scale(node.id, pool);
+                ws.feedback.observe_map(node.id, node.parallelism);
+            }
+        }
+        ws.completed_since_partition += 1;
+
+        // Release state everywhere (§4.2.1).
+        match self.config.mode {
+            ScheduleMode::WorkerSp => {
+                for e in &mut self.worker_engines {
+                    e.release_invocation(wf, inv);
+                }
+            }
+            ScheduleMode::MasterSp => self.master_engine.release_invocation(wf, inv),
+        }
+        for fs in &mut self.faastores {
+            fs.release_invocation(wf, inv);
+        }
+        self.remote.release_invocation(inv);
+        let _retired = ws.deployment.invocation_finished(state.version);
+
+        // Closed-loop client sends the next invocation on completion.
+        if matches!(ws.client, ClientConfig::ClosedLoop { .. })
+            && ws.sent < ws.client.total_invocations()
+        {
+            self.schedule_arrival(now, wf);
+        }
+        self.maybe_repartition(wf, qos_violated);
+    }
+
+    // ==================================================================
+    // Master engine (MasterSP)
+    // ==================================================================
+
+    fn try_start_master(&mut self, now: SimTime) {
+        if self.master_current.is_some() {
+            return;
+        }
+        let Some(msg) = self.master_inbox.pop_front() else {
+            return;
+        };
+        self.master_current = Some(msg);
+        self.queue
+            .schedule(now + self.config.master_task_cost, Event::MasterDone);
+    }
+
+    fn on_master_done(&mut self, now: SimTime) {
+        self.master_busy_time += self.config.master_task_cost;
+        let msg = self.master_current.take().expect("a message was processing");
+        let actions = match msg {
+            MasterInbox::Begin { wf, inv } => self.master_engine.begin_invocation(wf, inv),
+            MasterInbox::StateReturn { wf, inv, function } => {
+                if self.invocation_alive(wf, inv) {
+                    self.master_engine.on_state_return(wf, inv, function)
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        self.apply_master_actions(now, actions);
+        self.try_start_master(now);
+    }
+
+    fn apply_master_actions(&mut self, now: SimTime, actions: Vec<MasterAction>) {
+        for action in actions {
+            match action {
+                MasterAction::AssignTask {
+                    worker,
+                    workflow,
+                    invocation,
+                    function,
+                } => {
+                    let wi = self
+                        .config
+                        .worker_index(worker)
+                        .expect("assignments target workers");
+                    let delay = self.config.lan.latency(512, &mut self.rng);
+                    self.queue.schedule(
+                        now + delay,
+                        Event::DeliverAssign {
+                            worker: wi,
+                            wf: workflow,
+                            inv: invocation,
+                            function,
+                        },
+                    );
+                }
+                MasterAction::ExitComplete {
+                    workflow,
+                    invocation,
+                    ..
+                } => {
+                    // The master engine is co-located with the client.
+                    self.on_exit_report(now, workflow, invocation);
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // Worker engines (WorkerSP)
+    // ==================================================================
+
+    fn apply_worker_actions(&mut self, now: SimTime, worker: usize, actions: Vec<WorkerAction>) {
+        for action in actions {
+            match action {
+                WorkerAction::TriggerFunction {
+                    workflow,
+                    invocation,
+                    function,
+                } => {
+                    let is_virtual = {
+                        let Some(state) = self.invocations.get(&(workflow, invocation)) else {
+                            continue;
+                        };
+                        !state.dag.node(function).kind.is_function()
+                    };
+                    if is_virtual {
+                        self.queue.schedule(
+                            now + self.config.worker_engine_cost,
+                            Event::VirtualDone {
+                                worker,
+                                wf: workflow,
+                                inv: invocation,
+                                function,
+                            },
+                        );
+                    } else {
+                        self.spawn_instances(now, worker, workflow, invocation, function);
+                    }
+                }
+                WorkerAction::SyncState {
+                    to,
+                    workflow,
+                    invocation,
+                    completed,
+                } => {
+                    let from = self.config.worker_node(worker as u32);
+                    self.tracer.record(|| TraceEvent::StateSyncSent {
+                        from,
+                        to,
+                        workflow,
+                        invocation,
+                        completed,
+                        at: now,
+                    });
+                    let wi = self
+                        .config
+                        .worker_index(to)
+                        .expect("syncs target workers");
+                    let delay = self.config.lan.latency(256, &mut self.rng)
+                        + self.config.worker_engine_cost;
+                    self.queue.schedule(
+                        now + delay,
+                        Event::DeliverSync {
+                            worker: wi,
+                            wf: workflow,
+                            inv: invocation,
+                            completed,
+                        },
+                    );
+                }
+                WorkerAction::ExitComplete {
+                    workflow,
+                    invocation,
+                    ..
+                } => {
+                    let delay = self.config.lan.latency(256, &mut self.rng);
+                    self.queue.schedule(
+                        now + delay,
+                        Event::DeliverExitReport {
+                            wf: workflow,
+                            inv: invocation,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // Instance lifecycle
+    // ==================================================================
+
+    fn spawn_instances(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+    ) {
+        let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
+            return;
+        };
+        let parallelism = state.dag.node(function).parallelism.max(1);
+        state.instances_remaining.insert(function, parallelism);
+        let worker_node = self.config.worker_node(worker as u32);
+        self.tracer.record(|| TraceEvent::FunctionTriggered {
+            workflow: wf,
+            invocation: inv,
+            function,
+            worker: worker_node,
+            at: now,
+        });
+        for instance in 0..parallelism {
+            let token = InstanceToken {
+                workflow: wf,
+                invocation: inv,
+                function,
+                instance,
+            };
+            if let Some(adm) =
+                self.containers[worker].request((wf, function), token, now, &mut self.rng)
+            {
+                self.schedule_admissions(worker, vec![adm]);
+            }
+        }
+        self.track_utilization(now, worker);
+        self.reschedule_expiry(now, worker);
+    }
+
+    fn schedule_admissions(&mut self, worker: usize, admissions: Vec<Admission<InstanceToken>>) {
+        for adm in admissions {
+            self.queue.schedule(
+                adm.ready_at,
+                Event::InstanceReady {
+                    worker,
+                    token: adm.token,
+                    container: adm.container,
+                    cold: adm.start == StartKind::Cold,
+                },
+            );
+        }
+    }
+
+    fn on_instance_ready(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        token: InstanceToken,
+        container: ContainerId,
+        cold: bool,
+    ) {
+        // FaaStore memory reclamation (§4.3.2): shrink a fresh container's
+        // cgroup limit to peak-history + μ. MicroVM sandboxes cannot
+        // hot-unplug memory, so they keep the provisioned size.
+        if cold && self.config.faastore && self.config.reclamation == ReclamationMode::CgroupLimit {
+            if let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) {
+                if let NodeKind::Function(profile) = &state.dag.node(token.function).kind {
+                    let target = profile.peak_mem_bytes + self.config.mu;
+                    if target < profile.provisioned_mem_bytes {
+                        let _ = self.containers[worker].set_memory_limit(container, target);
+                    }
+                }
+            }
+        }
+        let Some(state) = self.invocations.get_mut(&(token.workflow, token.invocation)) else {
+            // The invocation vanished (shouldn't happen while instances are
+            // outstanding); release the container and move on.
+            let admissions = self.containers[worker].release(container, now, &mut self.rng);
+            self.schedule_admissions(worker, admissions);
+            return;
+        };
+        state.instances.insert(
+            token,
+            InstanceState {
+                container,
+                worker,
+                pending_inputs: 0,
+                retries: 0,
+            },
+        );
+        self.tracer.record(|| TraceEvent::InstanceStarted {
+            workflow: token.workflow,
+            invocation: token.invocation,
+            function: token.function,
+            instance: token.instance,
+            container,
+            cold,
+            at: now,
+        });
+        let state = self
+            .invocations
+            .get_mut(&(token.workflow, token.invocation))
+            .expect("inserted above");
+
+        // Gather inputs: one transfer per producer that actually ran.
+        let parallelism = state.dag.node(token.function).parallelism.max(1);
+        let inputs: Vec<(FunctionId, u64)> = state
+            .dag
+            .data_inputs(token.function)
+            .filter(|d| state.completed_nodes.contains(&d.producer))
+            .map(|d| (d.producer, InvState::share(d.bytes, parallelism, token.instance)))
+            .filter(|&(_, share)| share > 0)
+            .collect();
+
+        if inputs.is_empty() {
+            self.start_exec(now, worker, token);
+            return;
+        }
+        state
+            .instances
+            .get_mut(&token)
+            .expect("inserted above")
+            .pending_inputs = inputs.len() as u32;
+
+        let node = self.config.worker_node(worker as u32);
+        for (producer, share) in inputs {
+            let key = DataKey::new(token.workflow, token.invocation, producer);
+            if self.faastores[worker].read_local(key).is_some() {
+                // Local memory read: loopback flow, no NIC consumption.
+                self.net.start_flow(
+                    node,
+                    node,
+                    share,
+                    FlowTag::Read {
+                        token,
+                        producer,
+                        started: now,
+                        remote: false,
+                    },
+                    now,
+                );
+                self.reschedule_flow_timer(now);
+            } else {
+                // Remote read: server-side overhead, then a flow from the
+                // storage node.
+                let (_, overhead) = self
+                    .remote
+                    .read(key)
+                    .expect("producer output must be in the remote store");
+                self.queue.schedule(
+                    now + overhead,
+                    Event::StartRemoteRead {
+                        worker,
+                        token,
+                        producer,
+                        bytes: share,
+                        started: now,
+                    },
+                );
+            }
+        }
+    }
+
+    fn start_exec(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
+        let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
+            return;
+        };
+        let exec = match &state.dag.node(token.function).kind {
+            NodeKind::Function(profile) => profile.sample_exec(&mut self.rng),
+            _ => SimDuration::ZERO,
+        };
+        self.queue
+            .schedule(now + exec, Event::ExecDone { worker, token });
+    }
+
+    fn on_exec_done(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
+        // Failure injection: a transient execution error re-runs the
+        // instance in place (the container is already warm) up to the
+        // retry budget, after which at-least-once semantics let it pass.
+        if self.config.exec_failure_rate > 0.0 {
+            let failed = self.rng.chance(self.config.exec_failure_rate);
+            if failed {
+                if let Some(state) =
+                    self.invocations.get_mut(&(token.workflow, token.invocation))
+                {
+                    let inst = state
+                        .instances
+                        .get_mut(&token)
+                        .expect("instance alive at exec completion");
+                    if inst.retries < self.config.max_exec_retries {
+                        inst.retries += 1;
+                        self.exec_retries += 1;
+                        self.start_exec(now, worker, token);
+                        return;
+                    }
+                }
+            }
+        }
+        let Some(state) = self.invocations.get_mut(&(token.workflow, token.invocation)) else {
+            return;
+        };
+        let node = state.dag.node(token.function);
+        let total_out = node
+            .kind
+            .profile()
+            .map(|p| p.output_bytes)
+            .unwrap_or(0);
+        let parallelism = node.parallelism.max(1);
+        let share = InvState::share(total_out, parallelism, token.instance);
+        if share == 0 {
+            self.finish_instance(now, worker, token);
+            return;
+        }
+        // Placement decided once per node output (total bytes).
+        let placement = match state.placements.get(&token.function) {
+            Some(&p) => p,
+            None => {
+                let storage_type = if state.assignment.storage_local[token.function.index()] {
+                    StorageType::Mem
+                } else {
+                    StorageType::Db
+                };
+                let producer_node = state.assignment.worker_of(token.function);
+                let consumers: Vec<NodeId> = state
+                    .dag
+                    .data_outputs(token.function)
+                    .map(|d| state.assignment.worker_of(d.consumer))
+                    .collect();
+                let key = DataKey::new(token.workflow, token.invocation, token.function);
+                let p = self.faastores[worker].decide_put(
+                    key,
+                    total_out,
+                    storage_type,
+                    producer_node,
+                    &consumers,
+                );
+                if p == Placement::Remote {
+                    self.remote.put(key, total_out);
+                }
+                state.placements.insert(token.function, p);
+                p
+            }
+        };
+        let node_id = self.config.worker_node(worker as u32);
+        match placement {
+            Placement::LocalMem => {
+                self.net.start_flow(
+                    node_id,
+                    node_id,
+                    share,
+                    FlowTag::Write {
+                        token,
+                        started: now,
+                        remote: false,
+                    },
+                    now,
+                );
+                self.reschedule_flow_timer(now);
+            }
+            Placement::Remote => {
+                let overhead = self.config.remote_store.put_overhead;
+                self.queue.schedule(
+                    now + overhead,
+                    Event::StartRemoteWrite {
+                        worker,
+                        token,
+                        bytes: share,
+                        started: now,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_flow_done(&mut self, now: SimTime, tag: FlowTag) {
+        match tag {
+            FlowTag::Read {
+                token,
+                producer,
+                started,
+                remote,
+            } => {
+                let latency = now - started;
+                let share;
+                {
+                    let Some(state) =
+                        self.invocations.get_mut(&(token.workflow, token.invocation))
+                    else {
+                        return;
+                    };
+                    let parallelism = state.dag.node(token.function).parallelism.max(1);
+                    let total = state
+                        .dag
+                        .data_inputs(token.function)
+                        .find(|d| d.producer == producer)
+                        .map(|d| d.bytes)
+                        .unwrap_or(0);
+                    share = InvState::share(total, parallelism, token.instance);
+                    state.ledger.total_latency += latency;
+                    if remote {
+                        state.ledger.remote_bytes += share;
+                    } else {
+                        state.ledger.local_bytes += share;
+                    }
+                    let inst = state
+                        .instances
+                        .get_mut(&token)
+                        .expect("instance alive while its flow runs");
+                    inst.pending_inputs -= 1;
+                    if inst.pending_inputs > 0 {
+                        // More inputs outstanding; nothing else to do yet.
+                        self.record_edge_feedback(token.workflow, producer, latency);
+                        return;
+                    }
+                }
+                self.record_edge_feedback(token.workflow, producer, latency);
+                self.tracer.record(|| TraceEvent::Transferred {
+                    workflow: token.workflow,
+                    invocation: token.invocation,
+                    function: token.function,
+                    bytes: share,
+                    remote,
+                    read: true,
+                    at: now,
+                });
+                let worker = self.invocations[&(token.workflow, token.invocation)].instances
+                    [&token]
+                    .worker;
+                self.start_exec(now, worker, token);
+            }
+            FlowTag::Write {
+                token,
+                started,
+                remote,
+            } => {
+                let latency = now - started;
+                let share;
+                let worker;
+                {
+                    let Some(state) =
+                        self.invocations.get_mut(&(token.workflow, token.invocation))
+                    else {
+                        return;
+                    };
+                    let parallelism = state.dag.node(token.function).parallelism.max(1);
+                    let total = state
+                        .dag
+                        .node(token.function)
+                        .kind
+                        .profile()
+                        .map(|p| p.output_bytes)
+                        .unwrap_or(0);
+                    share = InvState::share(total, parallelism, token.instance);
+                    state.ledger.total_latency += latency;
+                    if remote {
+                        state.ledger.remote_bytes += share;
+                    } else {
+                        state.ledger.local_bytes += share;
+                    }
+                    worker = state
+                        .instances
+                        .get(&token)
+                        .expect("instance alive while its flow runs")
+                        .worker;
+                }
+                self.tracer.record(|| TraceEvent::Transferred {
+                    workflow: token.workflow,
+                    invocation: token.invocation,
+                    function: token.function,
+                    bytes: share,
+                    remote,
+                    read: false,
+                    at: now,
+                });
+                self.finish_instance(now, worker, token);
+            }
+        }
+    }
+
+    fn record_edge_feedback(&mut self, wf: WorkflowId, producer: FunctionId, latency: SimDuration) {
+        let Some(ws) = self.workflows.get_mut(&wf) else {
+            return;
+        };
+        let edges: Vec<_> = ws
+            .dag
+            .edges()
+            .iter()
+            .filter(|e| e.from == producer)
+            .map(|e| e.id)
+            .collect();
+        for eid in edges {
+            ws.feedback.observe_edge(eid, latency);
+        }
+    }
+
+    fn finish_instance(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
+        // Release the container.
+        let container = {
+            let Some(state) = self.invocations.get_mut(&(token.workflow, token.invocation))
+            else {
+                return;
+            };
+            let inst = state
+                .instances
+                .remove(&token)
+                .expect("instance finishes once");
+            // Track node completion on the core side.
+            let remaining = state
+                .instances_remaining
+                .get_mut(&token.function)
+                .expect("spawned node tracked");
+            *remaining -= 1;
+            let node_done = *remaining == 0;
+            if node_done {
+                state.completed_nodes.insert(token.function);
+            }
+            if node_done {
+                self.tracer.record(|| TraceEvent::NodeCompleted {
+                    workflow: token.workflow,
+                    invocation: token.invocation,
+                    function: token.function,
+                    at: now,
+                });
+            }
+            inst.container
+        };
+        let admissions = self.containers[worker].release(container, now, &mut self.rng);
+        self.schedule_admissions(worker, admissions);
+        self.track_utilization(now, worker);
+        self.reschedule_expiry(now, worker);
+
+        match self.config.mode {
+            ScheduleMode::WorkerSp => {
+                self.queue.schedule(
+                    now + self.config.worker_engine_cost,
+                    Event::WorkerInstanceDone { worker, token },
+                );
+            }
+            ScheduleMode::MasterSp => {
+                let delay = self.config.lan.latency(512, &mut self.rng);
+                self.queue.schedule(
+                    now + delay,
+                    Event::MasterArrive {
+                        msg: MasterInbox::StateReturn {
+                            wf: token.workflow,
+                            inv: token.invocation,
+                            function: token.function,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    // ==================================================================
+    // Timers
+    // ==================================================================
+
+    fn reschedule_flow_timer(&mut self, now: SimTime) {
+        if let Some(ev) = self.flow_timer.take() {
+            self.queue.cancel(ev);
+        }
+        if let Some(t) = self.net.next_completion() {
+            let at = t.max(now);
+            self.flow_timer = Some(self.queue.schedule(at, Event::FlowTick));
+        }
+    }
+
+    /// Refreshes the time-weighted CPU/memory trackers of one worker after
+    /// any container-state change.
+    fn track_utilization(&mut self, now: SimTime, worker: usize) {
+        let stats = self.containers[worker].stats();
+        self.cpu_util[worker].update(now, stats.cores_busy.get() as f64);
+        self.mem_util[worker].update(now, stats.mem_resident.get() as f64);
+    }
+
+    fn reschedule_expiry(&mut self, now: SimTime, worker: usize) {
+        if let Some(ev) = self.expiry_timers[worker].take() {
+            self.queue.cancel(ev);
+        }
+        if let Some(t) = self.containers[worker].next_expiry() {
+            let at = t.max(now);
+            self.expiry_timers[worker] =
+                Some(self.queue.schedule(at, Event::ContainerExpiry { worker }));
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Cluster configuration.
+//!
+//! Defaults reproduce the paper's testbed (Table 3 plus §5.1): one
+//! master/storage node and 7 workers, Docker-like containers, CouchDB-like
+//! remote store, and a 50 MB/s storage-node NIC (the §5.4 default).
+
+use faasflow_container::{ContainerConfig, NodeCaps};
+use faasflow_scheduler::PlacementStrategy;
+use faasflow_net::MessageModel;
+use faasflow_sim::{NodeId, SimDuration};
+use faasflow_store::RemoteStoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// How FaaStore takes memory back from containers (§4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReclamationMode {
+    /// Docker-style: shrink each fresh container's cgroup memory limit to
+    /// `peak-history + μ`, freeing node memory for the quota pool.
+    #[default]
+    CgroupLimit,
+    /// MicroVM sandboxes: "dynamic memory hot-unplugs such as
+    /// memory-balloon and virtio-mem are not recommended" — containers keep
+    /// their provisioned size and the in-memory store is carved out of the
+    /// pre-distributed pool instead. Same quota, higher resident memory.
+    MicroVm,
+}
+
+/// Which schedule pattern the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleMode {
+    /// The paper's contribution: per-worker engines, worker-side triggering.
+    WorkerSp,
+    /// The HyperFlow-serverless baseline: central engine, master-side
+    /// triggering and task assignment.
+    MasterSp,
+}
+
+/// How a registered workflow is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClientConfig {
+    /// One invocation in flight at a time; the next is sent when the
+    /// previous completes (§2.3, §5.2–5.3, §5.5).
+    ClosedLoop {
+        /// Total invocations to send.
+        invocations: u32,
+    },
+    /// Fixed-rate arrivals regardless of completions (§5.4); queueing and
+    /// cold-start effects are included.
+    OpenLoop {
+        /// Invocations per minute.
+        per_minute: f64,
+        /// Total invocations to send.
+        invocations: u32,
+    },
+    /// No automatic arrivals; drive with `Cluster::invoke_now` (tests).
+    Manual,
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (the paper uses 7).
+    pub workers: u32,
+    /// Schedule pattern.
+    pub mode: ScheduleMode,
+    /// Whether FaaStore local data passing is active (WorkerSP only; the
+    /// MasterSP baseline always ships through the remote store).
+    pub faastore: bool,
+    /// Root seed; every run with the same seed is bit-identical.
+    pub seed: u64,
+    /// Per-worker hardware.
+    pub node_caps: NodeCaps,
+    /// Container lifecycle knobs.
+    pub container: ContainerConfig,
+    /// Worker NIC bandwidth, bytes/s (unthrottled in the paper; the
+    /// bottleneck is the storage node).
+    pub worker_bandwidth: f64,
+    /// Storage/master node NIC bandwidth, bytes/s — the wondershaper knob
+    /// of §5.4 (25/50/75/100 MB/s).
+    pub storage_bandwidth: f64,
+    /// Remote store per-operation overheads.
+    pub remote_store: RemoteStoreConfig,
+    /// Cross-node control message latency model.
+    pub lan: MessageModel,
+    /// Same-node RPC latency model.
+    pub local_rpc: MessageModel,
+    /// Master engine CPU occupancy per processed message (task trigger
+    /// check / assignment / state bookkeeping). The master is a single
+    /// queueing station, so under load this serializes — the §2.3 overhead.
+    pub master_task_cost: SimDuration,
+    /// Worker engine processing cost per local trigger/state event.
+    pub worker_engine_cost: SimDuration,
+    /// Safety reserve μ of Eq. (1).
+    pub mu: u64,
+    /// Invocation timeout; late invocations are recorded at this latency
+    /// (§5.4 marks them as 60 s).
+    pub timeout: SimDuration,
+    /// Re-run the graph partition after this many completed invocations
+    /// per workflow (`None` disables count-based feedback iterations).
+    pub repartition_every: Option<u32>,
+    /// Re-partition when an invocation's end-to-end latency exceeds this
+    /// target — §4.1.2's "partition iteration is activated when the
+    /// workflow experiences significant performance degradation or QoS
+    /// violation". Rate-limited to once per completed invocation.
+    pub qos_target: Option<SimDuration>,
+    /// Record a structured [`crate::trace::TraceEvent`] per lifecycle step
+    /// (off by default: tracing a 1000-invocation run allocates MBs).
+    pub trace: bool,
+    /// Probability that one executor instance's run fails and is retried
+    /// (transient function errors — OOM-kills, runtime exceptions). Zero
+    /// disables failure injection.
+    pub exec_failure_rate: f64,
+    /// Retries before a failing instance is allowed through regardless
+    /// (at-least-once semantics with bounded retry, like production FaaS
+    /// platforms).
+    pub max_exec_retries: u32,
+    /// How container memory is reclaimed for FaaStore.
+    pub reclamation: ReclamationMode,
+    /// Group placement policy of the partitioner's bin-packing step
+    /// (worst-fit load balancing by default, matching Figure 15).
+    pub placement: PlacementStrategy,
+    /// Algorithm 1's `Cap[node]`: container capacity per worker offered to
+    /// the partitioner — the artifact's `scale_limit`. Sized from the
+    /// worker's *concurrency* (cores plus head-room), not its memory-max:
+    /// packing a group beyond what a node can actually run concurrently
+    /// just converts scheduling into queueing.
+    pub partition_capacity: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 7,
+            mode: ScheduleMode::WorkerSp,
+            faastore: true,
+            seed: 0xFAA5_F10E,
+            node_caps: NodeCaps::default(),
+            container: ContainerConfig::default(),
+            worker_bandwidth: 1.25e9, // 10 Gbit/s
+            storage_bandwidth: 50e6,  // 50 MB/s (§5.4 default)
+            remote_store: RemoteStoreConfig::default(),
+            lan: MessageModel::lan_tcp(),
+            local_rpc: MessageModel::local_rpc(),
+            master_task_cost: SimDuration::from_millis(18),
+            worker_engine_cost: SimDuration::from_millis_f64(3.5),
+            mu: 32 << 20,
+            timeout: SimDuration::from_secs(60),
+            repartition_every: None,
+            qos_target: None,
+            trace: false,
+            exec_failure_rate: 0.0,
+            max_exec_retries: 3,
+            reclamation: ReclamationMode::default(),
+            placement: PlacementStrategy::WorstFit,
+            partition_capacity: 12,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The master/storage node id (always node 0: the artifact uses "1 node
+    /// for remote storage and queries generating").
+    pub const MASTER_NODE: NodeId = NodeId::new(0);
+
+    /// Node id of worker `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= workers`.
+    pub fn worker_node(&self, i: u32) -> NodeId {
+        assert!(i < self.workers, "worker index {i} out of range");
+        NodeId::new(i + 1)
+    }
+
+    /// Worker index of a node id, or `None` for the master node.
+    pub fn worker_index(&self, node: NodeId) -> Option<usize> {
+        let idx = node.index();
+        (idx >= 1 && idx <= self.workers as usize).then(|| idx - 1)
+    }
+
+    /// Total node count (workers + master/storage).
+    pub fn node_count(&self) -> usize {
+        self.workers as usize + 1
+    }
+
+    /// Per-worker container capacity offered to Algorithm 1 (`Cap[node]`).
+    pub fn worker_capacity(&self) -> u32 {
+        self.partition_capacity
+    }
+
+    /// Containers a worker's memory can physically host.
+    pub fn memory_capacity(&self) -> u32 {
+        (self.node_caps.mem / self.container.container_mem) as u32
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a field is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("at least one worker is required".to_string());
+        }
+        if !(self.worker_bandwidth.is_finite() && self.worker_bandwidth > 0.0) {
+            return Err("worker_bandwidth must be positive".to_string());
+        }
+        if !(self.storage_bandwidth.is_finite() && self.storage_bandwidth > 0.0) {
+            return Err("storage_bandwidth must be positive".to_string());
+        }
+        if !(0.0..1.0).contains(&self.exec_failure_rate) {
+            return Err(format!(
+                "exec_failure_rate must be in [0,1), got {}",
+                self.exec_failure_rate
+            ));
+        }
+        if self.partition_capacity == 0 {
+            return Err("partition_capacity must be positive".to_string());
+        }
+        if self.mode == ScheduleMode::MasterSp && self.faastore {
+            return Err(
+                "FaaStore requires WorkerSP (the baseline always uses the remote store)"
+                    .to_string(),
+            );
+        }
+        self.container.validate()
+    }
+}
+
+impl ClientConfig {
+    /// Total invocations this client will send (`u32::MAX` for manual).
+    pub fn total_invocations(&self) -> u32 {
+        match self {
+            ClientConfig::ClosedLoop { invocations } => *invocations,
+            ClientConfig::OpenLoop { invocations, .. } => *invocations,
+            ClientConfig::Manual => u32::MAX,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a field is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ClientConfig::ClosedLoop { invocations } => {
+                if *invocations == 0 {
+                    return Err("closed-loop client needs at least 1 invocation".into());
+                }
+            }
+            ClientConfig::OpenLoop {
+                per_minute,
+                invocations,
+            } => {
+                if !(per_minute.is_finite() && *per_minute > 0.0) {
+                    return Err("open-loop rate must be positive".into());
+                }
+                if *invocations == 0 {
+                    return Err("open-loop client needs at least 1 invocation".into());
+                }
+            }
+            ClientConfig::Manual => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_match_the_paper() {
+        let c = ClusterConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.workers, 7);
+        assert_eq!(c.storage_bandwidth, 50e6);
+        assert_eq!(c.node_count(), 8);
+        assert_eq!(c.worker_capacity(), 12);
+        assert_eq!(c.memory_capacity(), 128);
+    }
+
+    #[test]
+    fn node_id_mapping_round_trips() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.worker_node(0), NodeId::new(1));
+        assert_eq!(c.worker_index(NodeId::new(1)), Some(0));
+        assert_eq!(c.worker_index(ClusterConfig::MASTER_NODE), None);
+        assert_eq!(c.worker_index(NodeId::new(7)), Some(6));
+        assert_eq!(c.worker_index(NodeId::new(8)), None);
+    }
+
+    #[test]
+    fn masterp_with_faastore_is_rejected() {
+        let c = ClusterConfig {
+            mode: ScheduleMode::MasterSp,
+            faastore: true,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn client_validation() {
+        assert!(ClientConfig::ClosedLoop { invocations: 0 }.validate().is_err());
+        assert!(ClientConfig::OpenLoop {
+            per_minute: 0.0,
+            invocations: 5
+        }
+        .validate()
+        .is_err());
+        assert!(ClientConfig::Manual.validate().is_ok());
+        assert_eq!(
+            ClientConfig::ClosedLoop { invocations: 3 }.total_invocations(),
+            3
+        );
+    }
+}

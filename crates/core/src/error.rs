@@ -1,0 +1,72 @@
+//! Cluster error type.
+
+use std::fmt;
+
+use faasflow_scheduler::ScheduleError;
+use faasflow_wdl::WdlError;
+
+/// An error raised while configuring the cluster or registering workflows.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The cluster configuration is inconsistent.
+    InvalidConfig(String),
+    /// The client configuration is inconsistent.
+    InvalidClient(String),
+    /// The workflow definition failed validation/parsing.
+    Wdl(WdlError),
+    /// The graph scheduler could not place the workflow.
+    Schedule(ScheduleError),
+    /// A workflow with this name is already registered.
+    DuplicateWorkflow(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig(r) => write!(f, "invalid cluster configuration: {r}"),
+            ClusterError::InvalidClient(r) => write!(f, "invalid client configuration: {r}"),
+            ClusterError::Wdl(e) => write!(f, "workflow definition error: {e}"),
+            ClusterError::Schedule(e) => write!(f, "scheduling error: {e}"),
+            ClusterError::DuplicateWorkflow(n) => {
+                write!(f, "workflow `{n}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Wdl(e) => Some(e),
+            ClusterError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WdlError> for ClusterError {
+    fn from(e: WdlError) -> Self {
+        ClusterError::Wdl(e)
+    }
+}
+
+impl From<ScheduleError> for ClusterError {
+    fn from(e: ScheduleError) -> Self {
+        ClusterError::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let e: ClusterError = WdlError::NoFunctions.into();
+        assert!(matches!(e, ClusterError::Wdl(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ClusterError = ScheduleError::NoWorkers.into();
+        assert!(e.to_string().contains("scheduling error"));
+    }
+}

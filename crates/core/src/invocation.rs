@@ -1,0 +1,131 @@
+//! Per-invocation runtime bookkeeping on the cluster side.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use faasflow_scheduler::{Assignment, Version};
+use faasflow_sim::{ContainerId, EventId, FunctionId, InvocationId, SimTime, WorkflowId};
+use faasflow_store::Placement;
+use faasflow_wdl::WorkflowDag;
+
+use crate::metrics::TransferLedger;
+
+/// Identifies one executor instance of a function node within an
+/// invocation — the unit the container runtime admits and runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceToken {
+    /// The workflow.
+    pub workflow: WorkflowId,
+    /// The invocation.
+    pub invocation: InvocationId,
+    /// The function node.
+    pub function: FunctionId,
+    /// Instance index in `0..parallelism`.
+    pub instance: u32,
+}
+
+/// Lifecycle state of one admitted instance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InstanceState {
+    /// The container executing this instance.
+    pub container: ContainerId,
+    /// Worker index hosting it.
+    pub worker: usize,
+    /// Input transfers still in flight.
+    pub pending_inputs: u32,
+    /// Execution attempts that failed and were retried.
+    pub retries: u32,
+}
+
+/// Cluster-side state of one in-flight invocation.
+#[derive(Debug)]
+pub(crate) struct InvState {
+    /// Partition version the invocation is pinned to (red-black).
+    pub version: Version,
+    /// Pinned DAG snapshot.
+    pub dag: Arc<WorkflowDag>,
+    /// Pinned placement.
+    pub assignment: Arc<Assignment>,
+    /// Arrival instant (latency measurement start).
+    pub started: SimTime,
+    /// Exit nodes still to complete.
+    pub exits_remaining: usize,
+    /// The scheduled timeout event.
+    pub timeout_event: Option<EventId>,
+    /// Whether the timeout fired before completion (latency already
+    /// recorded at the cap).
+    pub timed_out: bool,
+    /// Whether the invocation completed.
+    pub completed: bool,
+    /// Nodes whose every instance finished (core-side mirror of the
+    /// engines' state, used to know which producers actually ran).
+    pub completed_nodes: HashSet<FunctionId>,
+    /// Remaining instance completions per spawned node.
+    pub instances_remaining: HashMap<FunctionId, u32>,
+    /// Live instance lifecycle states.
+    pub instances: HashMap<InstanceToken, InstanceState>,
+    /// Output placement decided per producer node.
+    pub placements: HashMap<FunctionId, Placement>,
+    /// Transfer accounting.
+    pub ledger: TransferLedger,
+}
+
+impl InvState {
+    pub(crate) fn new(
+        version: Version,
+        dag: Arc<WorkflowDag>,
+        assignment: Arc<Assignment>,
+        started: SimTime,
+    ) -> Self {
+        let exits_remaining = dag.exit_nodes().len();
+        InvState {
+            version,
+            dag,
+            assignment,
+            started,
+            exits_remaining,
+            timeout_event: None,
+            timed_out: false,
+            completed: false,
+            completed_nodes: HashSet::new(),
+            instances_remaining: HashMap::new(),
+            instances: HashMap::new(),
+            placements: HashMap::new(),
+            ledger: TransferLedger::default(),
+        }
+    }
+
+    /// Splits `total` bytes across `parallelism` instances; instance 0
+    /// takes the remainder so shares sum exactly to `total`.
+    pub(crate) fn share(total: u64, parallelism: u32, instance: u32) -> u64 {
+        let k = u64::from(parallelism.max(1));
+        let base = total / k;
+        if instance == 0 {
+            total - base * (k - 1)
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_total() {
+        for total in [0u64, 1, 7, 100, 1 << 20] {
+            for k in [1u32, 2, 3, 7] {
+                let sum: u64 = (0..k).map(|i| InvState::share(total, k, i)).sum();
+                assert_eq!(sum, total, "total={total} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn instance_zero_takes_remainder() {
+        assert_eq!(InvState::share(10, 3, 0), 4);
+        assert_eq!(InvState::share(10, 3, 1), 3);
+        assert_eq!(InvState::share(10, 3, 2), 3);
+    }
+}

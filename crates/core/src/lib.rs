@@ -1,0 +1,53 @@
+//! # faasflow-core
+//!
+//! The FaaSFlow cluster simulation: the public entry point of the
+//! reproduction. It wires the substrates — DES kernel, max-min fair
+//! network, container runtime, remote store, FaaStore — to the two
+//! workflow engines and exposes the measurement interface the paper's
+//! evaluation needs.
+//!
+//! Quick tour:
+//!
+//! * [`ClusterConfig`] — cluster topology and knobs (schedule mode,
+//!   FaaStore on/off, storage-node bandwidth, container limits…).
+//! * [`Cluster`] — build, [`Cluster::register`] workflows with a
+//!   [`ClientConfig`] (closed- or open-loop), run, and collect a
+//!   [`RunReport`].
+//!
+//! ```
+//! use faasflow_core::{Cluster, ClusterConfig, ClientConfig, ScheduleMode};
+//! use faasflow_wdl::{Workflow, Step, FunctionProfile};
+//!
+//! let config = ClusterConfig {
+//!     mode: ScheduleMode::WorkerSp,
+//!     faastore: true,
+//!     ..ClusterConfig::default()
+//! };
+//! let mut cluster = Cluster::new(config)?;
+//! let wf = Workflow::steps(
+//!     "pipeline",
+//!     Step::sequence(vec![
+//!         Step::task("extract", FunctionProfile::with_millis(40, 4 << 20)),
+//!         Step::task("load", FunctionProfile::with_millis(25, 0)),
+//!     ]),
+//! );
+//! cluster.register(&wf, ClientConfig::ClosedLoop { invocations: 10 })?;
+//! cluster.run_until_idle();
+//! let report = cluster.report();
+//! assert_eq!(report.workflow("pipeline").completed, 10);
+//! # Ok::<(), faasflow_core::ClusterError>(())
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod invocation;
+pub mod metrics;
+pub mod trace;
+
+pub use cluster::Cluster;
+pub use config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
+pub use error::ClusterError;
+pub use invocation::InstanceToken;
+pub use metrics::{DistributionRow, RunReport, WorkerUtilization, WorkflowReport};
+pub use trace::TraceEvent;

@@ -1,0 +1,248 @@
+//! Run metrics and reports — the quantities the paper's figures plot.
+
+use std::collections::BTreeMap;
+
+use faasflow_sim::stats::{Histogram, Summary};
+use faasflow_sim::{NodeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-workflow measurement accumulators (crate-internal mutable side).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkflowMetrics {
+    /// End-to-end invocation latency (ms), timeouts recorded at the cap.
+    pub e2e: Histogram,
+    /// Scheduling overhead (ms): e2e minus critical-path execution (§2.3).
+    pub sched_overhead: Histogram,
+    /// Per-invocation sum of data transfer latencies over all edges (ms) —
+    /// Table 4's quantity.
+    pub transfer_total: Histogram,
+    /// Per-invocation bytes moved through any store (remote or local).
+    pub bytes_moved: Histogram,
+    pub completed: u64,
+    pub timeouts: u64,
+    pub sent: u64,
+    pub remote_bytes: u64,
+    pub local_bytes: u64,
+    pub first_completion: Option<SimTime>,
+    pub last_completion: Option<SimTime>,
+}
+
+impl WorkflowMetrics {
+    pub(crate) fn snapshot(&mut self, name: &str) -> WorkflowReport {
+        WorkflowReport {
+            name: name.to_string(),
+            sent: self.sent,
+            completed: self.completed,
+            timeouts: self.timeouts,
+            e2e: self.e2e.summary(),
+            sched_overhead: self.sched_overhead.summary(),
+            transfer_total: self.transfer_total.summary(),
+            bytes_moved: self.bytes_moved.summary(),
+            remote_bytes: self.remote_bytes,
+            local_bytes: self.local_bytes,
+            throughput_per_min: self.throughput_per_min(),
+        }
+    }
+
+    fn throughput_per_min(&self) -> f64 {
+        match (self.first_completion, self.last_completion) {
+            (Some(a), Some(b)) if b > a && self.completed > 1 => {
+                (self.completed - 1) as f64 / (b - a).as_secs_f64() * 60.0
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Immutable per-workflow report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowReport {
+    /// Workflow name.
+    pub name: String,
+    /// Invocations sent.
+    pub sent: u64,
+    /// Invocations completed (timeouts included once they finish).
+    pub completed: u64,
+    /// Invocations that exceeded the timeout.
+    pub timeouts: u64,
+    /// End-to-end latency (ms).
+    pub e2e: Summary,
+    /// Scheduling overhead (ms).
+    pub sched_overhead: Summary,
+    /// Per-invocation total data-movement latency (ms) — Table 4.
+    pub transfer_total: Summary,
+    /// Per-invocation bytes moved.
+    pub bytes_moved: Summary,
+    /// Total bytes shipped through the remote store.
+    pub remote_bytes: u64,
+    /// Total bytes passed through local memory (FaaStore hits).
+    pub local_bytes: u64,
+    /// Completions per minute over the measurement window.
+    pub throughput_per_min: f64,
+}
+
+/// Cluster-wide report produced by `Cluster::report`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-workflow results keyed by workflow name.
+    pub workflows: BTreeMap<String, WorkflowReport>,
+    /// Simulated time at report generation (s).
+    pub sim_time_secs: f64,
+    /// Master engine CPU busy fraction (MasterSP's bottleneck; ~0 under
+    /// WorkerSP).
+    pub master_busy_fraction: f64,
+    /// Task assignments sent by the master engine (MasterSP).
+    pub master_tasks_assigned: u64,
+    /// Execution states returned to the master engine (MasterSP).
+    pub master_state_returns: u64,
+    /// Cross-worker state-sync messages (WorkerSP).
+    pub worker_syncs: u64,
+    /// In-process local state updates (WorkerSP).
+    pub worker_local_updates: u64,
+    /// Cold starts across all workers.
+    pub cold_starts: u64,
+    /// Warm starts across all workers.
+    pub warm_starts: u64,
+    /// Bytes that transited the storage node NIC (both directions).
+    pub storage_node_bytes: u64,
+    /// Bytes served by worker-local memory instead of the network.
+    pub faastore_local_bytes: u64,
+    /// Per-worker engine-state footprint: live invocation structures.
+    pub live_invocation_states: u64,
+    /// Instance executions that failed and were retried (failure
+    /// injection; 0 unless `exec_failure_rate > 0`).
+    pub exec_retries: u64,
+}
+
+impl RunReport {
+    /// The report of one workflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn workflow(&self, name: &str) -> &WorkflowReport {
+        self.workflows
+            .get(name)
+            .unwrap_or_else(|| panic!("no workflow named `{name}` in this report"))
+    }
+
+    /// Effective storage-NIC utilisation in bytes/s over the run.
+    pub fn storage_bandwidth_used(&self) -> f64 {
+        if self.sim_time_secs > 0.0 {
+            self.storage_node_bytes as f64 / self.sim_time_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-instance transfer bookkeeping passed to metrics on completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TransferLedger {
+    /// Total transfer latency accumulated (all reads and writes).
+    pub total_latency: SimDuration,
+    /// Bytes moved via the remote store.
+    pub remote_bytes: u64,
+    /// Bytes moved via local memory.
+    pub local_bytes: u64,
+}
+
+/// Time-averaged resource usage of one worker (§5.6–5.7's CPU/memory
+/// series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerUtilization {
+    /// The worker node.
+    pub worker: NodeId,
+    /// Time-averaged busy cores.
+    pub cpu_mean_cores: f64,
+    /// Peak busy cores.
+    pub cpu_peak_cores: f64,
+    /// Time-averaged resident container memory, bytes.
+    pub mem_mean_bytes: f64,
+    /// Peak resident container memory, bytes.
+    pub mem_peak_bytes: f64,
+}
+
+/// Scheduler-distribution entry for Figure 15-style reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributionRow {
+    /// Worker node.
+    pub worker: NodeId,
+    /// Groups placed there.
+    pub groups: usize,
+    /// Function nodes placed there.
+    pub functions: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_uses_completion_window() {
+        let mut m = WorkflowMetrics::default();
+        m.completed = 3;
+        m.first_completion = Some(SimTime::from_secs_f64(0.0));
+        m.last_completion = Some(SimTime::from_secs_f64(60.0));
+        // 2 completions over 60s -> 2/min.
+        let r = m.snapshot("x");
+        assert!((r.throughput_per_min - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_degenerate_cases_are_zero() {
+        let mut m = WorkflowMetrics::default();
+        assert_eq!(m.snapshot("x").throughput_per_min, 0.0);
+        m.completed = 1;
+        m.first_completion = Some(SimTime::from_secs_f64(1.0));
+        m.last_completion = Some(SimTime::from_secs_f64(1.0));
+        assert_eq!(m.snapshot("x").throughput_per_min, 0.0);
+    }
+
+    #[test]
+    fn report_lookup_by_name() {
+        let mut m = WorkflowMetrics::default();
+        m.e2e.record(5.0);
+        let snap = m.snapshot("wf");
+        let mut workflows = BTreeMap::new();
+        workflows.insert("wf".to_string(), snap);
+        let report = RunReport {
+            workflows,
+            sim_time_secs: 10.0,
+            master_busy_fraction: 0.0,
+            master_tasks_assigned: 0,
+            master_state_returns: 0,
+            worker_syncs: 0,
+            worker_local_updates: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            storage_node_bytes: 500,
+            faastore_local_bytes: 0,
+            live_invocation_states: 0,
+            exec_retries: 0,
+        };
+        assert_eq!(report.workflow("wf").e2e.count, 1);
+        assert_eq!(report.storage_bandwidth_used(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workflow named")]
+    fn unknown_workflow_panics() {
+        let report = RunReport {
+            workflows: BTreeMap::new(),
+            sim_time_secs: 0.0,
+            master_busy_fraction: 0.0,
+            master_tasks_assigned: 0,
+            master_state_returns: 0,
+            worker_syncs: 0,
+            worker_local_updates: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            storage_node_bytes: 0,
+            faastore_local_bytes: 0,
+            live_invocation_states: 0,
+            exec_retries: 0,
+        };
+        report.workflow("ghost");
+    }
+}

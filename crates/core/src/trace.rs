@@ -1,0 +1,284 @@
+//! Structured execution traces.
+//!
+//! When [`crate::ClusterConfig::trace`] is set, the cluster records one
+//! [`TraceEvent`] per lifecycle step of every invocation — arrivals,
+//! triggers, container starts, transfers, completions, and the control
+//! messages of whichever schedule pattern is active. Traces make the
+//! difference between MasterSP and WorkerSP *visible* (who triggered what,
+//! where the state travelled) and back the timeline renderer used by
+//! examples and debugging sessions.
+
+use faasflow_sim::{ContainerId, FunctionId, InvocationId, NodeId, SimTime, WorkflowId};
+use serde::{Deserialize, Serialize};
+
+/// One recorded lifecycle step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A client invocation arrived at the cluster.
+    InvocationArrived {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// An engine decided a function node runs (WorkerSP: locally;
+    /// MasterSP: the assignment was issued).
+    FunctionTriggered {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node.
+        function: FunctionId,
+        /// The worker that will run it.
+        worker: NodeId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A container became ready for one executor instance.
+    InstanceStarted {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node.
+        function: FunctionId,
+        /// Instance index.
+        instance: u32,
+        /// The container.
+        container: ContainerId,
+        /// Whether the container cold-started.
+        cold: bool,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A data transfer completed.
+    Transferred {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The consuming/producing function node.
+        function: FunctionId,
+        /// Bytes moved.
+        bytes: u64,
+        /// Through the remote store (`false` = worker-local memory).
+        remote: bool,
+        /// `true` for an input read, `false` for an output write.
+        read: bool,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// Every instance of a node finished.
+    NodeCompleted {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node.
+        function: FunctionId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A WorkerSP state-sync message was sent to another worker.
+    StateSyncSent {
+        /// Sender worker.
+        from: NodeId,
+        /// Receiver worker.
+        to: NodeId,
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The completed function the sync reports.
+        completed: FunctionId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// The invocation finished (all exit nodes complete).
+    InvocationCompleted {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// Instant.
+        at: SimTime,
+        /// Whether the 60 s timeout had already fired.
+        timed_out: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::InvocationArrived { at, .. }
+            | TraceEvent::FunctionTriggered { at, .. }
+            | TraceEvent::InstanceStarted { at, .. }
+            | TraceEvent::Transferred { at, .. }
+            | TraceEvent::NodeCompleted { at, .. }
+            | TraceEvent::StateSyncSent { at, .. }
+            | TraceEvent::InvocationCompleted { at, .. } => *at,
+        }
+    }
+
+    /// The invocation the event belongs to.
+    pub fn invocation(&self) -> (WorkflowId, InvocationId) {
+        match self {
+            TraceEvent::InvocationArrived {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::FunctionTriggered {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::InstanceStarted {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::Transferred {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::NodeCompleted {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::StateSyncSent {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::InvocationCompleted {
+                workflow,
+                invocation,
+                ..
+            } => (*workflow, *invocation),
+        }
+    }
+}
+
+/// The recorder held by the cluster.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Tracer {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if self.enabled {
+            self.events.push(make());
+        }
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Renders a per-invocation timeline as indented text — a poor man's Gantt
+/// chart for terminal debugging.
+pub fn render_timeline(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut current: Option<(WorkflowId, InvocationId)> = None;
+    let mut start = SimTime::ZERO;
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.invocation(), e.at()));
+    for e in sorted {
+        if current != Some(e.invocation()) {
+            current = Some(e.invocation());
+            start = e.at();
+            let (wf, inv) = e.invocation();
+            let _ = writeln!(out, "{wf}/{inv}:");
+        }
+        let dt = (e.at() - start).as_millis_f64();
+        let line = match e {
+            TraceEvent::InvocationArrived { .. } => "arrived".to_string(),
+            TraceEvent::FunctionTriggered {
+                function, worker, ..
+            } => format!("trigger {function} on {worker}"),
+            TraceEvent::InstanceStarted {
+                function,
+                instance,
+                cold,
+                ..
+            } => format!(
+                "start   {function}#{instance} ({})",
+                if *cold { "cold" } else { "warm" }
+            ),
+            TraceEvent::Transferred {
+                function,
+                bytes,
+                remote,
+                read,
+                ..
+            } => format!(
+                "{} {function} {:.2} MB ({})",
+                if *read { "read   " } else { "write  " },
+                *bytes as f64 / 1048576.0,
+                if *remote { "remote" } else { "local" }
+            ),
+            TraceEvent::NodeCompleted { function, .. } => format!("done    {function}"),
+            TraceEvent::StateSyncSent {
+                from, to, completed, ..
+            } => format!("sync    {completed}: {from} -> {to}"),
+            TraceEvent::InvocationCompleted { timed_out, .. } => {
+                if *timed_out {
+                    "completed (after timeout)".to_string()
+                } else {
+                    "completed".to_string()
+                }
+            }
+        };
+        let _ = writeln!(out, "  {dt:>9.2} ms  {line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(false);
+        t.record(|| TraceEvent::InvocationArrived {
+            workflow: WorkflowId::new(0),
+            invocation: InvocationId::new(0),
+            at: SimTime::ZERO,
+        });
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn timeline_groups_by_invocation() {
+        let wf = WorkflowId::new(0);
+        let mk = |inv: u32, ms: u64| TraceEvent::InvocationArrived {
+            workflow: wf,
+            invocation: InvocationId::new(inv),
+            at: SimTime::ZERO + faasflow_sim::SimDuration::from_millis(ms),
+        };
+        let text = render_timeline(&[mk(1, 5), mk(0, 0)]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "wf0/inv0:");
+        assert_eq!(lines[2], "wf0/inv1:");
+    }
+}

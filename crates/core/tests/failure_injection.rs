@@ -1,0 +1,128 @@
+//! Failure-injection tests: transient execution errors with bounded retry
+//! must never compromise liveness or accounting.
+
+use faasflow_core::{ClientConfig, Cluster, ClusterConfig, ClusterError, ScheduleMode};
+use faasflow_wdl::{FunctionProfile, Step, Workflow};
+
+/// A small map/reduce stand-in (split -> 8x count -> merge).
+fn map_reduce() -> Workflow {
+    Workflow::steps(
+        "WC",
+        Step::sequence(vec![
+            Step::task("split", FunctionProfile::with_millis(100, 8 << 20)),
+            Step::foreach("count", FunctionProfile::with_millis(150, 2 << 20), 8),
+            Step::task("merge", FunctionProfile::with_millis(80, 0)),
+        ]),
+    )
+}
+
+/// A four-stage pipeline stand-in.
+fn pipeline() -> Workflow {
+    Workflow::steps(
+        "IR",
+        Step::sequence(vec![
+            Step::task("a", FunctionProfile::with_millis(50, 1 << 20)),
+            Step::task("b", FunctionProfile::with_millis(50, 1 << 20)),
+            Step::task("c", FunctionProfile::with_millis(50, 1 << 20)),
+            Step::task("d", FunctionProfile::with_millis(50, 0)),
+        ]),
+    )
+}
+
+fn flaky(rate: f64) -> ClusterConfig {
+    ClusterConfig {
+        exec_failure_rate: rate,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn flaky_functions_still_complete_every_invocation() {
+    for mode in [ScheduleMode::WorkerSp, ScheduleMode::MasterSp] {
+        let config = ClusterConfig {
+            mode,
+            faastore: mode == ScheduleMode::WorkerSp,
+            ..flaky(0.3)
+        };
+        let mut cluster = Cluster::new(config).expect("valid config");
+        cluster
+            .register(&map_reduce(), ClientConfig::ClosedLoop { invocations: 20 })
+            .expect("registers");
+        cluster.run_until_idle();
+        let report = cluster.report();
+        assert_eq!(report.workflow("WC").completed, 20, "under {mode:?}");
+        assert!(
+            report.exec_retries > 0,
+            "30% failure rate must trigger retries under {mode:?}"
+        );
+        assert_eq!(report.live_invocation_states, 0);
+    }
+}
+
+#[test]
+fn retries_raise_latency_monotonically() {
+    let run = |rate| {
+        let mut cluster = Cluster::new(flaky(rate)).expect("valid config");
+        let wf = Workflow::steps(
+            "lat",
+            Step::sequence(vec![
+                Step::task("a", FunctionProfile::with_millis(100, 0).exec_variation(0.0)),
+                Step::task("b", FunctionProfile::with_millis(100, 0).exec_variation(0.0)),
+            ]),
+        );
+        cluster
+            .register(&wf, ClientConfig::ClosedLoop { invocations: 50 })
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.report().workflow("lat").e2e.mean
+    };
+    let clean = run(0.0);
+    let noisy = run(0.4);
+    assert!(
+        noisy > clean * 1.2,
+        "40% failures must visibly raise latency ({clean:.1} -> {noisy:.1})"
+    );
+}
+
+#[test]
+fn retry_budget_bounds_the_damage() {
+    // Even an extreme failure rate terminates: each instance retries at
+    // most `max_exec_retries` times and then proceeds.
+    let config = ClusterConfig {
+        exec_failure_rate: 0.95,
+        max_exec_retries: 2,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(&pipeline(), ClientConfig::ClosedLoop { invocations: 5 })
+        .expect("registers");
+    cluster.run_until_idle();
+    let report = cluster.report();
+    assert_eq!(report.workflow("IR").completed, 5);
+    // 4 functions x 5 invocations x at most 2 retries.
+    assert!(report.exec_retries <= 4 * 5 * 2);
+    assert!(report.exec_retries >= 10, "95% failure rate retries a lot");
+}
+
+#[test]
+fn failure_injection_is_deterministic() {
+    let run = || {
+        let mut cluster = Cluster::new(flaky(0.25)).expect("valid config");
+        cluster
+            .register(&pipeline(), ClientConfig::ClosedLoop { invocations: 15 })
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.report()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn invalid_failure_rate_is_rejected() {
+    match Cluster::new(flaky(1.5)) {
+        Err(ClusterError::InvalidConfig(_)) => {}
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("rate > 1 must be rejected"),
+    }
+}

@@ -1,0 +1,72 @@
+//! QoS-triggered partition iterations (§4.1.2).
+
+use faasflow_core::{ClientConfig, Cluster, ClusterConfig};
+use faasflow_sim::SimDuration;
+use faasflow_wdl::{FunctionProfile, Step, Workflow};
+
+fn slow_workflow() -> Workflow {
+    Workflow::steps(
+        "q",
+        Step::sequence(vec![
+            Step::task("a", FunctionProfile::with_millis(200, 16 << 20)),
+            Step::task("b", FunctionProfile::with_millis(200, 0)),
+        ]),
+    )
+}
+
+#[test]
+fn qos_violations_force_partition_iterations() {
+    let config = ClusterConfig {
+        // Impossible target: every invocation violates it.
+        qos_target: Some(SimDuration::from_millis(1)),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(&slow_workflow(), ClientConfig::ClosedLoop { invocations: 10 })
+        .expect("registers");
+    cluster.run_until_idle();
+    let (_, runs) = cluster.partition_wall_time();
+    // Initial partition + one per completed (rate-limited) violation.
+    assert!(
+        runs >= 10,
+        "every violating completion must trigger an iteration, got {runs}"
+    );
+    assert_eq!(cluster.report().workflow("q").completed, 10);
+}
+
+#[test]
+fn satisfied_qos_never_repartitions() {
+    let config = ClusterConfig {
+        qos_target: Some(SimDuration::from_secs(30)),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(&slow_workflow(), ClientConfig::ClosedLoop { invocations: 10 })
+        .expect("registers");
+    cluster.run_until_idle();
+    let (_, runs) = cluster.partition_wall_time();
+    assert_eq!(runs, 1, "only the registration-time partition");
+}
+
+#[test]
+fn qos_iterations_use_collected_feedback() {
+    // After a QoS-triggered repartition the DAG weights come from observed
+    // p99 latencies; the run must remain correct and deterministic.
+    let run = || {
+        let config = ClusterConfig {
+            qos_target: Some(SimDuration::from_millis(100)),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(config).expect("valid config");
+        cluster
+            .register(&slow_workflow(), ClientConfig::ClosedLoop { invocations: 15 })
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.report()
+    };
+    let a = run();
+    assert_eq!(a.workflow("q").completed, 15);
+    assert_eq!(a, run(), "QoS iterations preserve determinism");
+}

@@ -1,0 +1,116 @@
+//! Trace-based validation: the recorded lifecycle must obey causal order.
+
+use std::collections::HashMap;
+
+use faasflow_core::{ClientConfig, Cluster, ClusterConfig, ScheduleMode, TraceEvent};
+use faasflow_wdl::{FunctionProfile, Step, Workflow};
+
+fn traced_run(mode: ScheduleMode, faastore: bool) -> Vec<TraceEvent> {
+    let config = ClusterConfig {
+        mode,
+        faastore,
+        trace: true,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    let wf = Workflow::steps(
+        "t",
+        Step::sequence(vec![
+            Step::task("a", FunctionProfile::with_millis(20, 4 << 20)),
+            Step::foreach("b", FunctionProfile::with_millis(50, 4 << 20), 3),
+            Step::task("c", FunctionProfile::with_millis(20, 0)),
+        ]),
+    );
+    cluster
+        .register(&wf, ClientConfig::ClosedLoop { invocations: 4 })
+        .expect("registers");
+    cluster.run_until_idle();
+    cluster.take_trace()
+}
+
+#[test]
+fn trace_is_causally_ordered_per_invocation() {
+    for (mode, faastore) in [(ScheduleMode::WorkerSp, true), (ScheduleMode::MasterSp, false)] {
+        let events = traced_run(mode, faastore);
+        assert!(!events.is_empty(), "tracing must record events");
+        let mut arrived: HashMap<_, _> = HashMap::new();
+        let mut completed = HashMap::new();
+        for e in &events {
+            match e {
+                TraceEvent::InvocationArrived { at, .. } => {
+                    arrived.insert(e.invocation(), *at);
+                }
+                TraceEvent::InvocationCompleted { at, .. } => {
+                    completed.insert(e.invocation(), *at);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(arrived.len(), 4);
+        assert_eq!(completed.len(), 4);
+        for e in &events {
+            let key = e.invocation();
+            assert!(
+                e.at() >= arrived[&key],
+                "event before its invocation arrived: {e:?}"
+            );
+            assert!(
+                e.at() <= completed[&key],
+                "event after its invocation completed: {e:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_counts_match_the_workflow_shape() {
+    let events = traced_run(ScheduleMode::WorkerSp, true);
+    let first = events
+        .iter()
+        .filter(|e| e.invocation().1.index() == 0)
+        .collect::<Vec<_>>();
+    // 3 function nodes trigger per invocation (a, b, c).
+    let triggers = first
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::FunctionTriggered { .. }))
+        .count();
+    assert_eq!(triggers, 3);
+    // 1 + 3 + 1 instances start.
+    let instances = first
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::InstanceStarted { .. }))
+        .count();
+    assert_eq!(instances, 5);
+    // Node completions: a, b, c.
+    let nodes = first
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeCompleted { .. }))
+        .count();
+    assert_eq!(nodes, 3);
+}
+
+#[test]
+fn untraced_runs_record_nothing() {
+    let mut cluster = Cluster::new(ClusterConfig::default()).expect("valid config");
+    cluster
+        .register(
+            &Workflow::steps("n", Step::task("a", FunctionProfile::with_millis(5, 0))),
+            ClientConfig::ClosedLoop { invocations: 2 },
+        )
+        .expect("registers");
+    cluster.run_until_idle();
+    assert!(cluster.take_trace().is_empty());
+}
+
+#[test]
+fn timeline_renders_every_invocation() {
+    let events = traced_run(ScheduleMode::WorkerSp, true);
+    let text = faasflow_core::trace::render_timeline(&events);
+    for inv in 0..4 {
+        assert!(
+            text.contains(&format!("wf0/inv{inv}:")),
+            "timeline missing invocation {inv}"
+        );
+    }
+    assert!(text.contains("completed"));
+}

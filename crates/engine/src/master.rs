@@ -1,0 +1,401 @@
+//! The central workflow engine — MasterSP / HyperFlow-serverless (§2.2).
+//!
+//! "Master node collects the execution states of functions from the worker
+//! nodes and determines whether functions in the workflow meet their
+//! trigger conditions. Once predecessors of function f are all completed,
+//! task T_f will be triggered and assigned to a worker node for invocation,
+//! and returned with the execution state."
+//!
+//! Every triggered task costs a master→worker assignment message and a
+//! worker→master state return (stages 1 and 3 of §2.3); the cluster
+//! simulation charges both plus the master's per-message CPU occupancy,
+//! which is where MasterSP's scheduling overhead comes from.
+//!
+//! Placement uses the same [`Assignment`] as FaaSFlow ("we also modify the
+//! routing policy in HyperFlow-serverless to the same way as in FaaSFlow,
+//! which satisfies the control variate method", §5.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use faasflow_sim::stats::Counter;
+use faasflow_sim::{FunctionId, InvocationId, NodeId, WorkflowId};
+use faasflow_scheduler::Assignment;
+use faasflow_wdl::WorkflowDag;
+
+use crate::trigger::TriggerTracker;
+
+/// What the master engine asks the runtime to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterAction {
+    /// Assign a function task to a worker (a TCP message master→worker).
+    /// Virtual nodes are not shipped: the master completes them inline.
+    AssignTask {
+        /// Destination worker.
+        worker: NodeId,
+        /// The workflow.
+        workflow: WorkflowId,
+        /// The invocation.
+        invocation: InvocationId,
+        /// The function to run.
+        function: FunctionId,
+    },
+    /// A DAG exit node completed — report towards the client.
+    ExitComplete {
+        /// The workflow.
+        workflow: WorkflowId,
+        /// The invocation.
+        invocation: InvocationId,
+        /// The completed exit node.
+        function: FunctionId,
+    },
+}
+
+/// Counters for §2.3 / §5.2's message accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MasterEngineStats {
+    /// Task assignments sent to workers.
+    pub tasks_assigned: Counter,
+    /// Execution states received back.
+    pub state_returns: Counter,
+}
+
+#[derive(Debug, Clone)]
+struct WorkflowCtx {
+    dag: Arc<WorkflowDag>,
+    assignment: Arc<Assignment>,
+    seed: u64,
+}
+
+/// The central engine of the MasterSP baseline.
+#[derive(Debug)]
+pub struct MasterEngine {
+    workflows: HashMap<WorkflowId, WorkflowCtx>,
+    invocations: HashMap<(WorkflowId, InvocationId), TriggerTracker>,
+    stats: MasterEngineStats,
+}
+
+impl Default for MasterEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MasterEngine {
+    /// Creates an empty central engine.
+    pub fn new() -> Self {
+        MasterEngine {
+            workflows: HashMap::new(),
+            invocations: HashMap::new(),
+            stats: MasterEngineStats::default(),
+        }
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> &MasterEngineStats {
+        &self.stats
+    }
+
+    /// Live invocation state structures.
+    pub fn live_invocations(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Registers a workflow with its placement (the control-variate routing
+    /// of §5.1).
+    pub fn install(
+        &mut self,
+        workflow: WorkflowId,
+        dag: Arc<WorkflowDag>,
+        assignment: Arc<Assignment>,
+        seed: u64,
+    ) {
+        self.workflows.insert(
+            workflow,
+            WorkflowCtx {
+                dag,
+                assignment,
+                seed,
+            },
+        );
+    }
+
+    /// Starts an invocation: triggers the DAG's entry nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workflow was never installed.
+    pub fn begin_invocation(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+    ) -> Vec<MasterAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("begin_invocation on uninstalled workflow")
+            .clone();
+        let tracker = self
+            .invocations
+            .entry((workflow, invocation))
+            .or_insert_with(|| TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed));
+        let mut triggered = Vec::new();
+        for entry in ctx.dag.entry_nodes() {
+            if tracker.force_trigger(entry) {
+                triggered.push(entry);
+            }
+        }
+        self.dispatch(workflow, invocation, triggered)
+    }
+
+    /// Handles an execution-state return from a worker: one executor
+    /// instance of `function` completed there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invocation is unknown.
+    pub fn on_state_return(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        function: FunctionId,
+    ) -> Vec<MasterAction> {
+        self.stats.state_returns.inc();
+        let tracker = self
+            .invocations
+            .get_mut(&(workflow, invocation))
+            .expect("state return for unknown invocation");
+        if !tracker.instance_done(function) {
+            return Vec::new();
+        }
+        self.node_completed(workflow, invocation, function)
+    }
+
+    /// Drops the invocation's state.
+    pub fn release_invocation(&mut self, workflow: WorkflowId, invocation: InvocationId) {
+        self.invocations.remove(&(workflow, invocation));
+    }
+
+    /// Processes a node completion: exit reporting and successor triggering.
+    /// Virtual nodes complete inline on the master (they carry no work),
+    /// which matches the central engine owning all bookkeeping.
+    fn node_completed(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        function: FunctionId,
+    ) -> Vec<MasterAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("completion for uninstalled workflow")
+            .clone();
+        let mut actions = Vec::new();
+        // Work list of completed nodes to propagate (virtual chains may
+        // cascade without leaving the master).
+        let mut completed = vec![function];
+        let mut triggered = Vec::new();
+        while let Some(f) = completed.pop() {
+            if ctx.dag.successors(f).is_empty() {
+                actions.push(MasterAction::ExitComplete {
+                    workflow,
+                    invocation,
+                    function: f,
+                });
+            }
+            let tracker = self
+                .invocations
+                .get_mut(&(workflow, invocation))
+                .expect("tracker alive during propagation");
+            for s in tracker.successors_to_notify(f) {
+                let tracker = self
+                    .invocations
+                    .get_mut(&(workflow, invocation))
+                    .expect("tracker alive");
+                if tracker.predecessor_done(s) {
+                    if ctx.dag.node(s).kind.is_function() {
+                        triggered.push(s);
+                    } else {
+                        // Virtual node: completes instantly in the master.
+                        if tracker.instance_done(s) {
+                            completed.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        actions.extend(self.dispatch(workflow, invocation, triggered));
+        actions
+    }
+
+    /// Emits task assignments for triggered *function* nodes; virtual
+    /// entry nodes cascade inline.
+    fn dispatch(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        triggered: Vec<FunctionId>,
+    ) -> Vec<MasterAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("dispatch on uninstalled workflow")
+            .clone();
+        let mut actions = Vec::new();
+        for f in triggered {
+            if ctx.dag.node(f).kind.is_function() {
+                self.stats.tasks_assigned.inc();
+                actions.push(MasterAction::AssignTask {
+                    worker: ctx.assignment.worker_of(f),
+                    workflow,
+                    invocation,
+                    function: f,
+                });
+            } else {
+                // A virtual entry node: complete inline and cascade.
+                let tracker = self
+                    .invocations
+                    .get_mut(&(workflow, invocation))
+                    .expect("tracker alive in dispatch");
+                if tracker.instance_done(f) {
+                    actions.extend(self.node_completed(workflow, invocation, f));
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_scheduler::{ContentionSet, GraphScheduler, RuntimeMetrics, WorkerInfo};
+    use faasflow_sim::SimRng;
+    use faasflow_wdl::{DagParser, FunctionProfile, Step, Workflow};
+
+    const WF: WorkflowId = WorkflowId::new(0);
+    const INV: InvocationId = InvocationId::new(0);
+
+    fn build(step: Step, workers: u32) -> (Arc<WorkflowDag>, MasterEngine) {
+        let wf = Workflow::steps("m", step);
+        let dag = Arc::new(DagParser::default().parse(&wf).unwrap());
+        let metrics = RuntimeMetrics::initial(&dag);
+        let ws: Vec<WorkerInfo> = (0..workers)
+            .map(|i| WorkerInfo::new(NodeId::new(i + 1), 64))
+            .collect();
+        let mut rng = SimRng::seed_from(3);
+        let asg = Arc::new(
+            GraphScheduler::default()
+                .partition(&dag, &ws, &metrics, &ContentionSet::default(), u64::MAX, &mut rng)
+                .unwrap(),
+        );
+        let mut eng = MasterEngine::new();
+        eng.install(WF, dag.clone(), asg, 11);
+        (dag, eng)
+    }
+
+    fn p(out: u64) -> FunctionProfile {
+        FunctionProfile::with_millis(1, out)
+    }
+
+    #[test]
+    fn chain_assigns_one_task_at_a_time() {
+        let (_dag, mut eng) = build(
+            Step::sequence(vec![
+                Step::task("a", p(10)),
+                Step::task("b", p(10)),
+                Step::task("c", p(0)),
+            ]),
+            2,
+        );
+        let first = eng.begin_invocation(WF, INV);
+        assert_eq!(first.len(), 1);
+        let MasterAction::AssignTask { function: a, .. } = first[0] else {
+            panic!("expected an assignment");
+        };
+        assert_eq!(a, FunctionId::new(0));
+        let second = eng.on_state_return(WF, INV, a);
+        assert_eq!(second.len(), 1);
+        assert_eq!(eng.stats().tasks_assigned.get(), 2);
+        assert_eq!(eng.stats().state_returns.get(), 1);
+    }
+
+    #[test]
+    fn parallel_assigns_both_branches_at_once() {
+        let (dag, mut eng) = build(
+            Step::sequence(vec![
+                Step::task("a", p(10)),
+                Step::parallel(vec![Step::task("x", p(1)), Step::task("y", p(1))]),
+            ]),
+            2,
+        );
+        let first = eng.begin_invocation(WF, INV);
+        let MasterAction::AssignTask { function: a, .. } = first[0] else {
+            panic!("expected an assignment");
+        };
+        // a completes; the parallel virtual start cascades inline and both
+        // branches are assigned together.
+        let actions = eng.on_state_return(WF, INV, a);
+        let assigned: Vec<FunctionId> = actions
+            .iter()
+            .filter_map(|act| match act {
+                MasterAction::AssignTask { function, .. } => Some(*function),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(assigned.len(), 2);
+        for f in &assigned {
+            assert!(dag.node(*f).kind.is_function());
+        }
+    }
+
+    #[test]
+    fn exit_complete_fires_at_the_sink() {
+        let (_dag, mut eng) = build(
+            Step::sequence(vec![Step::task("a", p(10)), Step::task("b", p(0))]),
+            1,
+        );
+        let first = eng.begin_invocation(WF, INV);
+        let MasterAction::AssignTask { function: a, .. } = first[0] else {
+            panic!("expected an assignment");
+        };
+        let second = eng.on_state_return(WF, INV, a);
+        let MasterAction::AssignTask { function: b, .. } = second[0] else {
+            panic!("expected an assignment");
+        };
+        let last = eng.on_state_return(WF, INV, b);
+        assert!(matches!(last[0], MasterAction::ExitComplete { function, .. } if function == b));
+    }
+
+    #[test]
+    fn foreach_waits_for_all_state_returns() {
+        let (dag, mut eng) = build(Step::foreach("fe", p(0), 3), 2);
+        let fe = dag.nodes().iter().find(|n| n.name == "fe").unwrap().id;
+        let first = eng.begin_invocation(WF, INV);
+        // Entry is the virtual bracket, which cascades inline to assign fe.
+        let assigned: Vec<FunctionId> = first
+            .iter()
+            .filter_map(|a| match a {
+                MasterAction::AssignTask { function, .. } => Some(*function),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(assigned, vec![fe]);
+        assert!(eng.on_state_return(WF, INV, fe).is_empty());
+        assert!(eng.on_state_return(WF, INV, fe).is_empty());
+        let done = eng.on_state_return(WF, INV, fe);
+        assert!(
+            done.iter().any(|a| matches!(a, MasterAction::ExitComplete { .. })),
+            "third return completes the foreach and the workflow"
+        );
+    }
+
+    #[test]
+    fn release_frees_state() {
+        let (_dag, mut eng) = build(Step::task("a", p(0)), 1);
+        eng.begin_invocation(WF, INV);
+        assert_eq!(eng.live_invocations(), 1);
+        eng.release_invocation(WF, INV);
+        assert_eq!(eng.live_invocations(), 0);
+    }
+}

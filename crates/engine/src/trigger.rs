@@ -1,0 +1,271 @@
+//! Shared trigger-state tracking — the paper's `State` structure (§3.1).
+//!
+//! "*State* preserves the execution state of functions and their
+//! predecessors for invocation synchronization and local triggering. [...]
+//! If the *PredecessorsDone* count of a function reaches its target
+//! *PredecessorsCount*, the local engine will trigger and invoke it."
+//!
+//! Both engines use one [`TriggerTracker`] per invocation. Switch arms are
+//! chosen by a deterministic hash of `(seed, invocation, switch node)`, so
+//! every engine in the cluster independently picks the same arm without
+//! coordination.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use faasflow_sim::{FunctionId, InvocationId};
+use faasflow_wdl::{NodeKind, WorkflowDag};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeState {
+    predecessors_done: u32,
+    triggered: bool,
+    done: bool,
+    instances_done: u32,
+}
+
+/// Per-invocation trigger state over one workflow DAG.
+#[derive(Debug, Clone)]
+pub struct TriggerTracker {
+    dag: Arc<WorkflowDag>,
+    invocation: InvocationId,
+    seed: u64,
+    states: HashMap<FunctionId, NodeState>,
+}
+
+impl TriggerTracker {
+    /// Creates the tracker for one invocation. `seed` feeds the switch-arm
+    /// hash and must be identical on every engine of the cluster.
+    pub fn new(dag: Arc<WorkflowDag>, invocation: InvocationId, seed: u64) -> Self {
+        TriggerTracker {
+            dag,
+            invocation,
+            seed,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The DAG this tracker runs over.
+    pub fn dag(&self) -> &Arc<WorkflowDag> {
+        &self.dag
+    }
+
+    /// The deterministically chosen arm of a switch virtual-start node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a switch start.
+    pub fn chosen_arm(&self, node: FunctionId) -> u32 {
+        let arms = match self.dag.node(node).kind {
+            NodeKind::VirtualStart {
+                switch_arms: Some(arms),
+            } => arms,
+            _ => panic!("chosen_arm on a non-switch node {node}"),
+        };
+        // SplitMix64 finalizer over (seed, invocation, node).
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(self.invocation.index() as u32) << 32)
+            .wrapping_add(node.index() as u64)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % u64::from(arms)) as u32
+    }
+
+    /// Marks a node as triggered without predecessor accounting (entry
+    /// nodes). Returns `false` when it was already triggered.
+    pub fn force_trigger(&mut self, node: FunctionId) -> bool {
+        let st = self.states.entry(node).or_default();
+        if st.triggered {
+            false
+        } else {
+            st.triggered = true;
+            true
+        }
+    }
+
+    /// Records that one predecessor of `node` completed. Returns `true`
+    /// when this update triggers `node` (reaches `PredecessorsCount`, or
+    /// the first completion for an any-join node).
+    pub fn predecessor_done(&mut self, node: FunctionId) -> bool {
+        let required = self.dag.required_predecessors(node);
+        let st = self.states.entry(node).or_default();
+        st.predecessors_done += 1;
+        if !st.triggered && st.predecessors_done >= required {
+            st.triggered = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records completion of one executor instance of `node`. Returns
+    /// `true` when the whole node just completed (all `parallelism`
+    /// instances done).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never triggered, completed twice, or received
+    /// more instance completions than its parallelism.
+    pub fn instance_done(&mut self, node: FunctionId) -> bool {
+        let parallelism = self.dag.node(node).parallelism;
+        let st = self.states.entry(node).or_default();
+        assert!(st.triggered, "instance completion for untriggered {node}");
+        assert!(!st.done, "instance completion after node {node} completed");
+        st.instances_done += 1;
+        assert!(
+            st.instances_done <= parallelism,
+            "more instance completions than parallelism for {node}"
+        );
+        if st.instances_done == parallelism {
+            st.done = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once every instance of `node` completed.
+    pub fn is_done(&self, node: FunctionId) -> bool {
+        self.states.get(&node).map(|s| s.done).unwrap_or(false)
+    }
+
+    /// True once `node` was triggered.
+    pub fn is_triggered(&self, node: FunctionId) -> bool {
+        self.states.get(&node).map(|s| s.triggered).unwrap_or(false)
+    }
+
+    /// The successors that must learn about `node`'s completion, with
+    /// switch-arm edges of non-chosen arms filtered out.
+    pub fn successors_to_notify(&self, node: FunctionId) -> Vec<FunctionId> {
+        let is_switch = matches!(
+            self.dag.node(node).kind,
+            NodeKind::VirtualStart {
+                switch_arms: Some(_)
+            }
+        );
+        let arm = is_switch.then(|| self.chosen_arm(node));
+        self.dag
+            .successors(node)
+            .iter()
+            .filter(|&&(eid, _)| match (arm, self.dag.edge(eid).switch_arm) {
+                (Some(chosen), Some(a)) => a == chosen,
+                _ => true,
+            })
+            .map(|&(_, s)| s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_wdl::{DagParser, FunctionProfile, Step, SwitchCase, Workflow};
+
+    fn parse(step: Step) -> Arc<WorkflowDag> {
+        Arc::new(
+            DagParser::default()
+                .parse(&Workflow::steps("t", step))
+                .expect("valid workflow"),
+        )
+    }
+
+    fn p() -> FunctionProfile {
+        FunctionProfile::with_millis(1, 10)
+    }
+
+    #[test]
+    fn all_join_waits_for_every_predecessor() {
+        // a -> {b, c} -> d: d needs both.
+        let dag = parse(Step::sequence(vec![
+            Step::task("a", p()),
+            Step::parallel(vec![Step::task("b", p()), Step::task("c", p())]),
+            Step::task("d", p()),
+        ]));
+        let ve = dag
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::VirtualEnd))
+            .unwrap()
+            .id;
+        let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        assert!(!tr.predecessor_done(ve), "first branch does not trigger");
+        assert!(tr.predecessor_done(ve), "second branch triggers");
+        assert!(!tr.predecessor_done(ve), "extra updates never re-trigger");
+    }
+
+    #[test]
+    fn instance_counting_completes_foreach() {
+        let dag = parse(Step::foreach("fe", p(), 3));
+        let fe = dag.nodes().iter().find(|n| n.name == "fe").unwrap().id;
+        let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        tr.force_trigger(fe);
+        assert!(!tr.instance_done(fe));
+        assert!(!tr.instance_done(fe));
+        assert!(tr.instance_done(fe), "third instance completes the node");
+        assert!(tr.is_done(fe));
+    }
+
+    #[test]
+    #[should_panic(expected = "untriggered")]
+    fn instance_before_trigger_panics() {
+        let dag = parse(Step::task("a", p()));
+        let a = dag.nodes()[0].id;
+        let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        tr.instance_done(a);
+    }
+
+    #[test]
+    fn switch_arm_is_deterministic_and_filters_successors() {
+        let dag = parse(Step::switch(vec![
+            SwitchCase::new("0", Step::task("x", p())),
+            SwitchCase::new("1", Step::task("y", p())),
+        ]));
+        let vs = dag
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::VirtualStart { switch_arms: Some(_) }))
+            .unwrap()
+            .id;
+        let a = TriggerTracker::new(dag.clone(), InvocationId::new(7), 99);
+        let b = TriggerTracker::new(dag.clone(), InvocationId::new(7), 99);
+        assert_eq!(a.chosen_arm(vs), b.chosen_arm(vs), "same inputs, same arm");
+        let notified = a.successors_to_notify(vs);
+        assert_eq!(notified.len(), 1, "only the chosen arm is notified");
+        // Different invocations eventually pick different arms.
+        let arms: std::collections::HashSet<u32> = (0..64)
+            .map(|i| {
+                TriggerTracker::new(dag.clone(), InvocationId::new(i), 99).chosen_arm(vs)
+            })
+            .collect();
+        assert_eq!(arms.len(), 2, "both arms exercised across invocations");
+    }
+
+    #[test]
+    fn force_trigger_is_idempotent() {
+        let dag = parse(Step::task("a", p()));
+        let a = dag.nodes()[0].id;
+        let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        assert!(tr.force_trigger(a));
+        assert!(!tr.force_trigger(a));
+        assert!(tr.is_triggered(a));
+    }
+
+    #[test]
+    fn non_switch_successors_all_notified() {
+        let dag = parse(Step::sequence(vec![
+            Step::task("a", p()),
+            Step::parallel(vec![Step::task("b", p()), Step::task("c", p())]),
+        ]));
+        let vs = dag
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::VirtualStart { switch_arms: None }))
+            .unwrap()
+            .id;
+        let tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        assert_eq!(tr.successors_to_notify(vs).len(), 2);
+    }
+}

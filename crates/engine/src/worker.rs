@@ -1,0 +1,498 @@
+//! The per-worker workflow engine — WorkerSP (§3.1, §4.2).
+//!
+//! Each worker node runs one [`WorkerEngine`]. It maintains the
+//! `Workflow{State, FunctionInfo}` structures for the sub-graphs assigned
+//! to it, triggers *local* functions, and when a completed function has
+//! cross-worker successors it "passes the executed state to the remote
+//! worker engine through TCP connections" — one state-sync message per
+//! remote worker, never a task assignment.
+//!
+//! The engine is a pure state machine: it consumes completion/sync events
+//! and emits [`WorkerAction`]s for the cluster simulation to time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use faasflow_sim::stats::Counter;
+use faasflow_sim::{FunctionId, InvocationId, NodeId, WorkflowId};
+use faasflow_scheduler::Assignment;
+use faasflow_wdl::WorkflowDag;
+
+use crate::trigger::TriggerTracker;
+
+/// What the worker engine asks the runtime to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerAction {
+    /// Run a local function node (spawn its `parallelism` instances). For
+    /// virtual nodes the runtime completes them immediately.
+    TriggerFunction {
+        /// The workflow.
+        workflow: WorkflowId,
+        /// The invocation.
+        invocation: InvocationId,
+        /// The node to run (guaranteed local to this worker).
+        function: FunctionId,
+    },
+    /// Send an execution-state update to a remote worker engine over TCP.
+    SyncState {
+        /// Destination worker.
+        to: NodeId,
+        /// The workflow.
+        workflow: WorkflowId,
+        /// The invocation.
+        invocation: InvocationId,
+        /// The function whose completion is being propagated.
+        completed: FunctionId,
+    },
+    /// A DAG exit node completed on this worker — report towards the
+    /// client (the invocation is complete when every exit node reported).
+    ExitComplete {
+        /// The workflow.
+        workflow: WorkflowId,
+        /// The invocation.
+        invocation: InvocationId,
+        /// The completed exit node.
+        function: FunctionId,
+    },
+}
+
+/// Counters for §5.2's message accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerEngineStats {
+    /// Cross-worker state-sync messages sent.
+    pub syncs_sent: Counter,
+    /// State updates applied via local (in-process) RPC.
+    pub local_updates: Counter,
+    /// Local function triggers performed.
+    pub triggers: Counter,
+}
+
+#[derive(Debug, Clone)]
+struct WorkflowCtx {
+    dag: Arc<WorkflowDag>,
+    assignment: Arc<Assignment>,
+    seed: u64,
+}
+
+/// The decentralized engine of one worker node.
+#[derive(Debug)]
+pub struct WorkerEngine {
+    node: NodeId,
+    workflows: HashMap<WorkflowId, WorkflowCtx>,
+    invocations: HashMap<(WorkflowId, InvocationId), TriggerTracker>,
+    stats: WorkerEngineStats,
+}
+
+impl WorkerEngine {
+    /// Creates the engine for `node`.
+    pub fn new(node: NodeId) -> Self {
+        WorkerEngine {
+            node,
+            workflows: HashMap::new(),
+            invocations: HashMap::new(),
+            stats: WorkerEngineStats::default(),
+        }
+    }
+
+    /// The hosting worker node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> &WorkerEngineStats {
+        &self.stats
+    }
+
+    /// Live per-invocation state structures (for §5.7's memory accounting).
+    pub fn live_invocations(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Installs (or replaces) the sub-graph context of a workflow — called
+    /// at every partition iteration when the Graph Scheduler pushes new
+    /// versions. In-flight invocations keep their old trackers (red-black:
+    /// the tracker captured the old `Arc`s).
+    pub fn install(
+        &mut self,
+        workflow: WorkflowId,
+        dag: Arc<WorkflowDag>,
+        assignment: Arc<Assignment>,
+        seed: u64,
+    ) {
+        self.workflows.insert(
+            workflow,
+            WorkflowCtx {
+                dag,
+                assignment,
+                seed,
+            },
+        );
+    }
+
+    /// Removes a workflow's context entirely.
+    pub fn uninstall(&mut self, workflow: WorkflowId) {
+        self.workflows.remove(&workflow);
+    }
+
+    /// Starts an invocation on this worker: triggers every *local* entry
+    /// node of the workflow DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workflow was never installed.
+    pub fn begin_invocation(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+    ) -> Vec<WorkerAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("begin_invocation on uninstalled workflow")
+            .clone();
+        let tracker = self
+            .invocations
+            .entry((workflow, invocation))
+            .or_insert_with(|| TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed));
+        let mut actions = Vec::new();
+        for entry in ctx.dag.entry_nodes() {
+            if ctx.assignment.worker_of(entry) == self.node && tracker.force_trigger(entry) {
+                self.stats.triggers.inc();
+                actions.push(WorkerAction::TriggerFunction {
+                    workflow,
+                    invocation,
+                    function: entry,
+                });
+            }
+        }
+        actions
+    }
+
+    /// Handles completion of a single executor instance of a local node.
+    /// When the last instance finishes, the node completes and its state
+    /// propagates (locally and/or via sync messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workflow or invocation is unknown to this engine.
+    pub fn on_instance_complete(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        function: FunctionId,
+    ) -> Vec<WorkerAction> {
+        let tracker = self
+            .invocations
+            .get_mut(&(workflow, invocation))
+            .expect("instance completion for unknown invocation");
+        if tracker.instance_done(function) {
+            self.propagate_completion(workflow, invocation, function)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handles a state-sync message from a remote engine: `completed` (a
+    /// function hosted elsewhere) finished; update local successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workflow was never installed.
+    pub fn on_state_sync(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        completed: FunctionId,
+    ) -> Vec<WorkerAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("state sync for uninstalled workflow")
+            .clone();
+        let tracker = self
+            .invocations
+            .entry((workflow, invocation))
+            .or_insert_with(|| TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed));
+        let mut actions = Vec::new();
+        let successors = tracker.successors_to_notify(completed);
+        for s in successors {
+            if ctx.assignment.worker_of(s) != self.node {
+                continue; // another worker owns this successor
+            }
+            let tracker = self
+                .invocations
+                .get_mut(&(workflow, invocation))
+                .expect("tracker created above");
+            if tracker.predecessor_done(s) {
+                self.stats.triggers.inc();
+                actions.push(WorkerAction::TriggerFunction {
+                    workflow,
+                    invocation,
+                    function: s,
+                });
+            }
+        }
+        actions
+    }
+
+    /// Releases the invocation's `State` structure (§4.2.1: "the per-worker
+    /// engine should release the *State* object at the end of each
+    /// invocation").
+    pub fn release_invocation(&mut self, workflow: WorkflowId, invocation: InvocationId) {
+        self.invocations.remove(&(workflow, invocation));
+    }
+
+    /// Node completion: notify local successors inline (in-process RPC) and
+    /// remote workers by one sync message each.
+    fn propagate_completion(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        function: FunctionId,
+    ) -> Vec<WorkerAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("completion for uninstalled workflow")
+            .clone();
+        let tracker = self
+            .invocations
+            .get_mut(&(workflow, invocation))
+            .expect("completion for unknown invocation");
+        let mut actions = Vec::new();
+        if ctx.dag.successors(function).is_empty() {
+            actions.push(WorkerAction::ExitComplete {
+                workflow,
+                invocation,
+                function,
+            });
+        }
+        let successors = tracker.successors_to_notify(function);
+        let mut remote_workers: Vec<NodeId> = Vec::new();
+        let mut local: Vec<FunctionId> = Vec::new();
+        for s in successors {
+            let w = ctx.assignment.worker_of(s);
+            if w == self.node {
+                local.push(s);
+            } else if !remote_workers.contains(&w) {
+                remote_workers.push(w);
+            }
+        }
+        // Local successors: inner-RPC state updates, possibly triggering.
+        let mut to_run = Vec::new();
+        for s in local {
+            self.stats.local_updates.inc();
+            let tracker = self
+                .invocations
+                .get_mut(&(workflow, invocation))
+                .expect("tracker alive during propagation");
+            if tracker.predecessor_done(s) {
+                to_run.push(s);
+            }
+        }
+        // Virtual nodes among the triggered set are the runtime's concern
+        // (it completes them instantly); the engine only reports triggers.
+        for s in to_run {
+            self.stats.triggers.inc();
+            actions.push(WorkerAction::TriggerFunction {
+                workflow,
+                invocation,
+                function: s,
+            });
+        }
+        // One TCP state sync per remote worker hosting successors.
+        for w in remote_workers {
+            self.stats.syncs_sent.inc();
+            actions.push(WorkerAction::SyncState {
+                to: w,
+                workflow,
+                invocation,
+                completed: function,
+            });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_scheduler::{ContentionSet, GraphScheduler, RuntimeMetrics, WorkerInfo};
+    use faasflow_sim::SimRng;
+    use faasflow_wdl::{DagParser, FunctionProfile, Step, Workflow};
+
+    /// Builds a 3-function chain partitioned across two workers:
+    /// a, b on worker 1 and c on worker 2 (forced by zero quota + capacity).
+    fn setup() -> (Arc<WorkflowDag>, Arc<Assignment>, WorkerEngine, WorkerEngine) {
+        let wf = Workflow::steps(
+            "chain",
+            Step::sequence(vec![
+                Step::task("a", FunctionProfile::with_millis(1, 10 << 20)),
+                Step::task("b", FunctionProfile::with_millis(1, 10 << 20)),
+                Step::task("c", FunctionProfile::with_millis(1, 0)),
+            ]),
+        );
+        let dag = Arc::new(DagParser::default().parse(&wf).unwrap());
+        // Hand-built placement: {a, b} on worker 1, {c} on worker 2, so the
+        // b -> c edge is the one cross-worker hop.
+        let (w_ab, w_c) = (NodeId::new(1), NodeId::new(2));
+        use faasflow_scheduler::Group;
+        use faasflow_sim::GroupId;
+        let assignment = Arc::new(Assignment {
+            groups: vec![
+                Group {
+                    id: GroupId::new(0),
+                    members: vec![FunctionId::new(0), FunctionId::new(1)],
+                    worker: w_ab,
+                    capacity_needed: 2,
+                },
+                Group {
+                    id: GroupId::new(1),
+                    members: vec![FunctionId::new(2)],
+                    worker: w_c,
+                    capacity_needed: 1,
+                },
+            ],
+            node_of: vec![w_ab, w_ab, w_c],
+            group_of: vec![GroupId::new(0), GroupId::new(0), GroupId::new(1)],
+            storage_local: vec![true, false, false],
+            mem_consume: 10 << 20,
+            quota: 10 << 20,
+        });
+        let mut e1 = WorkerEngine::new(w_ab);
+        let mut e2 = WorkerEngine::new(w_c);
+        let wid = WorkflowId::new(0);
+        e1.install(wid, dag.clone(), assignment.clone(), 7);
+        e2.install(wid, dag.clone(), assignment.clone(), 7);
+        (dag, assignment, e1, e2)
+    }
+
+    const WF: WorkflowId = WorkflowId::new(0);
+    const INV: InvocationId = InvocationId::new(0);
+
+    #[test]
+    fn begin_triggers_only_local_entries() {
+        let (_dag, _asg, mut e1, mut e2) = setup();
+        let a1 = e1.begin_invocation(WF, INV);
+        assert_eq!(
+            a1,
+            vec![WorkerAction::TriggerFunction {
+                workflow: WF,
+                invocation: INV,
+                function: FunctionId::new(0)
+            }]
+        );
+        let a2 = e2.begin_invocation(WF, INV);
+        assert!(a2.is_empty(), "entry node is not on worker 2");
+    }
+
+    #[test]
+    fn local_successor_triggers_without_network() {
+        let (_dag, _asg, mut e1, _e2) = setup();
+        e1.begin_invocation(WF, INV);
+        let actions = e1.on_instance_complete(WF, INV, FunctionId::new(0));
+        assert_eq!(
+            actions,
+            vec![WorkerAction::TriggerFunction {
+                workflow: WF,
+                invocation: INV,
+                function: FunctionId::new(1)
+            }]
+        );
+        assert_eq!(e1.stats().local_updates.get(), 1);
+        assert_eq!(e1.stats().syncs_sent.get(), 0);
+    }
+
+    #[test]
+    fn cross_worker_successor_produces_one_sync() {
+        let (_dag, asg, mut e1, mut e2) = setup();
+        e1.begin_invocation(WF, INV);
+        e1.on_instance_complete(WF, INV, FunctionId::new(0));
+        let actions = e1.on_instance_complete(WF, INV, FunctionId::new(1));
+        let w_c = asg.worker_of(FunctionId::new(2));
+        assert_eq!(
+            actions,
+            vec![WorkerAction::SyncState {
+                to: w_c,
+                workflow: WF,
+                invocation: INV,
+                completed: FunctionId::new(1)
+            }]
+        );
+        assert_eq!(e1.stats().syncs_sent.get(), 1);
+        // Worker 2 receives the sync and triggers c.
+        let actions = e2.on_state_sync(WF, INV, FunctionId::new(1));
+        assert_eq!(
+            actions,
+            vec![WorkerAction::TriggerFunction {
+                workflow: WF,
+                invocation: INV,
+                function: FunctionId::new(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn exit_completion_is_reported() {
+        let (_dag, _asg, mut e1, mut e2) = setup();
+        e1.begin_invocation(WF, INV);
+        e1.on_instance_complete(WF, INV, FunctionId::new(0));
+        e1.on_instance_complete(WF, INV, FunctionId::new(1));
+        e2.on_state_sync(WF, INV, FunctionId::new(1));
+        let actions = e2.on_instance_complete(WF, INV, FunctionId::new(2));
+        assert_eq!(
+            actions,
+            vec![WorkerAction::ExitComplete {
+                workflow: WF,
+                invocation: INV,
+                function: FunctionId::new(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn release_frees_state() {
+        let (_dag, _asg, mut e1, _e2) = setup();
+        e1.begin_invocation(WF, INV);
+        assert_eq!(e1.live_invocations(), 1);
+        e1.release_invocation(WF, INV);
+        assert_eq!(e1.live_invocations(), 0);
+    }
+
+    #[test]
+    fn foreach_node_completes_after_all_instances() {
+        let wf = Workflow::steps(
+            "fe",
+            Step::foreach("work", FunctionProfile::with_millis(1, 0), 3),
+        );
+        let dag = Arc::new(DagParser::default().parse(&wf).unwrap());
+        let metrics = RuntimeMetrics::initial(&dag);
+        let workers = vec![WorkerInfo::new(NodeId::new(1), 64)];
+        let mut rng = SimRng::seed_from(1);
+        let asg = Arc::new(
+            GraphScheduler::default()
+                .partition(&dag, &workers, &metrics, &ContentionSet::default(), u64::MAX, &mut rng)
+                .unwrap(),
+        );
+        let mut eng = WorkerEngine::new(NodeId::new(1));
+        eng.install(WF, dag.clone(), asg, 7);
+        let first = eng.begin_invocation(WF, INV);
+        // Entry is the virtual start; runtime completes it instantly:
+        let vs = match &first[0] {
+            WorkerAction::TriggerFunction { function, .. } => *function,
+            other => panic!("unexpected action {other:?}"),
+        };
+        // The runtime would call instance-complete for the virtual node.
+        let actions = eng.on_instance_complete(WF, INV, vs);
+        let work = match &actions[0] {
+            WorkerAction::TriggerFunction { function, .. } => *function,
+            other => panic!("unexpected action {other:?}"),
+        };
+        assert_eq!(dag.node(work).parallelism, 3);
+        assert!(eng.on_instance_complete(WF, INV, work).is_empty());
+        assert!(eng.on_instance_complete(WF, INV, work).is_empty());
+        let done = eng.on_instance_complete(WF, INV, work);
+        assert!(!done.is_empty(), "third instance completes the node");
+    }
+}

@@ -1,0 +1,215 @@
+//! Edge cases of the engine protocols that the unit tests don't reach:
+//! out-of-order state syncs, re-installation (partition iterations),
+//! any-join deduplication, and multi-invocation isolation.
+
+use std::sync::Arc;
+
+use faasflow_engine::{WorkerAction, WorkerEngine};
+use faasflow_scheduler::{Assignment, Group};
+use faasflow_sim::{FunctionId, GroupId, InvocationId, NodeId, WorkflowId};
+use faasflow_wdl::{DagParser, FunctionProfile, Step, SwitchCase, Workflow, WorkflowDag};
+
+const WF: WorkflowId = WorkflowId::new(0);
+
+fn p() -> FunctionProfile {
+    FunctionProfile::with_millis(1, 1000)
+}
+
+/// A fan-in: {a, b} -> c, with a+c on worker 1 and b on worker 2.
+fn fan_in() -> (Arc<WorkflowDag>, Arc<Assignment>) {
+    let wf = Workflow::steps(
+        "fan",
+        Step::sequence(vec![
+            Step::parallel(vec![Step::task("a", p()), Step::task("b", p())]),
+            Step::task("c", p()),
+        ]),
+    );
+    let dag = Arc::new(DagParser::default().parse(&wf).unwrap());
+    let (w1, w2) = (NodeId::new(1), NodeId::new(2));
+    // Nodes: vs, a, b, ve, c (ids in parse order).
+    let by_name = |n: &str| dag.nodes().iter().find(|x| x.name == n).unwrap().id;
+    let (a, b, c) = (by_name("a"), by_name("b"), by_name("c"));
+    let mut node_of = vec![w1; dag.node_count()];
+    node_of[b.index()] = w2;
+    let mut members_w1: Vec<FunctionId> = (0..dag.node_count())
+        .map(FunctionId::from)
+        .filter(|f| *f != b)
+        .collect();
+    members_w1.sort_unstable();
+    let assignment = Arc::new(Assignment {
+        groups: vec![
+            Group {
+                id: GroupId::new(0),
+                members: members_w1,
+                worker: w1,
+                capacity_needed: 2,
+            },
+            Group {
+                id: GroupId::new(1),
+                members: vec![b],
+                worker: w2,
+                capacity_needed: 1,
+            },
+        ],
+        node_of,
+        group_of: (0..dag.node_count())
+            .map(|i| {
+                if FunctionId::from(i) == b {
+                    GroupId::new(1)
+                } else {
+                    GroupId::new(0)
+                }
+            })
+            .collect(),
+        storage_local: vec![false; dag.node_count()],
+        mem_consume: 0,
+        quota: 0,
+    });
+    let _ = (a, c);
+    (dag, assignment)
+}
+
+fn engines(dag: &Arc<WorkflowDag>, asg: &Arc<Assignment>) -> (WorkerEngine, WorkerEngine) {
+    let mut e1 = WorkerEngine::new(NodeId::new(1));
+    let mut e2 = WorkerEngine::new(NodeId::new(2));
+    e1.install(WF, dag.clone(), asg.clone(), 3);
+    e2.install(WF, dag.clone(), asg.clone(), 3);
+    (e1, e2)
+}
+
+/// Walks an action list, completing any local virtual/function trigger
+/// inline, and returns every TriggerFunction target seen.
+fn drain_local(
+    engine: &mut WorkerEngine,
+    inv: InvocationId,
+    mut actions: Vec<WorkerAction>,
+) -> (Vec<FunctionId>, Vec<WorkerAction>) {
+    let mut triggered = Vec::new();
+    let mut external = Vec::new();
+    while let Some(action) = actions.pop() {
+        match action {
+            WorkerAction::TriggerFunction { function, .. } => {
+                triggered.push(function);
+                actions.extend(engine.on_instance_complete(WF, inv, function));
+            }
+            other => external.push(other),
+        }
+    }
+    (triggered, external)
+}
+
+#[test]
+fn sync_arriving_before_begin_still_works() {
+    // Worker 2 learns about a remote completion before it ever saw the
+    // invocation begin — §3.1's decentralized engines must cope, because
+    // message timing across workers is unordered.
+    let (dag, asg) = fan_in();
+    let (mut e1, mut e2) = engines(&dag, &asg);
+    let inv = InvocationId::new(9);
+    // Worker 1 runs the virtual start and `a`; worker 2 has NOT begun.
+    let begin = e1.begin_invocation(WF, inv);
+    let (_, external) = drain_local(&mut e1, inv, begin);
+    // The virtual start's completion must have produced a sync to w2.
+    let sync = external
+        .iter()
+        .find_map(|a| match a {
+            WorkerAction::SyncState { to, completed, .. } if to.index() == 2 => Some(*completed),
+            _ => None,
+        })
+        .expect("cross-worker successor b needs a sync");
+    // Deliver it to worker 2 *before* any begin call.
+    let actions = e2.on_state_sync(WF, inv, sync);
+    let (triggered, _) = drain_local(&mut e2, inv, actions);
+    let b = dag.nodes().iter().find(|x| x.name == "b").unwrap().id;
+    assert_eq!(triggered, vec![b], "b triggers from the sync alone");
+}
+
+#[test]
+fn reinstall_keeps_state_machines_consistent() {
+    // A partition iteration re-installs the workflow mid-flight; engines
+    // must keep serving existing invocations (red-black: old invocations
+    // hold their own Arc snapshots through the tracker).
+    let (dag, asg) = fan_in();
+    let (mut e1, _e2) = engines(&dag, &asg);
+    let inv = InvocationId::new(0);
+    let begin = e1.begin_invocation(WF, inv);
+    // Re-install with the same structures (a fresh version).
+    e1.install(WF, dag.clone(), asg.clone(), 3);
+    let (triggered, _) = drain_local(&mut e1, inv, begin);
+    assert!(!triggered.is_empty(), "existing invocation keeps running");
+}
+
+#[test]
+fn any_join_triggers_once_for_multiple_arms() {
+    // A switch where both arms' workers race their completions at the
+    // virtual end: the end node must trigger exactly once.
+    let wf = Workflow::steps(
+        "sw",
+        Step::sequence(vec![
+            Step::switch(vec![
+                SwitchCase::new("x", Step::task("x", p())),
+                SwitchCase::new("y", Step::task("y", p())),
+            ]),
+            Step::task("after", p()),
+        ]),
+    );
+    let dag = Arc::new(DagParser::default().parse(&wf).unwrap());
+    let w1 = NodeId::new(1);
+    let assignment = Arc::new(Assignment {
+        groups: vec![Group {
+            id: GroupId::new(0),
+            members: (0..dag.node_count()).map(FunctionId::from).collect(),
+            worker: w1,
+            capacity_needed: 3,
+        }],
+        node_of: vec![w1; dag.node_count()],
+        group_of: vec![GroupId::new(0); dag.node_count()],
+        storage_local: vec![false; dag.node_count()],
+        mem_consume: 0,
+        quota: 0,
+    });
+    let mut engine = WorkerEngine::new(w1);
+    engine.install(WF, dag.clone(), assignment, 3);
+    for inv_idx in 0..16 {
+        let inv = InvocationId::new(inv_idx);
+        let begin = engine.begin_invocation(WF, inv);
+        let (triggered, external) = drain_local(&mut engine, inv, begin);
+        // Exactly one arm + brackets + after; never both arms.
+        let x = dag.nodes().iter().find(|n| n.name == "x").unwrap().id;
+        let y = dag.nodes().iter().find(|n| n.name == "y").unwrap().id;
+        let ran_x = triggered.contains(&x);
+        let ran_y = triggered.contains(&y);
+        assert!(ran_x ^ ran_y, "exactly one switch arm per invocation");
+        let after = dag.nodes().iter().find(|n| n.name == "after").unwrap().id;
+        assert_eq!(
+            triggered.iter().filter(|&&f| f == after).count(),
+            1,
+            "the any-join must fire exactly once"
+        );
+        assert!(
+            external
+                .iter()
+                .all(|a| matches!(a, WorkerAction::ExitComplete { .. })),
+            "single-worker run emits no syncs"
+        );
+        engine.release_invocation(WF, inv);
+    }
+    assert_eq!(engine.live_invocations(), 0);
+}
+
+#[test]
+fn concurrent_invocations_do_not_interfere() {
+    let (dag, asg) = fan_in();
+    let (mut e1, _) = engines(&dag, &asg);
+    // Interleave two invocations through worker 1 only.
+    let i0 = InvocationId::new(0);
+    let i1 = InvocationId::new(1);
+    let b0 = e1.begin_invocation(WF, i0);
+    let b1 = e1.begin_invocation(WF, i1);
+    let (t0, _) = drain_local(&mut e1, i0, b0);
+    let (t1, _) = drain_local(&mut e1, i1, b1);
+    assert_eq!(t0, t1, "identical workflows take identical local paths");
+    assert_eq!(e1.live_invocations(), 2);
+    e1.release_invocation(WF, i0);
+    assert_eq!(e1.live_invocations(), 1);
+}

@@ -1,0 +1,584 @@
+//! Max-min fair flow network.
+//!
+//! Every bulk data transfer in the cluster (remote-store reads and writes,
+//! §2.4's data-shipping pattern) is a [`Flow`] from a source node to a
+//! destination node. A flow consumes the source's uplink and the
+//! destination's downlink; rates are assigned by **progressive filling**,
+//! which yields the unique max-min fair allocation — the classic fluid model
+//! of TCP fair share over a shared bottleneck (here: the storage node NIC).
+//!
+//! The allocation is recomputed whenever the set of flows changes or a NIC
+//! capacity changes (the wondershaper experiments of §5.4). Between
+//! recomputations rates are constant, so remaining bytes advance linearly
+//! and the earliest completion time is exact.
+
+use std::collections::HashMap;
+
+use faasflow_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an active (or completed) flow within one [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(u64);
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// NIC capacities of one node, in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Uplink (egress) capacity in bytes/s.
+    pub uplink: f64,
+    /// Downlink (ingress) capacity in bytes/s.
+    pub downlink: f64,
+    /// Loopback capacity for `src == dst` flows, in bytes/s. Loopback does
+    /// not consume the NIC (default 2 GB/s, roughly memcpy-through-pagecache).
+    pub loopback: f64,
+}
+
+impl NicSpec {
+    /// A NIC with equal uplink and downlink capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is negative or non-finite.
+    pub fn symmetric(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec >= 0.0,
+            "NIC capacity must be finite and non-negative"
+        );
+        NicSpec {
+            uplink: bytes_per_sec,
+            downlink: bytes_per_sec,
+            loopback: 2e9,
+        }
+    }
+}
+
+/// One bulk transfer in progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow<T> {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Total size of the transfer in bytes.
+    pub bytes: u64,
+    /// Caller-supplied payload returned on completion.
+    pub tag: T,
+    remaining: f64,
+    rate: f64,
+    started: SimTime,
+}
+
+impl<T> Flow<T> {
+    /// Bytes still to transfer at the last recomputation instant.
+    pub fn remaining_bytes(&self) -> f64 {
+        self.remaining
+    }
+
+    /// Current max-min fair rate in bytes/s.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Instant the flow was started.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+}
+
+// Resource index: uplink of node i -> 2i, downlink -> 2i+1, loopback -> per
+// node map (rarely used, kept separate to avoid tripling the dense arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Resource {
+    Up(usize),
+    Down(usize),
+    Loop(usize),
+}
+
+/// A max-min fair flow network over a fixed set of nodes.
+///
+/// `T` is the caller's per-flow payload (e.g. "this transfer is the output
+/// of function 12 of invocation 7"), handed back when the flow completes.
+#[derive(Debug)]
+pub struct FlowNet<T> {
+    nics: Vec<NicSpec>,
+    flows: HashMap<u64, Flow<T>>,
+    next_id: u64,
+    /// Instant up to which all `remaining` fields are accurate.
+    updated: SimTime,
+    /// Total bytes delivered, per destination node (utilisation accounting).
+    delivered_to: Vec<u64>,
+    /// Total bytes sent, per source node.
+    sent_from: Vec<u64>,
+}
+
+impl<T> FlowNet<T> {
+    /// Creates a network over `nics.len()` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nics` is empty.
+    pub fn new(nics: Vec<NicSpec>) -> Self {
+        assert!(!nics.is_empty(), "a flow network needs at least one node");
+        let n = nics.len();
+        FlowNet {
+            nics,
+            flows: HashMap::new(),
+            next_id: 0,
+            updated: SimTime::ZERO,
+            delivered_to: vec![0; n],
+            sent_from: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes fully delivered to `node` since construction.
+    pub fn bytes_delivered_to(&self, node: NodeId) -> u64 {
+        self.delivered_to[node.index()]
+    }
+
+    /// Total bytes fully sent from `node` since construction.
+    pub fn bytes_sent_from(&self, node: NodeId) -> u64 {
+        self.sent_from[node.index()]
+    }
+
+    /// Re-throttles a node's NIC (the wondershaper experiments, §5.4).
+    ///
+    /// Active flows immediately receive new fair rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, capacities are negative/non-finite,
+    /// or `now` precedes the latest update.
+    pub fn set_nic(&mut self, node: NodeId, nic: NicSpec, now: SimTime) {
+        assert!(
+            nic.uplink.is_finite()
+                && nic.downlink.is_finite()
+                && nic.loopback.is_finite()
+                && nic.uplink >= 0.0
+                && nic.downlink >= 0.0
+                && nic.loopback > 0.0,
+            "invalid NIC capacities"
+        );
+        self.advance(now);
+        self.nics[node.index()] = nic;
+        self.recompute_rates();
+    }
+
+    /// Starts a transfer of `bytes` from `src` to `dst`.
+    ///
+    /// A zero-byte flow is legal and completes at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `now` precedes the latest
+    /// update instant.
+    pub fn start_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: T,
+        now: SimTime,
+    ) -> FlowId {
+        assert!(
+            src.index() < self.nics.len() && dst.index() < self.nics.len(),
+            "flow endpoints out of range"
+        );
+        self.advance(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                bytes,
+                tag,
+                remaining: bytes as f64,
+                rate: 0.0,
+                started: now,
+            },
+        );
+        self.recompute_rates();
+        FlowId(id)
+    }
+
+    /// Cancels an active flow, returning its tag, or `None` if it already
+    /// completed (or was cancelled).
+    pub fn cancel_flow(&mut self, id: FlowId, now: SimTime) -> Option<T> {
+        self.advance(now);
+        let flow = self.flows.remove(&id.0)?;
+        self.recompute_rates();
+        Some(flow.tag)
+    }
+
+    /// The earliest instant at which some active flow completes, or `None`
+    /// when no flow is active or every active flow is starved (zero rate).
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > 0.0 || f.remaining <= 0.0)
+            .map(|f| {
+                if f.remaining <= 0.0 {
+                    self.updated
+                } else {
+                    // Round *up* with a 1 ns margin so that advancing to the
+                    // returned instant always pushes `remaining` to (or
+                    // below) zero — rounding to nearest would strand a
+                    // fraction of a byte and loop the completion timer at
+                    // one timestamp forever.
+                    let secs = f.remaining / f.rate;
+                    let nanos = (secs * 1e9).ceil() as u64 + 1;
+                    self.updated + faasflow_sim::SimDuration::from_nanos(nanos)
+                }
+            })
+            .min()
+    }
+
+    /// Advances the fluid model to `now` and removes every flow that has
+    /// completed by then, returning `(id, flow)` pairs sorted by flow id for
+    /// determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the latest update instant.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<(FlowId, Flow<T>)> {
+        self.advance(now);
+        // Epsilon: progressive filling works in f64 bytes; a flow within a
+        // millionth of a byte of the end is done.
+        const EPS: f64 = 1e-6;
+        let mut done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        done.sort_unstable();
+        let mut out = Vec::with_capacity(done.len());
+        for id in done {
+            let flow = self.flows.remove(&id).expect("flow id collected above");
+            self.delivered_to[flow.dst.index()] += flow.bytes;
+            self.sent_from[flow.src.index()] += flow.bytes;
+            out.push((FlowId(id), flow));
+        }
+        if !out.is_empty() {
+            self.recompute_rates();
+        }
+        out
+    }
+
+    /// Read access to an active flow.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow<T>> {
+        self.flows.get(&id.0)
+    }
+
+    /// Iterates over active flows in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &Flow<T>)> {
+        self.flows.iter().map(|(&id, f)| (FlowId(id), f))
+    }
+
+    /// Moves remaining-byte counters forward to `now` at current rates.
+    fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.updated,
+            "flow network time moved backwards: {now} < {}",
+            self.updated
+        );
+        let dt = (now - self.updated).as_secs_f64();
+        if dt > 0.0 {
+            for flow in self.flows.values_mut() {
+                flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
+            }
+        }
+        self.updated = now;
+    }
+
+    /// Progressive filling: computes the unique max-min fair allocation.
+    fn recompute_rates(&mut self) {
+        if self.flows.is_empty() {
+            return;
+        }
+        // Deterministic ordering of flows regardless of hash state.
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+
+        // Resource capacities and membership.
+        let mut cap: HashMap<Resource, f64> = HashMap::new();
+        let mut members: HashMap<Resource, Vec<usize>> = HashMap::new();
+        let mut flow_resources: Vec<[Resource; 2]> = Vec::with_capacity(ids.len());
+        for (idx, id) in ids.iter().enumerate() {
+            let f = &self.flows[id];
+            let (r1, r2) = if f.src == f.dst {
+                let r = Resource::Loop(f.src.index());
+                (r, r)
+            } else {
+                (Resource::Up(f.src.index()), Resource::Down(f.dst.index()))
+            };
+            for r in [r1, r2] {
+                let capacity = match r {
+                    Resource::Up(i) => self.nics[i].uplink,
+                    Resource::Down(i) => self.nics[i].downlink,
+                    Resource::Loop(i) => self.nics[i].loopback,
+                };
+                cap.entry(r).or_insert(capacity);
+                let m = members.entry(r).or_default();
+                // A loopback flow hits the same resource twice; count once.
+                if m.last() != Some(&idx) {
+                    m.push(idx);
+                }
+            }
+            flow_resources.push([r1, r2]);
+        }
+
+        let n = ids.len();
+        let mut rate = vec![0.0_f64; n];
+        let mut fixed = vec![false; n];
+        let mut unfixed_count: HashMap<Resource, usize> =
+            members.iter().map(|(&r, v)| (r, v.len())).collect();
+        let mut remaining_cap = cap.clone();
+        let mut fixed_total = 0usize;
+
+        while fixed_total < n {
+            // Find the bottleneck: the resource with the smallest fair share
+            // among resources that still carry unfixed flows.
+            let mut best: Option<(f64, Resource)> = None;
+            for (&r, &count) in &unfixed_count {
+                if count == 0 {
+                    continue;
+                }
+                let share = remaining_cap[&r].max(0.0) / count as f64;
+                let better = match best {
+                    None => true,
+                    Some((s, br)) => {
+                        share < s - 1e-12 || (share <= s + 1e-12 && resource_key(r) < resource_key(br))
+                    }
+                };
+                if better {
+                    best = Some((share, r));
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break; // every remaining flow is on empty resources
+            };
+            // Fix all unfixed flows crossing the bottleneck at `share`.
+            let flows_on: Vec<usize> = members[&bottleneck]
+                .iter()
+                .copied()
+                .filter(|&i| !fixed[i])
+                .collect();
+            debug_assert!(!flows_on.is_empty());
+            for i in flows_on {
+                rate[i] = share;
+                fixed[i] = true;
+                fixed_total += 1;
+                for r in flow_resources[i] {
+                    *remaining_cap.get_mut(&r).expect("resource registered") -= share;
+                    *unfixed_count.get_mut(&r).expect("resource registered") -= 1;
+                    if flow_resources[i][0] == flow_resources[i][1] {
+                        break; // loopback: single resource, subtract once
+                    }
+                }
+            }
+        }
+
+        for (idx, id) in ids.iter().enumerate() {
+            self.flows.get_mut(id).expect("id present").rate = rate[idx].max(0.0);
+        }
+    }
+}
+
+fn resource_key(r: Resource) -> (u8, usize) {
+    match r {
+        Resource::Up(i) => (0, i),
+        Resource::Down(i) => (1, i),
+        Resource::Loop(i) => (2, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_sim::SimDuration;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    /// Completion instants carry a deliberate +1–2 ns round-up margin.
+    fn assert_near(actual: Option<SimTime>, expected: SimTime) {
+        let actual = actual.expect("a completion is pending");
+        let diff = actual.as_nanos().abs_diff(expected.as_nanos());
+        assert!(diff <= 2, "completion {actual} not within 2ns of {expected}");
+    }
+
+    fn two_node_net() -> FlowNet<u32> {
+        FlowNet::new(vec![NicSpec::symmetric(100e6), NicSpec::symmetric(100e6)])
+    }
+
+    #[test]
+    fn single_flow_runs_at_link_speed() {
+        let mut net = two_node_net();
+        net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 1, t(0.0));
+        assert_near(net.next_completion(), t(1.0));
+    }
+
+    #[test]
+    fn two_flows_share_a_downlink_fairly() {
+        let mut net = two_node_net();
+        net.start_flow(NodeId::new(0), NodeId::new(1), 50_000_000, 1, t(0.0));
+        net.start_flow(NodeId::new(0), NodeId::new(1), 50_000_000, 2, t(0.0));
+        // 50 MB each at 50 MB/s fair share -> both done at 1s.
+        assert_near(net.next_completion(), t(1.0));
+        let done = net.take_completed(net.next_completion().unwrap());
+        assert_eq!(done.len(), 2);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn departure_releases_bandwidth() {
+        let mut net = two_node_net();
+        net.start_flow(NodeId::new(0), NodeId::new(1), 50_000_000, 1, t(0.0));
+        net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 2, t(0.0));
+        // Share 50/50 until flow 1 finishes at t=1 (50MB at 50MB/s)...
+        assert_near(net.next_completion(), t(1.0));
+        let done = net.take_completed(net.next_completion().unwrap());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.tag, 1);
+        // ...then flow 2 has 50MB left at full 100MB/s -> t=1.5.
+        assert_near(net.next_completion(), t(1.5));
+    }
+
+    #[test]
+    fn distinct_bottlenecks_are_independent() {
+        // Node 2 has a slow downlink; a flow to node 1 must be unaffected.
+        let mut net: FlowNet<u32> = FlowNet::new(vec![
+            NicSpec::symmetric(100e6),
+            NicSpec::symmetric(100e6),
+            NicSpec {
+                uplink: 100e6,
+                downlink: 10e6,
+                loopback: 2e9,
+            },
+        ]);
+        net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 1, t(0.0));
+        net.start_flow(NodeId::new(0), NodeId::new(2), 10_000_000, 2, t(0.0));
+        // Uplink of node 0 carries both: fair share would be 50/50, but the
+        // node-2 flow is capped at 10 MB/s by its downlink, so the other
+        // claims the residual 90 MB/s (max-min, not plain equal split).
+        let f1_rate: Vec<f64> = net.iter().map(|(_, f)| f.rate()).collect();
+        let mut rates = f1_rate.clone();
+        rates.sort_by(f64::total_cmp);
+        assert!((rates[0] - 10e6).abs() < 1.0, "slow flow pinned at 10MB/s");
+        assert!((rates[1] - 90e6).abs() < 1.0, "fast flow gets residual");
+    }
+
+    #[test]
+    fn storage_node_throttle_slows_everything() {
+        let mut net = two_node_net();
+        net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 1, t(0.0));
+        // Re-throttle destination downlink to 25 MB/s at t=0.5 (50MB sent).
+        net.set_nic(
+            NodeId::new(1),
+            NicSpec::symmetric(25e6),
+            t(0.5),
+        );
+        // Remaining 50MB at 25MB/s -> completes at 0.5 + 2.0 = 2.5s.
+        assert_near(net.next_completion(), t(2.5));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = two_node_net();
+        let id = net.start_flow(NodeId::new(0), NodeId::new(1), 0, 7, t(0.0));
+        assert_eq!(net.next_completion(), Some(t(0.0)));
+        let done = net.take_completed(t(0.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, id);
+    }
+
+    #[test]
+    fn loopback_does_not_consume_nic() {
+        let mut net = two_node_net();
+        // A big loopback flow on node 0...
+        net.start_flow(NodeId::new(0), NodeId::new(0), 1_000_000_000, 1, t(0.0));
+        // ...must not slow a cross-node flow.
+        net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 2, t(0.0));
+        let rates: Vec<(u32, f64)> = net.iter().map(|(_, f)| (f.tag, f.rate())).collect();
+        let cross = rates.iter().find(|(tag, _)| *tag == 2).unwrap().1;
+        assert!((cross - 100e6).abs() < 1.0);
+        let local = rates.iter().find(|(tag, _)| *tag == 1).unwrap().1;
+        assert!((local - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cancel_returns_tag_and_frees_capacity() {
+        let mut net = two_node_net();
+        let a = net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 10, t(0.0));
+        net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 20, t(0.0));
+        assert_eq!(net.cancel_flow(a, t(0.1)), Some(10));
+        assert_eq!(net.cancel_flow(a, t(0.1)), None);
+        // Survivor now runs at full speed: 100MB total, 5MB done in the
+        // shared phase (50MB/s * 0.1s), 95MB left at 100MB/s -> 0.1+0.95.
+        let expected = t(0.1) + SimDuration::from_secs_f64(0.95);
+        assert_near(net.next_completion(), expected);
+    }
+
+    #[test]
+    fn delivered_bytes_accounting() {
+        let mut net = two_node_net();
+        net.start_flow(NodeId::new(0), NodeId::new(1), 1000, 1, t(0.0));
+        let _ = net.take_completed(t(1.0));
+        assert_eq!(net.bytes_delivered_to(NodeId::new(1)), 1000);
+        assert_eq!(net.bytes_sent_from(NodeId::new(0)), 1000);
+        assert_eq!(net.bytes_delivered_to(NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn many_flows_rates_sum_within_capacity() {
+        let mut net: FlowNet<usize> = FlowNet::new(vec![
+            NicSpec::symmetric(50e6),
+            NicSpec::symmetric(100e6),
+            NicSpec::symmetric(30e6),
+        ]);
+        for i in 0..20 {
+            let src = NodeId::new((i % 3) as u32);
+            let dst = NodeId::new(((i + 1) % 3) as u32);
+            net.start_flow(src, dst, 10_000_000, i, t(0.0));
+        }
+        // Invariant: per-resource sum of rates <= capacity (+eps).
+        let mut up = [0.0f64; 3];
+        let mut down = [0.0f64; 3];
+        for (_, f) in net.iter() {
+            up[f.src.index()] += f.rate();
+            down[f.dst.index()] += f.rate();
+        }
+        let caps = [50e6, 100e6, 30e6];
+        for i in 0..3 {
+            assert!(up[i] <= caps[i] + 1e-3, "uplink {i} oversubscribed");
+            assert!(down[i] <= caps[i] + 1e-3, "downlink {i} oversubscribed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn time_travel_panics() {
+        let mut net = two_node_net();
+        net.start_flow(NodeId::new(0), NodeId::new(1), 10, 1, t(1.0));
+        net.start_flow(NodeId::new(0), NodeId::new(1), 10, 2, t(0.5));
+    }
+}

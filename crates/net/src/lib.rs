@@ -1,0 +1,41 @@
+//! # faasflow-net
+//!
+//! The cluster network substrate of the FaaSFlow reproduction.
+//!
+//! The paper's evaluation (§5.4–§5.5) is dominated by bandwidth contention:
+//! many function containers pulling intermediate data through the storage
+//! node's NIC, which the authors throttle with `wondershaper` to 25–100 MB/s.
+//! This crate models that with a **max-min fair flow network** — the
+//! standard fluid approximation of long-lived TCP fair sharing:
+//!
+//! * [`FlowNet`] — nodes with uplink/downlink capacities; each active
+//!   [`Flow`] gets its max-min fair rate via progressive filling,
+//!   recomputed whenever a flow starts, finishes, or a NIC is re-throttled.
+//! * [`MessageModel`] — latency model for small control-plane messages
+//!   (task assignments in MasterSP, state synchronisation in WorkerSP).
+//!
+//! The crate is simulator-agnostic: it answers "when does the next flow
+//! finish?" and the DES world turns that into events.
+//!
+//! ```
+//! use faasflow_net::{FlowNet, NicSpec};
+//! use faasflow_sim::{NodeId, SimTime};
+//!
+//! // Two nodes with 100 MB/s NICs; two flows share node 1's downlink.
+//! let mut net: FlowNet<&'static str> = FlowNet::new(vec![
+//!     NicSpec::symmetric(100e6),
+//!     NicSpec::symmetric(100e6),
+//! ]);
+//! let now = SimTime::ZERO;
+//! net.start_flow(NodeId::new(0), NodeId::new(1), 50_000_000, "a", now);
+//! net.start_flow(NodeId::new(0), NodeId::new(1), 50_000_000, "b", now);
+//! // Fair share: 50 MB/s each -> both complete at t = 1s (+1ns margin).
+//! let t = net.next_completion().unwrap();
+//! assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+//! ```
+
+pub mod flow;
+pub mod message;
+
+pub use flow::{Flow, FlowId, FlowNet, NicSpec};
+pub use message::MessageModel;

@@ -1,0 +1,90 @@
+//! Property tests: max-min fairness invariants of the flow network.
+
+use faasflow_net::{FlowNet, NicSpec};
+use faasflow_sim::{NodeId, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    caps: Vec<f64>,
+    flows: Vec<(usize, usize, u64)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (2usize..6).prop_flat_map(|n| {
+        let caps = proptest::collection::vec(1e6..200e6, n);
+        let flows = proptest::collection::vec(
+            (0..n, 0..n, 1_000u64..100_000_000),
+            1..30,
+        );
+        (caps, flows).prop_map(|(caps, flows)| Spec { caps, flows })
+    })
+}
+
+proptest! {
+    /// Rates never oversubscribe a NIC, every flow gets a positive rate,
+    /// and the allocation is Pareto-maximal: each flow is capped by at
+    /// least one saturated resource.
+    #[test]
+    fn max_min_invariants(spec in spec_strategy()) {
+        let nics: Vec<NicSpec> = spec.caps.iter().map(|&c| NicSpec::symmetric(c)).collect();
+        let n = nics.len();
+        let mut net: FlowNet<usize> = FlowNet::new(nics);
+        for (i, &(src, dst, bytes)) in spec.flows.iter().enumerate() {
+            net.start_flow(NodeId::from(src), NodeId::from(dst), bytes, i, SimTime::ZERO);
+        }
+
+        let mut up = vec![0.0f64; n];
+        let mut down = vec![0.0f64; n];
+        let mut loopback = vec![0.0f64; n];
+        let mut rates = Vec::new();
+        for (_, f) in net.iter() {
+            prop_assert!(f.rate() > 0.0, "every flow must receive bandwidth");
+            if f.src == f.dst {
+                loopback[f.src.index()] += f.rate();
+            } else {
+                up[f.src.index()] += f.rate();
+                down[f.dst.index()] += f.rate();
+            }
+            rates.push((f.src, f.dst, f.rate()));
+        }
+        const REL: f64 = 1.0 + 1e-6;
+        for i in 0..n {
+            prop_assert!(up[i] <= spec.caps[i] * REL, "uplink {i} oversubscribed");
+            prop_assert!(down[i] <= spec.caps[i] * REL, "downlink {i} oversubscribed");
+            prop_assert!(loopback[i] <= 2e9 * REL, "loopback {i} oversubscribed");
+        }
+        // Pareto-maximality: every flow touches a saturated resource.
+        for (src, dst, _) in rates {
+            let saturated = if src == dst {
+                loopback[src.index()] >= 2e9 / REL
+            } else {
+                up[src.index()] >= spec.caps[src.index()] / REL
+                    || down[dst.index()] >= spec.caps[dst.index()] / REL
+            };
+            prop_assert!(saturated, "flow {src}->{dst} could be increased");
+        }
+    }
+
+    /// All bytes are eventually delivered, and accounting matches.
+    #[test]
+    fn conservation_of_bytes(spec in spec_strategy()) {
+        let nics: Vec<NicSpec> = spec.caps.iter().map(|&c| NicSpec::symmetric(c)).collect();
+        let mut net: FlowNet<usize> = FlowNet::new(nics);
+        for (i, &(src, dst, bytes)) in spec.flows.iter().enumerate() {
+            net.start_flow(NodeId::from(src), NodeId::from(dst), bytes, i, SimTime::ZERO);
+        }
+        let mut delivered = 0u64;
+        let mut guard = 0;
+        while let Some(t) = net.next_completion() {
+            for (_, flow) in net.take_completed(t) {
+                delivered += flow.bytes;
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "completion loop must terminate");
+        }
+        let total: u64 = spec.flows.iter().map(|&(_, _, b)| b).sum();
+        prop_assert_eq!(delivered, total);
+        prop_assert_eq!(net.active_flows(), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Scheduler error type.
+
+use std::fmt;
+
+/// An error raised while partitioning or placing a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No worker nodes were supplied.
+    NoWorkers,
+    /// Even singleton groups cannot fit on the available workers.
+    InsufficientCapacity {
+        /// Required container capacity of the unplaceable group.
+        required: u32,
+        /// Largest free capacity across workers.
+        largest_free: u32,
+    },
+    /// The runtime metrics don't match the DAG (stale feedback).
+    MetricsMismatch {
+        /// Nodes in the DAG.
+        expected: usize,
+        /// Entries supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoWorkers => write!(f, "no worker nodes available"),
+            ScheduleError::InsufficientCapacity {
+                required,
+                largest_free,
+            } => write!(
+                f,
+                "group needs {required} containers but the largest free worker has {largest_free}"
+            ),
+            ScheduleError::MetricsMismatch { expected, actual } => write!(
+                f,
+                "runtime metrics cover {actual} nodes but the DAG has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        assert!(ScheduleError::NoWorkers.to_string().starts_with("no worker"));
+        let e = ScheduleError::InsufficientCapacity {
+            required: 5,
+            largest_free: 3,
+        };
+        assert!(e.to_string().contains("5"));
+    }
+}

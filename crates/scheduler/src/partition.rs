@@ -1,0 +1,685 @@
+//! Algorithm 1: functions grouping and scheduling.
+//!
+//! A faithful transcription of the paper's listing. Each function node
+//! starts as its own group on a hash/random worker (line 1, the
+//! "hash-based partition" of the first iteration, §4.1.2). The algorithm
+//! then repeatedly:
+//!
+//! 1. computes the critical path of the DAG under *effective* weights
+//!    (edges inside one group are local and cheap),
+//! 2. walks its cross-group edges in descending weight order,
+//! 3. merges the first pair of groups that passes every constraint:
+//!    * the merged group's container demand `Σ ⌈Scale(v)⌉` must fit some
+//!      worker (line 12),
+//!    * localising the edge must not overrun the workflow's in-memory
+//!      quota `Quota(G)` (lines 13–18) — on success the producer's
+//!      `StorageType` flips to `MEM`,
+//!    * no contention pair `cont(G)` may end up co-grouped (lines 19–20),
+//! 4. bin-packs the merged group onto a worker (line 21),
+//!
+//! and stops when a full pass makes no merge (line 26).
+
+use std::collections::HashSet;
+
+use faasflow_sim::{FunctionId, GroupId, NodeId, SimDuration, SimRng};
+use faasflow_wdl::{EdgeId, WorkflowDag};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ScheduleError;
+use crate::feedback::RuntimeMetrics;
+
+/// How merged groups are placed onto workers (Algorithm 1 line 21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Best fit: the worker with the *least* sufficient residual capacity.
+    /// Packs tightly, concentrating groups on few nodes.
+    BestFit,
+    /// Worst fit: the worker with the *most* residual capacity. This is the
+    /// load balancer of §4.1.3 ("function nodes with less data movement
+    /// will be scheduled to balance the load and resource") and reproduces
+    /// Figure 15's distribution: large multi-group workflows spread across
+    /// all workers, small single-group applications stay on one.
+    #[default]
+    WorstFit,
+}
+
+/// Partitioner tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Effective weight of an edge whose endpoints share a group (local
+    /// memory transfer — nearly free compared to the network).
+    pub local_edge_weight: SimDuration,
+    /// Safety bound on merge iterations (the algorithm terminates after at
+    /// most `n-1` merges anyway; this guards against regressions).
+    pub max_merges: u32,
+    /// Group placement policy.
+    pub placement: PlacementStrategy,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            local_edge_weight: SimDuration::from_micros(200),
+            max_merges: 100_000,
+            placement: PlacementStrategy::WorstFit,
+        }
+    }
+}
+
+/// One worker node and its container capacity — the paper's `Cap[node]`,
+/// "a list of the capacity of containers left to be created on each node".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerInfo {
+    /// The worker's node id in the cluster.
+    pub node: NodeId,
+    /// Containers this node can still host.
+    pub capacity: u32,
+}
+
+impl WorkerInfo {
+    /// Creates a worker descriptor.
+    pub fn new(node: NodeId, capacity: u32) -> Self {
+        WorkerInfo { node, capacity }
+    }
+}
+
+/// Function pairs that must not share a group — the paper's
+/// `cont(G) = {(f_i, f_j)}`, fed by orthogonal interference predictors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContentionSet {
+    pairs: HashSet<(FunctionId, FunctionId)>,
+}
+
+impl ContentionSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ContentionSet::default()
+    }
+
+    /// Declares `a` and `b` conflicting (order-insensitive).
+    pub fn declare(&mut self, a: FunctionId, b: FunctionId) {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.insert(pair);
+    }
+
+    /// True when `a` and `b` conflict.
+    pub fn conflicts(&self, a: FunctionId, b: FunctionId) -> bool {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.contains(&pair)
+    }
+
+    /// Number of declared pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pair is declared.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// One function group (sub-graph) assigned to a worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Stable group id.
+    pub id: GroupId,
+    /// Member DAG nodes (functions and virtual brackets), ascending.
+    pub members: Vec<FunctionId>,
+    /// The worker hosting the group.
+    pub worker: NodeId,
+    /// Container demand `Σ ⌈Scale(v)⌉` of the members.
+    pub capacity_needed: u32,
+}
+
+/// The partitioner's output: groups, per-node placement, and per-function
+/// storage classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The function groups, in stable id order.
+    pub groups: Vec<Group>,
+    /// Worker of each DAG node, indexed by [`FunctionId::index`].
+    pub node_of: Vec<NodeId>,
+    /// Group of each DAG node.
+    pub group_of: Vec<GroupId>,
+    /// Algorithm 1's `f.StorageType == 'MEM'`: whether the node's output
+    /// may reside in local memory.
+    pub storage_local: Vec<bool>,
+    /// Bytes of edge data localised in memory (`mem_consume`).
+    pub mem_consume: u64,
+    /// The quota the partition ran under.
+    pub quota: u64,
+}
+
+impl Assignment {
+    /// The worker hosting a DAG node.
+    pub fn worker_of(&self, node: FunctionId) -> NodeId {
+        self.node_of[node.index()]
+    }
+
+    /// True when a control edge's endpoints share a worker.
+    pub fn is_local_edge(&self, dag: &WorkflowDag, edge: EdgeId) -> bool {
+        let e = dag.edge(edge);
+        self.worker_of(e.from) == self.worker_of(e.to)
+    }
+
+    /// Per-worker group distribution (Figure 15): `(worker, group count,
+    /// function count)` sorted by worker.
+    pub fn distribution(&self, dag: &WorkflowDag) -> Vec<(NodeId, usize, usize)> {
+        let mut per: std::collections::BTreeMap<NodeId, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for g in &self.groups {
+            let funcs = g
+                .members
+                .iter()
+                .filter(|&&m| dag.node(m).kind.is_function())
+                .count();
+            let entry = per.entry(g.worker).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += funcs;
+        }
+        per.into_iter().map(|(n, (g, f))| (n, g, f)).collect()
+    }
+
+    /// Bytes per invocation that must cross workers under this placement —
+    /// the data a FaaStore deployment cannot localise even with unlimited
+    /// quota (each data edge whose producer and consumer live on different
+    /// workers, plus every output whose consumer *set* spans workers,
+    /// since FaaStore's placement rule is all-or-nothing).
+    pub fn cross_worker_bytes(&self, dag: &WorkflowDag) -> u64 {
+        use std::collections::HashMap;
+        // Group data edges by producer to apply the all-consumers rule.
+        let mut by_producer: HashMap<_, Vec<_>> = HashMap::new();
+        for d in dag.data_edges() {
+            by_producer.entry(d.producer).or_default().push(d);
+        }
+        let mut total = 0;
+        for (producer, edges) in by_producer {
+            let home = self.worker_of(producer);
+            let co_located = edges.iter().all(|d| self.worker_of(d.consumer) == home);
+            if !co_located {
+                total += edges.iter().map(|d| d.bytes).sum::<u64>();
+            }
+        }
+        total
+    }
+
+    /// Rough resident size of this assignment (Figure 16's scheduler memory
+    /// series): sums the owned buffers.
+    pub fn approx_memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.groups
+            .iter()
+            .map(|g| size_of::<Group>() + g.members.len() * size_of::<FunctionId>())
+            .sum::<usize>()
+            + self.node_of.len() * size_of::<NodeId>()
+            + self.group_of.len() * size_of::<GroupId>()
+            + self.storage_local.len()
+    }
+}
+
+/// The Graph Scheduler's partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct GraphScheduler {
+    config: PartitionConfig,
+}
+
+impl GraphScheduler {
+    /// A scheduler with explicit configuration.
+    pub fn new(config: PartitionConfig) -> Self {
+        GraphScheduler { config }
+    }
+
+    /// Runs Algorithm 1.
+    ///
+    /// `quota` is `Quota(G)` from Eq. (2) (pass `u64::MAX` to disable the
+    /// memory constraint, `0` to forbid localisation entirely — the plain
+    /// FaaSFlow-without-FaaStore configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] when no worker exists, the metrics don't
+    /// match the DAG, or the initial singleton groups cannot be placed.
+    pub fn partition(
+        &self,
+        dag: &WorkflowDag,
+        workers: &[WorkerInfo],
+        metrics: &RuntimeMetrics,
+        contention: &ContentionSet,
+        quota: u64,
+        rng: &mut SimRng,
+    ) -> Result<Assignment, ScheduleError> {
+        if workers.is_empty() {
+            return Err(ScheduleError::NoWorkers);
+        }
+        if metrics.scale.len() != dag.node_count() {
+            return Err(ScheduleError::MetricsMismatch {
+                expected: dag.node_count(),
+                actual: metrics.scale.len(),
+            });
+        }
+
+        let n = dag.node_count();
+        // Container demand of each node: ⌈Scale(v)⌉ (0 for virtual nodes).
+        let demand: Vec<u32> = (0..n)
+            .map(|i| {
+                let node = dag.node(FunctionId::from(i));
+                if node.kind.is_function() {
+                    metrics.scale[i].ceil().max(1.0) as u32
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        // Line 1: singleton groups on random workers (hash partition).
+        let mut cap: Vec<i64> = workers.iter().map(|w| i64::from(w.capacity)).collect();
+        let mut group_of: Vec<usize> = (0..n).collect();
+        // members[g] empty ⇒ group g was absorbed.
+        let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let mut worker_of_group: Vec<usize> = Vec::with_capacity(n);
+        for &node_demand in demand.iter().take(n) {
+            let w = self.place_initial(&cap, node_demand, rng).ok_or_else(|| {
+                ScheduleError::InsufficientCapacity {
+                    required: node_demand,
+                    largest_free: cap.iter().copied().max().unwrap_or(0).max(0) as u32,
+                }
+            })?;
+            cap[w] -= i64::from(node_demand);
+            worker_of_group.push(w);
+        }
+
+        // Line 2.
+        let mut storage_local = vec![false; n];
+        let mut mem_consume: u64 = 0;
+
+        let group_demand = |members: &[usize], demand: &[u32]| -> u32 {
+            members.iter().map(|&m| demand[m]).sum()
+        };
+
+        // Lines 3–26.
+        let mut merges = 0;
+        loop {
+            if merges >= self.config.max_merges {
+                break;
+            }
+            // Line 4: critical path under effective weights.
+            let local_w = self.config.local_edge_weight;
+            let (_, cpath_edges) = dag.critical_path_with(|e| {
+                if group_of[e.from.index()] == group_of[e.to.index()] {
+                    local_w.min(e.weight)
+                } else {
+                    e.weight
+                }
+            });
+            // Line 5: descending weight.
+            let mut edges: Vec<EdgeId> = cpath_edges;
+            edges.sort_by_key(|&e| std::cmp::Reverse(dag.edge(e).weight));
+
+            let mut merged = false;
+            for eid in edges {
+                let e = dag.edge(eid);
+                let (fs, fe) = (e.from.index(), e.to.index());
+                let (gs, ge) = (group_of[fs], group_of[fe]);
+                if gs == ge {
+                    continue; // line 9
+                }
+                // Lines 10–12: capacity feasibility. Free both groups'
+                // demands, then check the best fit.
+                let n_start = group_demand(&members[gs], &demand);
+                let n_end = group_demand(&members[ge], &demand);
+                let need = i64::from(n_start) + i64::from(n_end);
+                let fits_somewhere = (0..workers.len()).any(|w| {
+                    let mut free = cap[w];
+                    if worker_of_group[gs] == w {
+                        free += i64::from(n_start);
+                    }
+                    if worker_of_group[ge] == w {
+                        free += i64::from(n_end);
+                    }
+                    free >= need
+                });
+                if !fits_somewhere {
+                    continue;
+                }
+                // Lines 13–18: in-memory quota for localising this edge.
+                // Virtual bracket nodes only *relay* a function's output;
+                // the quota is charged once, on the real producer's edge,
+                // or a single logical transfer routed through a bracket
+                // would be double-billed.
+                if dag.node(e.from).kind.is_function() && !storage_local[fs] {
+                    if mem_consume.saturating_add(e.bytes) > quota {
+                        continue;
+                    }
+                    mem_consume += e.bytes;
+                    storage_local[fs] = true;
+                }
+                // Lines 19–20: contention pairs must not be co-grouped.
+                let conflict = members[gs].iter().any(|&a| {
+                    members[ge].iter().any(|&b| {
+                        contention.conflicts(FunctionId::from(a), FunctionId::from(b))
+                    })
+                });
+                if conflict {
+                    continue;
+                }
+                // Line 21: bin-pack the merged group onto a worker.
+                cap[worker_of_group[gs]] += i64::from(n_start);
+                cap[worker_of_group[ge]] += i64::from(n_end);
+                let candidates = (0..workers.len()).filter(|&w| cap[w] >= need);
+                let target = match self.config.placement {
+                    PlacementStrategy::BestFit => candidates.min_by_key(|&w| (cap[w], w)),
+                    PlacementStrategy::WorstFit => {
+                        candidates.max_by_key(|&w| (cap[w], std::cmp::Reverse(w)))
+                    }
+                }
+                .expect("fits_somewhere guaranteed a target");
+                cap[target] -= need;
+                // Lines 22–24: merge ge into gs.
+                let moved = std::mem::take(&mut members[ge]);
+                for &m in &moved {
+                    group_of[m] = gs;
+                }
+                members[gs].extend(moved);
+                worker_of_group[gs] = target;
+                merges += 1;
+                merged = true;
+                break;
+            }
+            if !merged {
+                break; // line 26
+            }
+        }
+
+        // Assemble the output in stable order.
+        let mut groups = Vec::new();
+        let mut group_ids = vec![GroupId::new(0); n];
+        let mut node_of = vec![NodeId::new(0); n];
+        let mut next_gid = 0u32;
+        for g in 0..n {
+            if members[g].is_empty() {
+                continue;
+            }
+            let gid = GroupId::new(next_gid);
+            next_gid += 1;
+            let mut ms: Vec<usize> = members[g].clone();
+            ms.sort_unstable();
+            let worker = workers[worker_of_group[g]].node;
+            for &m in &ms {
+                group_ids[m] = gid;
+                node_of[m] = worker;
+            }
+            groups.push(Group {
+                id: gid,
+                members: ms.iter().map(|&m| FunctionId::from(m)).collect(),
+                worker,
+                capacity_needed: group_demand(&members[g], &demand),
+            });
+        }
+
+        Ok(Assignment {
+            groups,
+            node_of,
+            group_of: group_ids,
+            storage_local,
+            mem_consume,
+            quota,
+        })
+    }
+
+    /// Random initial placement among workers that can host `demand`.
+    fn place_initial(&self, cap: &[i64], demand: u32, rng: &mut SimRng) -> Option<usize> {
+        let feasible: Vec<usize> = (0..cap.len())
+            .filter(|&w| cap[w] >= i64::from(demand))
+            .collect();
+        rng.pick(&feasible).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_wdl::{DagParser, FunctionProfile, Step, Workflow};
+
+    fn parse(wf: &Workflow) -> WorkflowDag {
+        DagParser::default().parse(wf).expect("valid workflow")
+    }
+
+    fn workers(n: u32, capacity: u32) -> Vec<WorkerInfo> {
+        (0..n)
+            .map(|i| WorkerInfo::new(NodeId::new(i + 1), capacity))
+            .collect()
+    }
+
+    fn chain(names_out: &[(&str, u64)]) -> Workflow {
+        Workflow::steps(
+            "chain",
+            Step::sequence(
+                names_out
+                    .iter()
+                    .map(|(n, out)| Step::task(*n, FunctionProfile::with_millis(10, *out)))
+                    .collect(),
+            ),
+        )
+    }
+
+    fn run(
+        dag: &WorkflowDag,
+        ws: &[WorkerInfo],
+        cont: &ContentionSet,
+        quota: u64,
+    ) -> Assignment {
+        let metrics = RuntimeMetrics::initial(dag);
+        let mut rng = SimRng::seed_from(42);
+        GraphScheduler::default()
+            .partition(dag, ws, &metrics, cont, quota, &mut rng)
+            .expect("partition succeeds")
+    }
+
+    #[test]
+    fn heavy_chain_collapses_into_one_group() {
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let a = run(&dag, &workers(4, 64), &ContentionSet::default(), u64::MAX);
+        assert_eq!(a.groups.len(), 1, "all three merge along heavy edges");
+        let w = a.node_of[0];
+        assert!(a.node_of.iter().all(|&n| n == w));
+        // Both producers flipped to MEM.
+        assert!(a.storage_local[0] && a.storage_local[1]);
+        assert_eq!(a.mem_consume, 100 << 20);
+    }
+
+    #[test]
+    fn zero_quota_blocks_localisation() {
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let a = run(&dag, &workers(4, 64), &ContentionSet::default(), 0);
+        assert!(
+            a.groups.len() > 1,
+            "no merge is possible when nothing can be localised"
+        );
+        assert!(a.storage_local.iter().all(|&s| !s));
+        assert_eq!(a.mem_consume, 0);
+    }
+
+    #[test]
+    fn quota_limits_how_much_merges() {
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        // Quota admits exactly one 50MB edge.
+        let a = run(&dag, &workers(4, 64), &ContentionSet::default(), 50 << 20);
+        assert_eq!(a.mem_consume, 50 << 20);
+        assert_eq!(
+            a.storage_local.iter().filter(|&&s| s).count(),
+            1,
+            "only one producer localises"
+        );
+        assert_eq!(a.groups.len(), 2);
+    }
+
+    #[test]
+    fn contention_pair_never_cogrouped() {
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let a_id = dag.nodes().iter().find(|n| n.name == "a").unwrap().id;
+        let b_id = dag.nodes().iter().find(|n| n.name == "b").unwrap().id;
+        let mut cont = ContentionSet::new();
+        cont.declare(a_id, b_id);
+        let a = run(&dag, &workers(4, 64), &cont, u64::MAX);
+        assert_ne!(
+            a.group_of[a_id.index()],
+            a.group_of[b_id.index()],
+            "conflicting functions stay apart"
+        );
+    }
+
+    #[test]
+    fn capacity_forces_spreading() {
+        // Each function demands 1 container; workers hold only 1 each, so
+        // no merge can ever fit 2.
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let a = run(&dag, &workers(3, 1), &ContentionSet::default(), u64::MAX);
+        assert_eq!(a.groups.len(), 3);
+    }
+
+    #[test]
+    fn no_workers_is_an_error() {
+        let wf = chain(&[("a", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        let mut rng = SimRng::seed_from(1);
+        let res = GraphScheduler::default().partition(
+            &dag,
+            &[],
+            &metrics,
+            &ContentionSet::default(),
+            u64::MAX,
+            &mut rng,
+        );
+        assert_eq!(res.unwrap_err(), ScheduleError::NoWorkers);
+    }
+
+    #[test]
+    fn insufficient_capacity_is_an_error() {
+        let wf = chain(&[("a", 0), ("b", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        let mut rng = SimRng::seed_from(1);
+        let res = GraphScheduler::default().partition(
+            &dag,
+            &workers(1, 1), // only 1 container total, 2 needed
+            &metrics,
+            &ContentionSet::default(),
+            u64::MAX,
+            &mut rng,
+        );
+        assert!(matches!(
+            res,
+            Err(ScheduleError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_feedback_raises_demand() {
+        let wf = chain(&[("a", 1 << 20), ("b", 0)]);
+        let dag = parse(&wf);
+        let mut metrics = RuntimeMetrics::initial(&dag);
+        metrics.scale[0] = 5.0; // a scaled to ~5 instances at runtime
+        let mut rng = SimRng::seed_from(1);
+        let a = GraphScheduler::default()
+            .partition(
+                &dag,
+                &workers(2, 6),
+                &metrics,
+                &ContentionSet::default(),
+                u64::MAX,
+                &mut rng,
+            )
+            .expect("fits");
+        let ga = &a.groups[a.group_of[0].index()];
+        assert!(ga.capacity_needed >= 5);
+    }
+
+    #[test]
+    fn every_node_lands_in_exactly_one_group() {
+        let wf = Workflow::steps(
+            "mix",
+            Step::sequence(vec![
+                Step::task("s", FunctionProfile::with_millis(5, 4 << 20)),
+                Step::parallel(vec![
+                    Step::task("p0", FunctionProfile::with_millis(5, 1 << 20)),
+                    Step::task("p1", FunctionProfile::with_millis(5, 2 << 20)),
+                ]),
+                Step::foreach("fe", FunctionProfile::with_millis(5, 8 << 20), 4),
+                Step::task("t", FunctionProfile::with_millis(5, 0)),
+            ]),
+        );
+        let dag = parse(&wf);
+        let a = run(&dag, &workers(3, 32), &ContentionSet::default(), u64::MAX);
+        let mut seen = vec![0usize; dag.node_count()];
+        for g in &a.groups {
+            for m in &g.members {
+                seen[m.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "partition covers every node once");
+        // Consistency between group list and lookup vectors.
+        for g in &a.groups {
+            for m in &g.members {
+                assert_eq!(a.group_of[m.index()], g.id);
+                assert_eq!(a.node_of[m.index()], g.worker);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_reports_all_groups() {
+        let wf = chain(&[("a", 1), ("b", 1), ("c", 0)]);
+        let dag = parse(&wf);
+        let a = run(&dag, &workers(2, 64), &ContentionSet::default(), u64::MAX);
+        let dist = a.distribution(&dag);
+        let groups: usize = dist.iter().map(|&(_, g, _)| g).sum();
+        assert_eq!(groups, a.groups.len());
+        let funcs: usize = dist.iter().map(|&(_, _, f)| f).sum();
+        assert_eq!(funcs, dag.function_count());
+        assert!(a.approx_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn cross_worker_bytes_follows_the_placement() {
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        // Full merge: nothing crosses.
+        let merged = run(&dag, &workers(4, 64), &ContentionSet::default(), u64::MAX);
+        assert_eq!(merged.cross_worker_bytes(&dag), 0);
+        // Forced spread (capacity 1 each): everything crosses.
+        let spread = run(&dag, &workers(3, 1), &ContentionSet::default(), u64::MAX);
+        assert_eq!(
+            spread.cross_worker_bytes(&dag),
+            dag.total_data_bytes(),
+            "singleton groups ship every edge"
+        );
+    }
+
+    #[test]
+    fn partition_is_deterministic_for_a_seed() {
+        let wf = chain(&[("a", 9 << 20), ("b", 3 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        let mk = || {
+            let mut rng = SimRng::seed_from(123);
+            GraphScheduler::default()
+                .partition(
+                    &dag,
+                    &workers(4, 16),
+                    &metrics,
+                    &ContentionSet::default(),
+                    u64::MAX,
+                    &mut rng,
+                )
+                .expect("partition succeeds")
+        };
+        assert_eq!(mk(), mk());
+    }
+}

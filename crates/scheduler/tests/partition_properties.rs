@@ -1,0 +1,168 @@
+//! Property tests: Algorithm 1's invariants on random workflow DAGs.
+
+use faasflow_scheduler::{ContentionSet, GraphScheduler, RuntimeMetrics, WorkerInfo};
+use faasflow_sim::{FunctionId, NodeId, SimRng};
+use faasflow_wdl::{DagParser, DagSpec, FunctionProfile, Workflow};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomDag {
+    /// (exec ms, output bytes) per task.
+    tasks: Vec<(u64, u64)>,
+    /// Forward edges (from < to) by index pair, deduplicated.
+    edges: Vec<(usize, usize)>,
+    seed: u64,
+    quota: u64,
+    workers: u32,
+    capacity: u32,
+    contention_pairs: Vec<(usize, usize)>,
+}
+
+fn dag_strategy() -> impl Strategy<Value = RandomDag> {
+    (2usize..24).prop_flat_map(|n| {
+        let tasks = proptest::collection::vec((1u64..200, 0u64..(32 << 20)), n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+        let contention = proptest::collection::vec((0..n, 0..n), 0..4);
+        (
+            tasks,
+            edges,
+            contention,
+            any::<u64>(),
+            0u64..(1u64 << 32),
+            1u32..8,
+            1u32..32,
+        )
+            .prop_map(
+                move |(tasks, raw_edges, contention, seed, quota, workers, capacity)| {
+                    let mut edges: Vec<(usize, usize)> = raw_edges
+                        .into_iter()
+                        .filter(|&(a, b)| a != b)
+                        .map(|(a, b)| (a.min(b), a.max(b)))
+                        .collect();
+                    edges.sort_unstable();
+                    edges.dedup();
+                    let contention_pairs = contention
+                        .into_iter()
+                        .filter(|&(a, b)| a != b)
+                        .collect();
+                    RandomDag {
+                        tasks,
+                        edges,
+                        seed,
+                        quota,
+                        workers,
+                        capacity,
+                        contention_pairs,
+                    }
+                },
+            )
+    })
+}
+
+fn build(r: &RandomDag) -> Option<faasflow_wdl::WorkflowDag> {
+    let mut spec = DagSpec::new();
+    for (i, &(ms, out)) in r.tasks.iter().enumerate() {
+        spec.task(format!("t{i}"), FunctionProfile::with_millis(ms, out));
+    }
+    for &(a, b) in &r.edges {
+        spec.edge(format!("t{a}"), format!("t{b}"));
+    }
+    DagParser::default().parse(&Workflow::dag("prop", spec)).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Partition invariants: every node in exactly one group; groups fit
+    /// their workers; contention pairs never co-grouped; localized bytes
+    /// within quota; lookup tables consistent.
+    #[test]
+    fn partition_invariants(r in dag_strategy()) {
+        let Some(dag) = build(&r) else { return Ok(()); };
+        let workers: Vec<WorkerInfo> = (0..r.workers)
+            .map(|i| WorkerInfo::new(NodeId::new(i + 1), r.capacity))
+            .collect();
+        let metrics = RuntimeMetrics::initial(&dag);
+        let mut contention = ContentionSet::new();
+        for &(a, b) in &r.contention_pairs {
+            contention.declare(FunctionId::from(a), FunctionId::from(b));
+        }
+        let mut rng = SimRng::seed_from(r.seed);
+        let result = GraphScheduler::default().partition(
+            &dag, &workers, &metrics, &contention, r.quota, &mut rng,
+        );
+        let total_capacity = r.workers as u64 * r.capacity as u64;
+        let a = match result {
+            Ok(a) => a,
+            Err(_) => {
+                // Only a genuine capacity shortfall may fail.
+                prop_assert!(
+                    (dag.function_count() as u64) > total_capacity || r.capacity == 0,
+                    "partition failed although {} functions fit capacity {}",
+                    dag.function_count(),
+                    total_capacity
+                );
+                return Ok(());
+            }
+        };
+
+        // Coverage: every node in exactly one group.
+        let mut seen = vec![0u32; dag.node_count()];
+        for g in &a.groups {
+            for m in &g.members {
+                seen[m.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+
+        // Lookup consistency + per-worker capacity.
+        let mut demand_per_worker = std::collections::HashMap::new();
+        for g in &a.groups {
+            for m in &g.members {
+                prop_assert_eq!(a.group_of[m.index()], g.id);
+                prop_assert_eq!(a.node_of[m.index()], g.worker);
+            }
+            *demand_per_worker.entry(g.worker).or_insert(0u64) += u64::from(g.capacity_needed);
+        }
+        for (&w, &demand) in &demand_per_worker {
+            prop_assert!(
+                demand <= u64::from(r.capacity),
+                "worker {w} overloaded: {demand} > {}",
+                r.capacity
+            );
+        }
+
+        // Contention pairs never share a group.
+        for &(x, y) in &r.contention_pairs {
+            if x < dag.node_count() && y < dag.node_count() {
+                prop_assert_ne!(a.group_of[x], a.group_of[y]);
+            }
+        }
+
+        // Quota: localized bytes within budget; only function producers
+        // flip to MEM.
+        prop_assert!(a.mem_consume <= r.quota.max(a.quota));
+        for (i, &local) in a.storage_local.iter().enumerate() {
+            if local {
+                prop_assert!(dag.node(FunctionId::from(i)).kind.is_function());
+            }
+        }
+    }
+
+    /// Determinism: identical inputs and seed produce identical output.
+    #[test]
+    fn partition_deterministic(r in dag_strategy()) {
+        let Some(dag) = build(&r) else { return Ok(()); };
+        let workers: Vec<WorkerInfo> = (0..r.workers)
+            .map(|i| WorkerInfo::new(NodeId::new(i + 1), r.capacity))
+            .collect();
+        let metrics = RuntimeMetrics::initial(&dag);
+        let run = || {
+            let mut rng = SimRng::seed_from(r.seed);
+            GraphScheduler::default().partition(
+                &dag, &workers, &metrics, &ContentionSet::default(), r.quota, &mut rng,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,272 @@
+//! Cancellable, deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence number)`: two events scheduled for
+//! the same instant fire in the order they were scheduled, which makes every
+//! simulation run reproducible regardless of hash-map iteration order or
+//! allocator behaviour elsewhere.
+//!
+//! Cancellation uses lazy deletion: [`EventQueue::cancel`] marks the
+//! [`EventId`] and [`EventQueue::pop`] silently discards marked entries when
+//! they surface. This keeps both operations `O(log n)`/`O(1)` and is the
+//! standard technique for DES kernels with timer-heavy workloads (the flow
+//! network reschedules its completion timer on every flow change).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Token identifying a scheduled event, usable to cancel it later.
+///
+/// Ids are unique across the lifetime of one [`EventQueue`] and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; reverse the ordering to pop the earliest entry.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic, cancellable priority queue of simulation events.
+///
+/// `is_empty` takes `&mut self` (it prunes lazily-cancelled heads), which
+/// clippy's `len_without_is_empty` pairing does not anticipate.
+///
+/// The type parameter `E` is the caller's event payload; the queue imposes
+/// no trait bounds on it.
+///
+/// ```
+/// use faasflow_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let keep = q.schedule(SimTime::from_nanos(10), "keep");
+/// let drop = q.schedule(SimTime::from_nanos(5), "drop");
+/// assert!(q.cancel(drop));
+/// let _ = keep;
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("keep"));
+/// assert!(q.pop().is_none());
+/// ```
+#[allow(clippy::len_without_is_empty)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers currently in the heap and not cancelled.
+    live: HashSet<u64>,
+    /// Sequence numbers in the heap whose entries must be discarded on pop.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The instant of the most recently popped event (the "current" simulated
+    /// time from the world's perspective).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `time` and returns a cancellation token.
+    ///
+    /// Scheduling in the past is a logic error in the caller and panics: a
+    /// DES must never move its clock backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the instant of the last popped event.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule an event at {time} before the current time {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { time, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (and will now never
+    /// fire), `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock.
+    ///
+    /// Cancelled entries are skipped transparently. Returns `None` when the
+    /// queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The instant of the earliest pending (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending entries, *including* lazily cancelled ones.
+    ///
+    /// This is an upper bound on live events; use [`EventQueue::is_empty`]
+    /// for an exact emptiness check.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no live event is pending.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("cancelled_pending", &self.cancelled.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.schedule(SimTime::from_nanos(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert!(!q.cancel(a), "cancelling a fired event must report false");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        q.schedule(SimTime::from_nanos(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.schedule(SimTime::from_nanos(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic random number generation for the simulation.
+//!
+//! The cluster model needs modest randomness — latency jitter, hash-based
+//! first-iteration placement, Poisson arrivals — and absolute
+//! reproducibility. [`SimRng`] wraps the SplitMix64 generator (Steele et
+//! al., OOPSLA 2014): 64 bits of state, full period, passes BigCrush when
+//! used as here, and trivially seedable. Every component derives its own
+//! stream via [`SimRng::fork`] so adding a random draw in one module never
+//! perturbs another module's sequence.
+
+/// A small, fast, deterministic generator (SplitMix64).
+///
+/// ```
+/// use faasflow_sim::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. Any seed, including 0, is valid.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    /// Derives an independent child stream, leaving `self`'s own sequence
+    /// offset by one draw.
+    ///
+    /// Forked streams are statistically independent for the purposes of this
+    /// simulation (distinct SplitMix64 seeds).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so it is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        // Rejection sampling to remove modulo bias.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "range_f64 requires finite lo < hi, got [{lo}, {hi})"
+        );
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// An exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times in the open-loop client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be finite and positive, got {mean}"
+        );
+        // Inverse transform; 1 - u avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.next_below(items.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_produces_distinct_streams() {
+        let mut root = SimRng::seed_from(7);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let collisions = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound_and_covers_values() {
+        let mut rng = SimRng::seed_from(3);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            let v = rng.next_below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exp_f64(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 5.0).abs() < 0.1,
+            "empirical mean {mean} too far from 5.0"
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(13);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn pick_empty_is_none() {
+        let mut rng = SimRng::seed_from(5);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.pick(&empty), None);
+        assert_eq!(rng.pick(&[42]), Some(&42));
+    }
+}

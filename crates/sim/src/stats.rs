@@ -1,0 +1,451 @@
+//! Measurement primitives for the evaluation harness.
+//!
+//! The paper reports average scheduling overheads (Figures 4 & 11), exact
+//! 99-percentile latencies (Figures 12 & 13), data-movement totals
+//! (Table 4, Figure 5) and CPU/memory usage series (Figure 16). All of
+//! those reduce to three primitives:
+//!
+//! * [`Counter`] — monotonically increasing totals (bytes moved, messages).
+//! * [`Gauge`] — instantaneous values with a running peak (memory in use).
+//! * [`Histogram`] — an exact-sample reservoir with percentile queries.
+//!   Experiments run at most a few hundred thousand invocations, so storing
+//!   every sample is cheap and gives *exact* percentiles rather than the
+//!   approximations an HDR sketch would.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing counter.
+///
+/// ```
+/// use faasflow_sim::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.add(4);
+/// assert_eq!(c.get(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `delta` to the counter.
+    pub fn add(&mut self, delta: u64) {
+        self.0 = self
+            .0
+            .checked_add(delta)
+            .expect("counter overflow — totals exceed u64");
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// An instantaneous value with a recorded peak.
+///
+/// ```
+/// use faasflow_sim::stats::Gauge;
+/// let mut g = Gauge::new();
+/// g.add(10);
+/// g.sub(4);
+/// assert_eq!(g.get(), 6);
+/// assert_eq!(g.peak(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gauge {
+    value: u64,
+    peak: u64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raises the gauge by `delta`, updating the peak.
+    pub fn add(&mut self, delta: u64) {
+        self.value = self
+            .value
+            .checked_add(delta)
+            .expect("gauge overflow — value exceeds u64");
+        self.peak = self.peak.max(self.value);
+    }
+
+    /// Lowers the gauge by `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gauge would go negative — that always indicates a
+    /// double-release bug in the caller, which we want loud.
+    pub fn sub(&mut self, delta: u64) {
+        self.value = self
+            .value
+            .checked_sub(delta)
+            .expect("gauge underflow — released more than was acquired");
+    }
+
+    /// Sets the gauge to an absolute value, updating the peak.
+    pub fn set(&mut self, value: u64) {
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.value
+    }
+
+    /// Highest value ever observed.
+    pub fn peak(self) -> u64 {
+        self.peak
+    }
+}
+
+/// An exact-sample histogram with percentile queries.
+///
+/// Samples are `f64` in whatever unit the caller chooses (the harness uses
+/// milliseconds). Percentiles use the nearest-rank method on the sorted
+/// sample set, matching how the paper's scripts compute "99%-ile latency".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — a NaN latency is always an upstream bug.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN into a histogram");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Records a duration, in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) by the nearest-rank method, or
+    /// `None` when empty.
+    ///
+    /// `quantile(0.99)` is the paper's "99%-ile latency".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        // Nearest-rank: smallest index i with (i+1)/n >= q.
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Convenience for [`Histogram::quantile`]`(0.99)`.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Convenience for [`Histogram::quantile`]`(0.50)`.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// A compact owned summary (for reports crossing thread boundaries).
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.len() as u64,
+            mean: self.mean().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            median: self.median().unwrap_or(0.0),
+            p99: self.p99().unwrap_or(0.0),
+            sum: self.sum(),
+        }
+    }
+
+    /// Read-only access to the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A time-weighted value tracker: integrates a piecewise-constant signal
+/// (busy cores, resident bytes) over simulated time, yielding exact
+/// time-averaged utilisation without any sampling events.
+///
+/// ```
+/// use faasflow_sim::stats::TimeWeighted;
+/// use faasflow_sim::SimTime;
+///
+/// let mut u = TimeWeighted::new();
+/// u.update(SimTime::from_secs_f64(0.0), 4.0); // 4 cores busy from t=0
+/// u.update(SimTime::from_secs_f64(2.0), 0.0); // idle from t=2
+/// assert_eq!(u.mean(SimTime::from_secs_f64(4.0)), 2.0);
+/// assert_eq!(u.peak(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    integral: f64,
+    value: f64,
+    peak: f64,
+    last_update: SimTime,
+}
+
+impl TimeWeighted {
+    /// Creates a tracker at value 0 from [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        TimeWeighted::default()
+    }
+
+    /// Sets the signal's value from `now` onwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update or `value` is not
+    /// finite.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        assert!(value.is_finite(), "time-weighted value must be finite");
+        assert!(
+            now >= self.last_update,
+            "time-weighted updates must be monotone"
+        );
+        self.integral += self.value * (now - self.last_update).as_secs_f64();
+        self.last_update = now;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// The current value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// The largest value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The exact time average over `[0, now]` (0 for an empty window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last update.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        assert!(now >= self.last_update, "mean window ends before last update");
+        let total = now.as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let integral = self.integral + self.value * (now - self.last_update).as_secs_f64();
+        integral / total
+    }
+}
+
+/// An owned snapshot of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// 50th percentile (nearest rank).
+    pub median: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let mut g = Gauge::new();
+        g.add(5);
+        g.add(5);
+        g.sub(7);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 10);
+        g.set(4);
+        assert_eq!(g.peak(), 10);
+        g.set(12);
+        assert_eq!(g.peak(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn gauge_underflow_panics() {
+        let mut g = Gauge::new();
+        g.add(1);
+        g.sub(2);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile(0.0), Some(1.0)); // rank clamps to 1
+        assert_eq!(h.median(), Some(50.0));
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        assert_eq!(h.p99(), Some(42.0));
+        assert_eq!(h.median(), Some(42.0));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.sum, 10.0);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn record_after_quantile_resorts() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        assert_eq!(h.max(), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        h.record(5.0);
+        assert_eq!(h.quantile(0.0), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+    }
+
+    #[test]
+    fn time_weighted_integrates_exactly() {
+        let mut u = TimeWeighted::new();
+        let t = SimTime::from_secs_f64;
+        u.update(t(0.0), 2.0);
+        u.update(t(1.0), 6.0);
+        u.update(t(2.0), 0.0);
+        // 2*1 + 6*1 + 0*2 over 4s = 2.0
+        assert_eq!(u.mean(t(4.0)), 2.0);
+        assert_eq!(u.peak(), 6.0);
+        assert_eq!(u.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_window_is_zero() {
+        let u = TimeWeighted::new();
+        assert_eq!(u.mean(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_weighted_rejects_time_travel() {
+        let mut u = TimeWeighted::new();
+        u.update(SimTime::from_secs_f64(2.0), 1.0);
+        u.update(SimTime::from_secs_f64(1.0), 1.0);
+    }
+}

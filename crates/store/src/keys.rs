@@ -1,0 +1,49 @@
+//! Object keys for intermediate workflow data.
+
+use faasflow_sim::{FunctionId, InvocationId, WorkflowId};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one producer's output object within one invocation.
+///
+/// The paper's user interface declares "the *keys* in the workflow
+/// definition file" (§3.2); in the reproduction a key is fully determined
+/// by (workflow, invocation, producer), which is what both stores index by.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DataKey {
+    /// Owning workflow.
+    pub workflow: WorkflowId,
+    /// Owning invocation.
+    pub invocation: InvocationId,
+    /// The function node that produced the object.
+    pub producer: FunctionId,
+}
+
+impl DataKey {
+    /// Creates a key.
+    pub fn new(workflow: WorkflowId, invocation: InvocationId, producer: FunctionId) -> Self {
+        DataKey {
+            workflow,
+            invocation,
+            producer,
+        }
+    }
+}
+
+impl std::fmt::Display for DataKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.workflow, self.invocation, self.producer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_path_like() {
+        let k = DataKey::new(WorkflowId::new(1), InvocationId::new(2), FunctionId::new(3));
+        assert_eq!(k.to_string(), "wf1/inv2/fn3");
+    }
+}

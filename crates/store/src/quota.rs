@@ -1,0 +1,106 @@
+//! Equations (1) and (2): the adaptive in-memory storage quota.
+//!
+//! > For a function that uses the memory of size S at most in the history,
+//! > we reclaim the memory of size `Mem(v) − S − μ` from it. [...] Each
+//! > function node will over-provision `O(v_i)` for FaaStore to reclaim by
+//! > Equation (1). Equation (2) calculates the in-memory quota by
+//! > reclaiming memory from all function nodes in the workflow. (§4.3.1)
+//!
+//! ```text
+//! O(v_i)        = max{ Mem(v_i) − S − μ, 0 } · Map(v_i)          (1)
+//! Quota[G(V,E)] = Σ_{i=1..n} O(v_i)                              (2)
+//! ```
+
+use faasflow_sim::FunctionId;
+use faasflow_wdl::{NodeKind, WorkflowDag};
+
+/// Default safety reserve μ left in each container for occasional
+/// requirements: 32 MB.
+pub const DEFAULT_MU: u64 = 32 << 20;
+
+/// Equation (1): the memory FaaStore may reclaim from one function node.
+///
+/// `Map(v)` is the node's executor map — its `parallelism` for foreach
+/// nodes, 1 otherwise (§4.1.2). Virtual nodes contribute nothing.
+pub fn node_overprovision(dag: &WorkflowDag, node: FunctionId, mu: u64) -> u64 {
+    let n = dag.node(node);
+    match &n.kind {
+        NodeKind::Function(profile) => {
+            profile.overprovisioned_bytes(mu) * u64::from(n.parallelism)
+        }
+        _ => 0,
+    }
+}
+
+/// Equation (2): the workflow's total in-memory quota.
+pub fn workflow_quota(dag: &WorkflowDag, mu: u64) -> u64 {
+    (0..dag.node_count())
+        .map(|i| node_overprovision(dag, FunctionId::from(i), mu))
+        .sum()
+}
+
+/// The share of Eq. (2) attributable to a subset of nodes — used to budget
+/// each worker's [`crate::MemStore`] with the quota of the functions the
+/// partitioner placed there.
+pub fn subset_quota(dag: &WorkflowDag, nodes: impl IntoIterator<Item = FunctionId>, mu: u64) -> u64 {
+    nodes
+        .into_iter()
+        .map(|v| node_overprovision(dag, v, mu))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_wdl::{DagParser, FunctionProfile, Step, Workflow};
+
+    fn parse(step: Step) -> WorkflowDag {
+        DagParser::default()
+            .parse(&Workflow::steps("q", step))
+            .expect("valid workflow")
+    }
+
+    #[test]
+    fn equation_one_scales_with_map() {
+        // foreach with fanout 4: Map(v) = 4.
+        let dag = parse(Step::foreach(
+            "fe",
+            FunctionProfile::with_millis(1, 0).peak_mem(96 << 20),
+            4,
+        ));
+        let fe = dag.nodes().iter().find(|n| n.name == "fe").unwrap().id;
+        // O = (256 - 96 - 32) MB * 4 = 512 MB.
+        assert_eq!(node_overprovision(&dag, fe, DEFAULT_MU), (128 << 20) * 4);
+    }
+
+    #[test]
+    fn virtual_nodes_contribute_nothing() {
+        let dag = parse(Step::parallel(vec![
+            Step::task("a", FunctionProfile::with_millis(1, 0).peak_mem(224 << 20)),
+            Step::task("b", FunctionProfile::with_millis(1, 0).peak_mem(128 << 20)),
+        ]));
+        // a: 256-224-32 = 0; b: 256-128-32 = 96MB; brackets: 0.
+        assert_eq!(workflow_quota(&dag, DEFAULT_MU), 96 << 20);
+    }
+
+    #[test]
+    fn pessimistic_reclaim_clamps_at_zero() {
+        let dag = parse(Step::task(
+            "tight",
+            FunctionProfile::with_millis(1, 0).peak_mem(250 << 20),
+        ));
+        assert_eq!(workflow_quota(&dag, DEFAULT_MU), 0);
+    }
+
+    #[test]
+    fn subset_quota_partitions_the_total() {
+        let dag = parse(Step::sequence(vec![
+            Step::task("a", FunctionProfile::with_millis(1, 0).peak_mem(64 << 20)),
+            Step::task("b", FunctionProfile::with_millis(1, 0).peak_mem(64 << 20)),
+        ]));
+        let ids: Vec<FunctionId> = dag.nodes().iter().map(|n| n.id).collect();
+        let total = workflow_quota(&dag, DEFAULT_MU);
+        let half = subset_quota(&dag, ids[..1].iter().copied(), DEFAULT_MU);
+        assert_eq!(half * 2, total);
+    }
+}

@@ -1,0 +1,202 @@
+//! The remote key-value store (CouchDB stand-in).
+//!
+//! "In production serverless platforms, users often rely on additional
+//! database storage services for temporary data storage and delivery"
+//! (§1). The paper deploys CouchDB 3.1.1 on a dedicated storage node; every
+//! data-shipping transfer (§2.4) is a write into it followed by one read
+//! per consumer.
+//!
+//! The store itself tracks object sizes and charges a fixed per-operation
+//! overhead (request parsing, MVCC bookkeeping); the bytes travel over the
+//! simulated network as flows created by the cluster world, so bandwidth
+//! contention at the storage node emerges naturally.
+
+use std::collections::HashMap;
+
+use faasflow_sim::stats::Counter;
+use faasflow_sim::{InvocationId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::keys::DataKey;
+
+/// Remote store parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteStoreConfig {
+    /// Server-side overhead per put (CouchDB document insert).
+    pub put_overhead: SimDuration,
+    /// Server-side overhead per get.
+    pub get_overhead: SimDuration,
+}
+
+impl Default for RemoteStoreConfig {
+    fn default() -> Self {
+        RemoteStoreConfig {
+            put_overhead: SimDuration::from_millis(3),
+            get_overhead: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// The storage-node object catalog.
+///
+/// ```
+/// use faasflow_store::{RemoteStore, DataKey};
+/// use faasflow_sim::{WorkflowId, InvocationId, FunctionId};
+///
+/// let mut db = RemoteStore::default();
+/// let key = DataKey::new(WorkflowId::new(0), InvocationId::new(0), FunctionId::new(1));
+/// db.put(key, 1024);
+/// assert_eq!(db.get(key), Some(1024));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RemoteStore {
+    config: RemoteStoreConfig,
+    objects: HashMap<DataKey, u64>,
+    bytes_written: Counter,
+    bytes_read: Counter,
+    puts: Counter,
+    gets: Counter,
+}
+
+impl RemoteStore {
+    /// Creates a store with explicit configuration.
+    pub fn new(config: RemoteStoreConfig) -> Self {
+        RemoteStore {
+            config,
+            ..RemoteStore::default()
+        }
+    }
+
+    /// The configured per-operation overheads.
+    pub fn config(&self) -> RemoteStoreConfig {
+        self.config
+    }
+
+    /// Stores (or overwrites) an object and returns the server-side
+    /// processing latency to charge.
+    pub fn put(&mut self, key: DataKey, bytes: u64) -> SimDuration {
+        self.objects.insert(key, bytes);
+        self.bytes_written.add(bytes);
+        self.puts.inc();
+        self.config.put_overhead
+    }
+
+    /// Size of a stored object, or `None` when absent. Does not charge
+    /// latency — use [`RemoteStore::read`] on the serving path.
+    pub fn get(&self, key: DataKey) -> Option<u64> {
+        self.objects.get(&key).copied()
+    }
+
+    /// Reads an object for serving: returns its size and the server-side
+    /// latency to charge, or `None` when absent.
+    pub fn read(&mut self, key: DataKey) -> Option<(u64, SimDuration)> {
+        let bytes = self.objects.get(&key).copied()?;
+        self.bytes_read.add(bytes);
+        self.gets.inc();
+        Some((bytes, self.config.get_overhead))
+    }
+
+    /// Deletes one object; returns its size if it existed.
+    pub fn delete(&mut self, key: DataKey) -> Option<u64> {
+        self.objects.remove(&key)
+    }
+
+    /// Drops every object of one invocation (end-of-invocation cleanup).
+    /// Returns the number of bytes released.
+    pub fn release_invocation(&mut self, invocation: InvocationId) -> u64 {
+        let mut released = 0;
+        self.objects.retain(|k, v| {
+            if k.invocation == invocation {
+                released += *v;
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.objects.values().sum()
+    }
+
+    /// Total bytes ever written.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.bytes_written.get()
+    }
+
+    /// Total bytes ever read.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+
+    /// Total put operations.
+    pub fn put_count(&self) -> u64 {
+        self.puts.get()
+    }
+
+    /// Total read operations.
+    pub fn get_count(&self) -> u64 {
+        self.gets.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_sim::{FunctionId, WorkflowId};
+
+    fn key(inv: u32, f: u32) -> DataKey {
+        DataKey::new(WorkflowId::new(0), InvocationId::new(inv), FunctionId::new(f))
+    }
+
+    #[test]
+    fn put_read_delete_round_trip() {
+        let mut db = RemoteStore::default();
+        let overhead = db.put(key(0, 1), 4096);
+        assert_eq!(overhead, SimDuration::from_millis(3));
+        let (bytes, get_overhead) = db.read(key(0, 1)).expect("present");
+        assert_eq!(bytes, 4096);
+        assert_eq!(get_overhead, SimDuration::from_millis(2));
+        assert_eq!(db.delete(key(0, 1)), Some(4096));
+        assert_eq!(db.read(key(0, 1)), None);
+    }
+
+    #[test]
+    fn overwrite_replaces_size() {
+        let mut db = RemoteStore::default();
+        db.put(key(0, 1), 100);
+        db.put(key(0, 1), 300);
+        assert_eq!(db.get(key(0, 1)), Some(300));
+        assert_eq!(db.object_count(), 1);
+        assert_eq!(db.total_bytes_written(), 400, "both writes counted");
+    }
+
+    #[test]
+    fn release_invocation_scopes_cleanup() {
+        let mut db = RemoteStore::default();
+        db.put(key(0, 1), 10);
+        db.put(key(0, 2), 20);
+        db.put(key(1, 1), 40);
+        assert_eq!(db.release_invocation(InvocationId::new(0)), 30);
+        assert_eq!(db.object_count(), 1);
+        assert_eq!(db.resident_bytes(), 40);
+    }
+
+    #[test]
+    fn read_accounting_accumulates() {
+        let mut db = RemoteStore::default();
+        db.put(key(0, 1), 100);
+        db.read(key(0, 1));
+        db.read(key(0, 1));
+        assert_eq!(db.total_bytes_read(), 200);
+        assert_eq!(db.get_count(), 2);
+        assert_eq!(db.put_count(), 1);
+    }
+}

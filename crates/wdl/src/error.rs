@@ -1,0 +1,125 @@
+//! Error type for workflow definition validation and parsing.
+
+use std::fmt;
+
+/// An error raised while validating or parsing a workflow definition.
+///
+/// The [`crate::DagParser`] is "implemented in the Graph Scheduler to
+/// prevent violated WDL definition" (§4.1.1); every variant corresponds to
+/// one class of violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WdlError {
+    /// Two task steps share the same name.
+    DuplicateTaskName {
+        /// The offending name.
+        name: String,
+    },
+    /// A sequence, parallel, or switch step has no children.
+    EmptyStep {
+        /// The kind of step ("sequence", "parallel", "switch").
+        kind: &'static str,
+    },
+    /// A foreach step declared a zero fan-out.
+    ZeroFanout {
+        /// The foreach task's name.
+        name: String,
+    },
+    /// A foreach fan-out exceeds the configured bound.
+    FanoutTooLarge {
+        /// The foreach task's name.
+        name: String,
+        /// Declared fan-out.
+        fanout: u32,
+        /// Configured maximum.
+        max: u32,
+    },
+    /// A raw-DAG edge references an unknown task name.
+    UnknownTask {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A raw-DAG edge connects a task to itself.
+    SelfLoop {
+        /// The task's name.
+        name: String,
+    },
+    /// A raw DAG contains a cycle.
+    Cycle {
+        /// A task on the cycle.
+        witness: String,
+    },
+    /// A raw-DAG edge is declared twice.
+    DuplicateEdge {
+        /// Producer name.
+        from: String,
+        /// Consumer name.
+        to: String,
+    },
+    /// The workflow defines no function at all.
+    NoFunctions,
+    /// A function profile carries an invalid value.
+    InvalidProfile {
+        /// The task's name.
+        name: String,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WdlError::DuplicateTaskName { name } => {
+                write!(f, "duplicate task name `{name}`")
+            }
+            WdlError::EmptyStep { kind } => write!(f, "empty {kind} step"),
+            WdlError::ZeroFanout { name } => {
+                write!(f, "foreach step `{name}` has zero fan-out")
+            }
+            WdlError::FanoutTooLarge { name, fanout, max } => write!(
+                f,
+                "foreach step `{name}` fan-out {fanout} exceeds the maximum {max}"
+            ),
+            WdlError::UnknownTask { name } => {
+                write!(f, "edge references unknown task `{name}`")
+            }
+            WdlError::SelfLoop { name } => {
+                write!(f, "task `{name}` has an edge to itself")
+            }
+            WdlError::Cycle { witness } => {
+                write!(f, "workflow graph contains a cycle through `{witness}`")
+            }
+            WdlError::DuplicateEdge { from, to } => {
+                write!(f, "edge `{from}` -> `{to}` declared twice")
+            }
+            WdlError::NoFunctions => write!(f, "workflow defines no function"),
+            WdlError::InvalidProfile { name, reason } => {
+                write!(f, "invalid profile for task `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = WdlError::DuplicateTaskName {
+            name: "f".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("duplicate"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(WdlError::NoFunctions);
+    }
+}

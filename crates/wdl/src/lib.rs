@@ -1,0 +1,59 @@
+//! # faasflow-wdl
+//!
+//! The Workflow Definition Language (WDL) and DAG parser of the FaaSFlow
+//! reproduction (§4.1.1 of the paper).
+//!
+//! A workflow is defined either as a hierarchy of logic steps — **task,
+//! sequence, parallel, switch, foreach** — or as a raw DAG (the form the
+//! Pegasus scientific-workflow instances arrive in). The [`DagParser`]
+//! lowers both to a [`WorkflowDag`]:
+//!
+//! * every task step becomes a function node;
+//! * parallel / switch / foreach steps are bracketed by **virtual start and
+//!   end nodes** that carry no computation and exist only to keep the step
+//!   atomic during graph partitioning (§4.1.1);
+//! * switch virtual ends join with *any* semantics (one arm suffices),
+//!   everything else joins with *all* semantics;
+//! * a foreach step becomes a single node with a `parallelism` (the paper's
+//!   executor map `Map(v)`), exactly as "DAG Parser equally considers all
+//!   parallel instances in the foreach step as one node";
+//! * **control edges** drive triggering and partitioning; **data edges**
+//!   connect real producers to real consumers through the virtual nodes and
+//!   drive the actual byte transfers.
+//!
+//! The paper's definition file is `workflow.yaml`; the serde data model here
+//! serializes to JSON instead (a pure serialization-format substitution,
+//! documented in DESIGN.md).
+//!
+//! ```
+//! use faasflow_wdl::{Workflow, Step, FunctionProfile, DagParser};
+//!
+//! let wf = Workflow::steps(
+//!     "thumbnail",
+//!     Step::sequence(vec![
+//!         Step::task("fetch", FunctionProfile::with_millis(20, 2 << 20)),
+//!         Step::foreach(
+//!             "resize",
+//!             FunctionProfile::with_millis(80, 1 << 20),
+//!             4,
+//!         ),
+//!         Step::task("store", FunctionProfile::with_millis(15, 0)),
+//!     ]),
+//! );
+//! let dag = DagParser::default().parse(&wf).expect("valid workflow");
+//! assert_eq!(dag.function_count(), 3);   // fetch, resize, store
+//! assert_eq!(dag.node_count(), 5);       // + virtual start/end of foreach
+//! ```
+
+pub mod dag;
+pub mod error;
+pub mod parser;
+pub mod profile;
+pub mod step;
+pub mod text;
+
+pub use dag::{DagEdge, DagNode, DataEdge, EdgeId, JoinKind, NodeKind, WorkflowDag};
+pub use error::WdlError;
+pub use parser::{DagParser, ParserConfig};
+pub use profile::FunctionProfile;
+pub use step::{DagSpec, DagTask, Step, SwitchCase, Workflow, WorkflowSpec};

@@ -1,0 +1,176 @@
+//! Behavioural profile of a serverless function.
+//!
+//! The engines never execute user code; a function is fully described by how
+//! long it runs, how much data it emits, and how much memory it touches.
+//! These are exactly the quantities FaaSFlow's memory-reclamation needs:
+//! `Mem(v)` (provisioned container memory), `S` (peak usage history), and
+//! the output size that becomes the DAG edge weight.
+
+use faasflow_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Default provisioned container memory: 256 MB (Table 3, "Resource limit
+/// and Lifetime: 1-core with 256MB").
+pub const DEFAULT_PROVISIONED_MEM: u64 = 256 << 20;
+
+/// Behavioural model of one serverless function.
+///
+/// ```
+/// use faasflow_wdl::FunctionProfile;
+/// let p = FunctionProfile::with_millis(120, 4 << 20);
+/// assert_eq!(p.exec_mean.as_millis_f64(), 120.0);
+/// assert_eq!(p.output_bytes, 4 << 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    /// Mean execution time of one instance (compute only, excluding data
+    /// fetch/store, which the engines add on top).
+    pub exec_mean: SimDuration,
+    /// Coefficient of variation of the execution time. Samples are uniform
+    /// in `[1-√3·cv, 1+√3·cv]·mean`, clamped at zero — light-tailed like the
+    /// paper's compute kernels.
+    pub exec_cv: f64,
+    /// Total bytes emitted by the node per invocation (summed over foreach
+    /// instances; each control-flow successor consumes the full output).
+    pub output_bytes: u64,
+    /// Peak memory the function actually uses — the paper's `S` in Eq. (1).
+    pub peak_mem_bytes: u64,
+    /// Provisioned container memory — the paper's `Mem(v)` in Eq. (1).
+    pub provisioned_mem_bytes: u64,
+}
+
+impl FunctionProfile {
+    /// A profile with the given mean execution time (milliseconds) and
+    /// output size, 10 % execution-time variation, 64 MB peak memory and the
+    /// default 256 MB provisioned container.
+    pub fn with_millis(exec_ms: u64, output_bytes: u64) -> Self {
+        FunctionProfile {
+            exec_mean: SimDuration::from_millis(exec_ms),
+            exec_cv: 0.1,
+            output_bytes,
+            peak_mem_bytes: 64 << 20,
+            provisioned_mem_bytes: DEFAULT_PROVISIONED_MEM,
+        }
+    }
+
+    /// Sets the peak memory usage (`S`), returning the modified profile.
+    pub fn peak_mem(mut self, bytes: u64) -> Self {
+        self.peak_mem_bytes = bytes;
+        self
+    }
+
+    /// Sets the provisioned memory (`Mem(v)`), returning the modified profile.
+    pub fn provisioned_mem(mut self, bytes: u64) -> Self {
+        self.provisioned_mem_bytes = bytes;
+        self
+    }
+
+    /// Sets the execution-time coefficient of variation.
+    pub fn exec_variation(mut self, cv: f64) -> Self {
+        self.exec_cv = cv;
+        self
+    }
+
+    /// Samples one execution duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid (see [`FunctionProfile::validate`]).
+    pub fn sample_exec(&self, rng: &mut SimRng) -> SimDuration {
+        if self.exec_cv == 0.0 {
+            return self.exec_mean;
+        }
+        // Uniform distribution with the requested cv: half-width √3·cv·mean.
+        let half_width = 3f64.sqrt() * self.exec_cv;
+        let factor = rng.range_f64((1.0 - half_width).max(0.0), 1.0 + half_width);
+        self.exec_mean.mul_f64(factor)
+    }
+
+    /// Checks internal consistency, returning a human-readable reason on
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the execution variation is negative/non-finite or
+    /// peak memory exceeds the provisioned container size.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.exec_cv.is_finite() || self.exec_cv < 0.0 {
+            return Err(format!(
+                "execution-time cv must be finite and non-negative, got {}",
+                self.exec_cv
+            ));
+        }
+        if self.peak_mem_bytes > self.provisioned_mem_bytes {
+            return Err(format!(
+                "peak memory {} exceeds provisioned memory {}",
+                self.peak_mem_bytes, self.provisioned_mem_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// The over-provisioned slack `Mem(v) − S − μ` of Eq. (1), clamped at
+    /// zero; `mu` is the paper's safety reserve for occasional requirements.
+    pub fn overprovisioned_bytes(&self, mu: u64) -> u64 {
+        self.provisioned_mem_bytes
+            .saturating_sub(self.peak_mem_bytes)
+            .saturating_sub(mu)
+    }
+}
+
+impl Default for FunctionProfile {
+    fn default() -> Self {
+        FunctionProfile::with_millis(100, 1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_respects_mean_and_bounds() {
+        let p = FunctionProfile::with_millis(100, 0);
+        let mut rng = SimRng::seed_from(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let d = p.sample_exec(&mut rng).as_millis_f64();
+            assert!(d > 80.0 && d < 120.0, "10% cv keeps samples near mean");
+            sum += d;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn zero_cv_is_deterministic() {
+        let p = FunctionProfile::with_millis(50, 0).exec_variation(0.0);
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(p.sample_exec(&mut rng), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn overprovisioned_slack_matches_equation_one() {
+        let p = FunctionProfile::with_millis(10, 0)
+            .peak_mem(100 << 20)
+            .provisioned_mem(256 << 20);
+        let mu = 16 << 20;
+        assert_eq!(p.overprovisioned_bytes(mu), (256 - 100 - 16) << 20);
+        // Clamp at zero when the function already uses everything.
+        let tight = p.peak_mem(250 << 20);
+        assert_eq!(tight.overprovisioned_bytes(mu), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let ok = FunctionProfile::default();
+        assert!(ok.validate().is_ok());
+        assert!(ok.exec_variation(-0.1).validate().is_err());
+        assert!(ok
+            .peak_mem(512 << 20)
+            .validate()
+            .unwrap_err()
+            .contains("exceeds"));
+    }
+}

@@ -1,0 +1,542 @@
+//! A compact, human-writable text format for workflow definitions — the
+//! stand-in for hand-editing the paper's `workflow.yaml` (the JSON serde
+//! form is precise but verbose).
+//!
+//! ```text
+//! workflow video-pipeline
+//!
+//! seq {
+//!     task probe 120ms out 512KB
+//!     task split 600ms out 48MB mem 217MB
+//!     foreach transcode x6 1500ms out 32MB
+//!     par {
+//!         task merge 800ms out 12MB
+//!         task thumbs 300ms out 1MB
+//!     }
+//!     switch {
+//!         case flagged { task blur 650ms }
+//!         case clean   { task publish 80ms out 1MB }
+//!     }
+//!     task notify 30ms
+//! }
+//! ```
+//!
+//! Grammar (whitespace-separated tokens, `#` comments to end of line):
+//!
+//! ```text
+//! file     := "workflow" NAME step
+//! step     := task | foreach | "seq" "{" step+ "}"
+//!           | "par" "{" step+ "}" | "switch" "{" case+ "}"
+//! task     := "task" NAME DURATION attr*
+//! foreach  := "foreach" NAME FANOUT DURATION attr*
+//! case     := "case" NAME step
+//! attr     := "out" SIZE | "mem" SIZE | "jitter" FLOAT
+//! DURATION := INT ("ms" | "s")          FANOUT := "x" INT
+//! SIZE     := INT ("B" | "KB" | "MB" | "GB")
+//! ```
+//!
+//! `mem` sets the function's peak memory (`S` of Eq. (1)); `jitter` the
+//! execution-time coefficient of variation.
+
+use std::fmt;
+
+use crate::profile::FunctionProfile;
+use crate::step::{Step, SwitchCase, Workflow};
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line of the offending token (0 for end-of-input errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "at end of input: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Token {
+    text: String,
+    line: u32,
+}
+
+fn lex(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let code = raw_line.split('#').next().unwrap_or("");
+        // Braces are tokens even without surrounding whitespace.
+        let spaced = code.replace('{', " { ").replace('}', " } ");
+        for word in spaced.split_whitespace() {
+            tokens.push(Token {
+                text: word.to_string(),
+                line,
+            });
+        }
+    }
+    tokens
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> TextError {
+        TextError {
+            line: self.peek().map(|t| t.line).unwrap_or(0),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, what: &str) -> Result<Token, TextError> {
+        self.next()
+            .ok_or_else(|| TextError {
+                line: 0,
+                message: format!("expected {what}"),
+            })
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), TextError> {
+        let t = self.expect(&format!("`{lit}`"))?;
+        if t.text == lit {
+            Ok(())
+        } else {
+            Err(TextError {
+                line: t.line,
+                message: format!("expected `{lit}`, found `{}`", t.text),
+            })
+        }
+    }
+
+    fn parse_step(&mut self) -> Result<Step, TextError> {
+        let t = self.expect("a step (task/foreach/seq/par/switch)")?;
+        match t.text.as_str() {
+            "task" => self.parse_task(),
+            "foreach" => self.parse_foreach(),
+            "seq" => Ok(Step::sequence(self.parse_block()?)),
+            "par" => Ok(Step::parallel(self.parse_block()?)),
+            "switch" => self.parse_switch(),
+            other => Err(TextError {
+                line: t.line,
+                message: format!(
+                    "expected task/foreach/seq/par/switch, found `{other}`"
+                ),
+            }),
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Step>, TextError> {
+        self.expect_literal("{")?;
+        let mut steps = Vec::new();
+        loop {
+            match self.peek() {
+                Some(t) if t.text == "}" => {
+                    self.next();
+                    break;
+                }
+                Some(_) => steps.push(self.parse_step()?),
+                None => {
+                    return Err(TextError {
+                        line: 0,
+                        message: "unclosed `{` block".to_string(),
+                    })
+                }
+            }
+        }
+        if steps.is_empty() {
+            return Err(self.err_here("empty block"));
+        }
+        Ok(steps)
+    }
+
+    fn parse_switch(&mut self) -> Result<Step, TextError> {
+        self.expect_literal("{")?;
+        let mut cases = Vec::new();
+        loop {
+            match self.peek() {
+                Some(t) if t.text == "}" => {
+                    self.next();
+                    break;
+                }
+                Some(t) if t.text == "case" => {
+                    self.next();
+                    let label = self.expect("a case label")?;
+                    // Either a single step, or a braced block (an implicit
+                    // sequence): `case flagged { task blur 650ms }`.
+                    let step = if self.peek().map(|t| t.text.as_str()) == Some("{") {
+                        let mut steps = self.parse_block()?;
+                        if steps.len() == 1 {
+                            steps.pop().expect("one element")
+                        } else {
+                            Step::sequence(steps)
+                        }
+                    } else {
+                        self.parse_step()?
+                    };
+                    cases.push(SwitchCase::new(label.text, step));
+                }
+                Some(t) => {
+                    return Err(TextError {
+                        line: t.line,
+                        message: format!("expected `case` or `}}`, found `{}`", t.text),
+                    })
+                }
+                None => {
+                    return Err(TextError {
+                        line: 0,
+                        message: "unclosed switch block".to_string(),
+                    })
+                }
+            }
+        }
+        if cases.is_empty() {
+            return Err(self.err_here("switch needs at least one case"));
+        }
+        Ok(Step::switch(cases))
+    }
+
+    fn parse_task(&mut self) -> Result<Step, TextError> {
+        let name = self.expect("a task name")?;
+        let dur = self.expect("a duration (e.g. 120ms)")?;
+        let exec_ms = parse_duration_ms(&dur)?;
+        let profile = self.parse_attrs(FunctionProfile::with_millis(exec_ms, 0))?;
+        Ok(Step::task(name.text, profile))
+    }
+
+    fn parse_foreach(&mut self) -> Result<Step, TextError> {
+        let name = self.expect("a foreach name")?;
+        let fan = self.expect("a fan-out (e.g. x6)")?;
+        let fanout = fan
+            .text
+            .strip_prefix('x')
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(|| TextError {
+                line: fan.line,
+                message: format!("expected a fan-out like `x6`, found `{}`", fan.text),
+            })?;
+        let dur = self.expect("a duration (e.g. 1500ms)")?;
+        let exec_ms = parse_duration_ms(&dur)?;
+        let profile = self.parse_attrs(FunctionProfile::with_millis(exec_ms, 0))?;
+        Ok(Step::foreach(name.text, profile, fanout))
+    }
+
+    fn parse_attrs(&mut self, mut profile: FunctionProfile) -> Result<FunctionProfile, TextError> {
+        loop {
+            match self.peek().map(|t| t.text.as_str()) {
+                Some("out") => {
+                    self.next();
+                    let size = self.expect("a size (e.g. 4MB)")?;
+                    profile.output_bytes = parse_size_bytes(&size)?;
+                }
+                Some("mem") => {
+                    self.next();
+                    let size = self.expect("a size (e.g. 128MB)")?;
+                    profile = profile.peak_mem(parse_size_bytes(&size)?);
+                }
+                Some("jitter") => {
+                    self.next();
+                    let v = self.expect("a coefficient (e.g. 0.1)")?;
+                    let cv: f64 = v.text.parse().map_err(|_| TextError {
+                        line: v.line,
+                        message: format!("invalid jitter `{}`", v.text),
+                    })?;
+                    profile = profile.exec_variation(cv);
+                }
+                _ => break,
+            }
+        }
+        Ok(profile)
+    }
+}
+
+fn parse_duration_ms(t: &Token) -> Result<u64, TextError> {
+    let text = &t.text;
+    let (digits, scale) = if let Some(d) = text.strip_suffix("ms") {
+        (d, 1)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1000)
+    } else {
+        return Err(TextError {
+            line: t.line,
+            message: format!("expected a duration like `120ms` or `2s`, found `{text}`"),
+        });
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n * scale)
+        .map_err(|_| TextError {
+            line: t.line,
+            message: format!("invalid duration `{text}`"),
+        })
+}
+
+fn parse_size_bytes(t: &Token) -> Result<u64, TextError> {
+    let text = &t.text;
+    let (digits, scale): (&str, u64) = if let Some(d) = text.strip_suffix("GB") {
+        (d, 1 << 30)
+    } else if let Some(d) = text.strip_suffix("MB") {
+        (d, 1 << 20)
+    } else if let Some(d) = text.strip_suffix("KB") {
+        (d, 1 << 10)
+    } else if let Some(d) = text.strip_suffix('B') {
+        (d, 1)
+    } else {
+        return Err(TextError {
+            line: t.line,
+            message: format!("expected a size like `4MB`, found `{text}`"),
+        });
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n * scale)
+        .map_err(|_| TextError {
+            line: t.line,
+            message: format!("invalid size `{text}`"),
+        })
+}
+
+/// Parses the compact text format into a [`Workflow`].
+///
+/// # Errors
+///
+/// Returns a [`TextError`] with the offending line on any syntax problem.
+/// Structural validation (duplicate names, fan-out bounds, …) happens in
+/// [`crate::DagParser::parse`] afterwards, as for every other input form.
+///
+/// ```
+/// use faasflow_wdl::text::parse_text;
+///
+/// let wf = parse_text(
+///     "workflow two-step\n\
+///      seq {\n\
+///          task fetch 40ms out 2MB\n\
+///          task store 25ms\n\
+///      }\n",
+/// )?;
+/// assert_eq!(wf.name, "two-step");
+/// # Ok::<(), faasflow_wdl::text::TextError>(())
+/// ```
+pub fn parse_text(input: &str) -> Result<Workflow, TextError> {
+    let mut parser = Parser {
+        tokens: lex(input),
+        pos: 0,
+    };
+    parser.expect_literal("workflow")?;
+    let name = parser.expect("a workflow name")?;
+    let root = parser.parse_step()?;
+    if let Some(extra) = parser.peek() {
+        return Err(TextError {
+            line: extra.line,
+            message: format!("unexpected trailing `{}`", extra.text),
+        });
+    }
+    Ok(Workflow::steps(name.text, root))
+}
+
+/// Renders a steps-form workflow back to the text format (inverse of
+/// [`parse_text`] up to formatting; raw-DAG workflows are not expressible).
+///
+/// Returns `None` for raw-DAG workflows.
+pub fn to_text(workflow: &Workflow) -> Option<String> {
+    let crate::step::WorkflowSpec::Steps(root) = &workflow.spec else {
+        return None;
+    };
+    let mut out = format!("workflow {}\n\n", workflow.name);
+    render_step(root, 0, &mut out);
+    Some(out)
+}
+
+fn render_step(step: &Step, depth: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    let pad = "    ".repeat(depth);
+    match step {
+        Step::Task { name, profile } => {
+            let _ = writeln!(out, "{pad}task {name}{}", render_attrs(profile));
+        }
+        Step::Foreach {
+            name,
+            profile,
+            fanout,
+        } => {
+            let _ = writeln!(out, "{pad}foreach {name} x{fanout}{}", render_attrs(profile));
+        }
+        Step::Sequence { steps } => {
+            let _ = writeln!(out, "{pad}seq {{");
+            for s in steps {
+                render_step(s, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Step::Parallel { branches } => {
+            let _ = writeln!(out, "{pad}par {{");
+            for s in branches {
+                render_step(s, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Step::Switch { cases } => {
+            let _ = writeln!(out, "{pad}switch {{");
+            for c in cases {
+                let _ = writeln!(out, "{pad}    case {}", c.condition);
+                render_step(&c.step, depth + 2, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+fn render_attrs(p: &FunctionProfile) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, " {}ms", p.exec_mean.as_millis_f64().round() as u64);
+    if p.output_bytes > 0 {
+        let _ = write!(s, " out {}", render_size(p.output_bytes));
+    }
+    let _ = write!(s, " mem {}", render_size(p.peak_mem_bytes));
+    s
+}
+
+fn render_size(bytes: u64) -> String {
+    for (unit, scale) in [("GB", 1u64 << 30), ("MB", 1 << 20), ("KB", 1 << 10)] {
+        if bytes >= scale && bytes.is_multiple_of(scale) {
+            return format!("{}{unit}", bytes / scale);
+        }
+    }
+    format!("{bytes}B")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagParser;
+
+    const VIDEO: &str = r#"
+workflow video-pipeline   # the Alibaba use case
+seq {
+    task probe 120ms out 512KB
+    task split 600ms out 48MB mem 217MB
+    foreach transcode x6 1500ms out 32MB
+    par {
+        task merge 800ms out 12MB
+        task thumbs 300ms out 1MB
+    }
+    switch {
+        case flagged { task blur 650ms }
+        case clean   { task publish 80ms out 1MB }
+    }
+    task notify 30ms jitter 0.0
+}
+"#;
+
+    #[test]
+    fn full_grammar_parses_and_validates() {
+        let wf = parse_text(VIDEO).expect("parses");
+        assert_eq!(wf.name, "video-pipeline");
+        let dag = DagParser::default().parse(&wf).expect("validates");
+        assert_eq!(dag.function_count(), 8);
+        let transcode = dag
+            .nodes()
+            .iter()
+            .find(|n| n.name == "transcode")
+            .expect("foreach present");
+        assert_eq!(transcode.parallelism, 6);
+        let split = dag.nodes().iter().find(|n| n.name == "split").unwrap();
+        let profile = split.kind.profile().unwrap();
+        assert_eq!(profile.output_bytes, 48 << 20);
+        assert_eq!(profile.peak_mem_bytes, 217 << 20);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let wf = parse_text(VIDEO).expect("parses");
+        let text = to_text(&wf).expect("steps form renders");
+        let back = parse_text(&text).expect("rendered text re-parses");
+        // Structure and names survive; jitter defaults may differ, so
+        // compare the parsed DAGs' shapes.
+        let a = DagParser::default().parse(&wf).unwrap();
+        let b = DagParser::default().parse(&back).unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edges().len(), b.edges().len());
+        let names_a: Vec<_> = a.nodes().iter().map(|n| &n.name).collect();
+        let names_b: Vec<_> = b.nodes().iter().map(|n| &n.name).collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn durations_and_sizes() {
+        let wf = parse_text("workflow u\ntask a 2s out 3GB mem 1KB").expect("parses");
+        let dag = DagParser::default().parse(&wf);
+        // peak 1KB < provisioned: fine.
+        let dag = dag.expect("validates");
+        let p = dag.nodes()[0].kind.profile().unwrap();
+        assert_eq!(p.exec_mean.as_millis_f64(), 2000.0);
+        assert_eq!(p.output_bytes, 3 << 30);
+        assert_eq!(p.peak_mem_bytes, 1 << 10);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_text("workflow x\nseq {\n    task a banana\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("duration"), "{err}");
+
+        let err = parse_text("workflow x\nseq {\n    task a 5ms\n").unwrap_err();
+        assert_eq!(err.line, 0, "unclosed block reported at EOF");
+
+        let err = parse_text("workflow x\ntask a 5ms\ntrailing").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let wf = parse_text(
+            "workflow c # name\n# full-line comment\n   task a 1ms#glued\n",
+        )
+        .expect("parses");
+        assert_eq!(wf.name, "c");
+    }
+
+    #[test]
+    fn rejects_malformed_constructs() {
+        assert!(parse_text("").is_err());
+        assert!(parse_text("workflow x").is_err());
+        assert!(parse_text("workflow x\nseq { }").is_err());
+        assert!(parse_text("workflow x\nswitch { }").is_err());
+        assert!(parse_text("workflow x\nforeach f y6 1ms").is_err());
+        assert!(parse_text("workflow x\ntask a 1ms out 4XB").is_err());
+        assert!(parse_text("workflow x\nswitch { task a 1ms }").is_err());
+    }
+
+    #[test]
+    fn render_size_picks_exact_units() {
+        assert_eq!(render_size(48 << 20), "48MB");
+        assert_eq!(render_size(1 << 30), "1GB");
+        assert_eq!(render_size(1536), "1536B"); // not an exact KB multiple
+        assert_eq!(render_size(512 << 10), "512KB");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: the DAG parser on randomly generated workflow trees.
+
+use faasflow_sim::FunctionId;
+use faasflow_wdl::{DagParser, FunctionProfile, NodeKind, Step, SwitchCase, Workflow};
+use proptest::prelude::*;
+
+/// A random step tree with unique task names.
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let leaf = (1u64..500, 0u64..(64 << 20), 1u32..6).prop_map(|(ms, out, fan)| {
+        // Name filled during uniquification below.
+        if fan == 1 {
+            Step::task("x", FunctionProfile::with_millis(ms, out))
+        } else {
+            Step::foreach("x", FunctionProfile::with_millis(ms, out), fan)
+        }
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Step::sequence),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Step::parallel),
+            proptest::collection::vec(inner, 1..3).prop_map(|steps| {
+                Step::switch(
+                    steps
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| SwitchCase::new(format!("case{i}"), s))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Gives every task/foreach node a unique name.
+fn uniquify(step: &mut Step, counter: &mut u32) {
+    match step {
+        Step::Task { name, .. } | Step::Foreach { name, .. } => {
+            *name = format!("fn{counter}");
+            *counter += 1;
+        }
+        Step::Sequence { steps } => steps.iter_mut().for_each(|s| uniquify(s, counter)),
+        Step::Parallel { branches } => branches.iter_mut().for_each(|s| uniquify(s, counter)),
+        Step::Switch { cases } => cases
+            .iter_mut()
+            .for_each(|c| uniquify(&mut c.step, counter)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated tree parses; the DAG is acyclic and structurally
+    /// sound; data edges reference only function nodes; function count is
+    /// preserved; the serde form round-trips.
+    #[test]
+    fn random_trees_parse_soundly(mut step in step_strategy()) {
+        let mut counter = 0;
+        uniquify(&mut step, &mut counter);
+        let expected_functions = step.function_count();
+        let wf = Workflow::steps("prop", step);
+
+        // Serde round trip.
+        let json = serde_json::to_string(&wf).expect("serializes");
+        let back: Workflow = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&back, &wf);
+
+        let dag = DagParser::default().parse(&wf).expect("valid tree parses");
+        prop_assert_eq!(dag.function_count(), expected_functions);
+        // Topological order covers every node exactly once (acyclicity).
+        prop_assert_eq!(dag.topo_order().len(), dag.node_count());
+        // Entry and exit nodes exist.
+        prop_assert!(!dag.entry_nodes().is_empty());
+        prop_assert!(!dag.exit_nodes().is_empty());
+        // Data edges connect function nodes only, with positive payloads.
+        for d in dag.data_edges() {
+            prop_assert!(dag.node(d.producer).kind.is_function());
+            prop_assert!(dag.node(d.consumer).kind.is_function());
+            prop_assert!(d.bytes > 0);
+        }
+        // Control edges are within range, weights consistent with bytes.
+        for e in dag.edges() {
+            prop_assert!(e.from.index() < dag.node_count());
+            prop_assert!(e.to.index() < dag.node_count());
+            if e.bytes == 0 {
+                prop_assert!(e.weight.is_zero());
+            }
+        }
+        // Virtual nodes never carry a profile; function nodes always do.
+        for node in dag.nodes() {
+            match &node.kind {
+                NodeKind::Function(_) => prop_assert!(node.kind.profile().is_some()),
+                _ => prop_assert!(node.kind.profile().is_none()),
+            }
+        }
+        // The critical path is a real path: consecutive nodes connected.
+        let (nodes, edges) = dag.critical_path();
+        prop_assert_eq!(nodes.len(), edges.len() + 1);
+        for (i, &eid) in edges.iter().enumerate() {
+            let e = dag.edge(eid);
+            prop_assert_eq!(e.from, nodes[i]);
+            prop_assert_eq!(e.to, nodes[i + 1]);
+        }
+    }
+
+    /// `required_predecessors` is consistent with join kinds.
+    #[test]
+    fn join_semantics_consistent(mut step in step_strategy()) {
+        let mut counter = 0;
+        uniquify(&mut step, &mut counter);
+        let wf = Workflow::steps("prop", step);
+        let dag = DagParser::default().parse(&wf).expect("parses");
+        for i in 0..dag.node_count() {
+            let id = FunctionId::from(i);
+            let req = dag.required_predecessors(id);
+            let preds = dag.predecessors(id).len() as u32;
+            prop_assert!(req <= preds.max(1));
+            if preds > 0 {
+                prop_assert!(req >= 1);
+            } else {
+                prop_assert_eq!(req, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property test: the compact text format round-trips every expressible
+//! workflow tree.
+
+use faasflow_wdl::text::{parse_text, to_text};
+use faasflow_wdl::{DagParser, FunctionProfile, Step, SwitchCase, Workflow};
+use proptest::prelude::*;
+
+/// Trees expressible in the text format: names are identifiers, durations
+/// whole milliseconds, sizes whole bytes.
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let leaf = (1u64..5000, 0u64..(1 << 28), 1u32..8).prop_map(|(ms, out, fan)| {
+        let profile = FunctionProfile::with_millis(ms, out);
+        if fan == 1 {
+            Step::task("x", profile)
+        } else {
+            Step::foreach("x", profile, fan)
+        }
+    });
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Step::sequence),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Step::parallel),
+            proptest::collection::vec(inner, 1..3).prop_map(|steps| {
+                Step::switch(
+                    steps
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| SwitchCase::new(format!("arm{i}"), s))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+fn uniquify(step: &mut Step, counter: &mut u32) {
+    match step {
+        Step::Task { name, .. } | Step::Foreach { name, .. } => {
+            *name = format!("fn{counter}");
+            *counter += 1;
+        }
+        Step::Sequence { steps } => steps.iter_mut().for_each(|s| uniquify(s, counter)),
+        Step::Parallel { branches } => branches.iter_mut().for_each(|s| uniquify(s, counter)),
+        Step::Switch { cases } => cases
+            .iter_mut()
+            .for_each(|c| uniquify(&mut c.step, counter)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_round_trip_preserves_structure(mut step in step_strategy()) {
+        let mut counter = 0;
+        uniquify(&mut step, &mut counter);
+        let wf = Workflow::steps("prop", step);
+
+        let text = to_text(&wf).expect("steps form renders");
+        let back = parse_text(&text)
+            .unwrap_or_else(|e| panic!("rendered text must re-parse: {e}\n{text}"));
+        prop_assert_eq!(&back.name, &wf.name);
+
+        let parser = DagParser::default();
+        let a = parser.parse(&wf).expect("original parses");
+        let b = parser.parse(&back).expect("round-tripped parses");
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.edges().len(), b.edges().len());
+        prop_assert_eq!(a.total_data_bytes(), b.total_data_bytes());
+        for (na, nb) in a.nodes().iter().zip(b.nodes()) {
+            prop_assert_eq!(&na.name, &nb.name);
+            prop_assert_eq!(na.parallelism, nb.parallelism);
+            prop_assert_eq!(na.join, nb.join);
+            if let (Some(pa), Some(pb)) = (na.kind.profile(), nb.kind.profile()) {
+                prop_assert_eq!(pa.exec_mean, pb.exec_mean);
+                prop_assert_eq!(pa.output_bytes, pb.output_bytes);
+                prop_assert_eq!(pa.peak_mem_bytes, pb.peak_mem_bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Parameterizable workflow-topology generators.
+//!
+//! The fixed benchmarks of [`crate::scientific`] pin the paper's 50-node
+//! configurations; these generators expose the same three topology
+//! families with free parameters, for scalability studies beyond Figure 16
+//! (which only scales Genome) and for stress-testing the scheduler:
+//!
+//! * [`chain_ensemble`] — Cycles-like: many independent deep chains between
+//!   a fan-out source and a fan-in sink. Localises almost fully.
+//! * [`map_pipeline`] — Epigenomics-like: split → per-lane pipelines →
+//!   merge chain. Localises per lane.
+//! * [`cross_coupled`] — SoyKB-like: a bipartite producer/consumer layer
+//!   where every consumer reads several strided producers. Resists
+//!   localisation.
+//!
+//! All generators are deterministic in their parameters.
+
+use faasflow_wdl::{DagSpec, FunctionProfile, Workflow};
+
+/// Parameters shared by the generators.
+#[derive(Debug, Clone, Copy)]
+pub struct StageProfile {
+    /// Mean execution time per stage, milliseconds.
+    pub exec_ms: u64,
+    /// Output bytes per producing stage.
+    pub output_bytes: u64,
+}
+
+impl Default for StageProfile {
+    fn default() -> Self {
+        StageProfile {
+            exec_ms: 200,
+            output_bytes: 4 << 20,
+        }
+    }
+}
+
+fn profile(p: StageProfile) -> FunctionProfile {
+    FunctionProfile::with_millis(p.exec_ms, p.output_bytes)
+        .peak_mem(96 << 20)
+        .exec_variation(0.03)
+}
+
+/// Cycles-like: `prepare` → `chains` independent chains of `chain_len`
+/// stages → `combine`. Function count = `chains * chain_len + 2`.
+///
+/// # Panics
+///
+/// Panics if `chains` or `chain_len` is zero.
+pub fn chain_ensemble(name: &str, chains: usize, chain_len: usize, stage: StageProfile) -> Workflow {
+    assert!(chains > 0 && chain_len > 0, "ensemble must be non-empty");
+    let mut spec = DagSpec::new();
+    spec.task("prepare", profile(StageProfile { output_bytes: 1 << 20, ..stage }));
+    for c in 0..chains {
+        for s in 0..chain_len {
+            spec.task(format!("s{s}_c{c}"), profile(stage));
+            if s == 0 {
+                spec.edge("prepare", format!("s0_c{c}"));
+            } else {
+                spec.edge(format!("s{}_c{c}", s - 1), format!("s{s}_c{c}"));
+            }
+        }
+        spec.edge(format!("s{}_c{c}", chain_len - 1), "combine");
+    }
+    spec.task("combine", profile(StageProfile { output_bytes: 0, ..stage }));
+    Workflow::dag(name, spec)
+}
+
+/// Epigenomics-like: `split` → `lanes` pipelines of `lane_len` stages →
+/// `merge`. Function count = `lanes * lane_len + 2`.
+///
+/// # Panics
+///
+/// Panics if `lanes` or `lane_len` is zero.
+pub fn map_pipeline(name: &str, lanes: usize, lane_len: usize, stage: StageProfile) -> Workflow {
+    assert!(lanes > 0 && lane_len > 0, "pipeline must be non-empty");
+    let mut spec = DagSpec::new();
+    spec.task("split", profile(StageProfile { output_bytes: stage.output_bytes / 4, ..stage }));
+    for l in 0..lanes {
+        for s in 0..lane_len {
+            spec.task(format!("p{s}_l{l}"), profile(stage));
+            if s == 0 {
+                spec.edge("split", format!("p0_l{l}"));
+            } else {
+                spec.edge(format!("p{}_l{l}", s - 1), format!("p{s}_l{l}"));
+            }
+        }
+        spec.edge(format!("p{}_l{l}", lane_len - 1), "merge");
+    }
+    spec.task("merge", profile(StageProfile { output_bytes: 0, ..stage }));
+    Workflow::dag(name, spec)
+}
+
+/// SoyKB-like: `producers` tasks each read by `reads_per_consumer` of the
+/// `consumers` tasks (strided), plus a shared source and a sink.
+/// Function count = `producers + consumers + 2`.
+///
+/// # Panics
+///
+/// Panics if any count is zero or `reads_per_consumer > producers`.
+pub fn cross_coupled(
+    name: &str,
+    producers: usize,
+    consumers: usize,
+    reads_per_consumer: usize,
+    stage: StageProfile,
+) -> Workflow {
+    assert!(
+        producers > 0 && consumers > 0 && reads_per_consumer > 0,
+        "layers must be non-empty"
+    );
+    assert!(
+        reads_per_consumer <= producers,
+        "cannot read more producers than exist"
+    );
+    let mut spec = DagSpec::new();
+    spec.task("source", profile(stage));
+    for p in 0..producers {
+        spec.task(format!("prod_{p}"), profile(stage));
+        spec.edge("source", format!("prod_{p}"));
+    }
+    for c in 0..consumers {
+        let consumer = format!("cons_{c}");
+        spec.task(&consumer, profile(stage));
+        for k in 0..reads_per_consumer {
+            // Coprime-ish stride mixes the bipartite wiring.
+            let p = (c * 5 + k * 7 + k) % producers;
+            // Avoid duplicate edges for small producer counts.
+            let target = format!("prod_{p}");
+            if !spec.edges.contains(&(target.clone(), consumer.clone())) {
+                spec.edge(target, &consumer);
+            }
+        }
+        spec.edge(&consumer, "sink");
+    }
+    spec.task("sink", profile(StageProfile { output_bytes: 0, ..stage }));
+    Workflow::dag(name, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_wdl::DagParser;
+
+    fn count(wf: &Workflow) -> usize {
+        DagParser::default()
+            .parse(wf)
+            .expect("generator output parses")
+            .function_count()
+    }
+
+    #[test]
+    fn chain_ensemble_counts() {
+        for (chains, len) in [(1, 1), (4, 3), (12, 4), (30, 10)] {
+            let wf = chain_ensemble("ce", chains, len, StageProfile::default());
+            assert_eq!(count(&wf), chains * len + 2, "{chains}x{len}");
+        }
+    }
+
+    #[test]
+    fn map_pipeline_counts() {
+        for (lanes, len) in [(1, 1), (9, 5), (20, 8)] {
+            let wf = map_pipeline("mp", lanes, len, StageProfile::default());
+            assert_eq!(count(&wf), lanes * len + 2, "{lanes}x{len}");
+        }
+    }
+
+    #[test]
+    fn cross_coupled_counts_and_reads() {
+        let wf = cross_coupled("cc", 30, 18, 4, StageProfile::default());
+        let dag = DagParser::default().parse(&wf).expect("parses");
+        assert_eq!(dag.function_count(), 50);
+        // Each consumer reads up to 4 distinct producers plus nothing else.
+        for node in dag.nodes() {
+            if node.name.starts_with("cons_") {
+                let inputs = dag.data_inputs(node.id).count();
+                assert!((1..=4).contains(&inputs), "{}: {inputs}", node.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_scale_through_the_parser() {
+        // A 300-node ensemble still parses and has a sane critical path.
+        let wf = chain_ensemble("big", 30, 10, StageProfile::default());
+        let dag = DagParser::default().parse(&wf).expect("parses");
+        let (nodes, _) = dag.critical_path();
+        assert_eq!(nodes.len(), 12, "prepare + 10 chain stages + combine");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_chains_panics() {
+        let _ = chain_ensemble("bad", 0, 3, StageProfile::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "more producers")]
+    fn over_reading_panics() {
+        let _ = cross_coupled("bad", 3, 5, 4, StageProfile::default());
+    }
+}

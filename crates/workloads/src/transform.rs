@@ -1,0 +1,51 @@
+//! Workflow transforms used by specific experiment configurations.
+
+use faasflow_wdl::{Step, Workflow, WorkflowSpec};
+
+/// The §2.3 configuration: "all required input data for functions is
+/// prepared and packed in the container image" — the same workflow with
+/// every output size zeroed, so no data ever moves between functions.
+/// Figures 4 and 11 (scheduling overhead) run this variant.
+pub fn without_data(workflow: &Workflow) -> Workflow {
+    let mut wf = workflow.clone();
+    match &mut wf.spec {
+        WorkflowSpec::Steps(root) => zero_step(root),
+        WorkflowSpec::Dag(spec) => {
+            for task in &mut spec.tasks {
+                task.profile.output_bytes = 0;
+            }
+        }
+    }
+    wf
+}
+
+fn zero_step(step: &mut Step) {
+    match step {
+        Step::Task { profile, .. } | Step::Foreach { profile, .. } => {
+            profile.output_bytes = 0;
+        }
+        Step::Sequence { steps } => steps.iter_mut().for_each(zero_step),
+        Step::Parallel { branches } => branches.iter_mut().for_each(zero_step),
+        Step::Switch { cases } => cases.iter_mut().for_each(|c| zero_step(&mut c.step)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use faasflow_wdl::DagParser;
+
+    #[test]
+    fn zeroes_every_edge_of_every_benchmark() {
+        for b in Benchmark::ALL {
+            let wf = without_data(&b.workflow());
+            let dag = DagParser::default().parse(&wf).expect("still valid");
+            assert_eq!(dag.total_data_bytes(), 0, "{b} still moves data");
+            // Structure is untouched.
+            let original = DagParser::default().parse(&b.workflow()).expect("parses");
+            assert_eq!(dag.node_count(), original.node_count());
+            assert_eq!(dag.edges().len(), original.edges().len());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Operating under faults: transient function failures with bounded retry,
+//! and QoS-triggered partition iterations (§4.1.2) reacting to the
+//! degradation.
+//!
+//! ```sh
+//! cargo run --release --example resilience
+//! ```
+
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ClusterError};
+use faasflow::sim::SimDuration;
+use faasflow::workloads::Benchmark;
+
+fn run(failure_rate: f64, qos_ms: Option<u64>) -> Result<(), ClusterError> {
+    let config = ClusterConfig {
+        exec_failure_rate: failure_rate,
+        max_exec_retries: 3,
+        qos_target: qos_ms.map(SimDuration::from_millis),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config)?;
+    cluster.register(
+        &Benchmark::WordCount.workflow(),
+        ClientConfig::ClosedLoop { invocations: 60 },
+    )?;
+    cluster.run_until_idle();
+    let report = cluster.report();
+    let w = report.workflow("WC");
+    let (_, partitions) = cluster.partition_wall_time();
+    println!(
+        "failures {:>4.0}%  qos {}  ->  e2e {:>7.1} ms  p99 {:>7.1} ms  retries {:>4}  partition iterations {:>2}",
+        failure_rate * 100.0,
+        match qos_ms {
+            Some(ms) => format!("{ms:>5} ms"),
+            None => "   none".to_string(),
+        },
+        w.e2e.mean,
+        w.e2e.p99,
+        report.exec_retries,
+        partitions,
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), ClusterError> {
+    println!("Word Count, 60 closed-loop invocations:\n");
+    run(0.0, None)?;
+    run(0.2, None)?;
+    run(0.4, None)?;
+    println!();
+    // A QoS target between the healthy and degraded latencies: failures
+    // push invocations over it, and each violation triggers a feedback
+    // partition iteration with fresh Scale/latency metrics.
+    run(0.4, Some(1200))?;
+    println!("\nretries inflate latency; QoS violations wake the Graph Scheduler.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! A scientific-workflow campaign: run the four Pegasus benchmarks under a
+//! bandwidth-constrained storage node and watch the graph partitioner keep
+//! the heavy intermediate data on-node.
+//!
+//! Also demonstrates the feedback loop: partition iterations re-run every
+//! 25 completed invocations using the observed `Scale(v)` / edge latencies
+//! (§4.1.2's "partition iteration").
+//!
+//! ```sh
+//! cargo run --release --example scientific_campaign
+//! ```
+
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ClusterError};
+use faasflow::workloads::Benchmark;
+
+fn main() -> Result<(), ClusterError> {
+    let config = ClusterConfig {
+        storage_bandwidth: 50e6, // the paper's default throttle
+        repartition_every: Some(25),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config)?;
+
+    let mut ids = Vec::new();
+    for b in Benchmark::SCIENTIFIC {
+        let id = cluster.register(&b.workflow(), ClientConfig::ClosedLoop { invocations: 2 })?;
+        ids.push((b, id));
+    }
+    cluster.run_until_idle();
+    cluster.reset_metrics();
+    for &(_, id) in &ids {
+        cluster.extend_client(id, 60);
+    }
+    cluster.run_until_idle();
+
+    let report = cluster.report();
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "workflow", "e2e (ms)", "p99 (ms)", "transfer(s)", "local %", "workers"
+    );
+    println!("{}", "-".repeat(72));
+    for (b, id) in ids {
+        let w = report.workflow(b.short_name());
+        let dist = cluster.distribution(id);
+        println!(
+            "{:<14} {:>10.0} {:>12.0} {:>12.2} {:>8.1}% {:>9}",
+            b.full_name(),
+            w.e2e.mean,
+            w.e2e.p99,
+            w.transfer_total.mean / 1000.0,
+            100.0 * w.local_bytes as f64 / (w.local_bytes + w.remote_bytes).max(1) as f64,
+            dist.len(),
+        );
+    }
+    let (wall, runs) = cluster.partition_wall_time();
+    println!("{}", "-".repeat(72));
+    println!(
+        "graph scheduler: {runs} partition iterations, {:.2} ms total wall time",
+        wall * 1000.0
+    );
+    println!(
+        "storage-node traffic: {:.1} MB ({:.2} MB/s effective)",
+        report.storage_node_bytes as f64 / 1048576.0,
+        report.storage_bandwidth_used() / 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Structured tracing: watch one invocation flow through WorkerSP — which
+//! worker triggers what, where the data lands, and which state syncs cross
+//! the network.
+//!
+//! ```sh
+//! cargo run --example trace_timeline
+//! ```
+
+use faasflow::core::trace::render_timeline;
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ClusterError};
+use faasflow::workloads::Benchmark;
+
+fn main() -> Result<(), ClusterError> {
+    let config = ClusterConfig {
+        trace: true,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config)?;
+    cluster.register(
+        &Benchmark::FileProcessing.workflow(),
+        ClientConfig::ClosedLoop { invocations: 2 },
+    )?;
+    cluster.run_until_idle();
+
+    let events = cluster.take_trace();
+    println!(
+        "File Processing under WorkerSP + FaaStore ({} trace events):\n",
+        events.len()
+    );
+    print!("{}", render_timeline(&events));
+    println!("\n(second invocation reuses warm containers — compare the start lines)");
+    Ok(())
+}

@@ -1,0 +1,328 @@
+//! `faasflow` — command-line front end for the simulated cluster.
+//!
+//! ```text
+//! faasflow validate <workflow.json>...
+//!     Parse and validate workflow definition files; print DAG statistics.
+//!
+//! faasflow partition <workflow.json> [--workers N] [--capacity C]
+//!     Run the Graph Scheduler (Algorithm 1) and print the grouping,
+//!     placement, and storage classes.
+//!
+//! faasflow run <workflow.json>... [options]
+//!     Simulate the workflows on a cluster and print the report.
+//!
+//!     --mode worker|master        schedule pattern        [worker]
+//!     --no-faastore               disable hybrid storage
+//!     --workers N                 worker nodes            [7]
+//!     --bandwidth MB/s            storage-node NIC        [50]
+//!     --invocations N             per workflow            [50]
+//!     --rate PER_MIN              open loop at this rate  (closed loop)
+//!     --seed S                    simulation seed
+//!
+//! faasflow bench <workflow.json> [--invocations N]
+//!     Compare the three system configurations on one workflow.
+//! ```
+//!
+//! Workflow files are either the serde/JSON form of
+//! [`faasflow::wdl::Workflow`] (`.json`) or the compact text format of
+//! [`faasflow::wdl::text`] (`.wdl`) — see `workflows/` for examples of
+//! both; together they stand in for the paper's `workflow.yaml`.
+
+use std::process::ExitCode;
+
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ScheduleMode};
+use faasflow::scheduler::{ContentionSet, GraphScheduler, RuntimeMetrics, WorkerInfo};
+use faasflow::sim::{NodeId, SimRng};
+use faasflow::store::quota;
+use faasflow::wdl::{DagParser, Workflow};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: faasflow <validate|partition|run|bench> ... (see --help)");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "validate" => cmd_validate(rest),
+        "partition" => cmd_partition(rest),
+        "run" => cmd_run(rest),
+        "bench" => cmd_bench(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "faasflow — simulated FaaSFlow cluster (see module docs in src/bin/faasflow.rs)
+
+commands:
+  validate <workflow.json>...   parse + validate, print DAG statistics
+  partition <workflow.json>     run Algorithm 1, print groups & placement
+  run <workflow.json>...        simulate and report
+  bench <workflow.json>         compare MasterSP / WorkerSP / +FaaStore";
+
+fn load(path: &str) -> Result<Workflow, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if path.ends_with(".wdl") {
+        faasflow::wdl::text::parse_text(&text).map_err(|e| format!("`{path}`: {e}"))
+    } else {
+        serde_json::from_str(&text).map_err(|e| format!("`{path}` is not a workflow: {e}"))
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for {name}")),
+    }
+}
+
+fn files(args: &[String]) -> Vec<&String> {
+    // Positional arguments: everything not a flag or a flag value.
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = !matches!(a.as_str(), "--no-faastore");
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let paths = files(args);
+    if paths.is_empty() {
+        return Err("validate needs at least one workflow file".into());
+    }
+    let parser = DagParser::default();
+    for path in paths {
+        let wf = load(path)?;
+        let dag = parser
+            .parse(&wf)
+            .map_err(|e| format!("`{path}`: invalid workflow: {e}"))?;
+        let (cp_nodes, _) = dag.critical_path();
+        println!(
+            "{path}: `{}` OK — {} functions ({} DAG nodes), {} control edges, \
+             {} data edges, {:.2} MB/invocation, critical path {} nodes \
+             ({:.0} ms exec), quota {:.1} MB",
+            wf.name,
+            dag.function_count(),
+            dag.node_count(),
+            dag.edges().len(),
+            dag.data_edges().len(),
+            dag.total_data_bytes() as f64 / 1048576.0,
+            cp_nodes.len(),
+            dag.critical_path_exec().as_millis_f64(),
+            quota::workflow_quota(&dag, 32 << 20) as f64 / 1048576.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let paths = files(args);
+    let [path] = paths.as_slice() else {
+        return Err("partition needs exactly one workflow file".into());
+    };
+    let workers: u32 = parse_flag(args, "--workers", 7)?;
+    let capacity: u32 = parse_flag(args, "--capacity", 12)?;
+    let seed: u64 = parse_flag(args, "--seed", 0xFAA5_F10E_u64)?;
+
+    let wf = load(path)?;
+    let dag = DagParser::default()
+        .parse(&wf)
+        .map_err(|e| e.to_string())?;
+    let infos: Vec<WorkerInfo> = (0..workers)
+        .map(|i| WorkerInfo::new(NodeId::new(i + 1), capacity))
+        .collect();
+    let q = quota::workflow_quota(&dag, 32 << 20);
+    let mut rng = SimRng::seed_from(seed);
+    let assignment = GraphScheduler::default()
+        .partition(
+            &dag,
+            &infos,
+            &RuntimeMetrics::initial(&dag),
+            &ContentionSet::default(),
+            q,
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "`{}`: {} groups on {} workers; localized {:.1} of {:.1} MB quota",
+        wf.name,
+        assignment.groups.len(),
+        assignment
+            .groups
+            .iter()
+            .map(|g| g.worker)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        assignment.mem_consume as f64 / 1048576.0,
+        q as f64 / 1048576.0,
+    );
+    for g in &assignment.groups {
+        let members: Vec<String> = g
+            .members
+            .iter()
+            .map(|&m| {
+                let node = dag.node(m);
+                let tag = if assignment.storage_local[m.index()] {
+                    "*"
+                } else {
+                    ""
+                };
+                format!("{}{}", node.name, tag)
+            })
+            .collect();
+        println!(
+            "  {} on {} (demand {:>3}): {}",
+            g.id,
+            g.worker,
+            g.capacity_needed,
+            members.join(", ")
+        );
+    }
+    println!("(* = output may reside in local memory)");
+    Ok(())
+}
+
+fn cluster_config(args: &[String]) -> Result<ClusterConfig, String> {
+    let mode = match flag_value(args, "--mode").unwrap_or("worker") {
+        "worker" => ScheduleMode::WorkerSp,
+        "master" => ScheduleMode::MasterSp,
+        other => return Err(format!("unknown mode `{other}` (worker|master)")),
+    };
+    let faastore = mode == ScheduleMode::WorkerSp && !args.iter().any(|a| a == "--no-faastore");
+    Ok(ClusterConfig {
+        mode,
+        faastore,
+        workers: parse_flag(args, "--workers", 7)?,
+        storage_bandwidth: parse_flag(args, "--bandwidth", 50.0)? * 1e6,
+        seed: parse_flag(args, "--seed", 0xFAA5_F10E_u64)?,
+        ..ClusterConfig::default()
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let paths = files(args);
+    if paths.is_empty() {
+        return Err("run needs at least one workflow file".into());
+    }
+    let config = cluster_config(args)?;
+    let invocations: u32 = parse_flag(args, "--invocations", 50)?;
+    let rate: f64 = parse_flag(args, "--rate", 0.0)?;
+
+    let mut cluster = Cluster::new(config).map_err(|e| e.to_string())?;
+    let mut names = Vec::new();
+    for path in paths {
+        let wf = load(path)?;
+        let client = if rate > 0.0 {
+            ClientConfig::OpenLoop {
+                per_minute: rate,
+                invocations,
+            }
+        } else {
+            ClientConfig::ClosedLoop { invocations }
+        };
+        names.push(wf.name.clone());
+        cluster
+            .register(&wf, client)
+            .map_err(|e| format!("`{path}`: {e}"))?;
+    }
+    let end = cluster.run_until_idle();
+    let report = cluster.report();
+    println!("simulated {:.1} s", end.as_secs_f64());
+    println!(
+        "{:<20} {:>6} {:>9} {:>9} {:>9} {:>11} {:>8}",
+        "workflow", "done", "mean(ms)", "p99(ms)", "ovh(ms)", "transfer(s)", "local%"
+    );
+    for name in names {
+        let w = report.workflow(&name);
+        println!(
+            "{:<20} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>11.2} {:>7.1}%",
+            name,
+            w.completed,
+            w.e2e.mean,
+            w.e2e.p99,
+            w.sched_overhead.mean,
+            w.transfer_total.mean / 1000.0,
+            100.0 * w.local_bytes as f64 / (w.local_bytes + w.remote_bytes).max(1) as f64,
+        );
+    }
+    println!(
+        "cluster: {} cold / {} warm starts, {} syncs, {} master msgs, storage NIC {:.1} MB",
+        report.cold_starts,
+        report.warm_starts,
+        report.worker_syncs,
+        report.master_tasks_assigned + report.master_state_returns,
+        report.storage_node_bytes as f64 / 1048576.0,
+    );
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let paths = files(args);
+    let [path] = paths.as_slice() else {
+        return Err("bench needs exactly one workflow file".into());
+    };
+    let wf = load(path)?;
+    let invocations: u32 = parse_flag(args, "--invocations", 50)?;
+    println!(
+        "{:<22} {:>9} {:>9} {:>11} {:>8}",
+        "system", "mean(ms)", "p99(ms)", "transfer(s)", "local%"
+    );
+    for (label, mode, faastore) in [
+        ("HyperFlow-serverless", ScheduleMode::MasterSp, false),
+        ("FaaSFlow", ScheduleMode::WorkerSp, false),
+        ("FaaSFlow-FaaStore", ScheduleMode::WorkerSp, true),
+    ] {
+        let config = ClusterConfig {
+            mode,
+            faastore,
+            ..cluster_config(args)?
+        };
+        let mut cluster = Cluster::new(config).map_err(|e| e.to_string())?;
+        cluster
+            .register(&wf, ClientConfig::ClosedLoop { invocations })
+            .map_err(|e| e.to_string())?;
+        cluster.run_until_idle();
+        let report = cluster.report();
+        let w = report.workflow(&wf.name);
+        println!(
+            "{:<22} {:>9.1} {:>9.1} {:>11.2} {:>7.1}%",
+            label,
+            w.e2e.mean,
+            w.e2e.p99,
+            w.transfer_total.mean / 1000.0,
+            100.0 * w.local_bytes as f64 / (w.local_bytes + w.remote_bytes).max(1) as f64,
+        );
+    }
+    Ok(())
+}

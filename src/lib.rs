@@ -1,0 +1,40 @@
+//! # faasflow
+//!
+//! Umbrella crate for the FaaSFlow reproduction (ASPLOS '22). Re-exports the
+//! public API of every workspace crate so applications can depend on a
+//! single package:
+//!
+//! ```
+//! use faasflow::sim::SimTime;
+//! assert_eq!(SimTime::ZERO.as_nanos(), 0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every reproduced table and figure.
+
+/// Discrete-event simulation kernel (time, events, rng, stats).
+pub use faasflow_sim as sim;
+
+/// Max-min fair flow network model.
+pub use faasflow_net as net;
+
+/// Container runtime model (cold/warm starts, keep-alive, caps).
+pub use faasflow_container as container;
+
+/// Storage substrates: remote KV store, per-node memstore, FaaStore.
+pub use faasflow_store as store;
+
+/// Workflow definition language and DAG parser.
+pub use faasflow_wdl as wdl;
+
+/// Graph scheduler: Algorithm 1 grouping and bin-packing.
+pub use faasflow_scheduler as scheduler;
+
+/// WorkerSP and MasterSP engines.
+pub use faasflow_engine as engine;
+
+/// Cluster simulation, invocation clients, and metrics.
+pub use faasflow_core as core;
+
+/// The eight evaluation benchmarks.
+pub use faasflow_workloads as workloads;

@@ -1,0 +1,222 @@
+//! End-to-end integration tests: every benchmark completes under every
+//! system configuration, deterministically.
+
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ClusterError, ScheduleMode};
+use faasflow::wdl::{FunctionProfile, Step, SwitchCase, Workflow};
+use faasflow::workloads::Benchmark;
+
+fn configs() -> Vec<(&'static str, ClusterConfig)> {
+    vec![
+        (
+            "hyperflow-serverless",
+            ClusterConfig {
+                mode: ScheduleMode::MasterSp,
+                faastore: false,
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "faasflow",
+            ClusterConfig {
+                mode: ScheduleMode::WorkerSp,
+                faastore: false,
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "faasflow-faastore",
+            ClusterConfig {
+                mode: ScheduleMode::WorkerSp,
+                faastore: true,
+                ..ClusterConfig::default()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn every_benchmark_completes_under_every_system() {
+    for (label, config) in configs() {
+        for b in Benchmark::ALL {
+            let mut cluster = Cluster::new(config.clone()).expect("valid config");
+            cluster
+                .register(&b.workflow(), ClientConfig::ClosedLoop { invocations: 3 })
+                .expect("benchmark registers");
+            cluster.run_until_idle();
+            let report = cluster.report();
+            let w = report.workflow(b.short_name());
+            assert_eq!(w.completed, 3, "{b} under {label} must complete");
+            assert_eq!(w.timeouts, 0, "{b} under {label} must not time out");
+            assert!(w.e2e.mean > 0.0);
+            assert_eq!(
+                report.live_invocation_states, 0,
+                "{b} under {label} leaks invocation state"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let run = || {
+        let mut cluster = Cluster::new(ClusterConfig::default()).expect("valid config");
+        for b in [Benchmark::VideoFfmpeg, Benchmark::WordCount] {
+            cluster
+                .register(&b.workflow(), ClientConfig::ClosedLoop { invocations: 10 })
+                .expect("registers");
+        }
+        cluster.run_until_idle();
+        cluster.report()
+    };
+    assert_eq!(run(), run(), "identical seeds must give identical reports");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let config = ClusterConfig {
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(config).expect("valid config");
+        cluster
+            .register(
+                &Benchmark::VideoFfmpeg.workflow(),
+                ClientConfig::ClosedLoop { invocations: 10 },
+            )
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.report().workflow("Vid").e2e.mean
+    };
+    assert_ne!(run(1), run(2), "jitter must depend on the seed");
+}
+
+#[test]
+fn switch_workflows_run_exactly_one_arm() {
+    let wf = Workflow::steps(
+        "switchy",
+        Step::sequence(vec![
+            Step::task("in", FunctionProfile::with_millis(10, 1 << 20)),
+            Step::switch(vec![
+                SwitchCase::new("a", Step::task("arm_a", FunctionProfile::with_millis(10, 1000))),
+                SwitchCase::new("b", Step::task("arm_b", FunctionProfile::with_millis(10, 1000))),
+                SwitchCase::new("c", Step::task("arm_c", FunctionProfile::with_millis(10, 1000))),
+            ]),
+            Step::task("out", FunctionProfile::with_millis(10, 0)),
+        ]),
+    );
+    for (label, config) in configs() {
+        let mut cluster = Cluster::new(config).expect("valid config");
+        cluster
+            .register(&wf, ClientConfig::ClosedLoop { invocations: 30 })
+            .expect("registers");
+        cluster.run_until_idle();
+        let report = cluster.report();
+        let w = report.workflow("switchy");
+        assert_eq!(w.completed, 30, "switch workflow under {label}");
+        assert_eq!(w.timeouts, 0);
+    }
+}
+
+#[test]
+fn open_loop_overload_times_out_and_recovers() {
+    // Cycles through a starved 10 MB/s storage node at a rate far above
+    // capacity: the 60 s timeout must fire, and the run must still drain.
+    let config = ClusterConfig {
+        mode: ScheduleMode::MasterSp,
+        faastore: false,
+        storage_bandwidth: 10e6,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(
+            &Benchmark::Cycles.workflow(),
+            ClientConfig::OpenLoop {
+                per_minute: 10.0,
+                invocations: 8,
+            },
+        )
+        .expect("registers");
+    cluster.run_until_idle();
+    let report = cluster.report();
+    let w = report.workflow("Cyc");
+    assert!(w.timeouts > 0, "overload must trigger timeouts");
+    assert!(w.e2e.p99 >= 60_000.0, "timeouts are recorded at the cap");
+    assert_eq!(w.completed, 8, "all invocations eventually finish");
+}
+
+#[test]
+fn manual_clients_and_run_until() {
+    let mut cluster = Cluster::new(ClusterConfig::default()).expect("valid config");
+    let id = cluster
+        .register(&Benchmark::WordCount.workflow(), ClientConfig::Manual)
+        .expect("registers");
+    cluster.invoke_now(id);
+    cluster.invoke_now(id);
+    // Step the clock in small slices — identical outcome to run_until_idle.
+    for step in 1..200 {
+        cluster.run_until(faasflow::sim::SimTime::from_secs_f64(step as f64 * 0.1));
+        if cluster.report().workflow("WC").completed == 2 {
+            break;
+        }
+    }
+    assert_eq!(cluster.report().workflow("WC").completed, 2);
+}
+
+#[test]
+fn duplicate_and_invalid_registrations_error() {
+    let mut cluster = Cluster::new(ClusterConfig::default()).expect("valid config");
+    let wf = Benchmark::WordCount.workflow();
+    cluster
+        .register(&wf, ClientConfig::ClosedLoop { invocations: 1 })
+        .expect("first registration");
+    let err = cluster
+        .register(&wf, ClientConfig::ClosedLoop { invocations: 1 })
+        .expect_err("duplicate must fail");
+    assert!(matches!(err, ClusterError::DuplicateWorkflow(_)));
+
+    let bad_client = cluster.register(
+        &Benchmark::VideoFfmpeg.workflow(),
+        ClientConfig::ClosedLoop { invocations: 0 },
+    );
+    assert!(matches!(bad_client, Err(ClusterError::InvalidClient(_))));
+}
+
+#[test]
+fn invalid_configs_are_rejected() {
+    let bad = ClusterConfig {
+        workers: 0,
+        ..ClusterConfig::default()
+    };
+    assert!(matches!(
+        Cluster::new(bad),
+        Err(ClusterError::InvalidConfig(_))
+    ));
+    let bad = ClusterConfig {
+        mode: ScheduleMode::MasterSp,
+        faastore: true,
+        ..ClusterConfig::default()
+    };
+    assert!(Cluster::new(bad).is_err());
+}
+
+#[test]
+fn repartition_iterations_keep_the_cluster_correct() {
+    let config = ClusterConfig {
+        repartition_every: Some(5),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(
+            &Benchmark::Genome.workflow(),
+            ClientConfig::ClosedLoop { invocations: 25 },
+        )
+        .expect("registers");
+    cluster.run_until_idle();
+    let report = cluster.report();
+    assert_eq!(report.workflow("Gen").completed, 25);
+    let (_, runs) = cluster.partition_wall_time();
+    assert!(runs >= 5, "feedback iterations must re-partition ({runs} runs)");
+}

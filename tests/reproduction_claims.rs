@@ -1,0 +1,155 @@
+//! The paper's headline claims, verified end-to-end at reduced scale — a
+//! CI-able reproduction gate. Bands are deliberately wide: they pin the
+//! *shape* (who wins, roughly by how much), not the calibration.
+
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ScheduleMode};
+use faasflow::workloads::{without_data, Benchmark};
+
+fn cluster(mode: ScheduleMode, faastore: bool) -> Cluster {
+    Cluster::new(ClusterConfig {
+        mode,
+        faastore,
+        ..ClusterConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn steady_state(
+    mode: ScheduleMode,
+    faastore: bool,
+    wf: &faasflow::wdl::Workflow,
+    n: u32,
+) -> faasflow::core::WorkflowReport {
+    let mut cluster = cluster(mode, faastore);
+    let id = cluster
+        .register(wf, ClientConfig::ClosedLoop { invocations: 3 })
+        .expect("registers");
+    cluster.run_until_idle();
+    cluster.reset_metrics();
+    cluster.extend_client(id, n);
+    cluster.run_until_idle();
+    cluster.report().workflow(&wf.name).clone()
+}
+
+/// §5.2 / Figure 11: "FaaSFlow reduces the scheduling overhead [...] all
+/// applications can achieve an average of 74.6% scheduling overhead
+/// optimization".
+#[test]
+fn claim_worker_sp_cuts_scheduling_overhead_by_more_than_half() {
+    let mut master_total = 0.0;
+    let mut worker_total = 0.0;
+    for b in Benchmark::ALL {
+        let wf = without_data(&b.workflow());
+        let master = steady_state(ScheduleMode::MasterSp, false, &wf, 40);
+        let worker = steady_state(ScheduleMode::WorkerSp, true, &wf, 40);
+        assert!(
+            worker.sched_overhead.mean < master.sched_overhead.mean,
+            "{b}: WorkerSP must win ({} vs {})",
+            worker.sched_overhead.mean,
+            master.sched_overhead.mean
+        );
+        master_total += master.sched_overhead.mean;
+        worker_total += worker.sched_overhead.mean;
+    }
+    let reduction = 1.0 - worker_total / master_total;
+    assert!(
+        (0.5..0.95).contains(&reduction),
+        "average reduction {reduction:.2} outside the plausible band around 74.6%"
+    );
+}
+
+/// §5.3 / Table 4: FaaStore's transmission reduction is ordered by
+/// topology — chains localise almost fully, cross-coupled barely.
+#[test]
+fn claim_table4_reduction_ordering() {
+    let reduction = |b: Benchmark| {
+        let wf = b.workflow();
+        let hf = steady_state(ScheduleMode::MasterSp, false, &wf, 10);
+        let ff = steady_state(ScheduleMode::WorkerSp, true, &wf, 10);
+        1.0 - ff.transfer_total.mean / hf.transfer_total.mean
+    };
+    let cyc = reduction(Benchmark::Cycles);
+    let gen = reduction(Benchmark::Genome);
+    let soy = reduction(Benchmark::SoyKb);
+    assert!(cyc > 0.8, "Cyc chains must localise almost fully: {cyc:.2}");
+    assert!(
+        (0.1..0.6).contains(&gen),
+        "Gen's hot shared objects localise partially: {gen:.2}"
+    );
+    assert!(soy < 0.45, "Soy's shared reference resists: {soy:.2}");
+    assert!(cyc > gen && gen > soy, "ordering Cyc > Gen > Soy");
+}
+
+/// §5.4 / Figures 12–13: under a 50 MB/s storage NIC at 6/min, the
+/// baseline times out on Cycles while FaaSFlow-FaaStore survives.
+#[test]
+fn claim_bandwidth_starved_baseline_times_out() {
+    let run = |mode, faastore| {
+        let mut cluster = cluster(mode, faastore);
+        let id = cluster
+            .register(
+                &Benchmark::Cycles.workflow(),
+                ClientConfig::ClosedLoop { invocations: 2 },
+            )
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.reset_metrics();
+        cluster.switch_to_open_loop(id, 6.0, 25);
+        cluster.run_until_idle();
+        cluster.report().workflow("Cyc").clone()
+    };
+    let hf = run(ScheduleMode::MasterSp, false);
+    let ff = run(ScheduleMode::WorkerSp, true);
+    assert!(hf.timeouts > 0, "the baseline must hit the 60 s timeout");
+    assert_eq!(ff.timeouts, 0, "FaaSFlow-FaaStore must survive");
+    assert!(ff.e2e.p99 < 60_000.0);
+}
+
+/// §5.5 / Figure 15: scientific workflows spread across all 7 workers;
+/// small applications stay on 1–2.
+#[test]
+fn claim_figure15_distribution() {
+    let mut cluster = cluster(ScheduleMode::WorkerSp, true);
+    let mut ids = Vec::new();
+    for b in Benchmark::ALL {
+        ids.push((
+            b,
+            cluster
+                .register(&b.workflow(), ClientConfig::ClosedLoop { invocations: 1 })
+                .expect("registers"),
+        ));
+    }
+    cluster.run_until_idle();
+    for (b, id) in ids {
+        let workers = cluster.distribution(id).len();
+        if Benchmark::SCIENTIFIC.contains(&b) {
+            assert_eq!(workers, 7, "{b} must spread across all workers");
+        } else {
+            assert!(workers <= 2, "{b} must stay on 1-2 workers, got {workers}");
+        }
+    }
+}
+
+/// §6: "FaaSFlow-FaaStore is able to increase the network bandwidth
+/// utilization by up to 1.5X or 4X" — equivalently, at the same offered
+/// load it pushes far fewer bytes through the storage NIC.
+#[test]
+fn claim_storage_nic_relief() {
+    let storage_bytes = |mode, faastore| {
+        let mut c = cluster(mode, faastore);
+        c.register(
+            &Benchmark::VideoFfmpeg.workflow(),
+            ClientConfig::ClosedLoop { invocations: 10 },
+        )
+        .expect("registers");
+        c.run_until_idle();
+        c.report().storage_node_bytes as f64
+    };
+    let hf = storage_bytes(ScheduleMode::MasterSp, false);
+    let ff = storage_bytes(ScheduleMode::WorkerSp, true);
+    assert!(
+        hf / ff >= 1.5,
+        "the NIC relief factor must be at least 1.5x, got {:.2}",
+        hf / ff
+    );
+}

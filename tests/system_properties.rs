@@ -1,0 +1,82 @@
+//! Whole-system property tests: randomly generated workflows must run to
+//! completion under both schedule patterns, with conserved accounting.
+
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ScheduleMode};
+use faasflow::wdl::{FunctionProfile, Step, SwitchCase, Workflow};
+use proptest::prelude::*;
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let leaf = (1u64..100, 0u64..(8 << 20), 1u32..5).prop_map(|(ms, out, fan)| {
+        if fan == 1 {
+            Step::task("x", FunctionProfile::with_millis(ms, out))
+        } else {
+            Step::foreach("x", FunctionProfile::with_millis(ms, out), fan)
+        }
+    });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Step::sequence),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Step::parallel),
+            proptest::collection::vec(inner, 1..3).prop_map(|steps| {
+                Step::switch(
+                    steps
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| SwitchCase::new(format!("c{i}"), s))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+fn uniquify(step: &mut Step, counter: &mut u32) {
+    match step {
+        Step::Task { name, .. } | Step::Foreach { name, .. } => {
+            *name = format!("fn{counter}");
+            *counter += 1;
+        }
+        Step::Sequence { steps } => steps.iter_mut().for_each(|s| uniquify(s, counter)),
+        Step::Parallel { branches } => branches.iter_mut().for_each(|s| uniquify(s, counter)),
+        Step::Switch { cases } => cases
+            .iter_mut()
+            .for_each(|c| uniquify(&mut c.step, counter)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Liveness + conservation: every random workflow completes in both
+    /// modes; no state leaks; local+remote bytes equal the measured total.
+    #[test]
+    fn random_workflows_complete_everywhere(
+        mut step in step_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut counter = 0;
+        uniquify(&mut step, &mut counter);
+        let wf = Workflow::steps("prop", step);
+
+        for mode in [ScheduleMode::WorkerSp, ScheduleMode::MasterSp] {
+            let config = ClusterConfig {
+                mode,
+                faastore: mode == ScheduleMode::WorkerSp,
+                seed,
+                ..ClusterConfig::default()
+            };
+            let mut cluster = Cluster::new(config).expect("valid config");
+            cluster
+                .register(&wf, ClientConfig::ClosedLoop { invocations: 3 })
+                .expect("random tree registers");
+            cluster.run_until_idle();
+            let report = cluster.report();
+            let w = report.workflow("prop");
+            prop_assert_eq!(w.completed, 3, "incomplete under {:?}", mode);
+            prop_assert_eq!(report.live_invocation_states, 0);
+            // Conservation: per-invocation means times count equal totals.
+            let measured = (w.bytes_moved.mean * w.bytes_moved.count as f64).round() as u64;
+            prop_assert_eq!(w.remote_bytes + w.local_bytes, measured);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The `workflows/` JSON corpus shipped for the CLI must stay valid: every
+//! file parses, validates, partitions, and runs.
+
+use faasflow::core::{ClientConfig, Cluster, ClusterConfig};
+use faasflow::wdl::{DagParser, Workflow};
+
+fn corpus() -> Vec<(String, Workflow)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/workflows");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("workflows/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable file");
+        let wf: Workflow = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{path:?} is not a workflow: {e}"));
+        out.push((path.display().to_string(), wf));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn corpus_is_nonempty_and_parses() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 9, "expected the 8 benchmarks + demo");
+    let parser = DagParser::default();
+    for (path, wf) in &corpus {
+        let dag = parser
+            .parse(wf)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert!(dag.function_count() > 0, "{path}");
+    }
+}
+
+#[test]
+fn corpus_workflows_run_to_completion() {
+    let mut cluster = Cluster::new(ClusterConfig::default()).expect("valid config");
+    let corpus = corpus();
+    for (path, wf) in &corpus {
+        cluster
+            .register(wf, ClientConfig::ClosedLoop { invocations: 2 })
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+    }
+    cluster.run_until_idle();
+    let report = cluster.report();
+    for (path, wf) in &corpus {
+        assert_eq!(report.workflow(&wf.name).completed, 2, "{path}");
+    }
+}
+
+#[test]
+fn corpus_matches_the_benchmark_definitions() {
+    // The shipped JSON files are generated from `faasflow-workloads`; they
+    // must stay in sync with the code.
+    for b in faasflow::workloads::Benchmark::ALL {
+        let path = format!(
+            "{}/workflows/{}.json",
+            env!("CARGO_MANIFEST_DIR"),
+            b.short_name().to_lowercase()
+        );
+        let text = std::fs::read_to_string(&path).expect("benchmark json exists");
+        let on_disk: Workflow = serde_json::from_str(&text).expect("parses");
+        assert_eq!(
+            on_disk,
+            b.workflow(),
+            "{path} is stale; regenerate with serde_json::to_string_pretty(&b.workflow())"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+# The Alibaba Function Compute video use case, in the compact text format.
+workflow video-pipeline
+
+seq {
+    task probe 120ms out 512KB mem 217MB
+    task split 600ms out 48MB mem 217MB
+    foreach transcode x6 1500ms out 32MB mem 217MB
+    task merge 800ms out 12MB mem 217MB
+    switch {
+        case flagged { task blur 650ms mem 217MB }
+        case clean   { task publish 80ms out 1MB mem 217MB }
+    }
+    task notify 30ms
+}
