@@ -14,28 +14,21 @@ fn bench_invocation_cost(c: &mut Criterion) {
         ("hyperflow_serverless", ScheduleMode::MasterSp, false),
     ] {
         for b in [Benchmark::WordCount, Benchmark::Genome] {
-            group.bench_with_input(
-                BenchmarkId::new(label, b.short_name()),
-                &b,
-                |bench, &b| {
-                    bench.iter(|| {
-                        let config = ClusterConfig {
-                            mode,
-                            faastore,
-                            ..ClusterConfig::default()
-                        };
-                        let mut cluster = Cluster::new(config).expect("valid config");
-                        cluster
-                            .register(
-                                &b.workflow(),
-                                ClientConfig::ClosedLoop { invocations: 5 },
-                            )
-                            .expect("registers");
-                        cluster.run_until_idle();
-                        cluster.report().workflow(b.short_name()).completed
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, b.short_name()), &b, |bench, &b| {
+                bench.iter(|| {
+                    let config = ClusterConfig {
+                        mode,
+                        faastore,
+                        ..ClusterConfig::default()
+                    };
+                    let mut cluster = Cluster::new(config).expect("valid config");
+                    cluster
+                        .register(&b.workflow(), ClientConfig::ClosedLoop { invocations: 5 })
+                        .expect("registers");
+                    cluster.run_until_idle();
+                    cluster.report().workflow(b.short_name()).completed
+                });
+            });
         }
     }
     group.finish();

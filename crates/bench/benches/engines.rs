@@ -71,9 +71,10 @@ fn bench_workersp_invocation(c: &mut Criterion) {
                         let worker = assignment.worker_of(function).index() - 1;
                         let par = dag.node(function).parallelism.max(1);
                         for _ in 0..par {
-                            pending.extend(engines[worker].on_instance_complete(
-                                workflow, invocation, function,
-                            ));
+                            pending.extend(
+                                engines[worker]
+                                    .on_instance_complete(workflow, invocation, function),
+                            );
                         }
                     }
                     WorkerAction::SyncState {
@@ -82,9 +83,8 @@ fn bench_workersp_invocation(c: &mut Criterion) {
                         invocation,
                         completed: f,
                     } => {
-                        pending.extend(
-                            engines[to.index() - 1].on_state_sync(workflow, invocation, f),
-                        );
+                        pending
+                            .extend(engines[to.index() - 1].on_state_sync(workflow, invocation, f));
                     }
                     WorkerAction::ExitComplete { .. } => completed += 1,
                 }
@@ -132,5 +132,9 @@ fn bench_mastersp_invocation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_workersp_invocation, bench_mastersp_invocation);
+criterion_group!(
+    benches,
+    bench_workersp_invocation,
+    bench_mastersp_invocation
+);
 criterion_main!(benches);

@@ -10,7 +10,7 @@ fn storage_cluster() -> Vec<NicSpec> {
     // 1 storage node at 50 MB/s + 7 workers at 10 Gbit/s (the paper's
     // topology).
     let mut nics = vec![NicSpec::symmetric(50e6)];
-    nics.extend(std::iter::repeat(NicSpec::symmetric(1.25e9)).take(7));
+    nics.extend(std::iter::repeat_n(NicSpec::symmetric(1.25e9), 7));
     nics
 }
 
@@ -34,9 +34,7 @@ fn bench_recompute(c: &mut Criterion) {
                     let ids: Vec<_> = endpoints
                         .iter()
                         .enumerate()
-                        .map(|(i, &(src, dst))| {
-                            net.start_flow(src, dst, 1 << 20, i, SimTime::ZERO)
-                        })
+                        .map(|(i, &(src, dst))| net.start_flow(src, dst, 1 << 20, i, SimTime::ZERO))
                         .collect();
                     // ...then `flows` departures.
                     for id in ids {

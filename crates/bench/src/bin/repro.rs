@@ -16,6 +16,7 @@
 //!   fig16       graph-scheduler scalability, 10–200 nodes         (§5.6)
 //!   components  engine overhead & cluster scaling                 (§5.7)
 //!   ablations   design-choice ablations (DESIGN.md)
+//!   chaos       fault-domain recovery, WorkerSP vs MasterSP       (§6)
 //!   all         everything above in order
 //! ```
 //!
@@ -25,11 +26,15 @@
 
 use std::time::Instant;
 
-use faasflow_bench::{parallel_map, run_colocated_with_distribution, run_one, rule, Drive};
-use faasflow_core::{ClusterConfig, ScheduleMode};
+use faasflow_bench::{parallel_map, rule, run_colocated_with_distribution, run_one, Drive};
+use faasflow_core::{
+    ClientConfig, Cluster, ClusterConfig, FaultPlan, NetFault, NodeCrash, ScheduleMode,
+    StorageFault, StorageFaultKind,
+};
 use faasflow_scheduler::{
     ContentionSet, GraphScheduler, PlacementStrategy, RuntimeMetrics, WorkerInfo,
 };
+use faasflow_sim::SimDuration;
 use faasflow_sim::{NodeId, SimRng};
 use faasflow_wdl::DagParser;
 use faasflow_workloads::{scientific, without_data, Benchmark};
@@ -129,6 +134,7 @@ fn main() {
         "fig16" => fig16(),
         "components" => components(&scale),
         "ablations" => ablations(&scale),
+        "chaos" => chaos(&scale),
         "all" => {
             fig4(&scale);
             fig5(&scale);
@@ -141,6 +147,7 @@ fn main() {
             fig16();
             components(&scale);
             ablations(&scale);
+            chaos(&scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -282,9 +289,7 @@ fn fig11(scale: &Scale) {
         avg(&real.1),
         PAPER_FIG11_AVG.1
     );
-    let overall_red = 100.0
-        * (1.0
-            - (avg(&sci.1) + avg(&real.1)) / (avg(&sci.0) + avg(&real.0)));
+    let overall_red = 100.0 * (1.0 - (avg(&sci.1) + avg(&real.1)) / (avg(&sci.0) + avg(&real.0)));
     println!("overall average reduction: {overall_red:.1}% (paper: 74.6%)");
 }
 
@@ -539,7 +544,14 @@ fn fig16() {
         for _ in 0..reps {
             assignment = Some(
                 scheduler
-                    .partition(&dag, &workers, &metrics, &ContentionSet::default(), u64::MAX, &mut rng)
+                    .partition(
+                        &dag,
+                        &workers,
+                        &metrics,
+                        &ContentionSet::default(),
+                        u64::MAX,
+                        &mut rng,
+                    )
                     .expect("partition succeeds"),
             );
         }
@@ -586,7 +598,11 @@ fn components(scale: &Scale) {
             workers,
             ..faasflow_config()
         };
-        let (r, full) = run_one(config, &Benchmark::WordCount.workflow(), Drive::closed(2, n));
+        let (r, full) = run_one(
+            config,
+            &Benchmark::WordCount.workflow(),
+            Drive::closed(2, n),
+        );
         (workers, r, full)
     });
     for (workers, r, full) in rows {
@@ -619,8 +635,7 @@ fn components(scale: &Scale) {
             reclamation: mode,
             ..faasflow_config()
         };
-        let mut cluster =
-            faasflow_core::Cluster::new(config).expect("valid configuration");
+        let mut cluster = faasflow_core::Cluster::new(config).expect("valid configuration");
         cluster
             .register(
                 &Benchmark::Genome.workflow(),
@@ -706,7 +721,10 @@ fn ablations(scale: &Scale) {
     println!("(worst-fit spreads load; best-fit packs and concentrates contention)");
 
     println!("\n=== Ablation A3: reclamation reserve μ sweep (Vid locality) ===");
-    println!("{:<10} {:>14} {:>14}", "μ (MB)", "local bytes %", "transfer (s)");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "μ (MB)", "local bytes %", "transfer (s)"
+    );
     rule(42);
     let rows = parallel_map(vec![0u64, 16, 32, 48, 64], scale.threads, move |mu_mb| {
         let config = ClusterConfig {
@@ -762,11 +780,137 @@ fn ablations(scale: &Scale) {
     };
     let (w0, e0, l0) = run_with(faasflow_scheduler::ContentionSet::new());
     let (w1, e1, l1) = run_with(contention);
-    println!("{:<22} {:>8} {:>10} {:>8}", "config", "workers", "e2e (ms)", "local%");
+    println!(
+        "{:<22} {:>8} {:>10} {:>8}",
+        "config", "workers", "e2e (ms)", "local%"
+    );
     rule(52);
-    println!("{:<22} {:>8} {:>10.1} {:>7.1}%", "no contention", w0, e0, l0);
-    println!("{:<22} {:>8} {:>10.1} {:>7.1}%", "html <-> sentiment", w1, e1, l1);
+    println!(
+        "{:<22} {:>8} {:>10.1} {:>7.1}%",
+        "no contention", w0, e0, l0
+    );
+    println!(
+        "{:<22} {:>8} {:>10.1} {:>7.1}%",
+        "html <-> sentiment", w1, e1, l1
+    );
     println!("(conflicting functions are never co-grouped; locality drops accordingly)");
+}
+
+// ====================================================================
+// Chaos — fault-domain recovery (§6's availability argument)
+// ====================================================================
+
+/// The chaos schedule: a mid-run worker crash (with restart), a remote-
+/// storage brownout window, and a degraded link — all deterministic.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        node_crashes: vec![NodeCrash {
+            worker: 0,
+            at: SimDuration::from_secs(3),
+            restart_after: Some(SimDuration::from_secs(4)),
+        }],
+        storage_faults: vec![StorageFault {
+            at: SimDuration::from_secs(5),
+            duration: SimDuration::from_secs(6),
+            kind: StorageFaultKind::Brownout { slowdown: 6.0 },
+        }],
+        net_faults: vec![NetFault {
+            worker: 1,
+            at: SimDuration::from_secs(2),
+            duration: SimDuration::from_secs(6),
+            loss: 0.3,
+            latency_factor: 2.0,
+            bandwidth_factor: 0.5,
+        }],
+        ..FaultPlan::default()
+    }
+}
+
+fn chaos(scale: &Scale) {
+    println!("\n=== Chaos: fault-domain recovery, WorkerSP vs MasterSP ===");
+    println!("(worker 0 crashes at t=3s, restarts at t=7s; storage brownout 6x");
+    println!(" over t=5-11s; worker 1 link 30% loss over t=2-8s; Word Count)");
+    let n = scale.closed.min(60);
+    // Faults are anchored to simulated t=0, so each mode drives one fresh
+    // cluster end to end — no warm-up phase shifting the schedule.
+    let run = |config: ClusterConfig| {
+        let mut cluster = Cluster::new(ClusterConfig {
+            fault: chaos_plan(),
+            ..config
+        })
+        .expect("valid experiment configuration");
+        cluster
+            .register(
+                &Benchmark::WordCount.workflow(),
+                ClientConfig::ClosedLoop { invocations: n },
+            )
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.report()
+    };
+    let master = run(master_config());
+    let worker = run(faasflow_config());
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "metric", "HyperFlow(MSP)", "FaaSFlow(WSP)"
+    );
+    rule(60);
+    let mrow = |label: &str, m: u64, w: u64| println!("{label:<26} {m:>16} {w:>16}");
+    let m = master.workflow("WC");
+    let w = worker.workflow("WC");
+    mrow("invocations sent", m.sent, w.sent);
+    mrow("completed", m.completed, w.completed);
+    mrow("dead-lettered", m.dead_lettered, w.dead_lettered);
+    mrow("timeouts", m.timeouts, w.timeouts);
+    println!(
+        "{:<26} {:>16.0} {:>16.0}",
+        "e2e mean (ms)", m.e2e.mean, w.e2e.mean
+    );
+    println!(
+        "{:<26} {:>16.0} {:>16.0}",
+        "e2e p99 (ms)", m.e2e.p99, w.e2e.p99
+    );
+    let mf = master.faults;
+    let wf = worker.faults;
+    mrow("worker crashes", mf.worker_crashes, wf.worker_crashes);
+    mrow("lease expiries", mf.lease_expiries, wf.lease_expiries);
+    mrow(
+        "crash re-dispatches",
+        mf.crash_redispatches,
+        wf.crash_redispatches,
+    );
+    mrow("flows killed", mf.flows_killed, wf.flows_killed);
+    mrow(
+        "storage backoff waits",
+        mf.storage_backoff_waits,
+        wf.storage_backoff_waits,
+    );
+    mrow(
+        "message retransmits",
+        mf.message_retransmits,
+        wf.message_retransmits,
+    );
+    mrow(
+        "live states (leak check)",
+        master.live_invocation_states,
+        worker.live_invocation_states,
+    );
+    rule(60);
+    for (label, report) in [("MasterSP", &master), ("WorkerSP", &worker)] {
+        let r = report.workflow("WC");
+        assert_eq!(
+            r.completed + r.dead_lettered,
+            r.sent,
+            "{label}: every invocation must complete or dead-letter"
+        );
+        assert_eq!(
+            report.live_invocation_states, 0,
+            "{label}: no leaked engine state"
+        );
+    }
+    println!("every invocation completed or dead-lettered; no state leaked.");
+    println!("paper argument (§6): worker-side scheduling confines the blast radius —");
+    println!("the central engine turns every fault into a control-plane event.");
 }
 
 fn avg(xs: &[f64]) -> f64 {

@@ -96,7 +96,10 @@ pub fn run_colocated_with_distribution(
     config: ClusterConfig,
     warmup: u32,
     measure: u32,
-) -> (RunReport, Vec<(Benchmark, Vec<faasflow_core::DistributionRow>)>) {
+) -> (
+    RunReport,
+    Vec<(Benchmark, Vec<faasflow_core::DistributionRow>)>,
+) {
     let mut cluster = Cluster::new(config).expect("valid experiment configuration");
     let mut ids = Vec::new();
     for b in Benchmark::ALL {
@@ -135,28 +138,31 @@ where
     assert!(threads > 0, "at least one thread required");
     let n = items.len();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for pair in (Vec::from_iter(items.into_iter().enumerate())).into_iter() {
-        queue.push(pair);
-    }
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.min(n.max(1)) {
-            handles.push(scope.spawn(|_| {
-                let mut results = Vec::new();
-                while let Some((idx, item)) = queue.pop() {
-                    results.push((idx, f(item)));
-                }
-                results
-            }));
-        }
+    let queue = std::sync::Mutex::new(items.into_iter().enumerate());
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let f = &f;
+        let handles: Vec<_> = (0..threads.min(n.max(1)))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut results = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("work queue poisoned").next();
+                        match next {
+                            Some((idx, item)) => results.push((idx, f(item))),
+                            None => break,
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
         for handle in handles {
             for (idx, r) in handle.join().expect("worker thread panicked") {
                 slots[idx] = Some(r);
             }
         }
-    })
-    .expect("scoped threads join");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("every cell computed"))

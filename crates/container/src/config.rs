@@ -103,17 +103,26 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        let mut cfg = ContainerConfig::default();
-        cfg.cold_start_jitter = 1.5;
-        assert!(cfg.validate().is_err());
-        let mut cfg = ContainerConfig::default();
-        cfg.per_function_limit = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = ContainerConfig::default();
-        cfg.container_cores = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = ContainerConfig::default();
-        cfg.container_mem = 0;
-        assert!(cfg.validate().is_err());
+        let bad = [
+            ContainerConfig {
+                cold_start_jitter: 1.5,
+                ..ContainerConfig::default()
+            },
+            ContainerConfig {
+                per_function_limit: 0,
+                ..ContainerConfig::default()
+            },
+            ContainerConfig {
+                container_cores: 0,
+                ..ContainerConfig::default()
+            },
+            ContainerConfig {
+                container_mem: 0,
+                ..ContainerConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?}");
+        }
     }
 }

@@ -154,6 +154,35 @@ impl<T> ContainerManager<T> {
         self.pool_sizes.get(&key).copied().unwrap_or(0)
     }
 
+    /// `true` when `container` exists and is busy. Fault recovery uses
+    /// this to distinguish stale admissions (for a container that died in
+    /// a crash) from live ones before releasing.
+    pub fn is_busy(&self, container: ContainerId) -> bool {
+        matches!(
+            self.containers.get(&container).map(|c| c.state),
+            Some(CtrState::Busy)
+        )
+    }
+
+    /// Simulates the node crashing: every container (busy and idle) and
+    /// every queued request is lost instantly and the resource gauges drop
+    /// to zero. Cumulative counters survive (they describe history), and so
+    /// does the container-id counter — ids are never reused, so events
+    /// addressed to pre-crash containers stay distinguishable after a
+    /// restart. Returns `(containers_lost, requests_lost)`.
+    pub fn crash(&mut self) -> (usize, usize) {
+        let lost = (self.containers.len(), self.queue.len());
+        self.containers.clear();
+        self.idle.clear();
+        self.pool_sizes.clear();
+        self.queue.clear();
+        self.cores_busy = 0;
+        self.mem_resident = 0;
+        self.stats.cores_busy.set(0);
+        self.stats.mem_resident.set(0);
+        lost
+    }
+
     /// Requests a container for `key`. Returns the admission if the node
     /// can serve it now, otherwise queues the token (FIFO) and returns
     /// `None`; a later [`ContainerManager::release`] or eviction hands the
@@ -200,7 +229,9 @@ impl<T> ContainerManager<T> {
             .expect("released container must exist");
         assert_eq!(ctr.state, CtrState::Busy, "released container must be busy");
         self.cores_busy -= self.config.container_cores;
-        self.stats.cores_busy.sub(self.config.container_cores as u64);
+        self.stats
+            .cores_busy
+            .sub(self.config.container_cores as u64);
         if ctr.doomed {
             let key = ctr.key;
             let mem = ctr.mem_limit;
@@ -250,7 +281,12 @@ impl<T> ContainerManager<T> {
     /// Retires every container of a workflow version (red-black deployment,
     /// §4.2.2): idle containers are recycled immediately, busy ones are
     /// doomed and recycled when they release.
-    pub fn retire_workflow(&mut self, wf: WorkflowId, now: SimTime, rng: &mut SimRng) -> Vec<Admission<T>> {
+    pub fn retire_workflow(
+        &mut self,
+        wf: WorkflowId,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Admission<T>> {
         let ids: Vec<ContainerId> = self
             .containers
             .iter()
@@ -351,7 +387,9 @@ impl<T> ContainerManager<T> {
             let ctr = self.containers.get_mut(&id).expect("idle container exists");
             ctr.state = CtrState::Busy;
             self.cores_busy += self.config.container_cores;
-            self.stats.cores_busy.add(self.config.container_cores as u64);
+            self.stats
+                .cores_busy
+                .add(self.config.container_cores as u64);
             self.stats.warm_starts.inc();
             return Some((id, now + self.config.warm_start, StartKind::Warm));
         }
@@ -392,7 +430,9 @@ impl<T> ContainerManager<T> {
         self.mem_resident += self.config.container_mem;
         self.stats.mem_resident.add(self.config.container_mem);
         self.cores_busy += self.config.container_cores;
-        self.stats.cores_busy.add(self.config.container_cores as u64);
+        self.stats
+            .cores_busy
+            .add(self.config.container_cores as u64);
         self.stats.cold_starts.inc();
         let jitter = self.config.cold_start_jitter;
         let boot = if jitter == 0.0 {
@@ -476,6 +516,30 @@ mod tests {
     }
 
     #[test]
+    fn crash_loses_everything_but_history_and_ids() {
+        let mut m = mgr(2, 128);
+        let mut rng = SimRng::seed_from(1);
+        let a = m.request(key(0), 1, t(0), &mut rng).expect("admitted");
+        let b = m.request(key(0), 2, t(0), &mut rng).expect("admitted");
+        assert!(m.request(key(1), 3, t(0), &mut rng).is_none(), "queues");
+        assert!(m.is_busy(a.container));
+
+        let (containers, queued) = m.crash();
+        assert_eq!((containers, queued), (2, 1));
+        assert_eq!(m.container_count(), 0);
+        assert_eq!(m.queue_len(), 0);
+        assert!(!m.is_busy(a.container));
+        assert_eq!(m.stats().cores_busy.get(), 0);
+        assert_eq!(m.stats().mem_resident.get(), 0);
+        assert_eq!(m.stats().cold_starts.get(), 2, "history survives");
+
+        // Post-restart containers never reuse a pre-crash id.
+        let c = m.request(key(0), 4, t(2), &mut rng).expect("admitted");
+        assert_ne!(c.container, a.container);
+        assert_ne!(c.container, b.container);
+    }
+
+    #[test]
     fn containers_are_not_shared_across_functions() {
         let mut m = mgr(8, 128);
         let mut rng = SimRng::seed_from(1);
@@ -510,8 +574,13 @@ mod tests {
             cold_start_jitter: 0.0,
             ..ContainerConfig::default()
         };
-        let mut m: ContainerManager<u32> =
-            ContainerManager::new(NodeCaps { cores: 8, mem: 32 << 30 }, cfg);
+        let mut m: ContainerManager<u32> = ContainerManager::new(
+            NodeCaps {
+                cores: 8,
+                mem: 32 << 30,
+            },
+            cfg,
+        );
         let mut rng = SimRng::seed_from(1);
         assert!(m.request(key(0), 1, t(0), &mut rng).is_some());
         assert!(m.request(key(0), 2, t(0), &mut rng).is_some());
@@ -565,7 +634,11 @@ mod tests {
         m.retire_workflow(WorkflowId::new(0), t(3), &mut rng);
         assert_eq!(m.container_count(), 1, "idle recycled, busy doomed");
         m.release(busy.container, t(4), &mut rng);
-        assert_eq!(m.container_count(), 0, "doomed container recycled on release");
+        assert_eq!(
+            m.container_count(),
+            0,
+            "doomed container recycled on release"
+        );
     }
 
     #[test]
@@ -574,10 +647,12 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let adm = m.request(key(0), 1, t(0), &mut rng).expect("admitted");
         let before = m.stats().mem_resident.get();
-        m.set_memory_limit(adm.container, 128 << 20).expect("shrink");
+        m.set_memory_limit(adm.container, 128 << 20)
+            .expect("shrink");
         assert_eq!(m.stats().mem_resident.get(), before - (128 << 20));
         assert_eq!(m.memory_limit(adm.container), 128 << 20);
-        m.set_memory_limit(adm.container, 256 << 20).expect("grow back");
+        m.set_memory_limit(adm.container, 256 << 20)
+            .expect("grow back");
         assert_eq!(m.stats().mem_resident.get(), before);
     }
 
@@ -607,8 +682,13 @@ mod tests {
             cold_start_jitter: 0.0,
             ..ContainerConfig::default()
         };
-        let mut m: ContainerManager<u32> =
-            ContainerManager::new(NodeCaps { cores: 2, mem: 32 << 30 }, cfg);
+        let mut m: ContainerManager<u32> = ContainerManager::new(
+            NodeCaps {
+                cores: 2,
+                mem: 32 << 30,
+            },
+            cfg,
+        );
         let mut rng = SimRng::seed_from(1);
         let a = m.request(key(0), 1, t(0), &mut rng).expect("a runs");
         let b = m.request(key(1), 2, t(0), &mut rng).expect("b runs");

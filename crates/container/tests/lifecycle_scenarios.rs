@@ -24,8 +24,7 @@ fn quiet_config() -> ContainerConfig {
 fn steady_traffic_keeps_containers_warm_forever() {
     // Requests every 100 s against a 600 s keep-alive: the same container
     // serves every request and never expires.
-    let mut m: ContainerManager<u32> =
-        ContainerManager::new(NodeCaps::default(), quiet_config());
+    let mut m: ContainerManager<u32> = ContainerManager::new(NodeCaps::default(), quiet_config());
     let mut rng = SimRng::seed_from(1);
     let first = m.request(key(0, 0), 0, t(0), &mut rng).expect("admitted");
     m.release(first.container, t(1), &mut rng);
@@ -44,8 +43,7 @@ fn steady_traffic_keeps_containers_warm_forever() {
 
 #[test]
 fn idle_gap_past_keepalive_forces_a_fresh_boot() {
-    let mut m: ContainerManager<u32> =
-        ContainerManager::new(NodeCaps::default(), quiet_config());
+    let mut m: ContainerManager<u32> = ContainerManager::new(NodeCaps::default(), quiet_config());
     let mut rng = SimRng::seed_from(1);
     let a = m.request(key(0, 0), 0, t(0), &mut rng).expect("admitted");
     m.release(a.container, t(1), &mut rng);
@@ -136,8 +134,7 @@ fn reclaimed_memory_admits_more_containers() {
 
 #[test]
 fn stats_reconcile_across_a_busy_session() {
-    let mut m: ContainerManager<u32> =
-        ContainerManager::new(NodeCaps::default(), quiet_config());
+    let mut m: ContainerManager<u32> = ContainerManager::new(NodeCaps::default(), quiet_config());
     let mut rng = SimRng::seed_from(9);
     let mut live = Vec::new();
     let mut token = 0u32;
@@ -151,7 +148,7 @@ fn stats_reconcile_across_a_busy_session() {
         }
         // Release everything each round; releases can admit queued work,
         // which is released in a second wave.
-        let first_wave: Vec<_> = live.drain(..).collect();
+        let first_wave = std::mem::take(&mut live);
         for c in first_wave {
             for adm in m.release(c, now + SimDuration::from_secs(1), &mut rng) {
                 live.push(adm.container);

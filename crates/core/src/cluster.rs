@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use faasflow_container::{Admission, ContainerManager, StartKind};
 use faasflow_engine::{MasterAction, MasterEngine, WorkerAction, WorkerEngine};
-use faasflow_net::{FlowNet, NicSpec};
+use faasflow_net::{FlowId, FlowNet, LinkFaultTable, LinkQuality, NicSpec};
 use faasflow_scheduler::{
     ContentionSet, DeploymentManager, FeedbackCollector, GraphScheduler, PartitionConfig,
     RuntimeMetrics, WorkerInfo,
@@ -37,8 +37,9 @@ use faasflow_wdl::{DagParser, NodeKind, ParserConfig, Workflow, WorkflowDag};
 
 use crate::config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 use crate::error::ClusterError;
+use crate::fault::StorageFaultKind;
 use crate::invocation::{InstanceState, InstanceToken, InvState};
-use crate::metrics::{DistributionRow, RunReport, WorkerUtilization, WorkflowMetrics};
+use crate::metrics::{DistributionRow, FaultReport, RunReport, WorkerUtilization, WorkflowMetrics};
 use crate::trace::{TraceEvent, Tracer};
 
 /// Tag attached to every network flow.
@@ -83,6 +84,7 @@ enum Event {
         worker: usize,
         wf: WorkflowId,
         inv: InvocationId,
+        epoch: u32,
     },
     /// WorkerSP: a state-sync message reaches a worker engine.
     DeliverSync {
@@ -90,6 +92,7 @@ enum Event {
         wf: WorkflowId,
         inv: InvocationId,
         completed: FunctionId,
+        epoch: u32,
     },
     /// MasterSP: a task assignment reaches a worker.
     DeliverAssign {
@@ -99,7 +102,11 @@ enum Event {
         function: FunctionId,
     },
     /// An exit-node completion report reaches the master/client.
-    DeliverExitReport { wf: WorkflowId, inv: InvocationId },
+    DeliverExitReport {
+        wf: WorkflowId,
+        inv: InvocationId,
+        epoch: u32,
+    },
     /// A message arrives in the master engine's inbox.
     MasterArrive { msg: MasterInbox },
     /// The master engine finishes processing its current message.
@@ -110,6 +117,7 @@ enum Event {
         wf: WorkflowId,
         inv: InvocationId,
         function: FunctionId,
+        epoch: u32,
     },
     /// A container finished booting/dispatching; the instance starts
     /// fetching inputs.
@@ -138,18 +146,55 @@ enum Event {
     ExecDone {
         worker: usize,
         token: InstanceToken,
+        seq: u64,
     },
     /// WorkerSP: the worker engine processes an instance completion.
-    WorkerInstanceDone {
-        worker: usize,
-        token: InstanceToken,
-    },
+    WorkerInstanceDone { worker: usize, token: InstanceToken },
     /// The earliest network flow completes.
     FlowTick,
     /// A worker's earliest container keep-alive expires.
     ContainerExpiry { worker: usize },
     /// An invocation exceeded the timeout.
     Timeout { wf: WorkflowId, inv: InvocationId },
+    /// Fault plan: worker `node_crashes[idx]` dies.
+    WorkerCrash { idx: usize },
+    /// Fault plan: a crashed worker comes back (empty).
+    WorkerRestart { worker: usize },
+    /// The failure detector gives up on a worker's heartbeats and starts
+    /// recovery of everything that was running there.
+    LeaseExpired { worker: usize },
+    /// Fault plan: `storage_faults[idx]` window opens.
+    StorageFaultStart { idx: usize },
+    /// Fault plan: `storage_faults[idx]` window closes.
+    StorageFaultEnd { idx: usize },
+    /// Fault plan: `net_faults[idx]` window opens.
+    NetFaultStart { idx: usize },
+    /// Fault plan: `net_faults[idx]` window closes.
+    NetFaultEnd { idx: usize },
+    /// A remote read backed off during a storage blackout; try again.
+    RetryRemoteRead {
+        worker: usize,
+        token: InstanceToken,
+        producer: FunctionId,
+        bytes: u64,
+        started: SimTime,
+        attempt: u32,
+    },
+    /// A remote write backed off during a storage blackout; try again.
+    RetryRemoteWrite {
+        worker: usize,
+        token: InstanceToken,
+        bytes: u64,
+        started: SimTime,
+        attempt: u32,
+    },
+    /// An invocation hit unrecoverable-in-place state (e.g. a producer
+    /// output vanished with a crashed node); restart it under a new epoch.
+    RecoverInvocation {
+        wf: WorkflowId,
+        inv: InvocationId,
+        epoch: u32,
+    },
 }
 
 /// Per-workflow cluster state.
@@ -218,6 +263,36 @@ pub struct Cluster {
     pending_arrivals: u32,
     /// Instance executions that failed and were retried.
     exec_retries: u64,
+    /// Feedback repartitions/redeploys that failed and kept the previous
+    /// deployment.
+    repartition_failures: u64,
+    /// Fault-injection and recovery accounting.
+    faults: FaultReport,
+    /// Liveness of each worker (false while crashed).
+    worker_alive: Vec<bool>,
+    /// Whether the failure detector has declared a worker down (lags
+    /// `worker_alive` by the lease detection delay).
+    worker_detected_down: Vec<bool>,
+    /// Instant each worker last (re)started — invocations begun before it
+    /// lost any engine/store state the worker held for them.
+    worker_up_since: Vec<SimTime>,
+    /// Admissions requested but not yet `InstanceReady`, by token. Crash
+    /// recovery uses this to find instances that were still booting or
+    /// queued when their worker died.
+    inflight_spawns: HashMap<InstanceToken, usize>,
+    /// Instances lost to each worker's crash, awaiting lease expiry.
+    orphans: Vec<Vec<InstanceToken>>,
+    /// MasterSP task assignments that reached a dead-but-undetected worker;
+    /// replayed on detection or restart, whichever comes first.
+    spooled_assigns: Vec<Vec<(WorkflowId, InvocationId, FunctionId)>>,
+    /// Current per-node control-link quality (fault windows).
+    link_faults: LinkFaultTable,
+    /// Remote store blackout in progress.
+    storage_down: bool,
+    /// Remote store overhead multiplier (brownout windows; 1.0 nominally).
+    storage_slowdown: f64,
+    /// Monotonic admission counter fencing stale `ExecDone` events.
+    next_instance_seq: u64,
     tracer: Tracer,
     /// Time-weighted busy cores per worker.
     cpu_util: Vec<faasflow_sim::stats::TimeWeighted>,
@@ -250,7 +325,7 @@ impl Cluster {
             .map(|i| WorkerEngine::new(NodeId::new(i + 1)))
             .collect();
         let _ = rng.next_u64(); // decorrelate from the seed value itself
-        Ok(Cluster {
+        let mut cluster = Cluster {
             queue: EventQueue::new(),
             rng,
             net: FlowNet::new(nics),
@@ -278,11 +353,50 @@ impl Cluster {
             partition_runs: 0,
             pending_arrivals: 0,
             exec_retries: 0,
+            repartition_failures: 0,
+            faults: FaultReport::default(),
+            worker_alive: vec![true; config.workers as usize],
+            worker_detected_down: vec![false; config.workers as usize],
+            worker_up_since: vec![SimTime::ZERO; config.workers as usize],
+            inflight_spawns: HashMap::new(),
+            orphans: vec![Vec::new(); config.workers as usize],
+            spooled_assigns: vec![Vec::new(); config.workers as usize],
+            link_faults: LinkFaultTable::new(config.node_count()),
+            storage_down: false,
+            storage_slowdown: 1.0,
+            next_instance_seq: 0,
             tracer: Tracer::new(config.trace),
             cpu_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
             mem_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
             config,
-        })
+        };
+        cluster.schedule_fault_plan();
+        Ok(cluster)
+    }
+
+    /// Turns the declarative [`crate::FaultPlan`] into scheduled events.
+    /// All instants are absolute offsets from the start of the simulation.
+    fn schedule_fault_plan(&mut self) {
+        for (idx, c) in self.config.fault.node_crashes.iter().enumerate() {
+            self.queue
+                .schedule(SimTime::ZERO + c.at, Event::WorkerCrash { idx });
+        }
+        for (idx, s) in self.config.fault.storage_faults.iter().enumerate() {
+            self.queue
+                .schedule(SimTime::ZERO + s.at, Event::StorageFaultStart { idx });
+            self.queue.schedule(
+                SimTime::ZERO + s.at + s.duration,
+                Event::StorageFaultEnd { idx },
+            );
+        }
+        for (idx, n) in self.config.fault.net_faults.iter().enumerate() {
+            self.queue
+                .schedule(SimTime::ZERO + n.at, Event::NetFaultStart { idx });
+            self.queue.schedule(
+                SimTime::ZERO + n.at + n.duration,
+                Event::NetFaultEnd { idx },
+            );
+        }
     }
 
     /// The active configuration.
@@ -550,8 +664,8 @@ impl Cluster {
         let now = self.queue.now();
         let sim_secs = now.as_secs_f64();
         let master_node = ClusterConfig::MASTER_NODE;
-        let storage_node_bytes = self.net.bytes_delivered_to(master_node)
-            + self.net.bytes_sent_from(master_node);
+        let storage_node_bytes =
+            self.net.bytes_delivered_to(master_node) + self.net.bytes_sent_from(master_node);
         let (mut syncs, mut local_updates) = (0u64, 0u64);
         for e in &self.worker_engines {
             syncs += e.stats().syncs_sent.get();
@@ -591,6 +705,8 @@ impl Cluster {
             faastore_local_bytes,
             live_invocation_states,
             exec_retries: self.exec_retries,
+            repartition_failures: self.repartition_failures,
+            faults: self.faults,
         }
     }
 
@@ -603,7 +719,10 @@ impl Cluster {
         wf: WorkflowId,
         state: &mut WorkflowState,
     ) -> Result<(), ClusterError> {
+        // Only live workers take part: a crash shrinks the partition target
+        // set and recovery redeploys onto the survivors.
         let workers: Vec<WorkerInfo> = (0..self.config.workers)
+            .filter(|&i| self.worker_alive[i as usize])
             .map(|i| WorkerInfo::new(self.config.worker_node(i), self.config.worker_capacity()))
             .collect();
         let start = std::time::Instant::now();
@@ -626,7 +745,12 @@ impl Cluster {
         match self.config.mode {
             ScheduleMode::WorkerSp => {
                 for e in &mut self.worker_engines {
-                    e.install(wf, state.dag_arc.clone(), assignment.clone(), state.arm_seed);
+                    e.install(
+                        wf,
+                        state.dag_arc.clone(),
+                        assignment.clone(),
+                        state.arm_seed,
+                    );
                 }
             }
             ScheduleMode::MasterSp => {
@@ -653,15 +777,12 @@ impl Cluster {
 
     fn maybe_repartition(&mut self, wf: WorkflowId, qos_violated: bool) {
         let due_by_count = match self.config.repartition_every {
-            Some(period) => {
-                self.workflows[&wf].completed_since_partition >= period
-            }
+            Some(period) => self.workflows[&wf].completed_since_partition >= period,
             None => false,
         };
         // A QoS violation forces an iteration, but only if at least one
         // invocation completed since the last one (fresh feedback exists).
-        let due_by_qos =
-            qos_violated && self.workflows[&wf].completed_since_partition > 0;
+        let due_by_qos = qos_violated && self.workflows[&wf].completed_since_partition > 0;
         if !due_by_count && !due_by_qos {
             return;
         }
@@ -675,7 +796,9 @@ impl Cluster {
         let result = self.partition_and_deploy(wf, &mut state);
         self.workflows.insert(wf, state);
         if let Err(e) = result {
-            // A repartition that no longer fits keeps the previous version.
+            // A repartition that no longer fits keeps the previous version —
+            // counted, not silently swallowed.
+            self.repartition_failures += 1;
             debug_assert!(false, "repartition failed: {e}");
         }
     }
@@ -687,17 +810,25 @@ impl Cluster {
     fn handle(&mut self, now: SimTime, event: Event) {
         match event {
             Event::Arrival { wf } => self.on_arrival(now, wf),
-            Event::DeliverBegin { worker, wf, inv } => {
-                let actions = self.worker_engines[worker].begin_invocation(wf, inv);
-                self.apply_worker_actions(now, worker, actions);
+            Event::DeliverBegin {
+                worker,
+                wf,
+                inv,
+                epoch,
+            } => {
+                if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
+                    let actions = self.worker_engines[worker].begin_invocation(wf, inv);
+                    self.apply_worker_actions(now, worker, actions);
+                }
             }
             Event::DeliverSync {
                 worker,
                 wf,
                 inv,
                 completed,
+                epoch,
             } => {
-                if self.invocation_alive(wf, inv) {
+                if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
                     let actions = self.worker_engines[worker].on_state_sync(wf, inv, completed);
                     self.apply_worker_actions(now, worker, actions);
                 }
@@ -707,8 +838,31 @@ impl Cluster {
                 wf,
                 inv,
                 function,
-            } => self.spawn_instances(now, worker, wf, inv, function),
-            Event::DeliverExitReport { wf, inv } => self.on_exit_report(now, wf, inv),
+            } => {
+                if !self.invocation_alive(wf, inv) {
+                    // Dropped: the invocation finished or was dead-lettered.
+                } else if self.worker_alive[worker] {
+                    self.spawn_instances(now, worker, wf, inv, function);
+                } else if self.worker_detected_down[worker] {
+                    // The master knows this worker is gone: re-dispatch the
+                    // lost call to a survivor.
+                    if let Some(target) = self.pick_alive_worker(worker) {
+                        self.faults.crash_redispatches += 1;
+                        self.spawn_instances(now, target, wf, inv, function);
+                    } else {
+                        self.dead_letter_invocation(now, wf, inv);
+                    }
+                } else {
+                    // Dead but undetected: the assignment sails into the
+                    // void until the lease expires (or the node restarts).
+                    self.spooled_assigns[worker].push((wf, inv, function));
+                }
+            }
+            Event::DeliverExitReport { wf, inv, epoch } => {
+                if self.epoch_alive(wf, inv, epoch) {
+                    self.on_exit_report(now, wf, inv);
+                }
+            }
             Event::MasterArrive { msg } => {
                 self.master_inbox.push_back(msg);
                 self.try_start_master(now);
@@ -719,8 +873,9 @@ impl Cluster {
                 wf,
                 inv,
                 function,
+                epoch,
             } => {
-                if self.invocation_alive(wf, inv) {
+                if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
                     if let Some(state) = self.invocations.get_mut(&(wf, inv)) {
                         state.completed_nodes.insert(function);
                     }
@@ -742,20 +897,22 @@ impl Cluster {
                 bytes,
                 started,
             } => {
-                let dst = self.config.worker_node(worker as u32);
-                self.net.start_flow(
-                    ClusterConfig::MASTER_NODE,
-                    dst,
-                    bytes,
-                    FlowTag::Read {
-                        token,
-                        producer,
-                        started,
-                        remote: true,
-                    },
-                    now,
-                );
-                self.reschedule_flow_timer(now);
+                if self.instance_on(worker, token) {
+                    let dst = self.config.worker_node(worker as u32);
+                    self.net.start_flow(
+                        ClusterConfig::MASTER_NODE,
+                        dst,
+                        bytes,
+                        FlowTag::Read {
+                            token,
+                            producer,
+                            started,
+                            remote: true,
+                        },
+                        now,
+                    );
+                    self.reschedule_flow_timer(now);
+                }
             }
             Event::StartRemoteWrite {
                 worker,
@@ -763,23 +920,27 @@ impl Cluster {
                 bytes,
                 started,
             } => {
-                let src = self.config.worker_node(worker as u32);
-                self.net.start_flow(
-                    src,
-                    ClusterConfig::MASTER_NODE,
-                    bytes,
-                    FlowTag::Write {
-                        token,
-                        started,
-                        remote: true,
-                    },
-                    now,
-                );
-                self.reschedule_flow_timer(now);
+                if self.instance_on(worker, token) {
+                    let src = self.config.worker_node(worker as u32);
+                    self.net.start_flow(
+                        src,
+                        ClusterConfig::MASTER_NODE,
+                        bytes,
+                        FlowTag::Write {
+                            token,
+                            started,
+                            remote: true,
+                        },
+                        now,
+                    );
+                    self.reschedule_flow_timer(now);
+                }
             }
-            Event::ExecDone { worker, token } => self.on_exec_done(now, worker, token),
+            Event::ExecDone { worker, token, seq } => self.on_exec_done(now, worker, token, seq),
             Event::WorkerInstanceDone { worker, token } => {
-                if self.invocation_alive(token.workflow, token.invocation) {
+                if self.worker_alive[worker]
+                    && self.epoch_alive(token.workflow, token.invocation, token.epoch)
+                {
                     let actions = self.worker_engines[worker].on_instance_complete(
                         token.workflow,
                         token.invocation,
@@ -804,6 +965,38 @@ impl Cluster {
                 self.reschedule_expiry(now, worker);
             }
             Event::Timeout { wf, inv } => self.on_timeout(now, wf, inv),
+            Event::WorkerCrash { idx } => self.on_worker_crash(now, idx),
+            Event::WorkerRestart { worker } => self.on_worker_restart(now, worker),
+            Event::LeaseExpired { worker } => self.on_lease_expired(now, worker),
+            Event::StorageFaultStart { idx } => self.on_storage_fault(idx, true),
+            Event::StorageFaultEnd { idx } => self.on_storage_fault(idx, false),
+            Event::NetFaultStart { idx } => self.on_net_fault(now, idx, true),
+            Event::NetFaultEnd { idx } => self.on_net_fault(now, idx, false),
+            Event::RetryRemoteRead {
+                worker,
+                token,
+                producer,
+                bytes,
+                started,
+                attempt,
+            } => self.schedule_remote_read(now, worker, token, producer, bytes, started, attempt),
+            Event::RetryRemoteWrite {
+                worker,
+                token,
+                bytes,
+                started,
+                attempt,
+            } => self.schedule_remote_write(now, worker, token, bytes, started, attempt),
+            Event::RecoverInvocation { wf, inv, epoch } => {
+                if self.epoch_alive(wf, inv, epoch) {
+                    match self.config.mode {
+                        ScheduleMode::WorkerSp => self.restart_invocation(now, wf, inv),
+                        // The master-side baseline has no partition to fall
+                        // back on once in-place recovery fails.
+                        ScheduleMode::MasterSp => self.dead_letter_invocation(now, wf, inv),
+                    }
+                }
+            }
         }
     }
 
@@ -811,6 +1004,24 @@ impl Cluster {
         self.invocations
             .get(&(wf, inv))
             .map(|s| !s.completed)
+            .unwrap_or(false)
+    }
+
+    /// Alive *and* still in the given recovery epoch — the fence that makes
+    /// every pre-crash in-flight message harmless after a restart.
+    fn epoch_alive(&self, wf: WorkflowId, inv: InvocationId, epoch: u32) -> bool {
+        self.invocations
+            .get(&(wf, inv))
+            .map(|s| !s.completed && s.epoch == epoch)
+            .unwrap_or(false)
+    }
+
+    /// `true` while `token`'s instance is currently admitted on `worker`.
+    fn instance_on(&self, worker: usize, token: InstanceToken) -> bool {
+        self.invocations
+            .get(&(token.workflow, token.invocation))
+            .and_then(|s| s.instances.get(&token))
+            .map(|i| i.worker == worker)
             .unwrap_or(false)
     }
 
@@ -865,24 +1076,8 @@ impl Cluster {
 
         match self.config.mode {
             ScheduleMode::WorkerSp => {
-                // Notify each worker hosting an entry node.
-                let mut entry_workers: Vec<usize> = inv_state
-                    .dag
-                    .entry_nodes()
-                    .iter()
-                    .filter_map(|&e| {
-                        self.config
-                            .worker_index(inv_state.assignment.worker_of(e))
-                    })
-                    .collect();
-                entry_workers.sort_unstable();
-                entry_workers.dedup();
                 self.invocations.insert((wf, inv), inv_state);
-                for worker in entry_workers {
-                    let delay = self.config.lan.latency(256, &mut self.rng);
-                    self.queue
-                        .schedule(now + delay, Event::DeliverBegin { worker, wf, inv });
-                }
+                self.begin_invocation_dispatch(now, wf, inv);
             }
             ScheduleMode::MasterSp => {
                 self.invocations.insert((wf, inv), inv_state);
@@ -894,6 +1089,64 @@ impl Cluster {
                 );
             }
         }
+    }
+
+    /// WorkerSP: notify each worker hosting an entry node of the
+    /// invocation's pinned assignment. Used on arrival and again after a
+    /// crash-recovery restart (under the bumped epoch).
+    fn begin_invocation_dispatch(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        let state = &self.invocations[&(wf, inv)];
+        let epoch = state.epoch;
+        let mut entry_workers: Vec<usize> = state
+            .dag
+            .entry_nodes()
+            .iter()
+            .filter_map(|&e| self.config.worker_index(state.assignment.worker_of(e)))
+            .collect();
+        entry_workers.sort_unstable();
+        entry_workers.dedup();
+        for worker in entry_workers {
+            let node = self.config.worker_node(worker as u32);
+            let delay = self.control_delay(256, ClusterConfig::MASTER_NODE, node);
+            self.queue.schedule(
+                now + delay,
+                Event::DeliverBegin {
+                    worker,
+                    wf,
+                    inv,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    /// Latency of one control-plane message, including link-fault effects:
+    /// a degraded endpoint stretches the latency and may lose the message,
+    /// which costs a backoff plus a retransmission per loss. On clean links
+    /// this is exactly one `MessageModel` draw — bit-identical to the
+    /// pre-fault behaviour.
+    fn control_delay(&mut self, bytes: u64, src: NodeId, dst: NodeId) -> SimDuration {
+        let delay = self.config.lan.latency(bytes, &mut self.rng);
+        let quality = self.link_faults.path(src, dst);
+        if quality.is_clean() {
+            return delay;
+        }
+        let mut total = delay.mul_f64(quality.latency_factor);
+        let mut attempt = 0u32;
+        while quality.loss > 0.0
+            && attempt < self.config.fault.backoff.max_attempts
+            && self.rng.chance(quality.loss)
+        {
+            self.faults.message_retransmits += 1;
+            total += self.config.fault.backoff.delay(attempt, &mut self.rng)
+                + self
+                    .config
+                    .lan
+                    .latency(bytes, &mut self.rng)
+                    .mul_f64(quality.latency_factor);
+            attempt += 1;
+        }
+        total
     }
 
     fn on_timeout(&mut self, _now: SimTime, wf: WorkflowId, inv: InvocationId) {
@@ -1028,9 +1281,18 @@ impl Cluster {
 
     fn on_master_done(&mut self, now: SimTime) {
         self.master_busy_time += self.config.master_task_cost;
-        let msg = self.master_current.take().expect("a message was processing");
+        let msg = self
+            .master_current
+            .take()
+            .expect("a message was processing");
         let actions = match msg {
-            MasterInbox::Begin { wf, inv } => self.master_engine.begin_invocation(wf, inv),
+            MasterInbox::Begin { wf, inv } => {
+                if self.invocation_alive(wf, inv) {
+                    self.master_engine.begin_invocation(wf, inv)
+                } else {
+                    Vec::new()
+                }
+            }
             MasterInbox::StateReturn { wf, inv, function } => {
                 if self.invocation_alive(wf, inv) {
                     self.master_engine.on_state_return(wf, inv, function)
@@ -1056,7 +1318,7 @@ impl Cluster {
                         .config
                         .worker_index(worker)
                         .expect("assignments target workers");
-                    let delay = self.config.lan.latency(512, &mut self.rng);
+                    let delay = self.control_delay(512, ClusterConfig::MASTER_NODE, worker);
                     self.queue.schedule(
                         now + delay,
                         Event::DeliverAssign {
@@ -1091,11 +1353,11 @@ impl Cluster {
                     invocation,
                     function,
                 } => {
-                    let is_virtual = {
+                    let (is_virtual, epoch) = {
                         let Some(state) = self.invocations.get(&(workflow, invocation)) else {
                             continue;
                         };
-                        !state.dag.node(function).kind.is_function()
+                        (!state.dag.node(function).kind.is_function(), state.epoch)
                     };
                     if is_virtual {
                         self.queue.schedule(
@@ -1105,6 +1367,7 @@ impl Cluster {
                                 wf: workflow,
                                 inv: invocation,
                                 function,
+                                epoch,
                             },
                         );
                     } else {
@@ -1126,12 +1389,13 @@ impl Cluster {
                         completed,
                         at: now,
                     });
-                    let wi = self
-                        .config
-                        .worker_index(to)
-                        .expect("syncs target workers");
-                    let delay = self.config.lan.latency(256, &mut self.rng)
-                        + self.config.worker_engine_cost;
+                    let wi = self.config.worker_index(to).expect("syncs target workers");
+                    let epoch = self
+                        .invocations
+                        .get(&(workflow, invocation))
+                        .map(|s| s.epoch)
+                        .unwrap_or(0);
+                    let delay = self.control_delay(256, from, to) + self.config.worker_engine_cost;
                     self.queue.schedule(
                         now + delay,
                         Event::DeliverSync {
@@ -1139,6 +1403,7 @@ impl Cluster {
                             wf: workflow,
                             inv: invocation,
                             completed,
+                            epoch,
                         },
                     );
                 }
@@ -1147,12 +1412,19 @@ impl Cluster {
                     invocation,
                     ..
                 } => {
-                    let delay = self.config.lan.latency(256, &mut self.rng);
+                    let epoch = self
+                        .invocations
+                        .get(&(workflow, invocation))
+                        .map(|s| s.epoch)
+                        .unwrap_or(0);
+                    let src = self.config.worker_node(worker as u32);
+                    let delay = self.control_delay(256, src, ClusterConfig::MASTER_NODE);
                     self.queue.schedule(
                         now + delay,
                         Event::DeliverExitReport {
                             wf: workflow,
                             inv: invocation,
+                            epoch,
                         },
                     );
                 }
@@ -1175,6 +1447,10 @@ impl Cluster {
         let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
             return;
         };
+        if state.completed {
+            return;
+        }
+        let epoch = state.epoch;
         let parallelism = state.dag.node(function).parallelism.max(1);
         state.instances_remaining.insert(function, parallelism);
         let worker_node = self.config.worker_node(worker as u32);
@@ -1191,12 +1467,25 @@ impl Cluster {
                 invocation: inv,
                 function,
                 instance,
+                epoch,
             };
-            if let Some(adm) =
-                self.containers[worker].request((wf, function), token, now, &mut self.rng)
-            {
-                self.schedule_admissions(worker, vec![adm]);
-            }
+            self.request_instance(now, worker, token);
+        }
+    }
+
+    /// Asks `worker`'s container runtime to admit one instance, tracking
+    /// the request so crash recovery can find admissions that never became
+    /// `InstanceReady`.
+    fn request_instance(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
+        debug_assert!(self.worker_alive[worker], "admitting on a dead worker");
+        self.inflight_spawns.insert(token, worker);
+        if let Some(adm) = self.containers[worker].request(
+            (token.workflow, token.function),
+            token,
+            now,
+            &mut self.rng,
+        ) {
+            self.schedule_admissions(worker, vec![adm]);
         }
         self.track_utilization(now, worker);
         self.reschedule_expiry(now, worker);
@@ -1224,6 +1513,31 @@ impl Cluster {
         container: ContainerId,
         cold: bool,
     ) {
+        // Freshness fence: the admission must belong to the current epoch,
+        // on a live worker, with its container still admitted, and be the
+        // admission crash recovery expects (a crash wipes the pool, so a
+        // pre-crash container id can never be busy again — ids are not
+        // reused — and `inflight_spawns` names the worker the *current*
+        // admission of this token lives on).
+        let fresh = self.worker_alive[worker]
+            && self.containers[worker].is_busy(container)
+            && self.inflight_spawns.get(&token) == Some(&worker)
+            && self.epoch_alive(token.workflow, token.invocation, token.epoch);
+        if !fresh {
+            if self.inflight_spawns.get(&token) == Some(&worker) {
+                self.inflight_spawns.remove(&token);
+            }
+            // A stale admission on a live worker still holds its container
+            // (e.g. the invocation restarted or dead-lettered mid-boot).
+            if self.worker_alive[worker] && self.containers[worker].is_busy(container) {
+                let admissions = self.containers[worker].release(container, now, &mut self.rng);
+                self.schedule_admissions(worker, admissions);
+                self.track_utilization(now, worker);
+                self.reschedule_expiry(now, worker);
+            }
+            return;
+        }
+        self.inflight_spawns.remove(&token);
         // FaaStore memory reclamation (§4.3.2): shrink a fresh container's
         // cgroup limit to peak-history + μ. MicroVM sandboxes cannot
         // hot-unplug memory, so they keep the provisioned size.
@@ -1237,13 +1551,12 @@ impl Cluster {
                 }
             }
         }
-        let Some(state) = self.invocations.get_mut(&(token.workflow, token.invocation)) else {
-            // The invocation vanished (shouldn't happen while instances are
-            // outstanding); release the container and move on.
-            let admissions = self.containers[worker].release(container, now, &mut self.rng);
-            self.schedule_admissions(worker, admissions);
-            return;
-        };
+        let seq = self.next_instance_seq;
+        self.next_instance_seq += 1;
+        let state = self
+            .invocations
+            .get_mut(&(token.workflow, token.invocation))
+            .expect("fenced above");
         state.instances.insert(
             token,
             InstanceState {
@@ -1251,6 +1564,7 @@ impl Cluster {
                 worker,
                 pending_inputs: 0,
                 retries: 0,
+                seq,
             },
         );
         self.tracer.record(|| TraceEvent::InstanceStarted {
@@ -1273,7 +1587,12 @@ impl Cluster {
             .dag
             .data_inputs(token.function)
             .filter(|d| state.completed_nodes.contains(&d.producer))
-            .map(|d| (d.producer, InvState::share(d.bytes, parallelism, token.instance)))
+            .map(|d| {
+                (
+                    d.producer,
+                    InvState::share(d.bytes, parallelism, token.instance),
+                )
+            })
             .filter(|&(_, share)| share > 0)
             .collect();
 
@@ -1307,21 +1626,9 @@ impl Cluster {
                 self.reschedule_flow_timer(now);
             } else {
                 // Remote read: server-side overhead, then a flow from the
-                // storage node.
-                let (_, overhead) = self
-                    .remote
-                    .read(key)
-                    .expect("producer output must be in the remote store");
-                self.queue.schedule(
-                    now + overhead,
-                    Event::StartRemoteRead {
-                        worker,
-                        token,
-                        producer,
-                        bytes: share,
-                        started: now,
-                    },
-                );
+                // storage node (with blackout backoff when the store is
+                // down).
+                self.schedule_remote_read(now, worker, token, producer, share, now, 0);
             }
         }
     }
@@ -1330,46 +1637,65 @@ impl Cluster {
         let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
             return;
         };
+        let Some(inst) = state.instances.get(&token) else {
+            return;
+        };
+        let seq = inst.seq;
         let exec = match &state.dag.node(token.function).kind {
             NodeKind::Function(profile) => profile.sample_exec(&mut self.rng),
             _ => SimDuration::ZERO,
         };
         self.queue
-            .schedule(now + exec, Event::ExecDone { worker, token });
+            .schedule(now + exec, Event::ExecDone { worker, token, seq });
     }
 
-    fn on_exec_done(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
+    fn on_exec_done(&mut self, now: SimTime, worker: usize, token: InstanceToken, seq: u64) {
+        // Stale-event fence: the instance must still be this admission on
+        // this worker (a crash orphans instances; a restart re-admits the
+        // same token under a fresh sequence number).
+        {
+            let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
+                return;
+            };
+            let Some(inst) = state.instances.get(&token) else {
+                return;
+            };
+            if inst.worker != worker || inst.seq != seq {
+                return;
+            }
+        }
         // Failure injection: a transient execution error re-runs the
         // instance in place (the container is already warm) up to the
-        // retry budget, after which at-least-once semantics let it pass.
+        // retry budget, after which at-least-once semantics let it pass —
+        // unless the fault plan dead-letters exhausted instances.
         if self.config.exec_failure_rate > 0.0 {
             let failed = self.rng.chance(self.config.exec_failure_rate);
             if failed {
-                if let Some(state) =
-                    self.invocations.get_mut(&(token.workflow, token.invocation))
-                {
-                    let inst = state
-                        .instances
-                        .get_mut(&token)
-                        .expect("instance alive at exec completion");
-                    if inst.retries < self.config.max_exec_retries {
-                        inst.retries += 1;
-                        self.exec_retries += 1;
-                        self.start_exec(now, worker, token);
-                        return;
-                    }
+                let state = self
+                    .invocations
+                    .get_mut(&(token.workflow, token.invocation))
+                    .expect("fenced above");
+                let inst = state.instances.get_mut(&token).expect("fenced above");
+                if inst.retries < self.config.max_exec_retries {
+                    inst.retries += 1;
+                    self.exec_retries += 1;
+                    self.start_exec(now, worker, token);
+                    return;
+                }
+                if self.config.fault.dead_letter_on_exhaustion {
+                    self.dead_letter_invocation(now, token.workflow, token.invocation);
+                    return;
                 }
             }
         }
-        let Some(state) = self.invocations.get_mut(&(token.workflow, token.invocation)) else {
+        let Some(state) = self
+            .invocations
+            .get_mut(&(token.workflow, token.invocation))
+        else {
             return;
         };
         let node = state.dag.node(token.function);
-        let total_out = node
-            .kind
-            .profile()
-            .map(|p| p.output_bytes)
-            .unwrap_or(0);
+        let total_out = node.kind.profile().map(|p| p.output_bytes).unwrap_or(0);
         let parallelism = node.parallelism.max(1);
         let share = InvState::share(total_out, parallelism, token.instance);
         if share == 0 {
@@ -1423,16 +1749,7 @@ impl Cluster {
                 self.reschedule_flow_timer(now);
             }
             Placement::Remote => {
-                let overhead = self.config.remote_store.put_overhead;
-                self.queue.schedule(
-                    now + overhead,
-                    Event::StartRemoteWrite {
-                        worker,
-                        token,
-                        bytes: share,
-                        started: now,
-                    },
-                );
+                self.schedule_remote_write(now, worker, token, share, now, 0);
             }
         }
     }
@@ -1448,8 +1765,9 @@ impl Cluster {
                 let latency = now - started;
                 let share;
                 {
-                    let Some(state) =
-                        self.invocations.get_mut(&(token.workflow, token.invocation))
+                    let Some(state) = self
+                        .invocations
+                        .get_mut(&(token.workflow, token.invocation))
                     else {
                         return;
                     };
@@ -1467,10 +1785,9 @@ impl Cluster {
                     } else {
                         state.ledger.local_bytes += share;
                     }
-                    let inst = state
-                        .instances
-                        .get_mut(&token)
-                        .expect("instance alive while its flow runs");
+                    let Some(inst) = state.instances.get_mut(&token) else {
+                        return;
+                    };
                     inst.pending_inputs -= 1;
                     if inst.pending_inputs > 0 {
                         // More inputs outstanding; nothing else to do yet.
@@ -1488,9 +1805,8 @@ impl Cluster {
                     read: true,
                     at: now,
                 });
-                let worker = self.invocations[&(token.workflow, token.invocation)].instances
-                    [&token]
-                    .worker;
+                let worker =
+                    self.invocations[&(token.workflow, token.invocation)].instances[&token].worker;
                 self.start_exec(now, worker, token);
             }
             FlowTag::Write {
@@ -1502,8 +1818,9 @@ impl Cluster {
                 let share;
                 let worker;
                 {
-                    let Some(state) =
-                        self.invocations.get_mut(&(token.workflow, token.invocation))
+                    let Some(state) = self
+                        .invocations
+                        .get_mut(&(token.workflow, token.invocation))
                     else {
                         return;
                     };
@@ -1522,11 +1839,10 @@ impl Cluster {
                     } else {
                         state.ledger.local_bytes += share;
                     }
-                    worker = state
-                        .instances
-                        .get(&token)
-                        .expect("instance alive while its flow runs")
-                        .worker;
+                    let Some(inst) = state.instances.get(&token) else {
+                        return;
+                    };
+                    worker = inst.worker;
                 }
                 self.tracer.record(|| TraceEvent::Transferred {
                     workflow: token.workflow,
@@ -1561,7 +1877,9 @@ impl Cluster {
     fn finish_instance(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
         // Release the container.
         let container = {
-            let Some(state) = self.invocations.get_mut(&(token.workflow, token.invocation))
+            let Some(state) = self
+                .invocations
+                .get_mut(&(token.workflow, token.invocation))
             else {
                 return;
             };
@@ -1602,7 +1920,8 @@ impl Cluster {
                 );
             }
             ScheduleMode::MasterSp => {
-                let delay = self.config.lan.latency(512, &mut self.rng);
+                let src = self.config.worker_node(worker as u32);
+                let delay = self.control_delay(512, src, ClusterConfig::MASTER_NODE);
                 self.queue.schedule(
                     now + delay,
                     Event::MasterArrive {
@@ -1615,6 +1934,548 @@ impl Cluster {
                 );
             }
         }
+    }
+
+    // ==================================================================
+    // Fault injection & recovery
+    // ==================================================================
+
+    /// A worker node dies: its bulk transfers are torn down, its warm pool,
+    /// queued admissions and MemStore contents vanish, and (under WorkerSP)
+    /// its engine process dies with it. Nothing is *recovered* here —
+    /// detection waits for the lease to expire, like a real failure
+    /// detector.
+    fn on_worker_crash(&mut self, now: SimTime, idx: usize) {
+        let crash = self.config.fault.node_crashes[idx];
+        let w = crash.worker as usize;
+        if !self.worker_alive[w] {
+            return; // overlapping crash windows collapse into one
+        }
+        self.faults.worker_crashes += 1;
+        self.worker_alive[w] = false;
+        let node = self.config.worker_node(w as u32);
+        // Kill every bulk transfer touching the node.
+        let mut doomed: Vec<FlowId> = self
+            .net
+            .iter()
+            .filter(|(_, f)| f.src == node || f.dst == node)
+            .map(|(id, _)| id)
+            .collect();
+        doomed.sort_unstable();
+        for id in doomed {
+            if self.net.cancel_flow(id, now).is_some() {
+                self.faults.flows_killed += 1;
+            }
+        }
+        self.reschedule_flow_timer(now);
+        // Warm pool, queued admissions and resource gauges vanish.
+        let _ = self.containers[w].crash();
+        if let Some(ev) = self.expiry_timers[w].take() {
+            self.queue.cancel(ev);
+        }
+        self.track_utilization(now, w);
+        // In-memory store contents are gone with the node.
+        let _ = self.faastores[w].crash();
+        // WorkerSP: the engine process dies too.
+        if self.config.mode == ScheduleMode::WorkerSp {
+            self.worker_engines[w] = WorkerEngine::new(node);
+        }
+        // Orphan every instance the node was running, booting, or queueing.
+        let mut orphaned: Vec<InstanceToken> = self
+            .inflight_spawns
+            .iter()
+            .filter(|&(_, &ow)| ow == w)
+            .map(|(&t, _)| t)
+            .collect();
+        self.inflight_spawns.retain(|_, &mut ow| ow != w);
+        let mut keys: Vec<(WorkflowId, InvocationId)> = self.invocations.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let state = self.invocations.get_mut(&key).expect("key just listed");
+            let lost: Vec<InstanceToken> = state
+                .instances
+                .iter()
+                .filter(|(_, i)| i.worker == w)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in lost {
+                state.instances.remove(&t);
+                orphaned.push(t);
+            }
+        }
+        orphaned.sort_unstable();
+        orphaned.dedup();
+        self.orphans[w].extend(orphaned);
+        // Heartbeats stop now; the lease expires after the detection delay.
+        self.queue.schedule(
+            now + self.config.fault.detection_delay(),
+            Event::LeaseExpired { worker: w },
+        );
+        if let Some(after) = crash.restart_after {
+            self.queue
+                .schedule(now + after, Event::WorkerRestart { worker: w });
+        }
+    }
+
+    /// A crashed worker comes back cold: empty pools, empty MemStore, blank
+    /// engine. Under WorkerSP the survivors' partitions are recomputed to
+    /// fold it back in.
+    fn on_worker_restart(&mut self, now: SimTime, w: usize) {
+        if self.worker_alive[w] {
+            return;
+        }
+        self.faults.worker_restarts += 1;
+        self.worker_alive[w] = true;
+        self.worker_detected_down[w] = false;
+        self.worker_up_since[w] = now;
+        if self.config.mode == ScheduleMode::WorkerSp {
+            self.redeploy_all();
+        }
+        // MasterSP: assignments that arrived while the node was dead but
+        // undetected replay locally on the reborn node.
+        let spooled = std::mem::take(&mut self.spooled_assigns[w]);
+        for (wf, inv, function) in spooled {
+            if self.invocation_alive(wf, inv) {
+                self.spawn_instances(now, w, wf, inv, function);
+            }
+        }
+    }
+
+    /// The failure detector declares the worker down and recovery begins.
+    /// MasterSP re-dispatches the orphaned calls centrally; WorkerSP
+    /// re-partitions onto the survivors and restarts impacted invocations
+    /// there.
+    fn on_lease_expired(&mut self, now: SimTime, w: usize) {
+        self.faults.lease_expiries += 1;
+        if !self.worker_alive[w] {
+            self.worker_detected_down[w] = true;
+        }
+        match self.config.mode {
+            ScheduleMode::MasterSp => self.recover_master_orphans(now, w),
+            ScheduleMode::WorkerSp => self.recover_worker_partition(now, w),
+        }
+    }
+
+    /// MasterSP crash recovery: the central engine re-dispatches every
+    /// instance the dead worker owed to a surviving worker, reading inputs
+    /// back from the remote store (the baseline always writes through it).
+    fn recover_master_orphans(&mut self, now: SimTime, w: usize) {
+        let mut orphans = std::mem::take(&mut self.orphans[w]);
+        orphans.sort_unstable();
+        orphans.dedup();
+        // Bump per-invocation recovery budgets; exhausted ones dead-letter.
+        let mut invs: Vec<(WorkflowId, InvocationId)> =
+            orphans.iter().map(|t| (t.workflow, t.invocation)).collect();
+        invs.sort_unstable();
+        invs.dedup();
+        for (wf, inv) in invs {
+            let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
+                continue;
+            };
+            if state.completed {
+                continue;
+            }
+            state.recovery_attempts += 1;
+            if state.recovery_attempts > self.config.fault.max_recovery_attempts {
+                self.dead_letter_invocation(now, wf, inv);
+            }
+        }
+        for token in orphans {
+            let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
+                continue;
+            };
+            if state.completed
+                || state.epoch != token.epoch
+                || state.completed_nodes.contains(&token.function)
+                || state.instances.contains_key(&token)
+            {
+                continue;
+            }
+            let Some(target) = self.pick_alive_worker(w) else {
+                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                continue;
+            };
+            self.faults.crash_redispatches += 1;
+            self.request_instance(now, target, token);
+        }
+        // Assignments that sailed into the void replay on survivors.
+        let spooled = std::mem::take(&mut self.spooled_assigns[w]);
+        for (wf, inv, function) in spooled {
+            if !self.invocation_alive(wf, inv) {
+                continue;
+            }
+            let Some(target) = self.pick_alive_worker(w) else {
+                self.dead_letter_invocation(now, wf, inv);
+                continue;
+            };
+            self.faults.crash_redispatches += 1;
+            self.spawn_instances(now, target, wf, inv, function);
+        }
+    }
+
+    /// WorkerSP crash recovery: engines route by their installed
+    /// assignment, so failover is a real redeploy — re-partition every
+    /// workflow over the surviving workers, then restart each invocation
+    /// that had incomplete work pinned to state the dead node lost.
+    fn recover_worker_partition(&mut self, now: SimTime, w: usize) {
+        // Token-level orphans are superseded by invocation-level restarts.
+        self.orphans[w].clear();
+        let node = self.config.worker_node(w as u32);
+        let mut impacted: Vec<(WorkflowId, InvocationId)> = Vec::new();
+        for (&key, state) in &self.invocations {
+            if state.completed {
+                continue;
+            }
+            // A restarted worker kept nothing for invocations begun before
+            // it came back; a still-dead worker kept nothing at all.
+            let lost_state = !self.worker_alive[w] || state.started < self.worker_up_since[w];
+            if !lost_state {
+                continue;
+            }
+            let touches = state.dag.nodes().iter().any(|n| {
+                !state.completed_nodes.contains(&n.id) && state.assignment.worker_of(n.id) == node
+            });
+            if touches {
+                impacted.push(key);
+            }
+        }
+        impacted.sort_unstable();
+        self.redeploy_all();
+        for (wf, inv) in impacted {
+            self.restart_invocation(now, wf, inv);
+        }
+    }
+
+    /// Recomputes every workflow's partition over the currently-alive
+    /// workers. A workflow the survivors cannot fit keeps its previous
+    /// deployment (counted in `repartition_failures`).
+    fn redeploy_all(&mut self) {
+        let mut wfs: Vec<WorkflowId> = self.workflows.keys().copied().collect();
+        wfs.sort_unstable();
+        for wf in wfs {
+            let mut state = self.workflows.remove(&wf).expect("workflow exists");
+            let result = self.partition_and_deploy(wf, &mut state);
+            self.workflows.insert(wf, state);
+            if result.is_err() {
+                self.repartition_failures += 1;
+            }
+        }
+    }
+
+    /// Restarts one invocation from its entry nodes under a bumped epoch:
+    /// all partial state (instances, flows, placements, store objects) is
+    /// torn down and the invocation re-pins to the current deployment. The
+    /// original arrival instant is kept, so the measured latency includes
+    /// the outage — faults cost latency, not accounting.
+    fn restart_invocation(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
+            return;
+        };
+        if state.completed {
+            return;
+        }
+        state.recovery_attempts += 1;
+        if state.recovery_attempts > self.config.fault.max_recovery_attempts {
+            self.dead_letter_invocation(now, wf, inv);
+            return;
+        }
+        state.epoch += 1;
+        self.cancel_invocation_flows(now, wf, inv);
+        let state = self.invocations.get_mut(&(wf, inv)).expect("checked above");
+        let mut stale: Vec<(InstanceToken, InstanceState)> = state.instances.drain().collect();
+        stale.sort_unstable_by_key(|&(t, _)| t);
+        state.instances_remaining.clear();
+        state.completed_nodes.clear();
+        state.placements.clear();
+        state.exits_remaining = state.dag.exit_nodes().len();
+        for (_, inst) in stale {
+            if self.worker_alive[inst.worker] {
+                let admissions =
+                    self.containers[inst.worker].release(inst.container, now, &mut self.rng);
+                self.schedule_admissions(inst.worker, admissions);
+                self.track_utilization(now, inst.worker);
+                self.reschedule_expiry(now, inst.worker);
+            }
+        }
+        self.inflight_spawns
+            .retain(|t, _| !(t.workflow == wf && t.invocation == inv));
+        for e in &mut self.worker_engines {
+            e.release_invocation(wf, inv);
+        }
+        for fs in &mut self.faastores {
+            let _ = fs.release_invocation(wf, inv);
+        }
+        let _ = self.remote.release_invocation(inv);
+        // Re-pin to the current (post-recovery) deployment.
+        let ws = self.workflows.get_mut(&wf).expect("workflow exists");
+        let state = self.invocations.get_mut(&(wf, inv)).expect("checked above");
+        let _ = ws.deployment.invocation_finished(state.version);
+        let version = ws.deployment.invocation_started();
+        let assignment = Arc::new(
+            ws.deployment
+                .assignment(version)
+                .expect("current version has an assignment")
+                .clone(),
+        );
+        state.version = version;
+        state.dag = ws.dag_arc.clone();
+        state.assignment = assignment;
+        // If the redeploy failed and the pinned partition still routes work
+        // to a dead worker, the invocation cannot make progress.
+        let routes_dead = state.dag.nodes().iter().any(|n| {
+            self.config
+                .worker_index(state.assignment.worker_of(n.id))
+                .map(|wi| !self.worker_alive[wi])
+                .unwrap_or(false)
+        });
+        if routes_dead {
+            self.dead_letter_invocation(now, wf, inv);
+            return;
+        }
+        self.faults.crash_redispatches += 1;
+        self.begin_invocation_dispatch(now, wf, inv);
+    }
+
+    /// Abandons one invocation with explicit accounting: every resource it
+    /// holds is torn down, the dead-letter counters tick, and a closed-loop
+    /// client moves on to its next invocation.
+    fn dead_letter_invocation(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        let Some(mut state) = self.invocations.remove(&(wf, inv)) else {
+            return;
+        };
+        state.completed = true;
+        if let Some(ev) = state.timeout_event.take() {
+            self.queue.cancel(ev);
+        }
+        self.faults.dead_letters += 1;
+        self.metrics
+            .get_mut(&wf)
+            .expect("metrics exist")
+            .dead_lettered += 1;
+        self.cancel_invocation_flows(now, wf, inv);
+        let mut stale: Vec<(InstanceToken, InstanceState)> = state.instances.drain().collect();
+        stale.sort_unstable_by_key(|&(t, _)| t);
+        for (_, inst) in stale {
+            if self.worker_alive[inst.worker] {
+                let admissions =
+                    self.containers[inst.worker].release(inst.container, now, &mut self.rng);
+                self.schedule_admissions(inst.worker, admissions);
+                self.track_utilization(now, inst.worker);
+                self.reschedule_expiry(now, inst.worker);
+            }
+        }
+        self.inflight_spawns
+            .retain(|t, _| !(t.workflow == wf && t.invocation == inv));
+        match self.config.mode {
+            ScheduleMode::WorkerSp => {
+                for e in &mut self.worker_engines {
+                    e.release_invocation(wf, inv);
+                }
+            }
+            ScheduleMode::MasterSp => self.master_engine.release_invocation(wf, inv),
+        }
+        for fs in &mut self.faastores {
+            let _ = fs.release_invocation(wf, inv);
+        }
+        let _ = self.remote.release_invocation(inv);
+        let ws = self.workflows.get_mut(&wf).expect("workflow exists");
+        let _ = ws.deployment.invocation_finished(state.version);
+        // The closed-loop client still owes its remaining invocations.
+        if matches!(ws.client, ClientConfig::ClosedLoop { .. })
+            && ws.sent < ws.client.total_invocations()
+        {
+            self.schedule_arrival(now, wf);
+        }
+    }
+
+    /// Cancels every bulk transfer belonging to one invocation.
+    fn cancel_invocation_flows(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        let mut doomed: Vec<FlowId> = self
+            .net
+            .iter()
+            .filter(|(_, f)| {
+                let t = match f.tag {
+                    FlowTag::Read { token, .. } | FlowTag::Write { token, .. } => token,
+                };
+                t.workflow == wf && t.invocation == inv
+            })
+            .map(|(id, _)| id)
+            .collect();
+        doomed.sort_unstable();
+        for id in doomed {
+            if self.net.cancel_flow(id, now).is_some() {
+                self.faults.flows_killed += 1;
+            }
+        }
+        self.reschedule_flow_timer(now);
+    }
+
+    /// The first live worker after `avoid` in ring order (falling back to
+    /// `avoid` itself if it restarted), or `None` with no worker alive.
+    fn pick_alive_worker(&self, avoid: usize) -> Option<usize> {
+        let n = self.config.workers as usize;
+        (avoid + 1..n)
+            .chain(0..=avoid.min(n - 1))
+            .find(|&w| self.worker_alive[w])
+    }
+
+    fn on_storage_fault(&mut self, idx: usize, start: bool) {
+        match self.config.fault.storage_faults[idx].kind {
+            StorageFaultKind::Blackout => self.storage_down = start,
+            StorageFaultKind::Brownout { slowdown } => {
+                self.storage_slowdown = if start { slowdown } else { 1.0 };
+            }
+        }
+    }
+
+    fn on_net_fault(&mut self, now: SimTime, idx: usize, start: bool) {
+        let fault = self.config.fault.net_faults[idx];
+        let node = self.config.worker_node(fault.worker);
+        if start {
+            self.link_faults.set(
+                node,
+                LinkQuality {
+                    loss: fault.loss,
+                    latency_factor: fault.latency_factor,
+                },
+            );
+            self.net.set_nic(
+                node,
+                NicSpec::symmetric(self.config.worker_bandwidth * fault.bandwidth_factor),
+                now,
+            );
+        } else {
+            self.link_faults.clear(node);
+            self.net
+                .set_nic(node, NicSpec::symmetric(self.config.worker_bandwidth), now);
+        }
+        self.reschedule_flow_timer(now);
+    }
+
+    /// Issues (or re-issues) a remote read: during a blackout the request
+    /// queues behind an exponential-backoff retry; a brownout stretches the
+    /// server-side overhead; a missing key (its producer's output died with
+    /// a crashed node) escalates to invocation recovery.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_remote_read(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        token: InstanceToken,
+        producer: FunctionId,
+        bytes: u64,
+        started: SimTime,
+        attempt: u32,
+    ) {
+        if !self.instance_on(worker, token) {
+            return;
+        }
+        if self.storage_down {
+            self.faults.storage_backoff_waits += 1;
+            if attempt >= self.config.fault.backoff.max_attempts {
+                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                return;
+            }
+            let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);
+            self.queue.schedule(
+                now + delay,
+                Event::RetryRemoteRead {
+                    worker,
+                    token,
+                    producer,
+                    bytes,
+                    started,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
+        let key = DataKey::new(token.workflow, token.invocation, producer);
+        match self.remote.read(key) {
+            Some((_, overhead)) => {
+                let overhead = if self.storage_slowdown != 1.0 {
+                    overhead.mul_f64(self.storage_slowdown)
+                } else {
+                    overhead
+                };
+                self.queue.schedule(
+                    now + overhead,
+                    Event::StartRemoteRead {
+                        worker,
+                        token,
+                        producer,
+                        bytes,
+                        started,
+                    },
+                );
+            }
+            None => {
+                if self.config.fault.is_empty() {
+                    panic!("producer output must be in the remote store");
+                }
+                let epoch = token.epoch;
+                self.queue.schedule(
+                    now,
+                    Event::RecoverInvocation {
+                        wf: token.workflow,
+                        inv: token.invocation,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Issues (or re-issues) a remote write, with the same blackout backoff
+    /// and brownout stretching as reads.
+    fn schedule_remote_write(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        token: InstanceToken,
+        bytes: u64,
+        started: SimTime,
+        attempt: u32,
+    ) {
+        if !self.instance_on(worker, token) {
+            return;
+        }
+        if self.storage_down {
+            self.faults.storage_backoff_waits += 1;
+            if attempt >= self.config.fault.backoff.max_attempts {
+                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                return;
+            }
+            let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);
+            self.queue.schedule(
+                now + delay,
+                Event::RetryRemoteWrite {
+                    worker,
+                    token,
+                    bytes,
+                    started,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
+        let overhead = if self.storage_slowdown != 1.0 {
+            self.config
+                .remote_store
+                .put_overhead
+                .mul_f64(self.storage_slowdown)
+        } else {
+            self.config.remote_store.put_overhead
+        };
+        self.queue.schedule(
+            now + overhead,
+            Event::StartRemoteWrite {
+                worker,
+                token,
+                bytes,
+                started,
+            },
+        );
     }
 
     // ==================================================================

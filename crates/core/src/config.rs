@@ -5,11 +5,13 @@
 //! remote store, and a 50 MB/s storage-node NIC (the §5.4 default).
 
 use faasflow_container::{ContainerConfig, NodeCaps};
-use faasflow_scheduler::PlacementStrategy;
 use faasflow_net::MessageModel;
+use faasflow_scheduler::PlacementStrategy;
 use faasflow_sim::{NodeId, SimDuration};
 use faasflow_store::RemoteStoreConfig;
 use serde::{Deserialize, Serialize};
+
+use crate::fault::FaultPlan;
 
 /// How FaaStore takes memory back from containers (§4.3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -125,6 +127,10 @@ pub struct ClusterConfig {
     /// packing a group beyond what a node can actually run concurrently
     /// just converts scheduling into queueing.
     pub partition_capacity: u32,
+    /// Declarative fault schedule: node crashes, storage outages and link
+    /// degradation windows, plus the recovery knobs (lease detection,
+    /// backoff, dead-lettering). Empty by default.
+    pub fault: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -153,6 +159,7 @@ impl Default for ClusterConfig {
             reclamation: ReclamationMode::default(),
             placement: PlacementStrategy::WorstFit,
             partition_capacity: 12,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -208,15 +215,16 @@ impl ClusterConfig {
         if !(self.storage_bandwidth.is_finite() && self.storage_bandwidth > 0.0) {
             return Err("storage_bandwidth must be positive".to_string());
         }
-        if !(0.0..1.0).contains(&self.exec_failure_rate) {
+        if !(0.0..=1.0).contains(&self.exec_failure_rate) {
             return Err(format!(
-                "exec_failure_rate must be in [0,1), got {}",
+                "exec_failure_rate must be in [0,1], got {}",
                 self.exec_failure_rate
             ));
         }
         if self.partition_capacity == 0 {
             return Err("partition_capacity must be positive".to_string());
         }
+        self.fault.validate(self.workers)?;
         if self.mode == ScheduleMode::MasterSp && self.faastore {
             return Err(
                 "FaaStore requires WorkerSP (the baseline always uses the remote store)"
@@ -303,7 +311,9 @@ mod tests {
 
     #[test]
     fn client_validation() {
-        assert!(ClientConfig::ClosedLoop { invocations: 0 }.validate().is_err());
+        assert!(ClientConfig::ClosedLoop { invocations: 0 }
+            .validate()
+            .is_err());
         assert!(ClientConfig::OpenLoop {
             per_minute: 0.0,
             invocations: 5

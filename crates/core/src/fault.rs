@@ -1,0 +1,325 @@
+//! Fault-domain injection plan.
+//!
+//! FaaSFlow's availability argument (§6 of the paper) is that worker-side
+//! scheduling confines the blast radius of a failure to the partition that
+//! experienced it, while a master-side engine turns every fault into a
+//! central-plane event. This module gives the simulation a declarative,
+//! fully deterministic way to exercise that argument: a [`FaultPlan`] is
+//! pure configuration — every fault fires at a pre-declared simulated
+//! instant and all recovery jitter comes from the cluster's seeded RNG — so
+//! the same seed and plan always reproduce the same run, byte for byte.
+//!
+//! Three fault classes are modelled:
+//!
+//! * [`NodeCrash`] — a worker node dies: its warm container pool, its
+//!   engine state (WorkerSP) and its MemStore contents are lost; it may
+//!   restart after a configurable delay. In-flight invocations are detected
+//!   through a heartbeat/lease model and re-dispatched.
+//! * [`StorageFault`] — the remote (couch-like) store suffers a blackout
+//!   (requests fail and are retried with exponential backoff) or a brownout
+//!   (request overheads are multiplied by a slowdown factor).
+//! * [`NetFault`] — a worker's link degrades for a window: engine messages
+//!   to/from it are lost with some probability (and retransmitted with
+//!   backoff), latencies stretch, and bulk-transfer bandwidth shrinks.
+
+use faasflow_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// One worker-node crash (and optional restart).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// Worker index (0-based; node `worker + 1` in cluster numbering).
+    pub worker: u32,
+    /// Simulated instant the node dies.
+    pub at: SimDuration,
+    /// Delay until the node comes back empty (cold pools, blank engine,
+    /// empty MemStore). `None` means the node stays down forever.
+    pub restart_after: Option<SimDuration>,
+}
+
+/// How a remote-storage window misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StorageFaultKind {
+    /// Requests fail outright; clients back off and retry.
+    Blackout,
+    /// Requests succeed but request overheads are multiplied by `slowdown`.
+    Brownout {
+        /// Multiplier (> 1.0) applied to put/get overheads.
+        slowdown: f64,
+    },
+}
+
+/// One remote-storage outage or brownout window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageFault {
+    /// Window start.
+    pub at: SimDuration,
+    /// Window length.
+    pub duration: SimDuration,
+    /// Blackout or brownout.
+    pub kind: StorageFaultKind,
+}
+
+/// One per-worker network degradation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetFault {
+    /// Worker index whose link degrades.
+    pub worker: u32,
+    /// Window start.
+    pub at: SimDuration,
+    /// Window length.
+    pub duration: SimDuration,
+    /// Probability in `[0, 1)` that an engine message crossing this link is
+    /// lost and must be retransmitted.
+    pub loss: f64,
+    /// Multiplier (>= 1.0) on message latency across this link.
+    pub latency_factor: f64,
+    /// Multiplier in `(0, 1]` on the worker's NIC bandwidth for the window.
+    pub bandwidth_factor: f64,
+}
+
+/// Exponential backoff with full-range jitter, used for storage retries and
+/// message retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// First retry delay.
+    pub base: SimDuration,
+    /// Ceiling on any single delay.
+    pub cap: SimDuration,
+    /// Geometric growth factor (>= 1.0).
+    pub factor: f64,
+    /// Jitter fraction in `[0, 1)`: each delay is scaled by a uniform
+    /// factor in `[1 - jitter, 1 + jitter]` drawn from the seeded RNG.
+    pub jitter: f64,
+    /// Retries before the operation is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: SimDuration::from_millis(100),
+            cap: SimDuration::from_secs(10),
+            factor: 2.0,
+            jitter: 0.1,
+            max_attempts: 16,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The jittered delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let exp = self.factor.powi(attempt.min(63) as i32);
+        let raw = self.base.mul_f64(exp).min(self.cap);
+        if self.jitter > 0.0 {
+            raw.mul_f64(rng.range_f64(1.0 - self.jitter, 1.0 + self.jitter))
+        } else {
+            raw
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.factor.is_finite() && self.factor >= 1.0) {
+            return Err(format!("backoff factor must be >= 1, got {}", self.factor));
+        }
+        if !(0.0..1.0).contains(&self.jitter) {
+            return Err(format!(
+                "backoff jitter must be in [0,1), got {}",
+                self.jitter
+            ));
+        }
+        if self.max_attempts == 0 {
+            return Err("backoff max_attempts must be at least 1".into());
+        }
+        if self.base.is_zero() {
+            return Err("backoff base delay must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The declarative fault schedule of one cluster run.
+///
+/// The default plan is empty: no crashes, no outages, no degradation —
+/// existing experiments are bit-for-bit unaffected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Worker-node crashes.
+    pub node_crashes: Vec<NodeCrash>,
+    /// Remote-storage outage/brownout windows.
+    pub storage_faults: Vec<StorageFault>,
+    /// Per-worker link degradation windows.
+    pub net_faults: Vec<NetFault>,
+    /// Workers heartbeat the failure detector at this interval.
+    pub heartbeat_interval: SimDuration,
+    /// Missed heartbeats before a worker's lease expires and recovery
+    /// starts. Detection delay = `heartbeat_interval * lease_misses`.
+    pub lease_misses: u32,
+    /// Backoff for storage retries and message retransmissions.
+    pub backoff: BackoffPolicy,
+    /// How many times one invocation may be crash-recovered before it is
+    /// dead-lettered.
+    pub max_recovery_attempts: u32,
+    /// When `true`, an instance that exhausts its transient-exec retry
+    /// budget dead-letters the whole invocation (with accounting) instead
+    /// of completing as if it had succeeded. Defaults to `false`, the
+    /// legacy pass-through behaviour.
+    pub dead_letter_on_exhaustion: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            node_crashes: Vec::new(),
+            storage_faults: Vec::new(),
+            net_faults: Vec::new(),
+            heartbeat_interval: SimDuration::from_millis(500),
+            lease_misses: 3,
+            backoff: BackoffPolicy::default(),
+            max_recovery_attempts: 5,
+            dead_letter_on_exhaustion: false,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// `true` when the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.node_crashes.is_empty() && self.storage_faults.is_empty() && self.net_faults.is_empty()
+    }
+
+    /// Time from a crash to its lease expiring (recovery kicking in).
+    pub fn detection_delay(&self) -> SimDuration {
+        self.heartbeat_interval * u64::from(self.lease_misses)
+    }
+
+    /// Validates the plan against a cluster with `workers` worker nodes.
+    pub fn validate(&self, workers: u32) -> Result<(), String> {
+        self.backoff.validate()?;
+        if self.lease_misses == 0 {
+            return Err("lease_misses must be at least 1".into());
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat_interval must be positive".into());
+        }
+        for c in &self.node_crashes {
+            if c.worker >= workers {
+                return Err(format!(
+                    "node crash targets worker {} but the cluster has {workers}",
+                    c.worker
+                ));
+            }
+        }
+        for s in &self.storage_faults {
+            if s.duration.is_zero() {
+                return Err("storage fault windows must have positive duration".into());
+            }
+            if let StorageFaultKind::Brownout { slowdown } = s.kind {
+                if !(slowdown.is_finite() && slowdown >= 1.0) {
+                    return Err(format!("brownout slowdown must be >= 1, got {slowdown}"));
+                }
+            }
+        }
+        for n in &self.net_faults {
+            if n.worker >= workers {
+                return Err(format!(
+                    "net fault targets worker {} but the cluster has {workers}",
+                    n.worker
+                ));
+            }
+            if n.duration.is_zero() {
+                return Err("net fault windows must have positive duration".into());
+            }
+            if !(0.0..1.0).contains(&n.loss) {
+                return Err(format!("net fault loss must be in [0,1), got {}", n.loss));
+            }
+            if !(n.latency_factor.is_finite() && n.latency_factor >= 1.0) {
+                return Err(format!(
+                    "net fault latency_factor must be >= 1, got {}",
+                    n.latency_factor
+                ));
+            }
+            if !(n.bandwidth_factor.is_finite()
+                && n.bandwidth_factor > 0.0
+                && n.bandwidth_factor <= 1.0)
+            {
+                return Err(format!(
+                    "net fault bandwidth_factor must be in (0,1], got {}",
+                    n.bandwidth_factor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        plan.validate(7).expect("default plan valid");
+        assert_eq!(plan.detection_delay(), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn out_of_range_targets_are_rejected() {
+        let mut plan = FaultPlan::default();
+        plan.node_crashes.push(NodeCrash {
+            worker: 9,
+            at: SimDuration::from_secs(1),
+            restart_after: None,
+        });
+        assert!(plan.validate(4).is_err());
+
+        let mut plan = FaultPlan::default();
+        plan.net_faults.push(NetFault {
+            worker: 0,
+            at: SimDuration::ZERO,
+            duration: SimDuration::from_secs(1),
+            loss: 1.5,
+            latency_factor: 1.0,
+            bandwidth_factor: 1.0,
+        });
+        assert!(plan.validate(4).is_err());
+
+        let mut plan = FaultPlan::default();
+        plan.storage_faults.push(StorageFault {
+            at: SimDuration::ZERO,
+            duration: SimDuration::from_secs(1),
+            kind: StorageFaultKind::Brownout { slowdown: 0.5 },
+        });
+        assert!(plan.validate(4).is_err());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut rng = SimRng::seed_from(7);
+        let policy = BackoffPolicy {
+            jitter: 0.0,
+            ..BackoffPolicy::default()
+        };
+        assert_eq!(policy.delay(0, &mut rng), SimDuration::from_millis(100));
+        assert_eq!(policy.delay(1, &mut rng), SimDuration::from_millis(200));
+        assert_eq!(policy.delay(3, &mut rng), SimDuration::from_millis(800));
+        assert_eq!(policy.delay(20, &mut rng), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_band() {
+        let mut rng = SimRng::seed_from(11);
+        let policy = BackoffPolicy::default();
+        for attempt in 0..8 {
+            let d = policy.delay(attempt, &mut rng);
+            let nominal = policy
+                .base
+                .mul_f64(policy.factor.powi(attempt as i32))
+                .min(policy.cap);
+            assert!(d >= nominal.mul_f64(0.89) && d <= nominal.mul_f64(1.11));
+        }
+    }
+}

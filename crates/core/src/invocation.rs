@@ -22,6 +22,11 @@ pub struct InstanceToken {
     pub function: FunctionId,
     /// Instance index in `0..parallelism`.
     pub instance: u32,
+    /// Recovery epoch of the invocation when the instance was spawned.
+    /// Crash recovery restarts an invocation under a bumped epoch, so
+    /// events carrying pre-crash tokens miss every lookup keyed by token
+    /// and are discarded as stale.
+    pub epoch: u32,
 }
 
 /// Lifecycle state of one admitted instance.
@@ -35,6 +40,11 @@ pub(crate) struct InstanceState {
     pub pending_inputs: u32,
     /// Execution attempts that failed and were retried.
     pub retries: u32,
+    /// Cluster-wide admission sequence number. A crashed worker can
+    /// restart and re-admit the *same* token on the same worker before a
+    /// stale `ExecDone` from the pre-crash admission drains; the sequence
+    /// number fences those events where token+worker matching cannot.
+    pub seq: u64,
 }
 
 /// Cluster-side state of one in-flight invocation.
@@ -68,6 +78,12 @@ pub(crate) struct InvState {
     pub placements: HashMap<FunctionId, Placement>,
     /// Transfer accounting.
     pub ledger: TransferLedger,
+    /// Current recovery epoch; bumped each time crash recovery restarts
+    /// the invocation (stale-event fencing).
+    pub epoch: u32,
+    /// Crash recoveries performed for this invocation (dead-letter once it
+    /// exceeds the plan's `max_recovery_attempts`).
+    pub recovery_attempts: u32,
 }
 
 impl InvState {
@@ -92,6 +108,8 @@ impl InvState {
             instances: HashMap::new(),
             placements: HashMap::new(),
             ledger: TransferLedger::default(),
+            epoch: 0,
+            recovery_attempts: 0,
         }
     }
 

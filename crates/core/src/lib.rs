@@ -41,6 +41,7 @@
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod invocation;
 pub mod metrics;
 pub mod trace;
@@ -48,6 +49,7 @@ pub mod trace;
 pub use cluster::Cluster;
 pub use config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 pub use error::ClusterError;
+pub use fault::{BackoffPolicy, FaultPlan, NetFault, NodeCrash, StorageFault, StorageFaultKind};
 pub use invocation::InstanceToken;
-pub use metrics::{DistributionRow, RunReport, WorkerUtilization, WorkflowReport};
+pub use metrics::{DistributionRow, FaultReport, RunReport, WorkerUtilization, WorkflowReport};
 pub use trace::TraceEvent;

@@ -21,6 +21,7 @@ pub(crate) struct WorkflowMetrics {
     pub completed: u64,
     pub timeouts: u64,
     pub sent: u64,
+    pub dead_lettered: u64,
     pub remote_bytes: u64,
     pub local_bytes: u64,
     pub first_completion: Option<SimTime>,
@@ -34,6 +35,7 @@ impl WorkflowMetrics {
             sent: self.sent,
             completed: self.completed,
             timeouts: self.timeouts,
+            dead_lettered: self.dead_lettered,
             e2e: self.e2e.summary(),
             sched_overhead: self.sched_overhead.summary(),
             transfer_total: self.transfer_total.summary(),
@@ -65,6 +67,9 @@ pub struct WorkflowReport {
     pub completed: u64,
     /// Invocations that exceeded the timeout.
     pub timeouts: u64,
+    /// Invocations abandoned by fault recovery (crash-recovery budget or
+    /// storage-retry budget exhausted) with explicit accounting.
+    pub dead_lettered: u64,
     /// End-to-end latency (ms).
     pub e2e: Summary,
     /// Scheduling overhead (ms).
@@ -112,6 +117,36 @@ pub struct RunReport {
     /// Instance executions that failed and were retried (failure
     /// injection; 0 unless `exec_failure_rate > 0`).
     pub exec_retries: u64,
+    /// Feedback-driven repartitions that failed and kept the old
+    /// deployment (previously silently swallowed).
+    pub repartition_failures: u64,
+    /// Fault-injection and recovery accounting (all zero when the
+    /// [`crate::FaultPlan`] is empty).
+    pub faults: FaultReport,
+}
+
+/// What the fault-injection subsystem did during a run — every recovery
+/// action is counted, distinguishing the recovery paths from one another.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Worker-node crashes injected.
+    pub worker_crashes: u64,
+    /// Worker restarts completed.
+    pub worker_restarts: u64,
+    /// Leases that expired (crash detections by the heartbeat model).
+    pub lease_expiries: u64,
+    /// Recovery dispatches after a node crash: MasterSP re-dispatched
+    /// orphan instances, WorkerSP restarted invocations on the surviving
+    /// partition.
+    pub crash_redispatches: u64,
+    /// Bulk transfers killed by a crash or recovery action.
+    pub flows_killed: u64,
+    /// Remote-storage operations delayed by outage backoff.
+    pub storage_backoff_waits: u64,
+    /// Engine messages retransmitted over degraded links.
+    pub message_retransmits: u64,
+    /// Invocations dead-lettered (recovery or retry budget exhausted).
+    pub dead_letters: u64,
 }
 
 impl RunReport {
@@ -180,10 +215,12 @@ mod tests {
 
     #[test]
     fn throughput_uses_completion_window() {
-        let mut m = WorkflowMetrics::default();
-        m.completed = 3;
-        m.first_completion = Some(SimTime::from_secs_f64(0.0));
-        m.last_completion = Some(SimTime::from_secs_f64(60.0));
+        let mut m = WorkflowMetrics {
+            completed: 3,
+            first_completion: Some(SimTime::from_secs_f64(0.0)),
+            last_completion: Some(SimTime::from_secs_f64(60.0)),
+            ..WorkflowMetrics::default()
+        };
         // 2 completions over 60s -> 2/min.
         let r = m.snapshot("x");
         assert!((r.throughput_per_min - 2.0).abs() < 1e-9);
@@ -220,6 +257,8 @@ mod tests {
             faastore_local_bytes: 0,
             live_invocation_states: 0,
             exec_retries: 0,
+            repartition_failures: 0,
+            faults: FaultReport::default(),
         };
         assert_eq!(report.workflow("wf").e2e.count, 1);
         assert_eq!(report.storage_bandwidth_used(), 50.0);
@@ -242,6 +281,8 @@ mod tests {
             faastore_local_bytes: 0,
             live_invocation_states: 0,
             exec_retries: 0,
+            repartition_failures: 0,
+            faults: FaultReport::default(),
         };
         report.workflow("ghost");
     }

@@ -238,7 +238,10 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             ),
             TraceEvent::NodeCompleted { function, .. } => format!("done    {function}"),
             TraceEvent::StateSyncSent {
-                from, to, completed, ..
+                from,
+                to,
+                completed,
+                ..
             } => format!("sync    {completed}: {from} -> {to}"),
             TraceEvent::InvocationCompleted { timed_out, .. } => {
                 if *timed_out {

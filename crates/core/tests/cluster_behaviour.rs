@@ -18,7 +18,10 @@ fn two_stage(name: &str) -> Workflow {
 fn utilization_is_bounded_and_nonzero() {
     let mut cluster = Cluster::new(ClusterConfig::default()).expect("valid config");
     cluster
-        .register(&two_stage("u"), ClientConfig::ClosedLoop { invocations: 10 })
+        .register(
+            &two_stage("u"),
+            ClientConfig::ClosedLoop { invocations: 10 },
+        )
         .expect("registers");
     cluster.run_until_idle();
     let util = cluster.utilization();
@@ -55,7 +58,10 @@ fn microvm_mode_keeps_more_memory_resident() {
         };
         let mut cluster = Cluster::new(config).expect("valid config");
         cluster
-            .register(&two_stage("m"), ClientConfig::ClosedLoop { invocations: 10 })
+            .register(
+                &two_stage("m"),
+                ClientConfig::ClosedLoop { invocations: 10 },
+            )
             .expect("registers");
         cluster.run_until_idle();
         let util = cluster.utilization();
@@ -86,7 +92,11 @@ fn reset_metrics_keeps_warm_containers() {
     cluster.extend_client(id, 10);
     cluster.run_until_idle();
     let report = cluster.report();
-    assert_eq!(report.workflow("w").completed, 10, "only measured runs counted");
+    assert_eq!(
+        report.workflow("w").completed,
+        10,
+        "only measured runs counted"
+    );
     assert_eq!(
         report.cold_starts, cold_before,
         "warm-up containers must be reused, not re-booted"
@@ -140,7 +150,10 @@ fn master_engine_is_busy_only_under_mastersp() {
         };
         let mut cluster = Cluster::new(config).expect("valid config");
         cluster
-            .register(&two_stage("b"), ClientConfig::ClosedLoop { invocations: 10 })
+            .register(
+                &two_stage("b"),
+                ClientConfig::ClosedLoop { invocations: 10 },
+            )
             .expect("registers");
         cluster.run_until_idle();
         cluster.report().master_busy_fraction

@@ -66,8 +66,14 @@ fn retries_raise_latency_monotonically() {
         let wf = Workflow::steps(
             "lat",
             Step::sequence(vec![
-                Step::task("a", FunctionProfile::with_millis(100, 0).exec_variation(0.0)),
-                Step::task("b", FunctionProfile::with_millis(100, 0).exec_variation(0.0)),
+                Step::task(
+                    "a",
+                    FunctionProfile::with_millis(100, 0).exec_variation(0.0),
+                ),
+                Step::task(
+                    "b",
+                    FunctionProfile::with_millis(100, 0).exec_variation(0.0),
+                ),
             ]),
         );
         cluster

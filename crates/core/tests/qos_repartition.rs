@@ -23,7 +23,10 @@ fn qos_violations_force_partition_iterations() {
     };
     let mut cluster = Cluster::new(config).expect("valid config");
     cluster
-        .register(&slow_workflow(), ClientConfig::ClosedLoop { invocations: 10 })
+        .register(
+            &slow_workflow(),
+            ClientConfig::ClosedLoop { invocations: 10 },
+        )
         .expect("registers");
     cluster.run_until_idle();
     let (_, runs) = cluster.partition_wall_time();
@@ -43,7 +46,10 @@ fn satisfied_qos_never_repartitions() {
     };
     let mut cluster = Cluster::new(config).expect("valid config");
     cluster
-        .register(&slow_workflow(), ClientConfig::ClosedLoop { invocations: 10 })
+        .register(
+            &slow_workflow(),
+            ClientConfig::ClosedLoop { invocations: 10 },
+        )
         .expect("registers");
     cluster.run_until_idle();
     let (_, runs) = cluster.partition_wall_time();
@@ -61,7 +67,10 @@ fn qos_iterations_use_collected_feedback() {
         };
         let mut cluster = Cluster::new(config).expect("valid config");
         cluster
-            .register(&slow_workflow(), ClientConfig::ClosedLoop { invocations: 15 })
+            .register(
+                &slow_workflow(),
+                ClientConfig::ClosedLoop { invocations: 15 },
+            )
             .expect("registers");
         cluster.run_until_idle();
         cluster.report()

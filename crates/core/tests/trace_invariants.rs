@@ -30,7 +30,10 @@ fn traced_run(mode: ScheduleMode, faastore: bool) -> Vec<TraceEvent> {
 
 #[test]
 fn trace_is_causally_ordered_per_invocation() {
-    for (mode, faastore) in [(ScheduleMode::WorkerSp, true), (ScheduleMode::MasterSp, false)] {
+    for (mode, faastore) in [
+        (ScheduleMode::WorkerSp, true),
+        (ScheduleMode::MasterSp, false),
+    ] {
         let events = traced_run(mode, faastore);
         assert!(!events.is_empty(), "tracing must record events");
         let mut arrived: HashMap<_, _> = HashMap::new();

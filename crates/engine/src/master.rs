@@ -18,9 +18,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use faasflow_scheduler::Assignment;
 use faasflow_sim::stats::Counter;
 use faasflow_sim::{FunctionId, InvocationId, NodeId, WorkflowId};
-use faasflow_scheduler::Assignment;
 use faasflow_wdl::WorkflowDag;
 
 use crate::trigger::TriggerTracker;
@@ -286,7 +286,14 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let asg = Arc::new(
             GraphScheduler::default()
-                .partition(&dag, &ws, &metrics, &ContentionSet::default(), u64::MAX, &mut rng)
+                .partition(
+                    &dag,
+                    &ws,
+                    &metrics,
+                    &ContentionSet::default(),
+                    u64::MAX,
+                    &mut rng,
+                )
                 .unwrap(),
         );
         let mut eng = MasterEngine::new();
@@ -385,7 +392,8 @@ mod tests {
         assert!(eng.on_state_return(WF, INV, fe).is_empty());
         let done = eng.on_state_return(WF, INV, fe);
         assert!(
-            done.iter().any(|a| matches!(a, MasterAction::ExitComplete { .. })),
+            done.iter()
+                .any(|a| matches!(a, MasterAction::ExitComplete { .. })),
             "third return completes the foreach and the workflow"
         );
     }

@@ -226,7 +226,14 @@ mod tests {
         let vs = dag
             .nodes()
             .iter()
-            .find(|n| matches!(n.kind, NodeKind::VirtualStart { switch_arms: Some(_) }))
+            .find(|n| {
+                matches!(
+                    n.kind,
+                    NodeKind::VirtualStart {
+                        switch_arms: Some(_)
+                    }
+                )
+            })
             .unwrap()
             .id;
         let a = TriggerTracker::new(dag.clone(), InvocationId::new(7), 99);
@@ -236,9 +243,7 @@ mod tests {
         assert_eq!(notified.len(), 1, "only the chosen arm is notified");
         // Different invocations eventually pick different arms.
         let arms: std::collections::HashSet<u32> = (0..64)
-            .map(|i| {
-                TriggerTracker::new(dag.clone(), InvocationId::new(i), 99).chosen_arm(vs)
-            })
+            .map(|i| TriggerTracker::new(dag.clone(), InvocationId::new(i), 99).chosen_arm(vs))
             .collect();
         assert_eq!(arms.len(), 2, "both arms exercised across invocations");
     }

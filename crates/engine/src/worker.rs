@@ -13,9 +13,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use faasflow_scheduler::Assignment;
 use faasflow_sim::stats::Counter;
 use faasflow_sim::{FunctionId, InvocationId, NodeId, WorkflowId};
-use faasflow_scheduler::Assignment;
 use faasflow_wdl::WorkflowDag;
 
 use crate::trigger::TriggerTracker;
@@ -173,19 +173,19 @@ impl WorkerEngine {
     /// When the last instance finishes, the node completes and its state
     /// propagates (locally and/or via sync messages).
     ///
-    /// # Panics
-    ///
-    /// Panics if the workflow or invocation is unknown to this engine.
+    /// An unknown invocation is ignored (returns no actions): after a
+    /// crash-and-restart this engine comes back blank, and a completion
+    /// message for a pre-crash invocation may still be in flight — the
+    /// cluster's recovery layer owns that invocation now.
     pub fn on_instance_complete(
         &mut self,
         workflow: WorkflowId,
         invocation: InvocationId,
         function: FunctionId,
     ) -> Vec<WorkerAction> {
-        let tracker = self
-            .invocations
-            .get_mut(&(workflow, invocation))
-            .expect("instance completion for unknown invocation");
+        let Some(tracker) = self.invocations.get_mut(&(workflow, invocation)) else {
+            return Vec::new();
+        };
         if tracker.instance_done(function) {
             self.propagate_completion(workflow, invocation, function)
         } else {
@@ -324,7 +324,12 @@ mod tests {
 
     /// Builds a 3-function chain partitioned across two workers:
     /// a, b on worker 1 and c on worker 2 (forced by zero quota + capacity).
-    fn setup() -> (Arc<WorkflowDag>, Arc<Assignment>, WorkerEngine, WorkerEngine) {
+    fn setup() -> (
+        Arc<WorkflowDag>,
+        Arc<Assignment>,
+        WorkerEngine,
+        WorkerEngine,
+    ) {
         let wf = Workflow::steps(
             "chain",
             Step::sequence(vec![
@@ -472,7 +477,14 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let asg = Arc::new(
             GraphScheduler::default()
-                .partition(&dag, &workers, &metrics, &ContentionSet::default(), u64::MAX, &mut rng)
+                .partition(
+                    &dag,
+                    &workers,
+                    &metrics,
+                    &ContentionSet::default(),
+                    u64::MAX,
+                    &mut rng,
+                )
                 .unwrap(),
         );
         let mut eng = WorkerEngine::new(NodeId::new(1));

@@ -365,7 +365,8 @@ impl<T> FlowNet<T> {
                 let better = match best {
                     None => true,
                     Some((s, br)) => {
-                        share < s - 1e-12 || (share <= s + 1e-12 && resource_key(r) < resource_key(br))
+                        share < s - 1e-12
+                            || (share <= s + 1e-12 && resource_key(r) < resource_key(br))
                     }
                 };
                 if better {
@@ -423,7 +424,10 @@ mod tests {
     fn assert_near(actual: Option<SimTime>, expected: SimTime) {
         let actual = actual.expect("a completion is pending");
         let diff = actual.as_nanos().abs_diff(expected.as_nanos());
-        assert!(diff <= 2, "completion {actual} not within 2ns of {expected}");
+        assert!(
+            diff <= 2,
+            "completion {actual} not within 2ns of {expected}"
+        );
     }
 
     fn two_node_net() -> FlowNet<u32> {
@@ -492,11 +496,7 @@ mod tests {
         let mut net = two_node_net();
         net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 1, t(0.0));
         // Re-throttle destination downlink to 25 MB/s at t=0.5 (50MB sent).
-        net.set_nic(
-            NodeId::new(1),
-            NicSpec::symmetric(25e6),
-            t(0.5),
-        );
+        net.set_nic(NodeId::new(1), NicSpec::symmetric(25e6), t(0.5));
         // Remaining 50MB at 25MB/s -> completes at 0.5 + 2.0 = 2.5s.
         assert_near(net.next_completion(), t(2.5));
     }

@@ -34,8 +34,10 @@
 //! assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod fault;
 pub mod flow;
 pub mod message;
 
+pub use fault::{LinkFaultTable, LinkQuality};
 pub use flow::{Flow, FlowId, FlowNet, NicSpec};
 pub use message::MessageModel;

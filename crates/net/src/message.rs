@@ -76,8 +76,7 @@ impl MessageModel {
 
     /// Samples the one-way latency of a `bytes`-sized message.
     pub fn latency(&self, bytes: u64, rng: &mut SimRng) -> SimDuration {
-        let nominal =
-            self.base + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth);
+        let nominal = self.base + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth);
         if self.jitter == 0.0 {
             nominal
         } else {
@@ -99,10 +98,7 @@ mod tests {
     fn nominal_latency_is_base_plus_serialization() {
         let m = MessageModel::new(SimDuration::from_micros(100), 1e6, 0.0);
         // 1000 bytes at 1 MB/s = 1 ms; plus 0.1 ms base.
-        assert_eq!(
-            m.nominal_latency(1000),
-            SimDuration::from_micros(1100)
-        );
+        assert_eq!(m.nominal_latency(1000), SimDuration::from_micros(1100));
     }
 
     #[test]

@@ -13,10 +13,7 @@ struct Spec {
 fn spec_strategy() -> impl Strategy<Value = Spec> {
     (2usize..6).prop_flat_map(|n| {
         let caps = proptest::collection::vec(1e6..200e6, n);
-        let flows = proptest::collection::vec(
-            (0..n, 0..n, 1_000u64..100_000_000),
-            1..30,
-        );
+        let flows = proptest::collection::vec((0..n, 0..n, 1_000u64..100_000_000), 1..30);
         (caps, flows).prop_map(|(caps, flows)| Spec { caps, flows })
     })
 }

@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase() {
-        assert!(ScheduleError::NoWorkers.to_string().starts_with("no worker"));
+        assert!(ScheduleError::NoWorkers
+            .to_string()
+            .starts_with("no worker"));
         let e = ScheduleError::InsufficientCapacity {
             required: 5,
             largest_free: 3,

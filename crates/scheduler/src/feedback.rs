@@ -150,12 +150,7 @@ mod tests {
         assert_eq!(m.map[b.index()], 4.0);
         assert_eq!(m.scale[b.index()], 4.0, "foreach demands fanout containers");
         // Virtual nodes scale 0.
-        let virt = d
-            .nodes()
-            .iter()
-            .find(|n| !n.kind.is_function())
-            .unwrap()
-            .id;
+        let virt = d.nodes().iter().find(|n| !n.kind.is_function()).unwrap().id;
         assert_eq!(m.scale[virt.index()], 0.0);
     }
 
@@ -188,7 +183,11 @@ mod tests {
         fc.finish(&mut d, &prev);
         let after = d.edge(eid).weight;
         assert_ne!(before, after);
-        assert_eq!(after, SimDuration::from_secs(1), "p99 of 4 samples is the max");
+        assert_eq!(
+            after,
+            SimDuration::from_secs(1),
+            "p99 of 4 samples is the max"
+        );
         // Other edges untouched.
         assert_eq!(d.edges()[1].weight, {
             let fresh = dag();

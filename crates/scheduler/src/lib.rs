@@ -42,6 +42,6 @@ pub use deploy::{DeploymentManager, Version};
 pub use error::ScheduleError;
 pub use feedback::{FeedbackCollector, RuntimeMetrics};
 pub use partition::{
-    Assignment, ContentionSet, Group, GraphScheduler, PartitionConfig, PlacementStrategy,
+    Assignment, ContentionSet, GraphScheduler, Group, PartitionConfig, PlacementStrategy,
     WorkerInfo,
 };

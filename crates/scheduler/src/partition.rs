@@ -293,9 +293,8 @@ impl GraphScheduler {
         let mut storage_local = vec![false; n];
         let mut mem_consume: u64 = 0;
 
-        let group_demand = |members: &[usize], demand: &[u32]| -> u32 {
-            members.iter().map(|&m| demand[m]).sum()
-        };
+        let group_demand =
+            |members: &[usize], demand: &[u32]| -> u32 { members.iter().map(|&m| demand[m]).sum() };
 
         // Lines 3–26.
         let mut merges = 0;
@@ -356,9 +355,9 @@ impl GraphScheduler {
                 }
                 // Lines 19–20: contention pairs must not be co-grouped.
                 let conflict = members[gs].iter().any(|&a| {
-                    members[ge].iter().any(|&b| {
-                        contention.conflicts(FunctionId::from(a), FunctionId::from(b))
-                    })
+                    members[ge]
+                        .iter()
+                        .any(|&b| contention.conflicts(FunctionId::from(a), FunctionId::from(b)))
                 });
                 if conflict {
                     continue;
@@ -463,12 +462,7 @@ mod tests {
         )
     }
 
-    fn run(
-        dag: &WorkflowDag,
-        ws: &[WorkerInfo],
-        cont: &ContentionSet,
-        quota: u64,
-    ) -> Assignment {
+    fn run(dag: &WorkflowDag, ws: &[WorkerInfo], cont: &ContentionSet, quota: u64) -> Assignment {
         let metrics = RuntimeMetrics::initial(dag);
         let mut rng = SimRng::seed_from(42);
         GraphScheduler::default()
@@ -623,7 +617,10 @@ mod tests {
                 seen[m.index()] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "partition covers every node once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "partition covers every node once"
+        );
         // Consistency between group list and lookup vectors.
         for g in &a.groups {
             for m in &g.members {

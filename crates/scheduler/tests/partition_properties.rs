@@ -41,10 +41,8 @@ fn dag_strategy() -> impl Strategy<Value = RandomDag> {
                         .collect();
                     edges.sort_unstable();
                     edges.dedup();
-                    let contention_pairs = contention
-                        .into_iter()
-                        .filter(|&(a, b)| a != b)
-                        .collect();
+                    let contention_pairs =
+                        contention.into_iter().filter(|&(a, b)| a != b).collect();
                     RandomDag {
                         tasks,
                         edges,
@@ -67,7 +65,9 @@ fn build(r: &RandomDag) -> Option<faasflow_wdl::WorkflowDag> {
     for &(a, b) in &r.edges {
         spec.edge(format!("t{a}"), format!("t{b}"));
     }
-    DagParser::default().parse(&Workflow::dag("prop", spec)).ok()
+    DagParser::default()
+        .parse(&Workflow::dag("prop", spec))
+        .ok()
 }
 
 proptest! {

@@ -299,7 +299,10 @@ impl TimeWeighted {
     ///
     /// Panics if `now` precedes the last update.
     pub fn mean(&self, now: SimTime) -> f64 {
-        assert!(now >= self.last_update, "mean window ends before last update");
+        assert!(
+            now >= self.last_update,
+            "mean window ends before last update"
+        );
         let total = now.as_secs_f64();
         if total == 0.0 {
             return 0.0;

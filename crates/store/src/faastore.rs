@@ -140,6 +140,12 @@ impl FaaStore {
         self.memstore.release_invocation(wf, invocation)
     }
 
+    /// Simulates the worker crashing: all locally cached objects are lost
+    /// (budgets and history survive). Returns bytes lost.
+    pub fn crash(&mut self) -> u64 {
+        self.memstore.wipe()
+    }
+
     /// Outputs placed in local memory.
     pub fn local_put_count(&self) -> u64 {
         self.local_puts.get()

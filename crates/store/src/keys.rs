@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 /// The paper's user interface declares "the *keys* in the workflow
 /// definition file" (§3.2); in the reproduction a key is fully determined
 /// by (workflow, invocation, producer), which is what both stores index by.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DataKey {
     /// Owning workflow.
     pub workflow: WorkflowId,

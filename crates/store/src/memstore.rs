@@ -128,6 +128,18 @@ impl MemStore {
         released
     }
 
+    /// Drops every cached object (a node crash: in-memory state is gone).
+    /// Budgets and cumulative counters survive; the usage gauges drop to
+    /// zero. Returns bytes lost.
+    pub fn wipe(&mut self) -> u64 {
+        let lost: u64 = self.objects.values().sum();
+        self.objects.clear();
+        for gauge in self.used.values_mut() {
+            gauge.set(0);
+        }
+        lost
+    }
+
     /// Objects currently cached.
     pub fn object_count(&self) -> usize {
         self.objects.len()
@@ -160,6 +172,18 @@ mod tests {
             InvocationId::new(inv),
             FunctionId::new(f),
         )
+    }
+
+    #[test]
+    fn wipe_loses_objects_but_keeps_budgets() {
+        let mut s = MemStore::new();
+        s.set_budget(WorkflowId::new(0), 100);
+        assert!(s.try_put(key(0, 0, 0), 70));
+        assert_eq!(s.wipe(), 70);
+        assert_eq!(s.object_count(), 0);
+        assert_eq!(s.used(WorkflowId::new(0)), 0);
+        assert_eq!(s.budget(WorkflowId::new(0)), 100);
+        assert!(s.try_put(key(0, 0, 1), 100), "budget fully available again");
     }
 
     #[test]
@@ -205,7 +229,10 @@ mod tests {
         s.try_put(key(0, 0, 0), 10);
         s.try_put(key(0, 0, 1), 20);
         s.try_put(key(0, 1, 0), 40);
-        assert_eq!(s.release_invocation(WorkflowId::new(0), InvocationId::new(0)), 30);
+        assert_eq!(
+            s.release_invocation(WorkflowId::new(0), InvocationId::new(0)),
+            30
+        );
         assert_eq!(s.object_count(), 1);
         assert_eq!(s.used(WorkflowId::new(0)), 40);
     }

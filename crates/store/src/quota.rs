@@ -25,9 +25,7 @@ pub const DEFAULT_MU: u64 = 32 << 20;
 pub fn node_overprovision(dag: &WorkflowDag, node: FunctionId, mu: u64) -> u64 {
     let n = dag.node(node);
     match &n.kind {
-        NodeKind::Function(profile) => {
-            profile.overprovisioned_bytes(mu) * u64::from(n.parallelism)
-        }
+        NodeKind::Function(profile) => profile.overprovisioned_bytes(mu) * u64::from(n.parallelism),
         _ => 0,
     }
 }
@@ -42,7 +40,11 @@ pub fn workflow_quota(dag: &WorkflowDag, mu: u64) -> u64 {
 /// The share of Eq. (2) attributable to a subset of nodes — used to budget
 /// each worker's [`crate::MemStore`] with the quota of the functions the
 /// partitioner placed there.
-pub fn subset_quota(dag: &WorkflowDag, nodes: impl IntoIterator<Item = FunctionId>, mu: u64) -> u64 {
+pub fn subset_quota(
+    dag: &WorkflowDag,
+    nodes: impl IntoIterator<Item = FunctionId>,
+    mu: u64,
+) -> u64 {
     nodes
         .into_iter()
         .map(|v| node_overprovision(dag, v, mu))

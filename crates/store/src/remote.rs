@@ -153,7 +153,11 @@ mod tests {
     use faasflow_sim::{FunctionId, WorkflowId};
 
     fn key(inv: u32, f: u32) -> DataKey {
-        DataKey::new(WorkflowId::new(0), InvocationId::new(inv), FunctionId::new(f))
+        DataKey::new(
+            WorkflowId::new(0),
+            InvocationId::new(inv),
+            FunctionId::new(f),
+        )
     }
 
     #[test]

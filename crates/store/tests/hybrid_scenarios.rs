@@ -88,7 +88,11 @@ fn quota_equations_bound_every_runtime_budget() {
         "q",
         Step::sequence(vec![
             Step::task("a", FunctionProfile::with_millis(1, 0).peak_mem(64 << 20)),
-            Step::foreach("b", FunctionProfile::with_millis(1, 0).peak_mem(96 << 20), 4),
+            Step::foreach(
+                "b",
+                FunctionProfile::with_millis(1, 0).peak_mem(96 << 20),
+                4,
+            ),
             Step::task("c", FunctionProfile::with_millis(1, 0).peak_mem(128 << 20)),
         ]),
     );
@@ -112,9 +116,7 @@ fn per_invocation_cleanup_is_complete_across_both_stores() {
     for inv in 0..4u32 {
         for f in 0..3u32 {
             let k = key(0, inv, f);
-            if fs.decide_put(k, 1 << 20, StorageType::Mem, HERE, &[HERE])
-                == Placement::Remote
-            {
+            if fs.decide_put(k, 1 << 20, StorageType::Mem, HERE, &[HERE]) == Placement::Remote {
                 db.put(k, 1 << 20);
             }
         }

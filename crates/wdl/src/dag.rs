@@ -417,7 +417,12 @@ mod tests {
             join: JoinKind::All,
             parallelism: 1,
         };
-        let nodes = vec![mk(0, "a", 10), mk(1, "b", 50), mk(2, "c", 20), mk(3, "d", 10)];
+        let nodes = vec![
+            mk(0, "a", 10),
+            mk(1, "b", 50),
+            mk(2, "c", 20),
+            mk(3, "d", 10),
+        ];
         let edge = |i: u32, f: u32, t: u32, w_ms: u64| DagEdge {
             id: EdgeId(i),
             from: FunctionId::new(f),

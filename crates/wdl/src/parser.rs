@@ -159,14 +159,16 @@ impl DagParser {
         let mut edges = Vec::with_capacity(spec.edges.len());
         let mut data_edges = Vec::with_capacity(spec.edges.len());
         for (from_name, to_name) in &spec.edges {
-            let from = *index.get(from_name.as_str()).ok_or_else(|| {
-                WdlError::UnknownTask {
+            let from = *index
+                .get(from_name.as_str())
+                .ok_or_else(|| WdlError::UnknownTask {
                     name: from_name.clone(),
-                }
-            })?;
-            let to = *index.get(to_name.as_str()).ok_or_else(|| WdlError::UnknownTask {
-                name: to_name.clone(),
-            })?;
+                })?;
+            let to = *index
+                .get(to_name.as_str())
+                .ok_or_else(|| WdlError::UnknownTask {
+                    name: to_name.clone(),
+                })?;
             if from == to {
                 return Err(WdlError::SelfLoop {
                     name: from_name.clone(),
@@ -367,12 +369,8 @@ impl Builder {
     fn lower(&mut self, step: &Step) -> Result<(Vec<FunctionId>, Vec<FunctionId>), WdlError> {
         match step {
             Step::Task { name, profile } => {
-                let id = self.add_node(
-                    name.clone(),
-                    NodeKind::Function(*profile),
-                    JoinKind::All,
-                    1,
-                );
+                let id =
+                    self.add_node(name.clone(), NodeKind::Function(*profile), JoinKind::All, 1);
                 Ok((vec![id], vec![id]))
             }
             Step::Foreach {
@@ -396,8 +394,7 @@ impl Builder {
                     *fanout,
                 );
                 let ve_name = self.fresh_virtual("foreach_end");
-                let ve =
-                    self.add_node(ve_name, NodeKind::VirtualEnd, JoinKind::All, 1);
+                let ve = self.add_node(ve_name, NodeKind::VirtualEnd, JoinKind::All, 1);
                 self.add_edge(vs, body, None);
                 self.add_edge(body, ve, None);
                 Ok((vec![vs], vec![ve]))
@@ -429,8 +426,7 @@ impl Builder {
                     1,
                 );
                 let ve_name = self.fresh_virtual("par_end");
-                let ve =
-                    self.add_node(ve_name, NodeKind::VirtualEnd, JoinKind::All, 1);
+                let ve = self.add_node(ve_name, NodeKind::VirtualEnd, JoinKind::All, 1);
                 for branch in branches {
                     let (entries, exits) = self.lower(branch)?;
                     for v in entries {
@@ -454,8 +450,7 @@ impl Builder {
                 );
                 let ve_name = self.fresh_virtual("switch_end");
                 // One arm completing suffices: Any join.
-                let ve =
-                    self.add_node(ve_name, NodeKind::VirtualEnd, JoinKind::Any, 1);
+                let ve = self.add_node(ve_name, NodeKind::VirtualEnd, JoinKind::Any, 1);
                 for (arm, case) in cases.iter().enumerate() {
                     let (entries, exits) = self.lower(&case.step)?;
                     for v in entries {
@@ -622,7 +617,7 @@ mod tests {
         let ve = dag
             .nodes()
             .iter()
-            .find(|nd| matches!(nd.kind, NodeKind::VirtualEnd) )
+            .find(|nd| matches!(nd.kind, NodeKind::VirtualEnd))
             .unwrap()
             .id;
         let out = dag.successors(ve);
@@ -664,7 +659,14 @@ mod tests {
         let vs = dag
             .nodes()
             .iter()
-            .find(|nd| matches!(nd.kind, NodeKind::VirtualStart { switch_arms: Some(2) }))
+            .find(|nd| {
+                matches!(
+                    nd.kind,
+                    NodeKind::VirtualStart {
+                        switch_arms: Some(2)
+                    }
+                )
+            })
             .expect("switch start present");
         let arms: Vec<Option<u32>> = dag
             .successors(vs.id)
@@ -788,10 +790,7 @@ mod tests {
                     "arm0",
                     Step::sequence(vec![
                         Step::task("s0", p(1, 5)),
-                        Step::parallel(vec![
-                            Step::task("p0", p(1, 5)),
-                            Step::task("p1", p(1, 5)),
-                        ]),
+                        Step::parallel(vec![Step::task("p0", p(1, 5)), Step::task("p1", p(1, 5))]),
                     ]),
                 ),
                 SwitchCase::new("arm1", Step::foreach("fe", p(1, 5), 3)),

@@ -130,12 +130,8 @@ impl Step {
         match self {
             Step::Task { .. } | Step::Foreach { .. } => 1,
             Step::Sequence { steps } => steps.iter().map(Step::function_count).sum(),
-            Step::Parallel { branches } => {
-                branches.iter().map(Step::function_count).sum()
-            }
-            Step::Switch { cases } => {
-                cases.iter().map(|c| c.step.function_count()).sum()
-            }
+            Step::Parallel { branches } => branches.iter().map(Step::function_count).sum(),
+            Step::Switch { cases } => cases.iter().map(|c| c.step.function_count()).sum(),
         }
     }
 }

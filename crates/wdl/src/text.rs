@@ -113,11 +113,10 @@ impl Parser {
     }
 
     fn expect(&mut self, what: &str) -> Result<Token, TextError> {
-        self.next()
-            .ok_or_else(|| TextError {
-                line: 0,
-                message: format!("expected {what}"),
-            })
+        self.next().ok_or_else(|| TextError {
+            line: 0,
+            message: format!("expected {what}"),
+        })
     }
 
     fn expect_literal(&mut self, lit: &str) -> Result<(), TextError> {
@@ -142,9 +141,7 @@ impl Parser {
             "switch" => self.parse_switch(),
             other => Err(TextError {
                 line: t.line,
-                message: format!(
-                    "expected task/foreach/seq/par/switch, found `{other}`"
-                ),
+                message: format!("expected task/foreach/seq/par/switch, found `{other}`"),
             }),
         }
     }
@@ -382,7 +379,11 @@ fn render_step(step: &Step, depth: usize, out: &mut String) {
             profile,
             fanout,
         } => {
-            let _ = writeln!(out, "{pad}foreach {name} x{fanout}{}", render_attrs(profile));
+            let _ = writeln!(
+                out,
+                "{pad}foreach {name} x{fanout}{}",
+                render_attrs(profile)
+            );
         }
         Step::Sequence { steps } => {
             let _ = writeln!(out, "{pad}seq {{");
@@ -514,10 +515,8 @@ seq {
 
     #[test]
     fn comments_and_whitespace_are_ignored() {
-        let wf = parse_text(
-            "workflow c # name\n# full-line comment\n   task a 1ms#glued\n",
-        )
-        .expect("parses");
+        let wf = parse_text("workflow c # name\n# full-line comment\n   task a 1ms#glued\n")
+            .expect("parses");
         assert_eq!(wf.name, "c");
     }
 

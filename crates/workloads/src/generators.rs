@@ -47,10 +47,21 @@ fn profile(p: StageProfile) -> FunctionProfile {
 /// # Panics
 ///
 /// Panics if `chains` or `chain_len` is zero.
-pub fn chain_ensemble(name: &str, chains: usize, chain_len: usize, stage: StageProfile) -> Workflow {
+pub fn chain_ensemble(
+    name: &str,
+    chains: usize,
+    chain_len: usize,
+    stage: StageProfile,
+) -> Workflow {
     assert!(chains > 0 && chain_len > 0, "ensemble must be non-empty");
     let mut spec = DagSpec::new();
-    spec.task("prepare", profile(StageProfile { output_bytes: 1 << 20, ..stage }));
+    spec.task(
+        "prepare",
+        profile(StageProfile {
+            output_bytes: 1 << 20,
+            ..stage
+        }),
+    );
     for c in 0..chains {
         for s in 0..chain_len {
             spec.task(format!("s{s}_c{c}"), profile(stage));
@@ -62,7 +73,13 @@ pub fn chain_ensemble(name: &str, chains: usize, chain_len: usize, stage: StageP
         }
         spec.edge(format!("s{}_c{c}", chain_len - 1), "combine");
     }
-    spec.task("combine", profile(StageProfile { output_bytes: 0, ..stage }));
+    spec.task(
+        "combine",
+        profile(StageProfile {
+            output_bytes: 0,
+            ..stage
+        }),
+    );
     Workflow::dag(name, spec)
 }
 
@@ -75,7 +92,13 @@ pub fn chain_ensemble(name: &str, chains: usize, chain_len: usize, stage: StageP
 pub fn map_pipeline(name: &str, lanes: usize, lane_len: usize, stage: StageProfile) -> Workflow {
     assert!(lanes > 0 && lane_len > 0, "pipeline must be non-empty");
     let mut spec = DagSpec::new();
-    spec.task("split", profile(StageProfile { output_bytes: stage.output_bytes / 4, ..stage }));
+    spec.task(
+        "split",
+        profile(StageProfile {
+            output_bytes: stage.output_bytes / 4,
+            ..stage
+        }),
+    );
     for l in 0..lanes {
         for s in 0..lane_len {
             spec.task(format!("p{s}_l{l}"), profile(stage));
@@ -87,7 +110,13 @@ pub fn map_pipeline(name: &str, lanes: usize, lane_len: usize, stage: StageProfi
         }
         spec.edge(format!("p{}_l{l}", lane_len - 1), "merge");
     }
-    spec.task("merge", profile(StageProfile { output_bytes: 0, ..stage }));
+    spec.task(
+        "merge",
+        profile(StageProfile {
+            output_bytes: 0,
+            ..stage
+        }),
+    );
     Workflow::dag(name, spec)
 }
 
@@ -133,7 +162,13 @@ pub fn cross_coupled(
         }
         spec.edge(&consumer, "sink");
     }
-    spec.task("sink", profile(StageProfile { output_bytes: 0, ..stage }));
+    spec.task(
+        "sink",
+        profile(StageProfile {
+            output_bytes: 0,
+            ..stage
+        }),
+    );
     Workflow::dag(name, spec)
 }
 

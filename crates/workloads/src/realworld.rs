@@ -119,7 +119,11 @@ mod tests {
         let dag = DagParser::default()
             .parse(&file_processing())
             .expect("parses");
-        let html = dag.nodes().iter().find(|n| n.name == "convert_html").unwrap();
+        let html = dag
+            .nodes()
+            .iter()
+            .find(|n| n.name == "convert_html")
+            .unwrap();
         let sent = dag
             .nodes()
             .iter()

@@ -64,7 +64,9 @@ fn main() -> Result<(), ClusterError> {
     assert_eq!(parsed_back, order_pipeline);
 
     // The parser reports structural statistics before any execution.
-    let dag = DagParser::default().parse(&order_pipeline).expect("valid WDL");
+    let dag = DagParser::default()
+        .parse(&order_pipeline)
+        .expect("valid WDL");
     println!(
         "order-pipeline: {} functions, {} DAG nodes (incl. virtual brackets), {} control edges, {} data edges\n",
         dag.function_count(),
@@ -75,7 +77,10 @@ fn main() -> Result<(), ClusterError> {
 
     // --- Run both on one cluster --------------------------------------
     let mut cluster = Cluster::new(ClusterConfig::default())?;
-    cluster.register(&order_pipeline, ClientConfig::ClosedLoop { invocations: 60 })?;
+    cluster.register(
+        &order_pipeline,
+        ClientConfig::ClosedLoop { invocations: 60 },
+    )?;
     cluster.register(&media, ClientConfig::ClosedLoop { invocations: 60 })?;
     cluster.run_until_idle();
 

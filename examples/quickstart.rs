@@ -39,7 +39,10 @@ fn main() -> Result<(), ClusterError> {
     println!("completed: {} invocations", etl.completed);
     println!("mean end-to-end latency : {:>8.1} ms", etl.e2e.mean);
     println!("p99 end-to-end latency  : {:>8.1} ms", etl.e2e.p99);
-    println!("scheduling overhead     : {:>8.1} ms", etl.sched_overhead.mean);
+    println!(
+        "scheduling overhead     : {:>8.1} ms",
+        etl.sched_overhead.mean
+    );
     println!(
         "data locality           : {:>8.1} % of bytes passed in memory",
         100.0 * etl.local_bytes as f64 / (etl.local_bytes + etl.remote_bytes).max(1) as f64

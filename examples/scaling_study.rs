@@ -24,8 +24,7 @@ fn measure(wf: &Workflow) -> Result<(f64, f64, f64), ClusterError> {
     cluster.run_until_idle();
     let report = cluster.report();
     let w = report.workflow(&wf.name);
-    let local =
-        100.0 * w.local_bytes as f64 / (w.local_bytes + w.remote_bytes).max(1) as f64;
+    let local = 100.0 * w.local_bytes as f64 / (w.local_bytes + w.remote_bytes).max(1) as f64;
     Ok((w.e2e.mean, w.transfer_total.mean / 1000.0, local))
 }
 
@@ -45,7 +44,10 @@ fn main() -> Result<(), ClusterError> {
                 "chain-ensemble",
                 chain_ensemble("chain-ensemble", scale, 4, stage),
             ),
-            ("map-pipeline", map_pipeline("map-pipeline", scale, 4, stage)),
+            (
+                "map-pipeline",
+                map_pipeline("map-pipeline", scale, 4, stage),
+            ),
             (
                 "cross-coupled",
                 cross_coupled("cross-coupled", scale * 3, scale, 3.min(scale * 3), stage),

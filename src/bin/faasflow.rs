@@ -72,8 +72,7 @@ commands:
   bench <workflow.json>         compare MasterSP / WorkerSP / +FaaStore";
 
 fn load(path: &str) -> Result<Workflow, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if path.ends_with(".wdl") {
         faasflow::wdl::text::parse_text(&text).map_err(|e| format!("`{path}`: {e}"))
     } else {
@@ -155,9 +154,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse_flag(args, "--seed", 0xFAA5_F10E_u64)?;
 
     let wf = load(path)?;
-    let dag = DagParser::default()
-        .parse(&wf)
-        .map_err(|e| e.to_string())?;
+    let dag = DagParser::default().parse(&wf).map_err(|e| e.to_string())?;
     let infos: Vec<WorkerInfo> = (0..workers)
         .map(|i| WorkerInfo::new(NodeId::new(i + 1), capacity))
         .collect();

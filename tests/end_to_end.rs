@@ -98,9 +98,18 @@ fn switch_workflows_run_exactly_one_arm() {
         Step::sequence(vec![
             Step::task("in", FunctionProfile::with_millis(10, 1 << 20)),
             Step::switch(vec![
-                SwitchCase::new("a", Step::task("arm_a", FunctionProfile::with_millis(10, 1000))),
-                SwitchCase::new("b", Step::task("arm_b", FunctionProfile::with_millis(10, 1000))),
-                SwitchCase::new("c", Step::task("arm_c", FunctionProfile::with_millis(10, 1000))),
+                SwitchCase::new(
+                    "a",
+                    Step::task("arm_a", FunctionProfile::with_millis(10, 1000)),
+                ),
+                SwitchCase::new(
+                    "b",
+                    Step::task("arm_b", FunctionProfile::with_millis(10, 1000)),
+                ),
+                SwitchCase::new(
+                    "c",
+                    Step::task("arm_c", FunctionProfile::with_millis(10, 1000)),
+                ),
             ]),
             Step::task("out", FunctionProfile::with_millis(10, 0)),
         ]),
@@ -218,5 +227,8 @@ fn repartition_iterations_keep_the_cluster_correct() {
     let report = cluster.report();
     assert_eq!(report.workflow("Gen").completed, 25);
     let (_, runs) = cluster.partition_wall_time();
-    assert!(runs >= 5, "feedback iterations must re-partition ({runs} runs)");
+    assert!(
+        runs >= 5,
+        "feedback iterations must re-partition ({runs} runs)"
+    );
 }

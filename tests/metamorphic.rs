@@ -41,7 +41,10 @@ fn more_bandwidth_never_hurts_transfers() {
                 storage_bandwidth: bw,
                 ..hyperflow()
             };
-            let t = run(config, b, 10).workflow(b.short_name()).transfer_total.mean;
+            let t = run(config, b, 10)
+                .workflow(b.short_name())
+                .transfer_total
+                .mean;
             assert!(
                 t <= prev * 1.02,
                 "{b}: transfer latency rose from {prev:.1} to {t:.1} ms with more bandwidth"
@@ -53,7 +56,11 @@ fn more_bandwidth_never_hurts_transfers() {
 
 #[test]
 fn faastore_reduces_remote_traffic_without_hurting_latency() {
-    for b in [Benchmark::Cycles, Benchmark::VideoFfmpeg, Benchmark::WordCount] {
+    for b in [
+        Benchmark::Cycles,
+        Benchmark::VideoFfmpeg,
+        Benchmark::WordCount,
+    ] {
         let off = run(faasflow(false), b, 10);
         let on = run(faasflow(true), b, 10);
         let w_off = off.workflow(b.short_name());
@@ -86,7 +93,10 @@ fn workersp_eliminates_master_messaging() {
     assert!(master.master_tasks_assigned > 0);
     assert!(master.master_state_returns > 0);
     assert_eq!(master.worker_syncs, 0, "no worker syncs under MasterSP");
-    assert_eq!(worker.master_tasks_assigned, 0, "no assignments under WorkerSP");
+    assert_eq!(
+        worker.master_tasks_assigned, 0,
+        "no assignments under WorkerSP"
+    );
     assert_eq!(worker.master_state_returns, 0);
     assert!(
         worker.worker_syncs > 0,

@@ -27,9 +27,7 @@ fn corpus_is_nonempty_and_parses() {
     assert!(corpus.len() >= 9, "expected the 8 benchmarks + demo");
     let parser = DagParser::default();
     for (path, wf) in &corpus {
-        let dag = parser
-            .parse(wf)
-            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        let dag = parser.parse(wf).unwrap_or_else(|e| panic!("{path}: {e}"));
         assert!(dag.function_count() > 0, "{path}");
     }
 }

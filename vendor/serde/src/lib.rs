@@ -1,0 +1,411 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors the tiny slice of serde it actually uses: derived
+//! `Serialize`/`Deserialize` for plain structs, tuple structs, and
+//! externally-tagged enums (with optional `rename_all = "snake_case"`).
+//!
+//! The data model is a concrete [`Value`] tree instead of serde's visitor
+//! architecture: `Serialize` lowers a type into a `Value`, `Deserialize`
+//! lifts it back. `serde_json` (also vendored) converts between `Value`
+//! and JSON text. This keeps the derive macro trivial while preserving
+//! serde's observable behaviour for every shape this workspace uses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer (positives normalise to [`Value::UInt`]).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a human-readable reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    /// "expected X while deserializing Y, got Z".
+    pub fn expected(what: &str, ctx: &str, got: &Value) -> Error {
+        Error(format!("expected {what} for {ctx}, got {}", got.kind()))
+    }
+
+    /// A struct field was absent.
+    pub fn missing_field(field: &str, ctx: &str) -> Error {
+        Error(format!("missing field `{field}` in {ctx}"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(variant: &str, ctx: &str) -> Error {
+        Error(format!("unknown variant `{variant}` for {ctx}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Value`] tree.
+pub trait Serialize {
+    /// The tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Lifts a value out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from its tree form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree does not match `Self`'s shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called for a struct field absent from the input; `Option` overrides
+    /// this to `None` (matching serde's missing-field behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-field error by default.
+    #[doc(hidden)]
+    fn absent(field: &str, ctx: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field, ctx))
+    }
+}
+
+/// Derive support: unwraps a map, or errors.
+///
+/// # Errors
+///
+/// Returns an error when `value` is not a map.
+pub fn expect_map<'a>(value: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], Error> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(Error::expected("object", ctx, other)),
+    }
+}
+
+/// Derive support: unwraps a sequence of exactly `len` elements.
+///
+/// # Errors
+///
+/// Returns an error when `value` is not an array of `len` elements.
+pub fn expect_seq<'a>(value: &'a Value, ctx: &str, len: usize) -> Result<&'a [Value], Error> {
+    match value {
+        Value::Seq(items) if items.len() == len => Ok(items),
+        Value::Seq(items) => Err(Error::custom(format!(
+            "expected array of {len} elements for {ctx}, got {}",
+            items.len()
+        ))),
+        other => Err(Error::expected("array", ctx, other)),
+    }
+}
+
+/// Derive support: looks up and deserializes one struct field. Unknown
+/// extra fields in `entries` are ignored, like serde's default.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error; absent fields defer to
+/// [`Deserialize::absent`].
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    ctx: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(key, _)| key == name) {
+        Some((_, value)) => T::from_value(value),
+        None => T::absent(name, ctx),
+    }
+}
+
+fn as_u64(value: &Value, ctx: &str) -> Result<u64, Error> {
+    match value {
+        Value::UInt(u) => Ok(*u),
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(Error::expected("unsigned integer", ctx, other)),
+    }
+}
+
+fn as_i64(value: &Value, ctx: &str) -> Result<i64, Error> {
+    match value {
+        Value::Int(i) => Ok(*i),
+        Value::UInt(u) => i64::try_from(*u)
+            .map_err(|_| Error::custom(format!("integer {u} overflows i64 for {ctx}"))),
+        other => Err(Error::expected("integer", ctx, other)),
+    }
+}
+
+fn as_f64(value: &Value, ctx: &str) -> Result<f64, Error> {
+    match value {
+        Value::Float(f) => Ok(*f),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Int(i) => Ok(*i as f64),
+        other => Err(Error::expected("number", ctx, other)),
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = as_u64(value, stringify!($t))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = as_i64(value, stringify!($t))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        as_f64(value, "f64")
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        as_f64(value, "f32").map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent(_field: &str, _ctx: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", "Vec", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = expect_map(value, "BTreeMap")?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = expect_seq(value, "tuple", LEN)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&Value::UInt(3)).unwrap(), 3.0);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::absent("x", "T").unwrap(), None);
+        assert!(u32::absent("x", "T").is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back = Vec::<(u32, String)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(BTreeMap::from_value(&m.to_value()).unwrap(), m);
+    }
+
+    #[test]
+    fn range_checks_reject() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+    }
+}
