@@ -30,7 +30,9 @@ fn bench_recompute(c: &mut Criterion) {
                     .collect();
                 b.iter(|| {
                     let mut net: FlowNet<usize> = FlowNet::new(storage_cluster());
-                    // `flows` arrivals, each triggering a recompute...
+                    // `flows` arrivals at one instant: rates recompute
+                    // lazily, so the batch costs one fill at the first
+                    // rate read...
                     let ids: Vec<_> = endpoints
                         .iter()
                         .enumerate()
@@ -39,6 +41,39 @@ fn bench_recompute(c: &mut Criterion) {
                     // ...then `flows` departures.
                     for id in ids {
                         net.cancel_flow(id, SimTime::ZERO);
+                    }
+                    net.active_flows()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("arrival_departure_observed", flows),
+            &flows,
+            |b, &flows| {
+                let mut rng = SimRng::seed_from(3);
+                let endpoints: Vec<(NodeId, NodeId)> = (0..flows)
+                    .map(|_| {
+                        let w = NodeId::from(1 + rng.next_below(7) as usize);
+                        (NodeId::new(0), w)
+                    })
+                    .collect();
+                b.iter(|| {
+                    let mut net: FlowNet<usize> = FlowNet::new(storage_cluster());
+                    // Reading the completion horizon after every mutation
+                    // forces a fill per arrival/departure — the worst case
+                    // the incremental recompute has to win.
+                    let ids: Vec<_> = endpoints
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(src, dst))| {
+                            let id = net.start_flow(src, dst, 1 << 20, i, SimTime::ZERO);
+                            let _ = net.next_completion();
+                            id
+                        })
+                        .collect();
+                    for id in ids {
+                        net.cancel_flow(id, SimTime::ZERO);
+                        let _ = net.next_completion();
                     }
                     net.active_flows()
                 });

@@ -17,7 +17,8 @@
 //!   components  engine overhead & cluster scaling                 (§5.7)
 //!   ablations   design-choice ablations (DESIGN.md)
 //!   chaos       fault-domain recovery, WorkerSP vs MasterSP       (§6)
-//!   all         everything above in order
+//!   perf        hot-path microbenchmarks -> BENCH_kernel.json
+//!   all         everything above in order (perf excluded)
 //! ```
 //!
 //! Absolute values are not expected to match the authors' hardware; the
@@ -135,6 +136,7 @@ fn main() {
         "components" => components(&scale),
         "ablations" => ablations(&scale),
         "chaos" => chaos(&scale),
+        "perf" => perf(quick),
         "all" => {
             fig4(&scale);
             fig5(&scale);
@@ -912,6 +914,296 @@ fn chaos(scale: &Scale) {
     println!("paper argument (§6): worker-side scheduling confines the blast radius —");
     println!("the central engine turns every fault into a control-plane event.");
 }
+
+// ====================================================================
+// perf — hot-path microbenchmarks and BENCH_kernel.json
+// ====================================================================
+
+/// One microbenchmark row. `baseline: "live"` rows run the pre-overhaul
+/// implementation (preserved in `faasflow_bench::legacy`) back to back
+/// with the current one in this process, so machine state cancels out;
+/// `baseline: "recorded"` rows (whole-cluster runs, where the old code no
+/// longer exists) compare against medians recorded on the pre-overhaul
+/// tree on the same machine class.
+#[derive(serde::Serialize)]
+struct BenchEntry {
+    name: &'static str,
+    baseline: &'static str,
+    baseline_us: f64,
+    measured_us: f64,
+    speedup: f64,
+}
+
+/// The machine-readable artifact behind `repro perf`. Regenerate with
+/// `cargo run --release -p faasflow-bench --bin repro -- perf` from the
+/// repository root (see DESIGN.md, "Performance model").
+#[derive(serde::Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    note: &'static str,
+    quick: bool,
+    /// Wall-clock of `repro all` (seconds): recorded on the pre-overhaul
+    /// tree vs the current tree, same machine, default scale.
+    repro_all_secs_baseline: f64,
+    repro_all_secs_current: f64,
+    entries: Vec<BenchEntry>,
+}
+
+/// Median wall-clock of `reps` runs of `f`, in microseconds.
+fn median_us(reps: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The paper's storage topology: 1 storage node at 50 MB/s + 7 workers at
+/// 10 Gbit/s (mirrors `benches/flownet.rs`).
+fn storage_cluster() -> Vec<faasflow_net::NicSpec> {
+    let mut nics = vec![faasflow_net::NicSpec::symmetric(50e6)];
+    nics.extend(std::iter::repeat_n(
+        faasflow_net::NicSpec::symmetric(1.25e9),
+        7,
+    ));
+    nics
+}
+
+/// Hot-path microbenchmarks (DES event queue, flow network, end-to-end
+/// invocation cost), printed as a table and emitted to `BENCH_kernel.json`.
+/// Event-queue and flow-network baselines run the preserved pre-overhaul
+/// implementations (`faasflow_bench::legacy`) live in this process.
+fn perf(quick: bool) {
+    use faasflow_bench::legacy::{LegacyEventQueue, LegacyFlowNet};
+    use faasflow_sim::{EventQueue, SimTime};
+
+    println!("\n=== Perf: hot-path microbenchmarks (baseline = pre-overhaul code) ===");
+    let reps = if quick { 5 } else { 15 };
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut push =
+        |name: &'static str, baseline: &'static str, baseline_us: f64, measured_us: f64| {
+            entries.push(BenchEntry {
+                name,
+                baseline,
+                baseline_us,
+                measured_us,
+                speedup: baseline_us / measured_us,
+            });
+        };
+
+    // DES event queue: bulk schedule + drain (random times).
+    for (n, name) in [
+        (10_000usize, "event_queue/push_pop/10k"),
+        (100_000, "event_queue/push_pop/100k"),
+    ] {
+        let mut rng = SimRng::seed_from(1);
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000_000)).collect();
+        let base = median_us(reps, || {
+            let mut q = LegacyEventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc as u64
+        });
+        let us = median_us(reps, || {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc as u64
+        });
+        push(name, "live", base, us);
+    }
+
+    // DES event queue: the flow-timer pattern (schedule, cancel previous,
+    // reschedule) — cancellation cost dominates.
+    for (n, name) in [
+        (10_000usize, "event_queue/cancel_heavy/10k"),
+        (100_000, "event_queue/cancel_heavy/100k"),
+    ] {
+        let base = median_us(reps, || {
+            let mut q = LegacyEventQueue::new();
+            let mut last = None;
+            for i in 0..n {
+                if let Some(id) = last.take() {
+                    q.cancel(id);
+                }
+                last = Some(q.schedule(SimTime::from_nanos(i as u64 + 1), i));
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+        let us = median_us(reps, || {
+            let mut q = EventQueue::new();
+            let mut last = None;
+            for i in 0..n {
+                if let Some(id) = last.take() {
+                    q.cancel(id);
+                }
+                last = Some(q.schedule(SimTime::from_nanos(i as u64 + 1), i));
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+        push(name, "live", base, us);
+    }
+
+    // Flow network: arrivals and departures with the completion horizon
+    // observed after every mutation (one max-min fill per operation).
+    for (flows, name) in [
+        (64usize, "flownet/arrival_departure_observed/64"),
+        (256, "flownet/arrival_departure_observed/256"),
+    ] {
+        let mut rng = SimRng::seed_from(3);
+        let endpoints: Vec<(NodeId, NodeId)> = (0..flows)
+            .map(|_| {
+                let w = NodeId::from(1 + rng.next_below(7) as usize);
+                (NodeId::new(0), w)
+            })
+            .collect();
+        let base = median_us(reps, || {
+            let mut net: LegacyFlowNet<usize> = LegacyFlowNet::new(storage_cluster());
+            let ids: Vec<_> = endpoints
+                .iter()
+                .enumerate()
+                .map(|(i, &(src, dst))| {
+                    let id = net.start_flow(src, dst, 1 << 20, i, SimTime::ZERO);
+                    let _ = net.next_completion();
+                    id
+                })
+                .collect();
+            for id in ids {
+                net.cancel_flow(id, SimTime::ZERO);
+                let _ = net.next_completion();
+            }
+            net.active_flows() as u64
+        });
+        let us = median_us(reps, || {
+            let mut net: faasflow_net::FlowNet<usize> =
+                faasflow_net::FlowNet::new(storage_cluster());
+            let ids: Vec<_> = endpoints
+                .iter()
+                .enumerate()
+                .map(|(i, &(src, dst))| {
+                    let id = net.start_flow(src, dst, 1 << 20, i, SimTime::ZERO);
+                    let _ = net.next_completion();
+                    id
+                })
+                .collect();
+            for id in ids {
+                net.cancel_flow(id, SimTime::ZERO);
+                let _ = net.next_completion();
+            }
+            net.active_flows() as u64
+        });
+        push(name, "live", base, us);
+    }
+
+    // Flow network: drive 64 flows to completion through the shared
+    // storage NIC (integration + departures + timer horizon reads).
+    {
+        let base = median_us(reps, || {
+            let mut net: LegacyFlowNet<usize> = LegacyFlowNet::new(storage_cluster());
+            for i in 0..64 {
+                let w = NodeId::from(1 + (i % 7));
+                net.start_flow(NodeId::new(0), w, 4 << 20, i, SimTime::ZERO);
+            }
+            let mut delivered = 0u64;
+            while let Some(t) = net.next_completion() {
+                for (_, f) in net.take_completed(t) {
+                    delivered += f.bytes;
+                }
+            }
+            delivered
+        });
+        let us = median_us(reps, || {
+            let mut net: faasflow_net::FlowNet<usize> =
+                faasflow_net::FlowNet::new(storage_cluster());
+            for i in 0..64 {
+                let w = NodeId::from(1 + (i % 7));
+                net.start_flow(NodeId::new(0), w, 4 << 20, i, SimTime::ZERO);
+            }
+            let mut delivered = 0u64;
+            while let Some(t) = net.next_completion() {
+                for (_, f) in net.take_completed(t) {
+                    delivered += f.bytes;
+                }
+            }
+            delivered
+        });
+        push("flownet/drain_64_flows_to_completion", "live", base, us);
+    }
+
+    // Whole-cluster: five closed-loop invocations end to end (mirrors
+    // `benches/cluster.rs`, FaaSFlow-FaaStore mode). The pre-overhaul
+    // cluster no longer exists, so these rows use recorded medians.
+    for (b, name, base) in [
+        (Benchmark::WordCount, "cluster/faasflow_faastore/WC", 343.0),
+        (Benchmark::Genome, "cluster/faasflow_faastore/Gen", 5_560.0),
+    ] {
+        let us = median_us(reps, || {
+            let mut cluster = Cluster::new(faasflow_config()).expect("valid config");
+            cluster
+                .register(&b.workflow(), ClientConfig::ClosedLoop { invocations: 5 })
+                .expect("registers");
+            cluster.run_until_idle();
+            cluster.report().workflow(b.short_name()).completed
+        });
+        push(name, "recorded", base, us);
+    }
+
+    println!(
+        "{:<42} {:>12} {:>12} {:>9}",
+        "microbench", "before (µs)", "after (µs)", "speedup"
+    );
+    rule(78);
+    for e in &entries {
+        println!(
+            "{:<42} {:>12.1} {:>12.1} {:>8.1}x",
+            e.name, e.baseline_us, e.measured_us, e.speedup
+        );
+    }
+    rule(78);
+
+    let report = BenchReport {
+        schema: "faasflow-bench/kernel/v1",
+        note: "baseline=live rows run the preserved pre-overhaul implementation \
+               (faasflow_bench::legacy: BinaryHeap + tombstone event queue, full \
+               max-min recompute per mutation) back to back with the current code; \
+               baseline=recorded rows compare against medians recorded on the \
+               pre-overhaul tree, same machine class. \
+               Regenerate: cargo run --release -p faasflow-bench --bin repro -- perf",
+        quick,
+        repro_all_secs_baseline: REPRO_ALL_SECS_BASELINE,
+        repro_all_secs_current: REPRO_ALL_SECS_CURRENT,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_kernel.json", json + "\n").expect("BENCH_kernel.json written");
+    println!("wrote BENCH_kernel.json");
+}
+
+/// Wall-clock of `cargo run --release -- all` (default scale) recorded on
+/// the pre-overhaul tree and on this tree, same machine.
+const REPRO_ALL_SECS_BASELINE: f64 = 13.5;
+const REPRO_ALL_SECS_CURRENT: f64 = 5.1; // refreshed alongside BENCH_kernel.json
 
 fn avg(xs: &[f64]) -> f64 {
     if xs.is_empty() {

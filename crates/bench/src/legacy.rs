@@ -1,0 +1,343 @@
+//! Pre-overhaul hot-path implementations, preserved in miniature.
+//!
+//! The `repro perf` scenario measures its baselines *live* against these
+//! replicas instead of comparing to numbers recorded on some other
+//! machine (or the same machine under different load): both sides of
+//! every before/after row in `BENCH_kernel.json` run back to back in the
+//! same process. The code is lifted from the tree before the hot-path
+//! overhaul — a `BinaryHeap` with tombstone-set lazy cancellation for the
+//! event queue, and a full progressive-filling recompute on every flow
+//! mutation for the network — trimmed to the operations the benchmarks
+//! exercise.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use faasflow_net::NicSpec;
+use faasflow_sim::{NodeId, SimDuration, SimTime};
+
+// ====================================================================
+// Event queue: BinaryHeap + live/cancelled HashSets, lazy deletion
+// ====================================================================
+
+/// Cancellation token of the legacy queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LegacyEventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; reverse the ordering to pop the earliest.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// The pre-overhaul event queue: two hash-set touches per event, cancelled
+/// entries discarded only when they surface at the heap root.
+pub struct LegacyEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for LegacyEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> LegacyEventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        LegacyEventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> LegacyEventId {
+        assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { time, seq, event });
+        LegacyEventId(seq)
+    }
+
+    /// Tombstones a pending event.
+    pub fn cancel(&mut self, id: LegacyEventId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the earliest live event, discarding tombstones on the way.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+}
+
+// ====================================================================
+// Flow network: global progressive filling on every mutation
+// ====================================================================
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Resource {
+    Up(usize),
+    Down(usize),
+    Loop(usize),
+}
+
+fn resource_key(r: Resource) -> (u8, usize) {
+    match r {
+        Resource::Up(i) => (0, i),
+        Resource::Down(i) => (1, i),
+        Resource::Loop(i) => (2, i),
+    }
+}
+
+/// One transfer in the legacy network.
+pub struct LegacyFlow<T> {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Total size in bytes.
+    pub bytes: u64,
+    /// Caller's payload.
+    pub tag: T,
+    remaining: f64,
+    rate: f64,
+}
+
+/// The pre-overhaul network: hash-map flow table, and a from-scratch
+/// max-min fair recompute (hash-keyed resource maps, id re-sort) after
+/// every single arrival, departure, and completion batch.
+pub struct LegacyFlowNet<T> {
+    nics: Vec<NicSpec>,
+    flows: HashMap<u64, LegacyFlow<T>>,
+    next_id: u64,
+    updated: SimTime,
+}
+
+impl<T> LegacyFlowNet<T> {
+    /// A network over `nics`.
+    pub fn new(nics: Vec<NicSpec>) -> Self {
+        LegacyFlowNet {
+            nics,
+            flows: HashMap::new(),
+            next_id: 0,
+            updated: SimTime::ZERO,
+        }
+    }
+
+    /// Active flow count.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Starts a transfer; rates recompute globally before returning.
+    pub fn start_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: T,
+        now: SimTime,
+    ) -> u64 {
+        self.advance(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            LegacyFlow {
+                src,
+                dst,
+                bytes,
+                tag,
+                remaining: bytes as f64,
+                rate: 0.0,
+            },
+        );
+        self.recompute_rates();
+        id
+    }
+
+    /// Cancels an active flow; rates recompute globally.
+    pub fn cancel_flow(&mut self, id: u64, now: SimTime) -> Option<T> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        self.recompute_rates();
+        Some(flow.tag)
+    }
+
+    /// Earliest completion instant among active flows.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > 0.0 || f.remaining <= 0.0)
+            .map(|f| {
+                if f.remaining <= 0.0 {
+                    self.updated
+                } else {
+                    let secs = f.remaining / f.rate;
+                    let nanos = (secs * 1e9).ceil() as u64 + 1;
+                    self.updated + SimDuration::from_nanos(nanos)
+                }
+            })
+            .min()
+    }
+
+    /// Advances to `now` and removes completed flows, id-sorted.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<(u64, LegacyFlow<T>)> {
+        self.advance(now);
+        const EPS: f64 = 1e-6;
+        let mut done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        done.sort_unstable();
+        let mut out = Vec::with_capacity(done.len());
+        for id in done {
+            let flow = self.flows.remove(&id).expect("flow id collected above");
+            out.push((id, flow));
+        }
+        if !out.is_empty() {
+            self.recompute_rates();
+        }
+        out
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.updated, "time moved backwards");
+        let dt = (now - self.updated).as_secs_f64();
+        if dt > 0.0 {
+            for flow in self.flows.values_mut() {
+                flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
+            }
+        }
+        self.updated = now;
+    }
+
+    /// Progressive filling over *all* flows and resources, from scratch.
+    fn recompute_rates(&mut self) {
+        if self.flows.is_empty() {
+            return;
+        }
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+
+        let mut cap: HashMap<Resource, f64> = HashMap::new();
+        let mut members: HashMap<Resource, Vec<usize>> = HashMap::new();
+        let mut flow_resources: Vec<[Resource; 2]> = Vec::with_capacity(ids.len());
+        for (idx, id) in ids.iter().enumerate() {
+            let f = &self.flows[id];
+            let (r1, r2) = if f.src == f.dst {
+                let r = Resource::Loop(f.src.index());
+                (r, r)
+            } else {
+                (Resource::Up(f.src.index()), Resource::Down(f.dst.index()))
+            };
+            for r in [r1, r2] {
+                let capacity = match r {
+                    Resource::Up(i) => self.nics[i].uplink,
+                    Resource::Down(i) => self.nics[i].downlink,
+                    Resource::Loop(i) => self.nics[i].loopback,
+                };
+                cap.entry(r).or_insert(capacity);
+                let m = members.entry(r).or_default();
+                if m.last() != Some(&idx) {
+                    m.push(idx);
+                }
+            }
+            flow_resources.push([r1, r2]);
+        }
+
+        let n = ids.len();
+        let mut rate = vec![0.0_f64; n];
+        let mut fixed = vec![false; n];
+        let mut unfixed_count: HashMap<Resource, usize> =
+            members.iter().map(|(&r, v)| (r, v.len())).collect();
+        let mut remaining_cap = cap.clone();
+        let mut fixed_total = 0usize;
+
+        while fixed_total < n {
+            let mut best: Option<(f64, Resource)> = None;
+            for (&r, &count) in &unfixed_count {
+                if count == 0 {
+                    continue;
+                }
+                let share = remaining_cap[&r].max(0.0) / count as f64;
+                let better = match best {
+                    None => true,
+                    Some((s, br)) => {
+                        share < s - 1e-12
+                            || (share <= s + 1e-12 && resource_key(r) < resource_key(br))
+                    }
+                };
+                if better {
+                    best = Some((share, r));
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break;
+            };
+            let flows_on: Vec<usize> = members[&bottleneck]
+                .iter()
+                .copied()
+                .filter(|&i| !fixed[i])
+                .collect();
+            for i in flows_on {
+                rate[i] = share;
+                fixed[i] = true;
+                fixed_total += 1;
+                for r in flow_resources[i] {
+                    *remaining_cap.get_mut(&r).expect("resource registered") -= share;
+                    *unfixed_count.get_mut(&r).expect("resource registered") -= 1;
+                    if flow_resources[i][0] == flow_resources[i][1] {
+                        break;
+                    }
+                }
+            }
+        }
+
+        for (idx, id) in ids.iter().enumerate() {
+            self.flows.get_mut(id).expect("listed above").rate = rate[idx].max(0.0);
+        }
+    }
+}

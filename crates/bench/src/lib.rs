@@ -17,6 +17,8 @@ use faasflow_core::{ClientConfig, Cluster, ClusterConfig, RunReport, WorkflowRep
 use faasflow_wdl::Workflow;
 use faasflow_workloads::Benchmark;
 
+pub mod legacy;
+
 /// How one experiment cell drives its workflow.
 #[derive(Debug, Clone, Copy)]
 pub struct Drive {
@@ -128,30 +130,51 @@ pub fn run_colocated_with_distribution(
 
 /// Maps `f` over `items` on up to `threads` OS threads, preserving order.
 /// Each item is an independent simulation cell, so results are identical
-/// to a sequential run.
+/// to a sequential run regardless of thread count.
+///
+/// Work distribution is a lock-free atomic cursor: each worker
+/// fetch-adds the next index to claim a cell, so there is no mutex to
+/// contend on (or poison) between cells, and every result lands in its
+/// input slot directly.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     assert!(threads > 0, "at least one thread required");
     let n = items.len();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let queue = std::sync::Mutex::new(items.into_iter().enumerate());
+    // Each cell sits in its own slot; a worker claims the next index from
+    // the cursor, then takes the cell. The per-slot lock is touched by
+    // exactly one thread (the claimant), so it never contends — the only
+    // shared write is the fetch-add.
+    let input: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new(Some(item)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        let queue = &queue;
-        let f = &f;
+        let (input, cursor, f) = (&input, &cursor, &f);
         let handles: Vec<_> = (0..threads.min(n.max(1)))
             .map(|_| {
                 scope.spawn(move || {
                     let mut results = Vec::new();
                     loop {
-                        let next = queue.lock().expect("work queue poisoned").next();
-                        match next {
-                            Some((idx, item)) => results.push((idx, f(item))),
-                            None => break,
+                        // Relaxed suffices: each index is claimed exactly
+                        // once and the slot lock orders the item handoff.
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
                         }
+                        let item = input[idx]
+                            .lock()
+                            .expect("input slot poisoned")
+                            .take()
+                            .expect("each index claimed once");
+                        results.push((idx, f(item)));
                     }
                     results
                 })
@@ -200,6 +223,25 @@ mod tests {
         let a = parallel_map(vec![1, 2, 3], 1, |x: i32| x + 1);
         let b = parallel_map(vec![1, 2, 3], 3, |x: i32| x + 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_map_thread_count_is_unobservable() {
+        // A cell whose value depends on its input alone; any cross-thread
+        // interference or index mix-up changes the output.
+        let cell = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let items: Vec<u64> = (0..257).collect();
+        let one = parallel_map(items.clone(), 1, cell);
+        let four = parallel_map(items.clone(), 4, cell);
+        let eight = parallel_map(items, 8, cell);
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn parallel_map_more_threads_than_items() {
+        let out = parallel_map(vec![7, 11], 8, |x: i32| x * 2);
+        assert_eq!(out, vec![14, 22]);
     }
 
     #[test]

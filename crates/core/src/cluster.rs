@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use faasflow_container::{Admission, ContainerManager, StartKind};
 use faasflow_engine::{MasterAction, MasterEngine, WorkerAction, WorkerEngine};
-use faasflow_net::{FlowId, FlowNet, LinkFaultTable, LinkQuality, NicSpec};
+use faasflow_net::{Flow, FlowId, FlowNet, LinkFaultTable, LinkQuality, NicSpec};
 use faasflow_scheduler::{
     ContentionSet, DeploymentManager, FeedbackCollector, GraphScheduler, PartitionConfig,
     RuntimeMetrics, WorkerInfo,
@@ -197,9 +197,9 @@ enum Event {
     },
 }
 
-/// Per-workflow cluster state.
+/// Per-workflow cluster state. The workflow's name lives in the cluster's
+/// interned name table, keyed by the dense workflow id.
 struct WorkflowState {
-    name: String,
     /// Mutable master copy of the DAG (edge weights evolve with feedback).
     dag: WorkflowDag,
     /// Snapshot deployed to engines for the current version.
@@ -233,6 +233,29 @@ struct WorkflowState {
 /// assert_eq!(report.workflow("hello").completed, 3);
 /// # Ok::<(), faasflow_core::ClusterError>(())
 /// ```
+/// Reusable buffers for the hot-path sweeps. Each user takes the buffer
+/// with `mem::take`, fills it, and puts it back cleared, so the steady
+/// state of the event loop performs no heap allocation. Distinct fields
+/// exist for sweeps that nest (a crash sweep dead-letters invocations,
+/// which tears down flows).
+#[derive(Debug, Default)]
+struct ClusterScratch {
+    /// Completed flows drained out of the network on each `FlowTick`.
+    flows_done: Vec<(FlowId, Flow<FlowTag>)>,
+    /// Input transfers gathered when an instance becomes ready.
+    inputs: Vec<(FunctionId, u64)>,
+    /// Flow ids doomed by a crash or an invocation teardown.
+    flow_ids: Vec<FlowId>,
+    /// Instance tokens orphaned by a crash.
+    tokens: Vec<InstanceToken>,
+    /// Invocation keys swept during recovery.
+    inv_keys: Vec<(WorkflowId, InvocationId)>,
+    /// Workflow ids swept during a redeploy.
+    wf_ids: Vec<WorkflowId>,
+    /// Instances torn down when an invocation restarts or dead-letters.
+    stale: Vec<(InstanceToken, InstanceState)>,
+}
+
 pub struct Cluster {
     config: ClusterConfig,
     queue: EventQueue<Event>,
@@ -249,7 +272,10 @@ pub struct Cluster {
     master_current: Option<MasterInbox>,
     master_busy_time: SimDuration,
     workflows: HashMap<WorkflowId, WorkflowState>,
-    names: HashMap<String, WorkflowId>,
+    /// Interned-name lookup; `&str` queries hit it without allocating.
+    names: HashMap<Arc<str>, WorkflowId>,
+    /// Interned names indexed by `WorkflowId` (ids are dense).
+    name_table: Vec<Arc<str>>,
     invocations: HashMap<(WorkflowId, InvocationId), InvState>,
     metrics: HashMap<WorkflowId, WorkflowMetrics>,
     next_workflow: u32,
@@ -298,6 +324,8 @@ pub struct Cluster {
     cpu_util: Vec<faasflow_sim::stats::TimeWeighted>,
     /// Time-weighted resident container memory per worker.
     mem_util: Vec<faasflow_sim::stats::TimeWeighted>,
+    /// Reusable sweep buffers (see [`ClusterScratch`]).
+    scratch: ClusterScratch,
 }
 
 impl Cluster {
@@ -341,6 +369,7 @@ impl Cluster {
             master_busy_time: SimDuration::ZERO,
             workflows: HashMap::new(),
             names: HashMap::new(),
+            name_table: Vec::new(),
             invocations: HashMap::new(),
             metrics: HashMap::new(),
             next_workflow: 0,
@@ -368,6 +397,7 @@ impl Cluster {
             tracer: Tracer::new(config.trace),
             cpu_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
             mem_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
+            scratch: ClusterScratch::default(),
             config,
         };
         cluster.schedule_fault_plan();
@@ -434,7 +464,7 @@ impl Cluster {
         contention: ContentionSet,
     ) -> Result<WorkflowId, ClusterError> {
         client.validate().map_err(ClusterError::InvalidClient)?;
-        if self.names.contains_key(&workflow.name) {
+        if self.names.contains_key(workflow.name.as_str()) {
             return Err(ClusterError::DuplicateWorkflow(workflow.name.clone()));
         }
         let parser = DagParser::new(ParserConfig {
@@ -447,8 +477,10 @@ impl Cluster {
 
         let q = quota::workflow_quota(&dag, self.config.mu);
         let prev_metrics = RuntimeMetrics::initial(&dag);
+        // Intern the name once; every later use (lookups, reports) shares
+        // this allocation.
+        let name: Arc<str> = Arc::from(workflow.name.as_str());
         let mut state = WorkflowState {
-            name: workflow.name.clone(),
             feedback: FeedbackCollector::new(&dag),
             critical_exec: dag.critical_path_exec(),
             dag_arc: Arc::new(dag.clone()),
@@ -464,7 +496,9 @@ impl Cluster {
         };
         self.partition_and_deploy(wf, &mut state)?;
         self.workflows.insert(wf, state);
-        self.names.insert(workflow.name.clone(), wf);
+        debug_assert_eq!(self.name_table.len(), wf.index());
+        self.name_table.push(name.clone());
+        self.names.insert(name, wf);
         self.metrics.insert(wf, WorkflowMetrics::default());
 
         // Kick off the client.
@@ -657,9 +691,12 @@ impl Cluster {
     /// Produces the aggregated run report.
     pub fn report(&mut self) -> RunReport {
         let mut workflows = BTreeMap::new();
-        for (wf, metrics) in &mut self.metrics {
-            let name = self.workflows[wf].name.clone();
-            workflows.insert(name.clone(), metrics.snapshot(&name));
+        // The name table is indexed by dense workflow id; the only string
+        // allocations here are the ones owned by the report itself.
+        for (idx, name) in self.name_table.iter().enumerate() {
+            let wf = WorkflowId::new(idx as u32);
+            let metrics = self.metrics.get_mut(&wf).expect("metrics exist");
+            workflows.insert(name.to_string(), metrics.snapshot(name));
         }
         let now = self.queue.now();
         let sim_secs = now.as_secs_f64();
@@ -739,7 +776,7 @@ impl Cluster {
 
         let assignment = Arc::new(assignment);
         state.dag_arc = Arc::new(state.dag.clone());
-        let (_version, _retired) = state.deployment.deploy((*assignment).clone());
+        let (_version, _retired) = state.deployment.deploy(assignment.clone());
 
         // Install on the engines and budget the memstores.
         match self.config.mode {
@@ -951,10 +988,12 @@ impl Cluster {
             }
             Event::FlowTick => {
                 self.flow_timer = None;
-                let done = self.net.take_completed(now);
-                for (_, flow) in done {
+                let mut done = std::mem::take(&mut self.scratch.flows_done);
+                self.net.take_completed_into(now, &mut done);
+                for (_, flow) in done.drain(..) {
                     self.on_flow_done(now, flow.tag);
                 }
+                self.scratch.flows_done = done;
                 self.reschedule_flow_timer(now);
             }
             Event::ContainerExpiry { worker } => {
@@ -1062,13 +1101,10 @@ impl Cluster {
             at: now,
         });
         let version = state.deployment.invocation_started();
-        let assignment = Arc::new(
-            state
-                .deployment
-                .assignment(version)
-                .expect("current version has an assignment")
-                .clone(),
-        );
+        let assignment = state
+            .deployment
+            .assignment_arc(version)
+            .expect("current version has an assignment");
         let mut inv_state = InvState::new(version, state.dag_arc.clone(), assignment, now);
         let timeout_at = now + self.config.timeout;
         inv_state.timeout_event = Some(self.queue.schedule(timeout_at, Event::Timeout { wf, inv }));
@@ -1576,6 +1612,7 @@ impl Cluster {
             cold,
             at: now,
         });
+        let mut inputs = std::mem::take(&mut self.scratch.inputs);
         let state = self
             .invocations
             .get_mut(&(token.workflow, token.invocation))
@@ -1583,20 +1620,22 @@ impl Cluster {
 
         // Gather inputs: one transfer per producer that actually ran.
         let parallelism = state.dag.node(token.function).parallelism.max(1);
-        let inputs: Vec<(FunctionId, u64)> = state
-            .dag
-            .data_inputs(token.function)
-            .filter(|d| state.completed_nodes.contains(&d.producer))
-            .map(|d| {
-                (
-                    d.producer,
-                    InvState::share(d.bytes, parallelism, token.instance),
-                )
-            })
-            .filter(|&(_, share)| share > 0)
-            .collect();
+        inputs.extend(
+            state
+                .dag
+                .data_inputs(token.function)
+                .filter(|d| state.completed_nodes.contains(&d.producer))
+                .map(|d| {
+                    (
+                        d.producer,
+                        InvState::share(d.bytes, parallelism, token.instance),
+                    )
+                })
+                .filter(|&(_, share)| share > 0),
+        );
 
         if inputs.is_empty() {
+            self.scratch.inputs = inputs;
             self.start_exec(now, worker, token);
             return;
         }
@@ -1607,7 +1646,8 @@ impl Cluster {
             .pending_inputs = inputs.len() as u32;
 
         let node = self.config.worker_node(worker as u32);
-        for (producer, share) in inputs {
+        let mut started_local = false;
+        for &(producer, share) in &inputs {
             let key = DataKey::new(token.workflow, token.invocation, producer);
             if self.faastores[worker].read_local(key).is_some() {
                 // Local memory read: loopback flow, no NIC consumption.
@@ -1623,13 +1663,19 @@ impl Cluster {
                     },
                     now,
                 );
-                self.reschedule_flow_timer(now);
+                started_local = true;
             } else {
                 // Remote read: server-side overhead, then a flow from the
                 // storage node (with blackout backoff when the store is
                 // down).
                 self.schedule_remote_read(now, worker, token, producer, share, now, 0);
             }
+        }
+        inputs.clear();
+        self.scratch.inputs = inputs;
+        if started_local {
+            // One timer update covers every flow started above.
+            self.reschedule_flow_timer(now);
         }
     }
 
@@ -1862,15 +1908,10 @@ impl Cluster {
         let Some(ws) = self.workflows.get_mut(&wf) else {
             return;
         };
-        let edges: Vec<_> = ws
-            .dag
-            .edges()
-            .iter()
-            .filter(|e| e.from == producer)
-            .map(|e| e.id)
-            .collect();
-        for eid in edges {
-            ws.feedback.observe_edge(eid, latency);
+        // Split borrow: read the DAG while mutating the collector.
+        let (dag, feedback) = (&ws.dag, &mut ws.feedback);
+        for e in dag.edges().iter().filter(|e| e.from == producer) {
+            feedback.observe_edge(e.id, latency);
         }
     }
 
@@ -1955,18 +1996,21 @@ impl Cluster {
         self.worker_alive[w] = false;
         let node = self.config.worker_node(w as u32);
         // Kill every bulk transfer touching the node.
-        let mut doomed: Vec<FlowId> = self
-            .net
-            .iter()
-            .filter(|(_, f)| f.src == node || f.dst == node)
-            .map(|(id, _)| id)
-            .collect();
+        let mut doomed = std::mem::take(&mut self.scratch.flow_ids);
+        doomed.extend(
+            self.net
+                .iter()
+                .filter(|(_, f)| f.src == node || f.dst == node)
+                .map(|(id, _)| id),
+        );
         doomed.sort_unstable();
-        for id in doomed {
+        for &id in &doomed {
             if self.net.cancel_flow(id, now).is_some() {
                 self.faults.flows_killed += 1;
             }
         }
+        doomed.clear();
+        self.scratch.flow_ids = doomed;
         self.reschedule_flow_timer(now);
         // Warm pool, queued admissions and resource gauges vanish.
         let _ = self.containers[w].crash();
@@ -1981,31 +2025,30 @@ impl Cluster {
             self.worker_engines[w] = WorkerEngine::new(node);
         }
         // Orphan every instance the node was running, booting, or queueing.
-        let mut orphaned: Vec<InstanceToken> = self
-            .inflight_spawns
-            .iter()
-            .filter(|&(_, &ow)| ow == w)
-            .map(|(&t, _)| t)
-            .collect();
-        self.inflight_spawns.retain(|_, &mut ow| ow != w);
-        let mut keys: Vec<(WorkflowId, InvocationId)> = self.invocations.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let state = self.invocations.get_mut(&key).expect("key just listed");
-            let lost: Vec<InstanceToken> = state
-                .instances
+        let mut orphaned = std::mem::take(&mut self.scratch.tokens);
+        orphaned.extend(
+            self.inflight_spawns
                 .iter()
-                .filter(|(_, i)| i.worker == w)
-                .map(|(&t, _)| t)
-                .collect();
-            for t in lost {
-                state.instances.remove(&t);
-                orphaned.push(t);
-            }
+                .filter(|&(_, &ow)| ow == w)
+                .map(|(&t, _)| t),
+        );
+        self.inflight_spawns.retain(|_, &mut ow| ow != w);
+        // Map-iteration order is arbitrary; the sort+dedup below restores
+        // determinism before anything observable consumes the tokens.
+        for state in self.invocations.values_mut() {
+            state.instances.retain(|&t, i| {
+                if i.worker == w {
+                    orphaned.push(t);
+                    false
+                } else {
+                    true
+                }
+            });
         }
         orphaned.sort_unstable();
         orphaned.dedup();
-        self.orphans[w].extend(orphaned);
+        self.orphans[w].append(&mut orphaned);
+        self.scratch.tokens = orphaned;
         // Heartbeats stop now; the lease expires after the detection delay.
         self.queue.schedule(
             now + self.config.fault.detection_delay(),
@@ -2064,11 +2107,11 @@ impl Cluster {
         orphans.sort_unstable();
         orphans.dedup();
         // Bump per-invocation recovery budgets; exhausted ones dead-letter.
-        let mut invs: Vec<(WorkflowId, InvocationId)> =
-            orphans.iter().map(|t| (t.workflow, t.invocation)).collect();
+        let mut invs = std::mem::take(&mut self.scratch.inv_keys);
+        invs.extend(orphans.iter().map(|t| (t.workflow, t.invocation)));
         invs.sort_unstable();
         invs.dedup();
-        for (wf, inv) in invs {
+        for &(wf, inv) in &invs {
             let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
                 continue;
             };
@@ -2080,7 +2123,9 @@ impl Cluster {
                 self.dead_letter_invocation(now, wf, inv);
             }
         }
-        for token in orphans {
+        invs.clear();
+        self.scratch.inv_keys = invs;
+        for &token in &orphans {
             let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
                 continue;
             };
@@ -2098,6 +2143,9 @@ impl Cluster {
             self.faults.crash_redispatches += 1;
             self.request_instance(now, target, token);
         }
+        // Hand the (now empty) buffer's capacity back for the next crash.
+        orphans.clear();
+        self.orphans[w] = orphans;
         // Assignments that sailed into the void replay on survivors.
         let spooled = std::mem::take(&mut self.spooled_assigns[w]);
         for (wf, inv, function) in spooled {
@@ -2121,7 +2169,7 @@ impl Cluster {
         // Token-level orphans are superseded by invocation-level restarts.
         self.orphans[w].clear();
         let node = self.config.worker_node(w as u32);
-        let mut impacted: Vec<(WorkflowId, InvocationId)> = Vec::new();
+        let mut impacted = std::mem::take(&mut self.scratch.inv_keys);
         for (&key, state) in &self.invocations {
             if state.completed {
                 continue;
@@ -2141,18 +2189,21 @@ impl Cluster {
         }
         impacted.sort_unstable();
         self.redeploy_all();
-        for (wf, inv) in impacted {
+        for &(wf, inv) in &impacted {
             self.restart_invocation(now, wf, inv);
         }
+        impacted.clear();
+        self.scratch.inv_keys = impacted;
     }
 
     /// Recomputes every workflow's partition over the currently-alive
     /// workers. A workflow the survivors cannot fit keeps its previous
     /// deployment (counted in `repartition_failures`).
     fn redeploy_all(&mut self) {
-        let mut wfs: Vec<WorkflowId> = self.workflows.keys().copied().collect();
+        let mut wfs = std::mem::take(&mut self.scratch.wf_ids);
+        wfs.extend(self.workflows.keys().copied());
         wfs.sort_unstable();
-        for wf in wfs {
+        for &wf in &wfs {
             let mut state = self.workflows.remove(&wf).expect("workflow exists");
             let result = self.partition_and_deploy(wf, &mut state);
             self.workflows.insert(wf, state);
@@ -2160,6 +2211,8 @@ impl Cluster {
                 self.repartition_failures += 1;
             }
         }
+        wfs.clear();
+        self.scratch.wf_ids = wfs;
     }
 
     /// Restarts one invocation from its entry nodes under a bumped epoch:
@@ -2181,14 +2234,15 @@ impl Cluster {
         }
         state.epoch += 1;
         self.cancel_invocation_flows(now, wf, inv);
+        let mut stale = std::mem::take(&mut self.scratch.stale);
         let state = self.invocations.get_mut(&(wf, inv)).expect("checked above");
-        let mut stale: Vec<(InstanceToken, InstanceState)> = state.instances.drain().collect();
+        stale.extend(state.instances.drain());
         stale.sort_unstable_by_key(|&(t, _)| t);
         state.instances_remaining.clear();
         state.completed_nodes.clear();
         state.placements.clear();
         state.exits_remaining = state.dag.exit_nodes().len();
-        for (_, inst) in stale {
+        for &(_, inst) in &stale {
             if self.worker_alive[inst.worker] {
                 let admissions =
                     self.containers[inst.worker].release(inst.container, now, &mut self.rng);
@@ -2197,6 +2251,8 @@ impl Cluster {
                 self.reschedule_expiry(now, inst.worker);
             }
         }
+        stale.clear();
+        self.scratch.stale = stale;
         self.inflight_spawns
             .retain(|t, _| !(t.workflow == wf && t.invocation == inv));
         for e in &mut self.worker_engines {
@@ -2211,12 +2267,10 @@ impl Cluster {
         let state = self.invocations.get_mut(&(wf, inv)).expect("checked above");
         let _ = ws.deployment.invocation_finished(state.version);
         let version = ws.deployment.invocation_started();
-        let assignment = Arc::new(
-            ws.deployment
-                .assignment(version)
-                .expect("current version has an assignment")
-                .clone(),
-        );
+        let assignment = ws
+            .deployment
+            .assignment_arc(version)
+            .expect("current version has an assignment");
         state.version = version;
         state.dag = ws.dag_arc.clone();
         state.assignment = assignment;
@@ -2253,9 +2307,10 @@ impl Cluster {
             .expect("metrics exist")
             .dead_lettered += 1;
         self.cancel_invocation_flows(now, wf, inv);
-        let mut stale: Vec<(InstanceToken, InstanceState)> = state.instances.drain().collect();
+        let mut stale = std::mem::take(&mut self.scratch.stale);
+        stale.extend(state.instances.drain());
         stale.sort_unstable_by_key(|&(t, _)| t);
-        for (_, inst) in stale {
+        for &(_, inst) in &stale {
             if self.worker_alive[inst.worker] {
                 let admissions =
                     self.containers[inst.worker].release(inst.container, now, &mut self.rng);
@@ -2264,6 +2319,8 @@ impl Cluster {
                 self.reschedule_expiry(now, inst.worker);
             }
         }
+        stale.clear();
+        self.scratch.stale = stale;
         self.inflight_spawns
             .retain(|t, _| !(t.workflow == wf && t.invocation == inv));
         match self.config.mode {
@@ -2290,23 +2347,26 @@ impl Cluster {
 
     /// Cancels every bulk transfer belonging to one invocation.
     fn cancel_invocation_flows(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
-        let mut doomed: Vec<FlowId> = self
-            .net
-            .iter()
-            .filter(|(_, f)| {
-                let t = match f.tag {
-                    FlowTag::Read { token, .. } | FlowTag::Write { token, .. } => token,
-                };
-                t.workflow == wf && t.invocation == inv
-            })
-            .map(|(id, _)| id)
-            .collect();
+        let mut doomed = std::mem::take(&mut self.scratch.flow_ids);
+        doomed.extend(
+            self.net
+                .iter()
+                .filter(|(_, f)| {
+                    let t = match f.tag {
+                        FlowTag::Read { token, .. } | FlowTag::Write { token, .. } => token,
+                    };
+                    t.workflow == wf && t.invocation == inv
+                })
+                .map(|(id, _)| id),
+        );
         doomed.sort_unstable();
-        for id in doomed {
+        for &id in &doomed {
             if self.net.cancel_flow(id, now).is_some() {
                 self.faults.flows_killed += 1;
             }
         }
+        doomed.clear();
+        self.scratch.flow_ids = doomed;
         self.reschedule_flow_timer(now);
     }
 

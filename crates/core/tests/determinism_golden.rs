@@ -1,0 +1,175 @@
+//! Golden-report determinism regression: fixed configurations and
+//! workloads must keep producing *bit-identical* `RunReport`s across
+//! refactors of the hot paths (event queue, flow rates, scheduling
+//! loops). The committed JSON under `tests/golden/` was generated from
+//! the pre-optimisation kernel; any divergence means the `(time, seq)`
+//! ordering contract or the max-min allocation changed behaviour, not
+//! just speed.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p faasflow-core --test determinism_golden
+//! ```
+
+use faasflow_core::{
+    ClientConfig, Cluster, ClusterConfig, FaultPlan, NetFault, NodeCrash, RunReport, ScheduleMode,
+    StorageFault, StorageFaultKind,
+};
+use faasflow_sim::SimDuration;
+use faasflow_wdl::{FunctionProfile, Step, Workflow};
+
+/// Map/reduce stand-in: fan-out wide enough to cross partitions so both
+/// local (FaaStore) and remote-store paths carry data.
+fn word_count() -> Workflow {
+    Workflow::steps(
+        "WordCount",
+        Step::sequence(vec![
+            Step::task("split", FunctionProfile::with_millis(100, 8 << 20)),
+            Step::foreach("count", FunctionProfile::with_millis(150, 4 << 20), 8),
+            Step::foreach("shuffle", FunctionProfile::with_millis(120, 2 << 20), 8),
+            Step::task("merge", FunctionProfile::with_millis(80, 0)),
+        ]),
+    )
+}
+
+/// Long sequential chain with heavy payloads (Genome-style pipeline).
+fn genome() -> Workflow {
+    Workflow::steps(
+        "Genome",
+        Step::sequence(vec![
+            Step::task("individuals", FunctionProfile::with_millis(200, 24 << 20)),
+            Step::foreach("sifting", FunctionProfile::with_millis(260, 12 << 20), 4),
+            Step::task("mutual", FunctionProfile::with_millis(150, 6 << 20)),
+            Step::task("visualize", FunctionProfile::with_millis(90, 0)),
+        ]),
+    )
+}
+
+/// Scenario 1: WorkerSP + FaaStore, two co-located closed-loop workflows.
+fn worker_sp_report() -> RunReport {
+    let config = ClusterConfig {
+        mode: ScheduleMode::WorkerSp,
+        faastore: true,
+        workers: 4,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(&word_count(), ClientConfig::ClosedLoop { invocations: 12 })
+        .expect("registers");
+    cluster
+        .register(&genome(), ClientConfig::ClosedLoop { invocations: 8 })
+        .expect("registers");
+    cluster.run_until_idle();
+    cluster.report()
+}
+
+/// Scenario 2: MasterSP under a chaos plan — a crash+restart, a storage
+/// blackout and link degradation all overlap the run, exercising the
+/// recovery sweeps (doomed/orphans/impacted paths) end to end.
+fn master_sp_faults_report() -> RunReport {
+    let fault = FaultPlan {
+        node_crashes: vec![NodeCrash {
+            worker: 1,
+            at: SimDuration::from_secs(2),
+            restart_after: Some(SimDuration::from_secs(3)),
+        }],
+        storage_faults: vec![StorageFault {
+            at: SimDuration::from_secs(6),
+            duration: SimDuration::from_secs(2),
+            kind: StorageFaultKind::Blackout,
+        }],
+        net_faults: vec![NetFault {
+            worker: 2,
+            at: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(5),
+            loss: 0.3,
+            latency_factor: 2.0,
+            bandwidth_factor: 0.5,
+        }],
+        ..FaultPlan::default()
+    };
+    let config = ClusterConfig {
+        mode: ScheduleMode::MasterSp,
+        faastore: false,
+        workers: 4,
+        fault,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(&word_count(), ClientConfig::ClosedLoop { invocations: 24 })
+        .expect("registers");
+    cluster.run_until_idle();
+    cluster.report()
+}
+
+/// Scenario 3: WorkerSP open-loop after warm-up — exercises the timer
+/// churn (arrival scheduling, flow completion timers) that the
+/// incremental rate recompute coalesces.
+fn open_loop_report() -> RunReport {
+    let config = ClusterConfig {
+        mode: ScheduleMode::WorkerSp,
+        faastore: true,
+        workers: 8,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    let id = cluster
+        .register(&word_count(), ClientConfig::ClosedLoop { invocations: 4 })
+        .expect("registers");
+    cluster.run_until_idle();
+    cluster.reset_metrics();
+    cluster.switch_to_open_loop(id, 90.0, 20);
+    cluster.run_until_idle();
+    cluster.report()
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check(name: &str, report: &RunReport) {
+    let rendered = serde_json::to_string_pretty(report).expect("report serializes");
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir golden");
+        std::fs::write(&path, rendered + "\n").expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with GOLDEN_REGEN=1", name));
+    assert_eq!(
+        rendered + "\n",
+        golden,
+        "{name}: RunReport diverged from the committed golden — the refactor \
+         changed simulation behaviour, not just speed"
+    );
+}
+
+#[test]
+fn golden_worker_sp_colocated() {
+    check("worker_sp_colocated", &worker_sp_report());
+}
+
+#[test]
+fn golden_master_sp_faults() {
+    check("master_sp_faults", &master_sp_faults_report());
+}
+
+#[test]
+fn golden_open_loop() {
+    check("open_loop", &open_loop_report());
+}
+
+/// Same seed twice in-process must also be bit-identical (guards against
+/// accidental HashMap-iteration-order dependence independent of goldens).
+#[test]
+fn same_seed_repeat_is_bit_identical() {
+    let a = serde_json::to_string(&worker_sp_report()).expect("serializes");
+    let b = serde_json::to_string(&worker_sp_report()).expect("serializes");
+    assert_eq!(a, b);
+}

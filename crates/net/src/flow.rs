@@ -7,12 +7,25 @@
 //! which yields the unique max-min fair allocation — the classic fluid model
 //! of TCP fair share over a shared bottleneck (here: the storage node NIC).
 //!
-//! The allocation is recomputed whenever the set of flows changes or a NIC
-//! capacity changes (the wondershaper experiments of §5.4). Between
-//! recomputations rates are constant, so remaining bytes advance linearly
-//! and the earliest completion time is exact.
-
-use std::collections::HashMap;
+//! ## Incremental recomputation
+//!
+//! Max-min allocation decomposes over connected components of the
+//! flow↔resource bipartite graph: rates in one component are independent
+//! of every other component. The network exploits that two ways:
+//!
+//! * **Lazily** — mutations (start/cancel/completion/NIC change) only mark
+//!   the touched resources dirty; the actual fill runs at the next rate
+//!   read. Starting k flows at one instant costs one recomputation, not k.
+//! * **Locally** — the fill walks the component(s) reachable from the
+//!   dirty resources and re-fills only those; flows in untouched
+//!   components keep their rates, which are bitwise what a full fill
+//!   would assign (debug builds assert exactly that against a reference
+//!   full progressive filling after every fill).
+//!
+//! Resources are indexed densely (uplink `i`, downlink `n+i`, loopback
+//! `2n+i`) so the fill runs on flat arrays — no hashing on the hot path.
+//! Between recomputations rates are constant, so remaining bytes advance
+//! linearly and the earliest completion time is exact.
 
 use faasflow_sim::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
@@ -89,15 +102,39 @@ impl<T> Flow<T> {
     pub fn started(&self) -> SimTime {
         self.started
     }
+
+    /// The one or two dense resource indices this flow consumes, given
+    /// `n` nodes. Loopback flows consume a single resource.
+    fn resources(&self, n: usize) -> (usize, Option<usize>) {
+        if self.src == self.dst {
+            (2 * n + self.src.index(), None)
+        } else {
+            (self.src.index(), Some(n + self.dst.index()))
+        }
+    }
 }
 
-// Resource index: uplink of node i -> 2i, downlink -> 2i+1, loopback -> per
-// node map (rarely used, kept separate to avoid tripling the dense arrays).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Resource {
-    Up(usize),
-    Down(usize),
-    Loop(usize),
+/// Reusable buffers for component discovery and progressive filling.
+/// Stamp arrays avoid clearing: an entry is "set" when it equals the
+/// current fill's stamp.
+#[derive(Debug, Default)]
+struct FillScratch {
+    /// Per-resource visited stamp (len `3n`).
+    res_stamp: Vec<u64>,
+    /// Per-flow-position visited stamp.
+    flow_stamp: Vec<u64>,
+    /// Per-flow-position fixed-rate stamp.
+    fixed_stamp: Vec<u64>,
+    /// Current fill generation.
+    stamp: u64,
+    /// Resources of the component(s) being refilled (doubles as BFS queue).
+    comp_res: Vec<u32>,
+    /// Flow positions of the component(s) being refilled.
+    comp_flows: Vec<u32>,
+    /// Residual capacity per resource (valid only for `comp_res` entries).
+    remaining_cap: Vec<f64>,
+    /// Unfixed-flow count per resource (valid only for `comp_res` entries).
+    unfixed: Vec<u32>,
 }
 
 /// A max-min fair flow network over a fixed set of nodes.
@@ -107,7 +144,11 @@ enum Resource {
 #[derive(Debug)]
 pub struct FlowNet<T> {
     nics: Vec<NicSpec>,
-    flows: HashMap<u64, Flow<T>>,
+    /// Active flows sorted by id. Ids are monotonic, so insertion is a
+    /// push at the end; lookup is a binary search.
+    flows: Vec<(u64, Flow<T>)>,
+    /// Per-resource member flow ids (dense resource index, len `3n`).
+    members: Vec<Vec<u64>>,
     next_id: u64,
     /// Instant up to which all `remaining` fields are accurate.
     updated: SimTime,
@@ -115,6 +156,13 @@ pub struct FlowNet<T> {
     delivered_to: Vec<u64>,
     /// Total bytes sent, per source node.
     sent_from: Vec<u64>,
+    /// Dirty seed resources accumulated since the last fill (may repeat).
+    dirty: Vec<u32>,
+    /// True when every flow's `rate` reflects the current flow set.
+    rates_current: bool,
+    scratch: FillScratch,
+    /// Spare storage for `take_completed`'s compaction pass.
+    flow_spare: Vec<(u64, Flow<T>)>,
 }
 
 impl<T> FlowNet<T> {
@@ -128,11 +176,16 @@ impl<T> FlowNet<T> {
         let n = nics.len();
         FlowNet {
             nics,
-            flows: HashMap::new(),
+            flows: Vec::new(),
+            members: vec![Vec::new(); 3 * n],
             next_id: 0,
             updated: SimTime::ZERO,
             delivered_to: vec![0; n],
             sent_from: vec![0; n],
+            dirty: Vec::new(),
+            rates_current: true,
+            scratch: FillScratch::default(),
+            flow_spare: Vec::new(),
         }
     }
 
@@ -158,7 +211,7 @@ impl<T> FlowNet<T> {
 
     /// Re-throttles a node's NIC (the wondershaper experiments, §5.4).
     ///
-    /// Active flows immediately receive new fair rates.
+    /// Active flows receive new fair rates before the next rate read.
     ///
     /// # Panics
     ///
@@ -175,8 +228,12 @@ impl<T> FlowNet<T> {
             "invalid NIC capacities"
         );
         self.advance(now);
-        self.nics[node.index()] = nic;
-        self.recompute_rates();
+        let n = self.nics.len();
+        let i = node.index();
+        self.nics[i] = nic;
+        self.mark_dirty(i);
+        self.mark_dirty(n + i);
+        self.mark_dirty(2 * n + i);
     }
 
     /// Starts a transfer of `bytes` from `src` to `dst`.
@@ -202,19 +259,23 @@ impl<T> FlowNet<T> {
         self.advance(now);
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(
-            id,
-            Flow {
-                src,
-                dst,
-                bytes,
-                tag,
-                remaining: bytes as f64,
-                rate: 0.0,
-                started: now,
-            },
-        );
-        self.recompute_rates();
+        let flow = Flow {
+            src,
+            dst,
+            bytes,
+            tag,
+            remaining: bytes as f64,
+            rate: 0.0,
+            started: now,
+        };
+        let (r1, r2) = flow.resources(self.nics.len());
+        self.members[r1].push(id);
+        self.mark_dirty(r1);
+        if let Some(r2) = r2 {
+            self.members[r2].push(id);
+            self.mark_dirty(r2);
+        }
+        self.flows.push((id, flow));
         FlowId(id)
     }
 
@@ -222,20 +283,24 @@ impl<T> FlowNet<T> {
     /// completed (or was cancelled).
     pub fn cancel_flow(&mut self, id: FlowId, now: SimTime) -> Option<T> {
         self.advance(now);
-        let flow = self.flows.remove(&id.0)?;
-        self.recompute_rates();
+        let pos = self.flows.binary_search_by_key(&id.0, |e| e.0).ok()?;
+        let (_, flow) = self.flows.remove(pos);
+        self.unlink(id.0, &flow);
         Some(flow.tag)
     }
 
     /// The earliest instant at which some active flow completes, or `None`
     /// when no flow is active or every active flow is starved (zero rate).
-    pub fn next_completion(&self) -> Option<SimTime> {
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        self.ensure_rates();
+        let updated = self.updated;
         self.flows
-            .values()
+            .iter()
+            .map(|(_, f)| f)
             .filter(|f| f.rate > 0.0 || f.remaining <= 0.0)
             .map(|f| {
                 if f.remaining <= 0.0 {
-                    self.updated
+                    updated
                 } else {
                     // Round *up* with a 1 ns margin so that advancing to the
                     // returned instant always pushes `remaining` to (or
@@ -244,7 +309,7 @@ impl<T> FlowNet<T> {
                     // one timestamp forever.
                     let secs = f.remaining / f.rate;
                     let nanos = (secs * 1e9).ceil() as u64 + 1;
-                    self.updated + faasflow_sim::SimDuration::from_nanos(nanos)
+                    updated + faasflow_sim::SimDuration::from_nanos(nanos)
                 }
             })
             .min()
@@ -258,38 +323,76 @@ impl<T> FlowNet<T> {
     ///
     /// Panics if `now` precedes the latest update instant.
     pub fn take_completed(&mut self, now: SimTime) -> Vec<(FlowId, Flow<T>)> {
+        let mut out = Vec::new();
+        self.take_completed_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`FlowNet::take_completed`]: appends the
+    /// completed flows (sorted by id) to `out`, reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the latest update instant.
+    pub fn take_completed_into(&mut self, now: SimTime, out: &mut Vec<(FlowId, Flow<T>)>) {
         self.advance(now);
         // Epsilon: progressive filling works in f64 bytes; a flow within a
         // millionth of a byte of the end is done.
         const EPS: f64 = 1e-6;
-        let mut done: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining <= EPS)
-            .map(|(&id, _)| id)
-            .collect();
-        done.sort_unstable();
-        let mut out = Vec::with_capacity(done.len());
-        for id in done {
-            let flow = self.flows.remove(&id).expect("flow id collected above");
-            self.delivered_to[flow.dst.index()] += flow.bytes;
-            self.sent_from[flow.src.index()] += flow.bytes;
-            out.push((FlowId(id), flow));
+        if self.flows.iter().all(|(_, f)| f.remaining > EPS) {
+            return;
         }
-        if !out.is_empty() {
-            self.recompute_rates();
+        // Stable compaction through the spare buffer: completed flows come
+        // out in id order because `flows` is id-sorted.
+        let mut spare = std::mem::take(&mut self.flow_spare);
+        std::mem::swap(&mut self.flows, &mut spare);
+        for (id, flow) in spare.drain(..) {
+            if flow.remaining <= EPS {
+                self.delivered_to[flow.dst.index()] += flow.bytes;
+                self.sent_from[flow.src.index()] += flow.bytes;
+                let (r1, r2) = flow.resources(self.nics.len());
+                remove_member(&mut self.members[r1], id);
+                self.mark_dirty(r1);
+                if let Some(r2) = r2 {
+                    remove_member(&mut self.members[r2], id);
+                    self.mark_dirty(r2);
+                }
+                out.push((FlowId(id), flow));
+            } else {
+                self.flows.push((id, flow));
+            }
         }
-        out
+        self.flow_spare = spare;
     }
 
     /// Read access to an active flow.
-    pub fn flow(&self, id: FlowId) -> Option<&Flow<T>> {
-        self.flows.get(&id.0)
+    pub fn flow(&mut self, id: FlowId) -> Option<&Flow<T>> {
+        self.ensure_rates();
+        let pos = self.flows.binary_search_by_key(&id.0, |e| e.0).ok()?;
+        Some(&self.flows[pos].1)
     }
 
-    /// Iterates over active flows in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &Flow<T>)> {
-        self.flows.iter().map(|(&id, f)| (FlowId(id), f))
+    /// Iterates over active flows in ascending id order.
+    pub fn iter(&mut self) -> impl Iterator<Item = (FlowId, &Flow<T>)> {
+        self.ensure_rates();
+        self.flows.iter().map(|(id, f)| (FlowId(*id), f))
+    }
+
+    /// Removes `flow` (already detached from `self.flows`) from the member
+    /// lists and marks its resources dirty.
+    fn unlink(&mut self, id: u64, flow: &Flow<T>) {
+        let (r1, r2) = flow.resources(self.nics.len());
+        remove_member(&mut self.members[r1], id);
+        self.mark_dirty(r1);
+        if let Some(r2) = r2 {
+            remove_member(&mut self.members[r2], id);
+            self.mark_dirty(r2);
+        }
+    }
+
+    fn mark_dirty(&mut self, resource: usize) {
+        self.rates_current = false;
+        self.dirty.push(resource as u32);
     }
 
     /// Moves remaining-byte counters forward to `now` at current rates.
@@ -299,116 +402,238 @@ impl<T> FlowNet<T> {
             "flow network time moved backwards: {now} < {}",
             self.updated
         );
-        let dt = (now - self.updated).as_secs_f64();
-        if dt > 0.0 {
-            for flow in self.flows.values_mut() {
+        if now > self.updated {
+            // Integration needs the rates that were in force since
+            // `updated`; any mutations marked dirty earlier happened at
+            // `updated` itself, so filling now is still correct.
+            self.ensure_rates();
+            let dt = (now - self.updated).as_secs_f64();
+            for (_, flow) in &mut self.flows {
                 flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
             }
         }
         self.updated = now;
     }
 
-    /// Progressive filling: computes the unique max-min fair allocation.
-    fn recompute_rates(&mut self) {
-        if self.flows.is_empty() {
+    /// Re-fills the component(s) reachable from the dirty resources.
+    /// No-op when rates are already current.
+    fn ensure_rates(&mut self) {
+        if self.rates_current {
             return;
         }
-        // Deterministic ordering of flows regardless of hash state.
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
+        self.rates_current = true;
+        let n3 = 3 * self.nics.len();
+        let nf = self.flows.len();
+        self.scratch.stamp += 1;
+        let stamp = self.scratch.stamp;
+        self.scratch.res_stamp.resize(n3, 0);
+        self.scratch.remaining_cap.resize(n3, 0.0);
+        self.scratch.unfixed.resize(n3, 0);
+        if self.scratch.flow_stamp.len() < nf {
+            self.scratch.flow_stamp.resize(nf, 0);
+            self.scratch.fixed_stamp.resize(nf, 0);
+        }
+        self.scratch.comp_res.clear();
+        self.scratch.comp_flows.clear();
 
-        // Resource capacities and membership.
-        let mut cap: HashMap<Resource, f64> = HashMap::new();
-        let mut members: HashMap<Resource, Vec<usize>> = HashMap::new();
-        let mut flow_resources: Vec<[Resource; 2]> = Vec::with_capacity(ids.len());
-        for (idx, id) in ids.iter().enumerate() {
-            let f = &self.flows[id];
-            let (r1, r2) = if f.src == f.dst {
-                let r = Resource::Loop(f.src.index());
-                (r, r)
-            } else {
-                (Resource::Up(f.src.index()), Resource::Down(f.dst.index()))
-            };
-            for r in [r1, r2] {
-                let capacity = match r {
-                    Resource::Up(i) => self.nics[i].uplink,
-                    Resource::Down(i) => self.nics[i].downlink,
-                    Resource::Loop(i) => self.nics[i].loopback,
-                };
-                cap.entry(r).or_insert(capacity);
-                let m = members.entry(r).or_default();
-                // A loopback flow hits the same resource twice; count once.
-                if m.last() != Some(&idx) {
-                    m.push(idx);
+        // Component discovery: BFS over the flow↔resource bipartite graph
+        // from every dirty seed. `comp_res` doubles as the queue.
+        for k in 0..self.dirty.len() {
+            let r = self.dirty[k] as usize;
+            if self.scratch.res_stamp[r] != stamp && !self.members[r].is_empty() {
+                self.scratch.res_stamp[r] = stamp;
+                self.scratch.comp_res.push(r as u32);
+            }
+        }
+        self.dirty.clear();
+        let mut head = 0;
+        while head < self.scratch.comp_res.len() {
+            let r = self.scratch.comp_res[head] as usize;
+            head += 1;
+            for k in 0..self.members[r].len() {
+                let id = self.members[r][k];
+                let pos = self
+                    .flows
+                    .binary_search_by_key(&id, |e| e.0)
+                    .expect("member lists track active flows");
+                if self.scratch.flow_stamp[pos] == stamp {
+                    continue;
+                }
+                self.scratch.flow_stamp[pos] = stamp;
+                self.scratch.comp_flows.push(pos as u32);
+                let (r1, r2) = self.flows[pos].1.resources(self.nics.len());
+                for r2 in [Some(r1), r2].into_iter().flatten() {
+                    if self.scratch.res_stamp[r2] != stamp {
+                        self.scratch.res_stamp[r2] = stamp;
+                        self.scratch.comp_res.push(r2 as u32);
+                    }
                 }
             }
-            flow_resources.push([r1, r2]);
         }
 
-        let n = ids.len();
-        let mut rate = vec![0.0_f64; n];
-        let mut fixed = vec![false; n];
-        let mut unfixed_count: HashMap<Resource, usize> =
-            members.iter().map(|(&r, v)| (r, v.len())).collect();
-        let mut remaining_cap = cap.clone();
-        let mut fixed_total = 0usize;
+        // Deterministic bottleneck scan order: ascending dense index, which
+        // equals the (kind, node) order the tie-break key requires.
+        self.scratch.comp_res.sort_unstable();
+        for k in 0..self.scratch.comp_res.len() {
+            let r = self.scratch.comp_res[k] as usize;
+            self.scratch.remaining_cap[r] = self.capacity(r);
+            self.scratch.unfixed[r] = 0;
+        }
+        for k in 0..self.scratch.comp_flows.len() {
+            let pos = self.scratch.comp_flows[k] as usize;
+            let (r1, r2) = self.flows[pos].1.resources(self.nics.len());
+            self.scratch.unfixed[r1] += 1;
+            if let Some(r2) = r2 {
+                self.scratch.unfixed[r2] += 1;
+            }
+        }
 
-        while fixed_total < n {
-            // Find the bottleneck: the resource with the smallest fair share
-            // among resources that still carry unfixed flows.
-            let mut best: Option<(f64, Resource)> = None;
-            for (&r, &count) in &unfixed_count {
+        // Progressive filling restricted to the component: repeatedly pick
+        // the resource with the smallest fair share among those still
+        // carrying unfixed flows, and fix its flows at that share. Rates in
+        // a component are independent of all other components, so this is
+        // bitwise the allocation a global fill would produce.
+        let total = self.scratch.comp_flows.len();
+        let mut fixed_n = 0;
+        while fixed_n < total {
+            let mut best: Option<(f64, usize)> = None;
+            for k in 0..self.scratch.comp_res.len() {
+                let r = self.scratch.comp_res[k] as usize;
+                let count = self.scratch.unfixed[r];
                 if count == 0 {
                     continue;
                 }
-                let share = remaining_cap[&r].max(0.0) / count as f64;
-                let better = match best {
-                    None => true,
-                    Some((s, br)) => {
-                        share < s - 1e-12
-                            || (share <= s + 1e-12 && resource_key(r) < resource_key(br))
-                    }
-                };
-                if better {
+                let share = self.scratch.remaining_cap[r].max(0.0) / f64::from(count);
+                // Ascending scan: on an epsilon tie the earlier (smaller
+                // key) resource wins, matching the reference tie-break.
+                if best.is_none_or(|(s, _)| share < s - 1e-12) {
                     best = Some((share, r));
                 }
             }
             let Some((share, bottleneck)) = best else {
                 break; // every remaining flow is on empty resources
             };
-            // Fix all unfixed flows crossing the bottleneck at `share`.
-            let flows_on: Vec<usize> = members[&bottleneck]
-                .iter()
-                .copied()
-                .filter(|&i| !fixed[i])
-                .collect();
-            debug_assert!(!flows_on.is_empty());
-            for i in flows_on {
-                rate[i] = share;
-                fixed[i] = true;
-                fixed_total += 1;
-                for r in flow_resources[i] {
-                    *remaining_cap.get_mut(&r).expect("resource registered") -= share;
-                    *unfixed_count.get_mut(&r).expect("resource registered") -= 1;
-                    if flow_resources[i][0] == flow_resources[i][1] {
-                        break; // loopback: single resource, subtract once
-                    }
+            for k in 0..self.members[bottleneck].len() {
+                let id = self.members[bottleneck][k];
+                let pos = self
+                    .flows
+                    .binary_search_by_key(&id, |e| e.0)
+                    .expect("member lists track active flows");
+                if self.scratch.fixed_stamp[pos] == stamp {
+                    continue;
+                }
+                self.scratch.fixed_stamp[pos] = stamp;
+                fixed_n += 1;
+                self.flows[pos].1.rate = share.max(0.0);
+                let (r1, r2) = self.flows[pos].1.resources(self.nics.len());
+                self.scratch.remaining_cap[r1] -= share;
+                self.scratch.unfixed[r1] -= 1;
+                if let Some(r2) = r2 {
+                    self.scratch.remaining_cap[r2] -= share;
+                    self.scratch.unfixed[r2] -= 1;
                 }
             }
         }
 
-        for (idx, id) in ids.iter().enumerate() {
-            self.flows.get_mut(id).expect("id present").rate = rate[idx].max(0.0);
+        #[cfg(debug_assertions)]
+        self.assert_matches_reference_fill();
+    }
+
+    /// Capacity of a dense resource index.
+    fn capacity(&self, r: usize) -> f64 {
+        let n = self.nics.len();
+        if r < n {
+            self.nics[r].uplink
+        } else if r < 2 * n {
+            self.nics[r - n].downlink
+        } else {
+            self.nics[r - 2 * n].loopback
         }
+    }
+
+    /// Debug cross-check: every flow's rate must be bitwise identical to
+    /// what a full (global, from-scratch) progressive filling assigns.
+    /// This is the invariant that makes incremental refills safe.
+    #[cfg(debug_assertions)]
+    fn assert_matches_reference_fill(&self) {
+        let reference = self.reference_rates();
+        for (pos, (id, flow)) in self.flows.iter().enumerate() {
+            assert!(
+                flow.rate.to_bits() == reference[pos].to_bits(),
+                "incremental fill diverged from full fill for flow {id}: \
+                 incremental {inc} vs reference {reference}",
+                inc = flow.rate,
+                reference = reference[pos],
+            );
+        }
+    }
+
+    /// Reference allocation: global progressive filling over all flows,
+    /// computed from scratch. Debug-only; allocates freely.
+    #[cfg(debug_assertions)]
+    fn reference_rates(&self) -> Vec<f64> {
+        let n = self.nics.len();
+        let nf = self.flows.len();
+        let mut cap = vec![0.0f64; 3 * n];
+        let mut unfixed = vec![0u32; 3 * n];
+        let mut resources: Vec<(usize, Option<usize>)> = Vec::with_capacity(nf);
+        for (_, f) in &self.flows {
+            let (r1, r2) = f.resources(n);
+            cap[r1] = self.capacity(r1);
+            unfixed[r1] += 1;
+            if let Some(r2) = r2 {
+                cap[r2] = self.capacity(r2);
+                unfixed[r2] += 1;
+            }
+            resources.push((r1, r2));
+        }
+        let mut rate = vec![0.0f64; nf];
+        let mut fixed = vec![false; nf];
+        let mut fixed_n = 0;
+        while fixed_n < nf {
+            let mut best: Option<(f64, usize)> = None;
+            for (r, &count) in unfixed.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let share = cap[r].max(0.0) / f64::from(count);
+                if best.is_none_or(|(s, _)| share < s - 1e-12) {
+                    best = Some((share, r));
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break;
+            };
+            for pos in 0..nf {
+                if fixed[pos] {
+                    continue;
+                }
+                let (r1, r2) = resources[pos];
+                if r1 != bottleneck && r2 != Some(bottleneck) {
+                    continue;
+                }
+                fixed[pos] = true;
+                fixed_n += 1;
+                rate[pos] = share.max(0.0);
+                cap[r1] -= share;
+                unfixed[r1] -= 1;
+                if let Some(r2) = r2 {
+                    cap[r2] -= share;
+                    unfixed[r2] -= 1;
+                }
+            }
+        }
+        rate
     }
 }
 
-fn resource_key(r: Resource) -> (u8, usize) {
-    match r {
-        Resource::Up(i) => (0, i),
-        Resource::Down(i) => (1, i),
-        Resource::Loop(i) => (2, i),
-    }
+/// Removes one occurrence of `id` from a member list.
+fn remove_member(members: &mut Vec<u64>, id: u64) {
+    let pos = members
+        .iter()
+        .position(|&m| m == id)
+        .expect("member lists track active flows");
+    members.swap_remove(pos);
 }
 
 #[cfg(test)]
@@ -448,7 +673,8 @@ mod tests {
         net.start_flow(NodeId::new(0), NodeId::new(1), 50_000_000, 2, t(0.0));
         // 50 MB each at 50 MB/s fair share -> both done at 1s.
         assert_near(net.next_completion(), t(1.0));
-        let done = net.take_completed(net.next_completion().unwrap());
+        let at = net.next_completion().unwrap();
+        let done = net.take_completed(at);
         assert_eq!(done.len(), 2);
         assert_eq!(net.active_flows(), 0);
     }
@@ -460,7 +686,8 @@ mod tests {
         net.start_flow(NodeId::new(0), NodeId::new(1), 100_000_000, 2, t(0.0));
         // Share 50/50 until flow 1 finishes at t=1 (50MB at 50MB/s)...
         assert_near(net.next_completion(), t(1.0));
-        let done = net.take_completed(net.next_completion().unwrap());
+        let at = net.next_completion().unwrap();
+        let done = net.take_completed(at);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].1.tag, 1);
         // ...then flow 2 has 50MB left at full 100MB/s -> t=1.5.
@@ -572,6 +799,45 @@ mod tests {
             assert!(up[i] <= caps[i] + 1e-3, "uplink {i} oversubscribed");
             assert!(down[i] <= caps[i] + 1e-3, "downlink {i} oversubscribed");
         }
+    }
+
+    #[test]
+    fn batched_starts_match_sequential_reads() {
+        // k starts at one instant cost one recompute; the resulting rates
+        // must equal what per-start recomputation would have produced
+        // (the debug cross-check verifies against the full fill too).
+        let mut net = two_node_net();
+        for i in 0..10 {
+            net.start_flow(NodeId::new(0), NodeId::new(1), 10_000_000, i, t(0.0));
+        }
+        for (_, f) in net.iter() {
+            assert!((f.rate() - 10e6).abs() < 1.0, "fair share of 10 flows");
+        }
+    }
+
+    #[test]
+    fn incremental_refill_tracks_disjoint_components() {
+        // Two disjoint flow groups; mutating one must leave the other's
+        // rates untouched (and the debug cross-check proves they stay
+        // exactly the full-fill allocation).
+        let mut net: FlowNet<u32> = FlowNet::new(vec![
+            NicSpec::symmetric(100e6),
+            NicSpec::symmetric(100e6),
+            NicSpec::symmetric(40e6),
+            NicSpec::symmetric(40e6),
+        ]);
+        net.start_flow(NodeId::new(0), NodeId::new(1), 50_000_000, 1, t(0.0));
+        let b = net.start_flow(NodeId::new(2), NodeId::new(3), 50_000_000, 2, t(0.0));
+        net.start_flow(NodeId::new(2), NodeId::new(3), 50_000_000, 3, t(0.0));
+        let rates: Vec<(u32, f64)> = net.iter().map(|(_, f)| (f.tag, f.rate())).collect();
+        assert!((rates[0].1 - 100e6).abs() < 1.0);
+        assert!((rates[1].1 - 20e6).abs() < 1.0);
+        // Cancel one 40e6-group flow: its sibling doubles, group 1 stays.
+        net.cancel_flow(b, t(0.1));
+        let rates: Vec<(u32, f64)> = net.iter().map(|(_, f)| (f.tag, f.rate())).collect();
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0].1 - 100e6).abs() < 1.0);
+        assert!((rates[1].1 - 40e6).abs() < 1.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! containers and sub-graph structures.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -37,12 +38,15 @@ impl std::fmt::Display for Version {
 }
 
 /// Per-workflow red-black deployment state.
+///
+/// Assignments are held behind [`Arc`] so pinning an invocation to its
+/// version is a reference-count bump, not a deep copy of the partition.
 #[derive(Debug, Clone, Default)]
 pub struct DeploymentManager {
     next_version: u32,
-    current: Option<(Version, Assignment)>,
+    current: Option<(Version, Arc<Assignment>)>,
     /// Retired versions still carrying in-flight invocations.
-    draining: HashMap<Version, (Assignment, u32)>,
+    draining: HashMap<Version, (Arc<Assignment>, u32)>,
     /// In-flight count of the current version.
     current_inflight: u32,
 }
@@ -56,7 +60,7 @@ impl DeploymentManager {
     /// Deploys a new assignment as the up-to-date version. The previous
     /// version (if any) starts draining; when it has no in-flight
     /// invocations it is retired immediately and returned.
-    pub fn deploy(&mut self, assignment: Assignment) -> (Version, Vec<Version>) {
+    pub fn deploy(&mut self, assignment: Arc<Assignment>) -> (Version, Vec<Version>) {
         let version = Version(self.next_version);
         self.next_version += 1;
         let mut retired = Vec::new();
@@ -74,11 +78,21 @@ impl DeploymentManager {
 
     /// The up-to-date version and its assignment.
     pub fn current(&self) -> Option<(Version, &Assignment)> {
-        self.current.as_ref().map(|(v, a)| (*v, a))
+        self.current.as_ref().map(|(v, a)| (*v, a.as_ref()))
     }
 
     /// The assignment of any live (current or draining) version.
     pub fn assignment(&self, version: Version) -> Option<&Assignment> {
+        self.assignment_arc_ref(version).map(Arc::as_ref)
+    }
+
+    /// Shared handle to the assignment of any live version — pinning an
+    /// invocation clones the `Arc`, never the partition itself.
+    pub fn assignment_arc(&self, version: Version) -> Option<Arc<Assignment>> {
+        self.assignment_arc_ref(version).cloned()
+    }
+
+    fn assignment_arc_ref(&self, version: Version) -> Option<&Arc<Assignment>> {
         if let Some((v, a)) = &self.current {
             if *v == version {
                 return Some(a);
@@ -149,21 +163,23 @@ mod tests {
     use faasflow_sim::{NodeId, SimRng};
     use faasflow_wdl::{DagParser, FunctionProfile, Step, Workflow};
 
-    fn assignment() -> Assignment {
+    fn assignment() -> Arc<Assignment> {
         let wf = Workflow::steps("d", Step::task("a", FunctionProfile::with_millis(1, 0)));
         let dag = DagParser::default().parse(&wf).unwrap();
         let metrics = RuntimeMetrics::initial(&dag);
         let mut rng = SimRng::seed_from(1);
-        GraphScheduler::default()
-            .partition(
-                &dag,
-                &[WorkerInfo::new(NodeId::new(1), 8)],
-                &metrics,
-                &ContentionSet::default(),
-                u64::MAX,
-                &mut rng,
-            )
-            .unwrap()
+        Arc::new(
+            GraphScheduler::default()
+                .partition(
+                    &dag,
+                    &[WorkerInfo::new(NodeId::new(1), 8)],
+                    &metrics,
+                    &ContentionSet::default(),
+                    u64::MAX,
+                    &mut rng,
+                )
+                .unwrap(),
+        )
     }
 
     #[test]

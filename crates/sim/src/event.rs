@@ -5,51 +5,76 @@
 //! simulation run reproducible regardless of hash-map iteration order or
 //! allocator behaviour elsewhere.
 //!
-//! Cancellation uses lazy deletion: [`EventQueue::cancel`] marks the
-//! [`EventId`] and [`EventQueue::pop`] silently discards marked entries when
-//! they surface. This keeps both operations `O(log n)`/`O(1)` and is the
-//! standard technique for DES kernels with timer-heavy workloads (the flow
-//! network reschedules its completion timer on every flow change).
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+//! The queue is a slab-indexed d-ary heap: the heap array stores slot
+//! indices into a slab of event slots, and each slot tracks its current
+//! heap position. That makes [`EventQueue::cancel`] a true `O(log n)`
+//! removal (no tombstones to skip later) and [`EventQueue::peek_time`] /
+//! [`EventQueue::is_empty`] exact `O(1)` reads — with no hashing anywhere
+//! on the hot path. Slots are recycled through a free list; a per-slot
+//! generation counter keeps recycled [`EventId`]s from aliasing, so
+//! cancelling a fired or already-cancelled event stays a cheap, safe no-op.
+//!
+//! The arity is 4: sift-down touches 4 children per level but the tree is
+//! half as deep as a binary heap's, which wins on timer-heavy workloads
+//! (the flow network reschedules its completion timer on every flow
+//! change, an insert-then-cancel pattern that rarely sinks far).
 
 use crate::time::SimTime;
 
+/// Heap arity. Four children per node halves the tree depth relative to a
+/// binary heap; sift-up (the common case for timer churn) only compares
+/// against parents, so it gets the full depth win.
+const D: usize = 4;
+
 /// Token identifying a scheduled event, usable to cancel it later.
 ///
-/// Ids are unique across the lifetime of one [`EventQueue`] and never reused.
+/// Ids are unique across the lifetime of one [`EventQueue`]: slot storage
+/// is recycled, but a generation counter embedded in the id keeps stale
+/// tokens from ever matching a reused slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-struct Entry<E> {
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((u64::from(slot) << 32) | u64::from(gen))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 >> 32) as usize
+    }
+
+    fn gen(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// One heap entry: the ordering key inline (so sifts compare within the
+/// contiguous heap array, never chasing into the slab) plus the index of
+/// the slot holding the payload.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-// BinaryHeap is a max-heap; reverse the ordering to pop the earliest entry.
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// One slab entry. `event` is `Some` while the event is pending; `pos` is
+/// the slot's current index in the heap array and is kept in sync by every
+/// sift. `gen` increments each time the slot is recycled.
+struct Slot<E> {
+    gen: u32,
+    pos: u32,
+    event: Option<E>,
 }
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
 
 /// A deterministic, cancellable priority queue of simulation events.
-///
-/// `is_empty` takes `&mut self` (it prunes lazily-cancelled heads), which
-/// clippy's `len_without_is_empty` pairing does not anticipate.
 ///
 /// The type parameter `E` is the caller's event payload; the queue imposes
 /// no trait bounds on it.
@@ -65,13 +90,13 @@ impl<E> Eq for Entry<E> {}
 /// assert_eq!(q.pop().map(|(_, e)| e), Some("keep"));
 /// assert!(q.pop().is_none());
 /// ```
-#[allow(clippy::len_without_is_empty)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Sequence numbers currently in the heap and not cancelled.
-    live: HashSet<u64>,
-    /// Sequence numbers in the heap whose entries must be discarded on pop.
-    cancelled: HashSet<u64>,
+    /// d-ary heap ordered by `(time, seq)`; keys are stored inline.
+    heap: Vec<HeapEntry>,
+    /// Slab of event payloads; indices are stable while an event is pending.
+    slots: Vec<Slot<E>>,
+    /// Recycled slot indices available for the next `schedule`.
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
@@ -86,9 +111,9 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -116,65 +141,150 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
-        self.heap.push(Entry { time, seq, event });
-        EventId(seq)
+        let pos = self.heap.len() as u32;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.pos = pos;
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab capacity exceeded");
+                self.slots.push(Slot {
+                    gen: 0,
+                    pos,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        self.heap.push(HeapEntry { time, seq, slot });
+        let gen = self.slots[slot as usize].gen;
+        self.sift_up(pos as usize);
+        EventId::new(slot, gen)
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet fired (and will now never
-    /// fire), `false` if it already fired or was already cancelled.
+    /// fire), `false` if it already fired or was already cancelled. A true
+    /// cancel removes the entry from the heap immediately — nothing lingers
+    /// to slow later pops.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id.0) {
-            self.cancelled.insert(id.0);
-            true
-        } else {
-            false
+        let slot = id.slot();
+        if slot >= self.slots.len() {
+            return false;
         }
+        let s = &mut self.slots[slot];
+        if s.gen != id.gen() || s.event.is_none() {
+            return false;
+        }
+        s.event = None;
+        let pos = s.pos as usize;
+        self.release(slot as u32);
+        self.remove_at(pos);
+        true
     }
 
     /// Removes and returns the earliest pending event, advancing the clock.
     ///
-    /// Cancelled entries are skipped transparently. Returns `None` when the
-    /// queue is exhausted.
+    /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            self.live.remove(&entry.seq);
-            self.now = entry.time;
-            return Some((entry.time, entry.event));
-        }
-        None
+        let &HeapEntry { time, slot, .. } = self.heap.first()?;
+        let event = self.slots[slot as usize]
+            .event
+            .take()
+            .expect("heap entries are pending");
+        self.now = time;
+        self.release(slot);
+        self.remove_at(0);
+        Some((time, event))
     }
 
-    /// The instant of the earliest pending (non-cancelled) event.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.time);
-        }
-        None
+    /// The instant of the earliest pending event. `O(1)`.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|entry| entry.time)
     }
 
-    /// Number of pending entries, *including* lazily cancelled ones.
-    ///
-    /// This is an upper bound on live events; use [`EventQueue::is_empty`]
-    /// for an exact emptiness check.
+    /// Number of pending events. Exact: cancelled events leave the queue
+    /// immediately.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True when no live event is pending.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    /// True when no event is pending. `O(1)`.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Recycles `slot` for reuse, invalidating any outstanding [`EventId`]s
+    /// pointing at it.
+    fn release(&mut self, slot: u32) {
+        self.slots[slot as usize].gen = self.slots[slot as usize].gen.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Removes the heap entry at `pos`, restoring the heap property.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.pop().expect("remove_at on non-empty heap");
+        if pos == self.heap.len() {
+            return;
+        }
+        self.heap[pos] = last;
+        self.slots[last.slot as usize].pos = pos as u32;
+        // The relocated key may be smaller than the removed one's parent or
+        // larger than its children; try both directions (one is a no-op).
+        self.sift_down(pos);
+        self.sift_up(self.slots[last.slot as usize].pos as usize);
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        let entry = self.heap[pos];
+        let key = entry.key();
+        while pos > 0 {
+            let parent = (pos - 1) / D;
+            let parent_entry = self.heap[parent];
+            if parent_entry.key() <= key {
+                break;
+            }
+            self.heap[pos] = parent_entry;
+            self.slots[parent_entry.slot as usize].pos = pos as u32;
+            pos = parent;
+        }
+        self.heap[pos] = entry;
+        self.slots[entry.slot as usize].pos = pos as u32;
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let entry = self.heap[pos];
+        let key = entry.key();
+        let len = self.heap.len();
+        loop {
+            let first_child = pos * D + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut best = first_child;
+            let mut best_key = self.heap[first_child].key();
+            let end = (first_child + D).min(len);
+            for child in first_child + 1..end {
+                let k = self.heap[child].key();
+                if k < best_key {
+                    best = child;
+                    best_key = k;
+                }
+            }
+            if best_key >= key {
+                break;
+            }
+            let child_entry = self.heap[best];
+            self.heap[pos] = child_entry;
+            self.slots[child_entry.slot as usize].pos = pos as u32;
+            pos = best;
+        }
+        self.heap[pos] = entry;
+        self.slots[entry.slot as usize].pos = pos as u32;
     }
 }
 
@@ -182,7 +292,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("pending", &self.heap.len())
-            .field("cancelled_pending", &self.cancelled.len())
+            .field("slab", &self.slots.len())
             .field("now", &self.now)
             .finish()
     }
@@ -214,6 +324,21 @@ mod tests {
     }
 
     #[test]
+    fn ties_survive_slot_recycling() {
+        // Recycled slots must not leak stale ordering: the tie-break is the
+        // monotonic sequence number, never the slot index.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(5), 0);
+        q.cancel(a);
+        let t = SimTime::from_nanos(5);
+        for i in 1..50 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (1..50).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn cancel_prevents_delivery() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_nanos(1), "a");
@@ -224,9 +349,20 @@ mod tests {
     }
 
     #[test]
+    fn cancel_removes_immediately() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.schedule(SimTime::from_nanos(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1, "true cancellation leaves no tombstone");
+    }
+
+    #[test]
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId::new(7, 0)), "slot never allocated");
     }
 
     #[test]
@@ -235,6 +371,17 @@ mod tests {
         let a = q.schedule(SimTime::from_nanos(1), "a");
         assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
         assert!(!q.cancel(a), "cancelling a fired event must report false");
+    }
+
+    #[test]
+    fn stale_id_does_not_cancel_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        // "b" reuses a's slot; a's stale token must not touch it.
+        let _b = q.schedule(SimTime::from_nanos(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
     }
 
     #[test]
@@ -268,5 +415,29 @@ mod tests {
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interior_cancel_keeps_heap_ordered() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..64)
+            .map(|i| q.schedule(SimTime::from_nanos(1000 - i * 7), i))
+            .collect();
+        let mut cancelled = 0;
+        for (i, id) in ids.iter().enumerate() {
+            if i % 3 == 1 {
+                assert!(q.cancel(*id));
+                cancelled += 1;
+            }
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, e)) = q.pop() {
+            assert!(t >= last, "pops must stay time-ordered after cancels");
+            assert_ne!(e % 3, 1, "cancelled events must not fire");
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 64 - cancelled);
     }
 }
