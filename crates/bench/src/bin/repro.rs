@@ -2,7 +2,7 @@
 //! evaluation (§5) on the simulated cluster.
 //!
 //! ```text
-//! repro <experiment> [--quick]
+//! repro <experiment> [--quick] [--trace-out DIR]
 //!
 //! experiments:
 //!   fig4        MasterSP scheduling overhead per benchmark        (§2.3)
@@ -18,8 +18,12 @@
 //!   ablations   design-choice ablations (DESIGN.md)
 //!   chaos       fault-domain recovery, WorkerSP vs MasterSP       (§6)
 //!   perf        hot-path microbenchmarks -> BENCH_kernel.json
-//!   all         everything above in order (perf excluded)
+//!   trace       causal spans, resource series, phase attribution
+//!               -> trace_*.json (Perfetto) + metrics_*.prom
+//!   all         everything above in order (perf and trace excluded)
 //! ```
+//!
+//! `--trace-out DIR` redirects the `trace` artifacts (default: cwd).
 //!
 //! Absolute values are not expected to match the authors' hardware; the
 //! *shape* — who wins, by what factor, where crossovers fall — is the
@@ -116,11 +120,24 @@ impl Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let exp = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut trace_out: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(dir) = arg.strip_prefix("--trace-out=") {
+            trace_out = Some(dir.to_string());
+        } else if arg == "--trace-out" {
+            if i + 1 < args.len() {
+                trace_out = Some(args[i + 1].clone());
+                i += 1;
+            }
+        } else if !arg.starts_with("--") {
+            positional.push(arg);
+        }
+        i += 1;
+    }
+    let exp = positional.first().copied().unwrap_or("all");
     let scale = Scale::new(quick);
     let started = Instant::now();
     match exp {
@@ -137,6 +154,7 @@ fn main() {
         "ablations" => ablations(&scale),
         "chaos" => chaos(&scale),
         "perf" => perf(quick),
+        "trace" => trace_scenario(&scale, trace_out.as_deref().unwrap_or(".")),
         "all" => {
             fig4(&scale);
             fig5(&scale);
@@ -913,6 +931,119 @@ fn chaos(scale: &Scale) {
     println!("every invocation completed or dead-lettered; no state leaked.");
     println!("paper argument (§6): worker-side scheduling confines the blast radius —");
     println!("the central engine turns every fault into a control-plane event.");
+}
+
+// ====================================================================
+// trace — causal spans, resource series, exporters, attribution
+// ====================================================================
+
+/// Runs WordCount + Video under both schedule patterns with tracing and
+/// resource sampling on, builds and validates the span forests, writes a
+/// Perfetto-loadable Chrome trace and a Prometheus snapshot per mode, and
+/// prints the phase-attribution table. The span-derived sums are asserted
+/// to reconcile with the independently-accumulated report histograms.
+fn trace_scenario(scale: &Scale, out_dir: &str) {
+    use faasflow_obs::{
+        attribute, build_forest, chrome_trace, parse_json, prometheus_snapshot,
+        render_attribution_table, PhaseBreakdown,
+    };
+
+    println!("\n=== Trace: causal spans, resource series, exporters ===");
+    let n = scale.closed.min(25);
+    println!("(WordCount + Video, {n} closed-loop invocations each, 100 ms sampling)");
+    std::fs::create_dir_all(out_dir).expect("trace output directory");
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+    let mut names: std::collections::HashMap<faasflow_sim::WorkflowId, String> = Default::default();
+    let mut sections: Vec<(String, Vec<PhaseBreakdown>)> = Vec::new();
+    for (label, base) in [
+        ("MasterSP", master_config()),
+        ("WorkerSP", faasflow_config()),
+    ] {
+        // Fresh cluster, no warm-up: the trace must cover exactly the
+        // invocations the metrics cover, or reconciliation is meaningless.
+        let mut cluster = Cluster::new(ClusterConfig {
+            trace: true,
+            sample_every: Some(SimDuration::from_millis(100)),
+            ..base
+        })
+        .expect("valid experiment configuration");
+        for bench in [Benchmark::WordCount, Benchmark::VideoFfmpeg] {
+            cluster
+                .register(
+                    &bench.workflow(),
+                    ClientConfig::ClosedLoop { invocations: n },
+                )
+                .expect("registers");
+        }
+        cluster.run_until_idle();
+        let report = cluster.report();
+        let profile = cluster.loop_profile();
+        let events = cluster.take_trace();
+        assert_eq!(report.trace_dropped, 0, "{label}: run fits the trace cap");
+        let forest = build_forest(&events);
+        forest.validate().expect("span forest well-formed");
+        let rows = attribute(&forest);
+        for row in &rows {
+            let name = cluster
+                .workflow_name(row.workflow)
+                .expect("registered workflow")
+                .to_string();
+            let wf = report.workflow(&name);
+            assert!(
+                close(row.e2e_ms, wf.e2e.sum),
+                "{label}/{name}: span e2e {} != report {}",
+                row.e2e_ms,
+                wf.e2e.sum
+            );
+            assert!(
+                close(
+                    row.transfer_local_ms + row.transfer_remote_ms,
+                    wf.transfer_total.sum
+                ),
+                "{label}/{name}: span transfer {} != report {}",
+                row.transfer_local_ms + row.transfer_remote_ms,
+                wf.transfer_total.sum
+            );
+            names.insert(row.workflow, name);
+        }
+        let slug = label.to_lowercase();
+        let chrome = chrome_trace(&forest, report.resources.as_ref());
+        parse_json(&chrome).expect("chrome export parses as JSON");
+        let json_path = format!("{out_dir}/trace_{slug}.json");
+        std::fs::write(&json_path, &chrome).expect("trace JSON written");
+        let prom_path = format!("{out_dir}/metrics_{slug}.prom");
+        std::fs::write(&prom_path, prometheus_snapshot(&report)).expect("prom snapshot written");
+        println!(
+            "{label}: {} events -> {} spans over {} invocations; wrote {json_path} and {prom_path}",
+            events.len(),
+            forest.span_count(),
+            forest.trees.len()
+        );
+        println!(
+            "  event loop: {} events in {:.3} s wall ({:.0} events/s)",
+            profile.events_processed,
+            profile.wall_secs,
+            profile.events_per_sec()
+        );
+        let mut per_event = profile.per_event.clone();
+        per_event.sort_by(|a, b| b.total_secs.total_cmp(&a.total_secs));
+        for row in per_event.iter().take(3) {
+            println!(
+                "    {:<24} {:>9} events {:>9.1} us total",
+                row.name,
+                row.count,
+                row.total_secs * 1e6
+            );
+        }
+        sections.push((label.to_string(), rows));
+    }
+    println!("\nphase attribution (mean ms per invocation):");
+    print!(
+        "{}",
+        render_attribution_table(&sections, |wf| names[&wf].clone())
+    );
+    println!("span-derived e2e and transfer sums reconcile with the report histograms.");
+    println!("open the trace_*.json files at ui.perfetto.dev to browse the spans.");
 }
 
 // ====================================================================

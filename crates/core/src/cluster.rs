@@ -39,7 +39,10 @@ use crate::config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 use crate::error::ClusterError;
 use crate::fault::StorageFaultKind;
 use crate::invocation::{InstanceState, InstanceToken, InvState};
-use crate::metrics::{DistributionRow, FaultReport, RunReport, WorkerUtilization, WorkflowMetrics};
+use crate::metrics::{
+    DistributionRow, FaultReport, LoopProfile, RunReport, WorkerUtilization, WorkflowMetrics,
+};
+use crate::sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport, Ring};
 use crate::trace::{TraceEvent, Tracer};
 
 /// Tag attached to every network flow.
@@ -195,6 +198,46 @@ enum Event {
         inv: InvocationId,
         epoch: u32,
     },
+    /// Resource-sampling tick (self-rescheduling; only scheduled when
+    /// `ClusterConfig::sample_every` is set). The handler reads gauges and
+    /// draws no randomness, so it cannot perturb other events.
+    Sample,
+}
+
+#[cfg(feature = "loop-profile")]
+impl Event {
+    /// Variant name for the per-type loop profile.
+    fn name(&self) -> &'static str {
+        match self {
+            Event::Arrival { .. } => "Arrival",
+            Event::DeliverBegin { .. } => "DeliverBegin",
+            Event::DeliverSync { .. } => "DeliverSync",
+            Event::DeliverAssign { .. } => "DeliverAssign",
+            Event::DeliverExitReport { .. } => "DeliverExitReport",
+            Event::MasterArrive { .. } => "MasterArrive",
+            Event::MasterDone => "MasterDone",
+            Event::VirtualDone { .. } => "VirtualDone",
+            Event::InstanceReady { .. } => "InstanceReady",
+            Event::StartRemoteRead { .. } => "StartRemoteRead",
+            Event::StartRemoteWrite { .. } => "StartRemoteWrite",
+            Event::ExecDone { .. } => "ExecDone",
+            Event::WorkerInstanceDone { .. } => "WorkerInstanceDone",
+            Event::FlowTick => "FlowTick",
+            Event::ContainerExpiry { .. } => "ContainerExpiry",
+            Event::Timeout { .. } => "Timeout",
+            Event::WorkerCrash { .. } => "WorkerCrash",
+            Event::WorkerRestart { .. } => "WorkerRestart",
+            Event::LeaseExpired { .. } => "LeaseExpired",
+            Event::StorageFaultStart { .. } => "StorageFaultStart",
+            Event::StorageFaultEnd { .. } => "StorageFaultEnd",
+            Event::NetFaultStart { .. } => "NetFaultStart",
+            Event::NetFaultEnd { .. } => "NetFaultEnd",
+            Event::RetryRemoteRead { .. } => "RetryRemoteRead",
+            Event::RetryRemoteWrite { .. } => "RetryRemoteWrite",
+            Event::RecoverInvocation { .. } => "RecoverInvocation",
+            Event::Sample => "Sample",
+        }
+    }
 }
 
 /// Per-workflow cluster state. The workflow's name lives in the cluster's
@@ -254,6 +297,22 @@ struct ClusterScratch {
     wf_ids: Vec<WorkflowId>,
     /// Instances torn down when an invocation restarts or dead-letters.
     stale: Vec<(InstanceToken, InstanceState)>,
+}
+
+/// Live state of the resource sampler (see [`crate::sample`]); present
+/// only when `ClusterConfig::sample_every` is set.
+#[derive(Debug)]
+struct SampleCollector {
+    /// Sampling cadence on the sim clock.
+    every: SimDuration,
+    /// One bounded series per node (0 = master/storage).
+    node_rings: Vec<Ring<NodeSample>>,
+    /// Cluster-wide series (queue depth, in-flight invocations).
+    cluster_ring: Ring<ClusterSample>,
+    /// Scratch per-node flow rates (tx/rx bytes per second), reused each
+    /// tick so sampling allocates nothing in steady state.
+    tx: Vec<f64>,
+    rx: Vec<f64>,
 }
 
 pub struct Cluster {
@@ -320,6 +379,16 @@ pub struct Cluster {
     /// Monotonic admission counter fencing stale `ExecDone` events.
     next_instance_seq: u64,
     tracer: Tracer,
+    /// Resource time-series collector (`None` unless sampling is on).
+    samples: Option<SampleCollector>,
+    /// Events dispatched by the run loops (wall-clock self-profile).
+    loop_events: u64,
+    /// Wall-clock seconds spent inside the run loops.
+    loop_wall_secs: f64,
+    /// Per-event-type handler timing (count, total seconds), keyed by
+    /// variant name. Only maintained under the `loop-profile` feature.
+    #[cfg(feature = "loop-profile")]
+    loop_event_stats: BTreeMap<&'static str, (u64, f64)>,
     /// Time-weighted busy cores per worker.
     cpu_util: Vec<faasflow_sim::stats::TimeWeighted>,
     /// Time-weighted resident container memory per worker.
@@ -394,13 +463,29 @@ impl Cluster {
             storage_down: false,
             storage_slowdown: 1.0,
             next_instance_seq: 0,
-            tracer: Tracer::new(config.trace),
+            tracer: Tracer::new(config.trace, config.trace_capacity),
+            samples: config.sample_every.map(|every| SampleCollector {
+                every,
+                node_rings: (0..config.node_count())
+                    .map(|_| Ring::new(config.sample_capacity))
+                    .collect(),
+                cluster_ring: Ring::new(config.sample_capacity),
+                tx: vec![0.0; config.node_count()],
+                rx: vec![0.0; config.node_count()],
+            }),
+            loop_events: 0,
+            loop_wall_secs: 0.0,
+            #[cfg(feature = "loop-profile")]
+            loop_event_stats: BTreeMap::new(),
             cpu_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
             mem_util: vec![faasflow_sim::stats::TimeWeighted::new(); config.workers as usize],
             scratch: ClusterScratch::default(),
             config,
         };
         cluster.schedule_fault_plan();
+        if let Some(every) = cluster.config.sample_every {
+            cluster.queue.schedule(SimTime::ZERO + every, Event::Sample);
+        }
         Ok(cluster)
     }
 
@@ -521,6 +606,11 @@ impl Cluster {
         self.names.get(name).copied()
     }
 
+    /// The name of a registered workflow (inverse of [`Cluster::workflow_id`]).
+    pub fn workflow_name(&self, wf: WorkflowId) -> Option<&str> {
+        self.name_table.get(wf.index()).map(|n| n.as_ref())
+    }
+
     /// The current placement of a workflow (Figure 15).
     ///
     /// # Panics
@@ -580,12 +670,14 @@ impl Cluster {
     /// instead of the clock fast-forwarding 600 s to drain them.
     /// Returns the final simulated time.
     pub fn run_until_idle(&mut self) -> SimTime {
+        let wall = std::time::Instant::now();
         while self.work_pending() {
             let Some((t, ev)) = self.queue.pop() else {
                 break;
             };
-            self.handle(t, ev);
+            self.dispatch(t, ev);
         }
+        self.loop_wall_secs += wall.elapsed().as_secs_f64();
         self.queue.now()
     }
 
@@ -603,12 +695,59 @@ impl Cluster {
     /// Runs until the clock reaches `deadline` (events at the deadline are
     /// processed) or the queue drains.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let wall = std::time::Instant::now();
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
             }
             let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(t, ev);
+        }
+        self.loop_wall_secs += wall.elapsed().as_secs_f64();
+    }
+
+    /// Dispatches one event through [`Self::handle`], maintaining the
+    /// wall-clock self-profile of the loop.
+    #[inline]
+    fn dispatch(&mut self, t: SimTime, ev: Event) {
+        self.loop_events += 1;
+        #[cfg(feature = "loop-profile")]
+        {
+            let name = ev.name();
+            let start = std::time::Instant::now();
             self.handle(t, ev);
+            let entry = self.loop_event_stats.entry(name).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += start.elapsed().as_secs_f64();
+        }
+        #[cfg(not(feature = "loop-profile"))]
+        self.handle(t, ev);
+    }
+
+    /// Wall-clock self-profile of the event loop: events dispatched,
+    /// seconds inside the run loops (events/sec via
+    /// [`LoopProfile::events_per_sec`]), and — with the `loop-profile`
+    /// cargo feature — per-event-type handler timing. Deliberately *not*
+    /// part of [`RunReport`]: wall-clock numbers differ run to run while
+    /// the report must stay bit-identical for a given seed.
+    pub fn loop_profile(&self) -> LoopProfile {
+        LoopProfile {
+            events_processed: self.loop_events,
+            wall_secs: self.loop_wall_secs,
+            #[cfg(feature = "loop-profile")]
+            per_event: self
+                .loop_event_stats
+                .iter()
+                .map(
+                    |(&name, &(count, total_secs))| crate::metrics::EventTypeProfile {
+                        name: name.to_string(),
+                        count,
+                        total_secs,
+                    },
+                )
+                .collect(),
+            #[cfg(not(feature = "loop-profile"))]
+            per_event: Vec::new(),
         }
     }
 
@@ -744,6 +883,8 @@ impl Cluster {
             exec_retries: self.exec_retries,
             repartition_failures: self.repartition_failures,
             faults: self.faults,
+            trace_dropped: self.tracer.dropped(),
+            resources: self.resources_snapshot(),
         }
     }
 
@@ -1036,7 +1177,105 @@ impl Cluster {
                     }
                 }
             }
+            Event::Sample => {
+                self.take_sample(now);
+                // Self-reschedule; the chain does not keep `run_until_idle`
+                // alive because sampling is not "work" (`work_pending`).
+                if let Some(every) = self.samples.as_ref().map(|c| c.every) {
+                    self.queue.schedule(now + every, Event::Sample);
+                }
+            }
         }
+    }
+
+    /// Reads every per-node gauge into the sample rings. Pure observation:
+    /// no RNG draws, no state mutation outside the collector, so a sampled
+    /// run executes identically to an unsampled one.
+    fn take_sample(&mut self, now: SimTime) {
+        let Some(collector) = self.samples.as_mut() else {
+            return;
+        };
+        let at_secs = now.as_secs_f64();
+        // Instantaneous NIC rates from the live max-min fair shares.
+        // Loopback flows (FaaStore local passing) consume no NIC.
+        for r in collector.tx.iter_mut() {
+            *r = 0.0;
+        }
+        for r in collector.rx.iter_mut() {
+            *r = 0.0;
+        }
+        for (_, flow) in self.net.iter() {
+            if flow.src == flow.dst {
+                continue;
+            }
+            let rate = flow.rate();
+            collector.tx[flow.src.index()] += rate;
+            collector.rx[flow.dst.index()] += rate;
+        }
+        let node_count = collector.node_rings.len();
+        for node_idx in 0..node_count {
+            let (containers, busy, queued, ms_used, ms_budget) = if node_idx == 0 {
+                // The master/storage node runs no containers or memstore;
+                // its interesting signal is the NIC (the §5.4 bottleneck).
+                (0, 0, 0, 0, 0)
+            } else {
+                let w = node_idx - 1;
+                let cm = &self.containers[w];
+                let ms = self.faastores[w].memstore();
+                let (mut used, mut budget) = (0u64, 0u64);
+                for wf_idx in 0..self.name_table.len() {
+                    let wf = WorkflowId::new(wf_idx as u32);
+                    used += ms.used(wf);
+                    budget += ms.budget(wf);
+                }
+                (
+                    cm.container_count() as u64,
+                    cm.stats().cores_busy.get(),
+                    cm.queue_len() as u64,
+                    used,
+                    budget,
+                )
+            };
+            collector.node_rings[node_idx].push(NodeSample {
+                at_secs,
+                containers,
+                busy,
+                queued_admissions: queued,
+                memstore_used_bytes: ms_used,
+                memstore_budget_bytes: ms_budget,
+                nic_tx_bytes_per_sec: collector.tx[node_idx],
+                nic_rx_bytes_per_sec: collector.rx[node_idx],
+            });
+        }
+        collector.cluster_ring.push(ClusterSample {
+            at_secs,
+            pending_events: self.queue.len() as u64,
+            inflight_invocations: self.invocations.len() as u64,
+        });
+    }
+
+    /// Snapshot of the sampled series for [`RunReport::resources`].
+    fn resources_snapshot(&self) -> Option<ResourceSeriesReport> {
+        let c = self.samples.as_ref()?;
+        let mut dropped = c.cluster_ring.evicted();
+        let nodes = c
+            .node_rings
+            .iter()
+            .enumerate()
+            .map(|(i, ring)| {
+                dropped += ring.evicted();
+                NodeSeries {
+                    node: NodeId::new(i as u32),
+                    samples: ring.snapshot(),
+                }
+            })
+            .collect();
+        Some(ResourceSeriesReport {
+            sample_every_secs: c.every.as_secs_f64(),
+            dropped_samples: dropped,
+            nodes,
+            cluster: c.cluster_ring.snapshot(),
+        })
     }
 
     fn invocation_alive(&self, wf: WorkflowId, inv: InvocationId) -> bool {
@@ -1603,11 +1842,13 @@ impl Cluster {
                 seq,
             },
         );
+        let worker_node = self.config.worker_node(worker as u32);
         self.tracer.record(|| TraceEvent::InstanceStarted {
             workflow: token.workflow,
             invocation: token.invocation,
             function: token.function,
             instance: token.instance,
+            worker: worker_node,
             container,
             cold,
             at: now,
@@ -1687,10 +1928,21 @@ impl Cluster {
             return;
         };
         let seq = inst.seq;
+        let attempt = inst.retries;
         let exec = match &state.dag.node(token.function).kind {
             NodeKind::Function(profile) => profile.sample_exec(&mut self.rng),
             _ => SimDuration::ZERO,
         };
+        let worker_node = self.config.worker_node(worker as u32);
+        self.tracer.record(|| TraceEvent::ExecStarted {
+            workflow: token.workflow,
+            invocation: token.invocation,
+            function: token.function,
+            instance: token.instance,
+            worker: worker_node,
+            attempt,
+            at: now,
+        });
         self.queue
             .schedule(now + exec, Event::ExecDone { worker, token, seq });
     }
@@ -1699,6 +1951,7 @@ impl Cluster {
         // Stale-event fence: the instance must still be this admission on
         // this worker (a crash orphans instances; a restart re-admits the
         // same token under a fresh sequence number).
+        let attempt;
         {
             let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
                 return;
@@ -1709,29 +1962,43 @@ impl Cluster {
             if inst.worker != worker || inst.seq != seq {
                 return;
             }
+            attempt = inst.retries;
         }
         // Failure injection: a transient execution error re-runs the
         // instance in place (the container is already warm) up to the
         // retry budget, after which at-least-once semantics let it pass —
-        // unless the fault plan dead-letters exhausted instances.
-        if self.config.exec_failure_rate > 0.0 {
-            let failed = self.rng.chance(self.config.exec_failure_rate);
-            if failed {
-                let state = self
-                    .invocations
-                    .get_mut(&(token.workflow, token.invocation))
-                    .expect("fenced above");
-                let inst = state.instances.get_mut(&token).expect("fenced above");
-                if inst.retries < self.config.max_exec_retries {
-                    inst.retries += 1;
-                    self.exec_retries += 1;
-                    self.start_exec(now, worker, token);
-                    return;
-                }
-                if self.config.fault.dead_letter_on_exhaustion {
-                    self.dead_letter_invocation(now, token.workflow, token.invocation);
-                    return;
-                }
+        // unless the fault plan dead-letters exhausted instances. The
+        // short-circuit keeps the RNG draw sequence identical to builds
+        // without the trace hook: one draw per completion iff the rate is
+        // non-zero.
+        let failed =
+            self.config.exec_failure_rate > 0.0 && self.rng.chance(self.config.exec_failure_rate);
+        let worker_node = self.config.worker_node(worker as u32);
+        self.tracer.record(|| TraceEvent::ExecFinished {
+            workflow: token.workflow,
+            invocation: token.invocation,
+            function: token.function,
+            instance: token.instance,
+            worker: worker_node,
+            attempt,
+            failed,
+            at: now,
+        });
+        if failed {
+            let state = self
+                .invocations
+                .get_mut(&(token.workflow, token.invocation))
+                .expect("fenced above");
+            let inst = state.instances.get_mut(&token).expect("fenced above");
+            if inst.retries < self.config.max_exec_retries {
+                inst.retries += 1;
+                self.exec_retries += 1;
+                self.start_exec(now, worker, token);
+                return;
+            }
+            if self.config.fault.dead_letter_on_exhaustion {
+                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                return;
             }
         }
         let Some(state) = self
@@ -1810,6 +2077,8 @@ impl Cluster {
             } => {
                 let latency = now - started;
                 let share;
+                let worker;
+                let last_input;
                 {
                     let Some(state) = self
                         .invocations
@@ -1834,26 +2103,29 @@ impl Cluster {
                     let Some(inst) = state.instances.get_mut(&token) else {
                         return;
                     };
+                    worker = inst.worker;
                     inst.pending_inputs -= 1;
-                    if inst.pending_inputs > 0 {
-                        // More inputs outstanding; nothing else to do yet.
-                        self.record_edge_feedback(token.workflow, producer, latency);
-                        return;
-                    }
+                    last_input = inst.pending_inputs == 0;
                 }
                 self.record_edge_feedback(token.workflow, producer, latency);
+                // One event per completed input flow (the span model needs
+                // each read's own `[started, now]` window).
+                let worker_node = self.config.worker_node(worker as u32);
                 self.tracer.record(|| TraceEvent::Transferred {
                     workflow: token.workflow,
                     invocation: token.invocation,
                     function: token.function,
+                    instance: token.instance,
+                    worker: worker_node,
                     bytes: share,
                     remote,
                     read: true,
+                    started,
                     at: now,
                 });
-                let worker =
-                    self.invocations[&(token.workflow, token.invocation)].instances[&token].worker;
-                self.start_exec(now, worker, token);
+                if last_input {
+                    self.start_exec(now, worker, token);
+                }
             }
             FlowTag::Write {
                 token,
@@ -1890,13 +2162,17 @@ impl Cluster {
                     };
                     worker = inst.worker;
                 }
+                let worker_node = self.config.worker_node(worker as u32);
                 self.tracer.record(|| TraceEvent::Transferred {
                     workflow: token.workflow,
                     invocation: token.invocation,
                     function: token.function,
+                    instance: token.instance,
+                    worker: worker_node,
                     bytes: share,
                     remote,
                     read: false,
+                    started,
                     at: now,
                 });
                 self.finish_instance(now, worker, token);
@@ -1995,6 +2271,10 @@ impl Cluster {
         self.faults.worker_crashes += 1;
         self.worker_alive[w] = false;
         let node = self.config.worker_node(w as u32);
+        self.tracer.record(|| TraceEvent::WorkerCrashed {
+            worker: node,
+            at: now,
+        });
         // Kill every bulk transfer touching the node.
         let mut doomed = std::mem::take(&mut self.scratch.flow_ids);
         doomed.extend(
@@ -2071,6 +2351,11 @@ impl Cluster {
         self.worker_alive[w] = true;
         self.worker_detected_down[w] = false;
         self.worker_up_since[w] = now;
+        let node = self.config.worker_node(w as u32);
+        self.tracer.record(|| TraceEvent::WorkerRestarted {
+            worker: node,
+            at: now,
+        });
         if self.config.mode == ScheduleMode::WorkerSp {
             self.redeploy_all();
         }
@@ -2090,6 +2375,11 @@ impl Cluster {
     /// there.
     fn on_lease_expired(&mut self, now: SimTime, w: usize) {
         self.faults.lease_expiries += 1;
+        let node = self.config.worker_node(w as u32);
+        self.tracer.record(|| TraceEvent::LeaseExpired {
+            worker: node,
+            at: now,
+        });
         if !self.worker_alive[w] {
             self.worker_detected_down[w] = true;
         }
@@ -2233,6 +2523,13 @@ impl Cluster {
             return;
         }
         state.epoch += 1;
+        let epoch = state.epoch;
+        self.tracer.record(|| TraceEvent::InvocationRestarted {
+            workflow: wf,
+            invocation: inv,
+            epoch,
+            at: now,
+        });
         self.cancel_invocation_flows(now, wf, inv);
         let mut stale = std::mem::take(&mut self.scratch.stale);
         let state = self.invocations.get_mut(&(wf, inv)).expect("checked above");
@@ -2306,6 +2603,11 @@ impl Cluster {
             .get_mut(&wf)
             .expect("metrics exist")
             .dead_lettered += 1;
+        self.tracer.record(|| TraceEvent::DeadLettered {
+            workflow: wf,
+            invocation: inv,
+            at: now,
+        });
         self.cancel_invocation_flows(now, wf, inv);
         let mut stale = std::mem::take(&mut self.scratch.stale);
         stale.extend(state.instances.drain());
@@ -2437,6 +2739,15 @@ impl Cluster {
                 return;
             }
             let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);
+            self.tracer.record(|| TraceEvent::StorageRetry {
+                workflow: token.workflow,
+                invocation: token.invocation,
+                function: token.function,
+                read: true,
+                attempt,
+                delay,
+                at: now,
+            });
             self.queue.schedule(
                 now + delay,
                 Event::RetryRemoteRead {
@@ -2507,6 +2818,15 @@ impl Cluster {
                 return;
             }
             let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);
+            self.tracer.record(|| TraceEvent::StorageRetry {
+                workflow: token.workflow,
+                invocation: token.invocation,
+                function: token.function,
+                read: false,
+                attempt,
+                delay,
+                at: now,
+            });
             self.queue.schedule(
                 now + delay,
                 Event::RetryRemoteWrite {

@@ -108,6 +108,19 @@ pub struct ClusterConfig {
     /// Record a structured [`crate::trace::TraceEvent`] per lifecycle step
     /// (off by default: tracing a 1000-invocation run allocates MBs).
     pub trace: bool,
+    /// Maximum retained trace events. Events past the cap are dropped
+    /// (newest first, keeping the retained prefix causally closed) and
+    /// counted in `RunReport::trace_dropped`, so `trace` on a long
+    /// open-loop run cannot grow memory without bound.
+    pub trace_capacity: usize,
+    /// Sample per-node resource gauges (container pool, memstore bytes,
+    /// NIC rates, queue depths) every interval of deterministic sim time.
+    /// `None` (the default) disables sampling entirely — runs are then
+    /// bit-identical to pre-observability builds.
+    pub sample_every: Option<SimDuration>,
+    /// Ring-buffer capacity per sampled series; the oldest samples are
+    /// evicted (and counted) once full.
+    pub sample_capacity: usize,
     /// Probability that one executor instance's run fails and is retried
     /// (transient function errors — OOM-kills, runtime exceptions). Zero
     /// disables failure injection.
@@ -154,6 +167,9 @@ impl Default for ClusterConfig {
             repartition_every: None,
             qos_target: None,
             trace: false,
+            trace_capacity: 1 << 20,
+            sample_every: None,
+            sample_capacity: 4096,
             exec_failure_rate: 0.0,
             max_exec_retries: 3,
             reclamation: ReclamationMode::default(),
@@ -223,6 +239,17 @@ impl ClusterConfig {
         }
         if self.partition_capacity == 0 {
             return Err("partition_capacity must be positive".to_string());
+        }
+        if self.trace && self.trace_capacity == 0 {
+            return Err("trace_capacity must be positive when trace is on".to_string());
+        }
+        if let Some(every) = self.sample_every {
+            if every <= SimDuration::ZERO {
+                return Err("sample_every must be positive".to_string());
+            }
+            if self.sample_capacity == 0 {
+                return Err("sample_capacity must be positive when sampling is on".to_string());
+            }
         }
         self.fault.validate(self.workers)?;
         if self.mode == ScheduleMode::MasterSp && self.faastore {

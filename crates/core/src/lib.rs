@@ -44,6 +44,7 @@ pub mod error;
 pub mod fault;
 pub mod invocation;
 pub mod metrics;
+pub mod sample;
 pub mod trace;
 
 pub use cluster::Cluster;
@@ -51,5 +52,9 @@ pub use config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 pub use error::ClusterError;
 pub use fault::{BackoffPolicy, FaultPlan, NetFault, NodeCrash, StorageFault, StorageFaultKind};
 pub use invocation::InstanceToken;
-pub use metrics::{DistributionRow, FaultReport, RunReport, WorkerUtilization, WorkflowReport};
+pub use metrics::{
+    DistributionRow, EventTypeProfile, FaultReport, LoopProfile, RunReport, WorkerUtilization,
+    WorkflowReport,
+};
+pub use sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport};
 pub use trace::TraceEvent;

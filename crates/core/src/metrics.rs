@@ -123,6 +123,12 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting (all zero when the
     /// [`crate::FaultPlan`] is empty).
     pub faults: FaultReport,
+    /// Trace events rejected by the `trace_capacity` cap (0 when tracing
+    /// is off or the cap was never hit).
+    pub trace_dropped: u64,
+    /// Resource time-series sampled over the run (`None` unless
+    /// [`crate::ClusterConfig::sample_every`] is set).
+    pub resources: Option<crate::sample::ResourceSeriesReport>,
 }
 
 /// What the fault-injection subsystem did during a run — every recovery
@@ -198,6 +204,44 @@ pub struct WorkerUtilization {
     pub mem_peak_bytes: f64,
 }
 
+/// Wall-clock self-profile of the simulator event loop. Deliberately kept
+/// *out* of [`RunReport`]: wall-clock timings vary run to run, and the
+/// report must stay bit-identical for a given seed. Retrieved separately
+/// via `Cluster::loop_profile`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoopProfile {
+    /// Events dispatched by the loop since construction/reset.
+    pub events_processed: u64,
+    /// Wall-clock seconds spent inside `run_until`/`run_until_idle`.
+    pub wall_secs: f64,
+    /// Per-event-type handler timing. Empty unless the `loop-profile`
+    /// cargo feature is enabled (the per-event clock reads are too
+    /// expensive to leave on in benchmarks).
+    pub per_event: Vec<EventTypeProfile>,
+}
+
+impl LoopProfile {
+    /// Events dispatched per wall-clock second (0 when no time elapsed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events_processed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Handler timing of one event type (`loop-profile` feature only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventTypeProfile {
+    /// Event variant name.
+    pub name: String,
+    /// Times dispatched.
+    pub count: u64,
+    /// Total wall-clock seconds in the handler.
+    pub total_secs: f64,
+}
+
 /// Scheduler-distribution entry for Figure 15-style reports.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DistributionRow {
@@ -259,6 +303,8 @@ mod tests {
             exec_retries: 0,
             repartition_failures: 0,
             faults: FaultReport::default(),
+            trace_dropped: 0,
+            resources: None,
         };
         assert_eq!(report.workflow("wf").e2e.count, 1);
         assert_eq!(report.storage_bandwidth_used(), 50.0);
@@ -283,6 +329,8 @@ mod tests {
             exec_retries: 0,
             repartition_failures: 0,
             faults: FaultReport::default(),
+            trace_dropped: 0,
+            resources: None,
         };
         report.workflow("ghost");
     }

@@ -1,0 +1,145 @@
+//! Deterministic resource time-series sampling.
+//!
+//! When [`crate::ClusterConfig::sample_every`] is set, the cluster
+//! schedules a self-rescheduling `Sample` event on the simulation clock
+//! and snapshots per-node gauges at each tick: container pool occupancy
+//! (resident vs busy), queued admissions, FaaStore memstore usage vs its
+//! reserved quota, and NIC throughput derived from the live [`FlowNet`]
+//! rates — plus cluster-wide depths (pending simulator events, in-flight
+//! invocations). Samples land in bounded ring buffers (oldest evicted and
+//! counted once full) and are attached to [`crate::RunReport`] as a
+//! [`ResourceSeriesReport`].
+//!
+//! Sampling reads state and draws no randomness, so enabling it cannot
+//! perturb the schedule of other same-time events (the event queue breaks
+//! ties by insertion order) — a sampled run and an unsampled run with the
+//! same seed execute identically apart from the sampling itself.
+//!
+//! [`FlowNet`]: faasflow_net::FlowNet
+
+use faasflow_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One per-node snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSample {
+    /// Sample instant, seconds of sim time.
+    pub at_secs: f64,
+    /// Containers resident on the node (warm idle + busy).
+    pub containers: u64,
+    /// Containers currently executing (busy cores; warm idle =
+    /// `containers - busy`).
+    pub busy: u64,
+    /// Admission requests queued behind the container pool.
+    pub queued_admissions: u64,
+    /// FaaStore memstore bytes in use across all workflows.
+    pub memstore_used_bytes: u64,
+    /// FaaStore memstore reserved quota across all workflows.
+    pub memstore_budget_bytes: u64,
+    /// Instantaneous NIC transmit rate, bytes/s (loopback excluded).
+    pub nic_tx_bytes_per_sec: f64,
+    /// Instantaneous NIC receive rate, bytes/s (loopback excluded).
+    pub nic_rx_bytes_per_sec: f64,
+}
+
+/// One cluster-wide snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSample {
+    /// Sample instant, seconds of sim time.
+    pub at_secs: f64,
+    /// Events pending in the simulator queue.
+    pub pending_events: u64,
+    /// Invocations currently in flight.
+    pub inflight_invocations: u64,
+}
+
+/// The sampled series of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSeries {
+    /// The node (0 = master/storage, 1.. = workers).
+    pub node: NodeId,
+    /// Samples in chronological order.
+    pub samples: Vec<NodeSample>,
+}
+
+/// All sampled series of one run, attached to [`crate::RunReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSeriesReport {
+    /// The sampling cadence, seconds of sim time.
+    pub sample_every_secs: f64,
+    /// Samples evicted from full rings across all series.
+    pub dropped_samples: u64,
+    /// Per-node series, master first then workers in id order.
+    pub nodes: Vec<NodeSeries>,
+    /// Cluster-wide series.
+    pub cluster: Vec<ClusterSample>,
+}
+
+/// Fixed-capacity ring that evicts the oldest entry (and counts it) when
+/// full, so a sampler running for arbitrarily long sim time keeps the most
+/// recent `cap` samples.
+#[derive(Debug, Clone)]
+pub(crate) struct Ring<T> {
+    cap: usize,
+    start: usize,
+    items: Vec<T>,
+    evicted: u64,
+}
+
+impl<T: Clone> Ring<T> {
+    pub(crate) fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        Ring {
+            cap,
+            start: 0,
+            items: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, item: T) {
+        if self.items.len() < self.cap {
+            self.items.push(item);
+        } else {
+            self.items[self.start] = item;
+            self.start = (self.start + 1) % self.cap;
+            self.evicted += 1;
+        }
+    }
+
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The retained samples, oldest first.
+    pub(crate) fn snapshot(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.items.len());
+        out.extend_from_slice(&self.items[self.start..]);
+        out.extend_from_slice(&self.items[..self.start]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let mut r = Ring::new(3);
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        assert_eq!(r.snapshot(), vec![2, 3, 4]);
+        assert_eq!(r.evicted(), 2);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_order() {
+        let mut r = Ring::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.snapshot(), vec!["a", "b"]);
+        assert_eq!(r.evicted(), 0);
+    }
+}

@@ -2,13 +2,24 @@
 //!
 //! When [`crate::ClusterConfig::trace`] is set, the cluster records one
 //! [`TraceEvent`] per lifecycle step of every invocation — arrivals,
-//! triggers, container starts, transfers, completions, and the control
-//! messages of whichever schedule pattern is active. Traces make the
-//! difference between MasterSP and WorkerSP *visible* (who triggered what,
-//! where the state travelled) and back the timeline renderer used by
-//! examples and debugging sessions.
+//! triggers, container starts, executor attempts, transfers, completions,
+//! fault-path transitions (crashes, restarts, storage retries,
+//! dead-lettering), and the control messages of whichever schedule pattern
+//! is active. Traces make the difference between MasterSP and WorkerSP
+//! *visible* (who triggered what, where the state travelled) and back both
+//! the timeline renderer used by examples and the span-tree assembly in
+//! `faasflow-obs`.
+//!
+//! The recorder is bounded: [`crate::ClusterConfig::trace_capacity`] caps
+//! the event vector, and events beyond the cap are counted (surfaced as
+//! `trace_dropped` in [`crate::RunReport`]) rather than recorded, so long
+//! open-loop runs cannot grow memory without bound. Dropping the *newest*
+//! events keeps the retained prefix causally closed: no retained event
+//! ever references an earlier event that was dropped.
 
-use faasflow_sim::{ContainerId, FunctionId, InvocationId, NodeId, SimTime, WorkflowId};
+use faasflow_sim::{
+    ContainerId, FunctionId, InvocationId, NodeId, SimDuration, SimTime, WorkflowId,
+};
 use serde::{Deserialize, Serialize};
 
 /// One recorded lifecycle step.
@@ -47,10 +58,48 @@ pub enum TraceEvent {
         function: FunctionId,
         /// Instance index.
         instance: u32,
+        /// The worker hosting the container.
+        worker: NodeId,
         /// The container.
         container: ContainerId,
         /// Whether the container cold-started.
         cold: bool,
+        /// Instant.
+        at: SimTime,
+    },
+    /// An executor attempt began (inputs in place, compute scheduled).
+    ExecStarted {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node.
+        function: FunctionId,
+        /// Instance index.
+        instance: u32,
+        /// The worker running the attempt.
+        worker: NodeId,
+        /// Zero-based attempt number (`retries` so far).
+        attempt: u32,
+        /// Instant.
+        at: SimTime,
+    },
+    /// An executor attempt finished (successfully or not).
+    ExecFinished {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node.
+        function: FunctionId,
+        /// Instance index.
+        instance: u32,
+        /// The worker that ran the attempt.
+        worker: NodeId,
+        /// Zero-based attempt number.
+        attempt: u32,
+        /// Whether the injected-failure draw failed this attempt.
+        failed: bool,
         /// Instant.
         at: SimTime,
     },
@@ -62,12 +111,18 @@ pub enum TraceEvent {
         invocation: InvocationId,
         /// The consuming/producing function node.
         function: FunctionId,
+        /// Instance index of the consuming/producing executor.
+        instance: u32,
+        /// The worker the executor lives on.
+        worker: NodeId,
         /// Bytes moved.
         bytes: u64,
         /// Through the remote store (`false` = worker-local memory).
         remote: bool,
         /// `true` for an input read, `false` for an output write.
         read: bool,
+        /// The instant the flow was admitted to the network.
+        started: SimTime,
         /// Completion instant.
         at: SimTime,
     },
@@ -97,6 +152,44 @@ pub enum TraceEvent {
         /// Instant.
         at: SimTime,
     },
+    /// A storage access hit a blackout window and was scheduled to retry.
+    StorageRetry {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node whose transfer is being retried.
+        function: FunctionId,
+        /// `true` for an input read, `false` for an output write.
+        read: bool,
+        /// Zero-based retry attempt number.
+        attempt: u32,
+        /// The backoff delay until the next attempt.
+        delay: SimDuration,
+        /// Instant.
+        at: SimTime,
+    },
+    /// The invocation's epoch was bumped and it restarted from durable
+    /// state (WorkerSP crash recovery).
+    InvocationRestarted {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The new (post-bump) epoch.
+        epoch: u32,
+        /// Instant.
+        at: SimTime,
+    },
+    /// The invocation exhausted its restart budget and was dead-lettered.
+    DeadLettered {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// Instant.
+        at: SimTime,
+    },
     /// The invocation finished (all exit nodes complete).
     InvocationCompleted {
         /// Workflow.
@@ -108,6 +201,27 @@ pub enum TraceEvent {
         /// Whether the 60 s timeout had already fired.
         timed_out: bool,
     },
+    /// A worker node crashed (fault injection).
+    WorkerCrashed {
+        /// The crashed worker.
+        worker: NodeId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A crashed worker came back online.
+    WorkerRestarted {
+        /// The restarted worker.
+        worker: NodeId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// The master's heartbeat lease on a worker expired (crash detected).
+    LeaseExpired {
+        /// The worker whose lease expired.
+        worker: NodeId,
+        /// Instant.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -117,15 +231,24 @@ impl TraceEvent {
             TraceEvent::InvocationArrived { at, .. }
             | TraceEvent::FunctionTriggered { at, .. }
             | TraceEvent::InstanceStarted { at, .. }
+            | TraceEvent::ExecStarted { at, .. }
+            | TraceEvent::ExecFinished { at, .. }
             | TraceEvent::Transferred { at, .. }
             | TraceEvent::NodeCompleted { at, .. }
             | TraceEvent::StateSyncSent { at, .. }
-            | TraceEvent::InvocationCompleted { at, .. } => *at,
+            | TraceEvent::StorageRetry { at, .. }
+            | TraceEvent::InvocationRestarted { at, .. }
+            | TraceEvent::DeadLettered { at, .. }
+            | TraceEvent::InvocationCompleted { at, .. }
+            | TraceEvent::WorkerCrashed { at, .. }
+            | TraceEvent::WorkerRestarted { at, .. }
+            | TraceEvent::LeaseExpired { at, .. } => *at,
         }
     }
 
-    /// The invocation the event belongs to.
-    pub fn invocation(&self) -> (WorkflowId, InvocationId) {
+    /// The invocation the event belongs to, or `None` for node-scoped
+    /// events (crashes, restarts, lease expiries).
+    pub fn invocation(&self) -> Option<(WorkflowId, InvocationId)> {
         match self {
             TraceEvent::InvocationArrived {
                 workflow,
@@ -138,6 +261,16 @@ impl TraceEvent {
                 ..
             }
             | TraceEvent::InstanceStarted {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::ExecStarted {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::ExecFinished {
                 workflow,
                 invocation,
                 ..
@@ -157,35 +290,67 @@ impl TraceEvent {
                 invocation,
                 ..
             }
+            | TraceEvent::StorageRetry {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::InvocationRestarted {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::DeadLettered {
+                workflow,
+                invocation,
+                ..
+            }
             | TraceEvent::InvocationCompleted {
                 workflow,
                 invocation,
                 ..
-            } => (*workflow, *invocation),
+            } => Some((*workflow, *invocation)),
+            TraceEvent::WorkerCrashed { .. }
+            | TraceEvent::WorkerRestarted { .. }
+            | TraceEvent::LeaseExpired { .. } => None,
         }
     }
 }
 
 /// The recorder held by the cluster.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub(crate) struct Tracer {
     enabled: bool,
+    capacity: usize,
+    dropped: u64,
     events: Vec<TraceEvent>,
 }
 
 impl Tracer {
-    pub(crate) fn new(enabled: bool) -> Self {
+    pub(crate) fn new(enabled: bool, capacity: usize) -> Self {
         Tracer {
             enabled,
+            capacity,
+            dropped: 0,
             events: Vec::new(),
         }
     }
 
     #[inline]
     pub(crate) fn record(&mut self, make: impl FnOnce() -> TraceEvent) {
-        if self.enabled {
-            self.events.push(make());
+        if !self.enabled {
+            return;
         }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(make());
+    }
+
+    /// Events rejected by the capacity cap since construction.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
@@ -194,19 +359,39 @@ impl Tracer {
 }
 
 /// Renders a per-invocation timeline as indented text — a poor man's Gantt
-/// chart for terminal debugging.
+/// chart for terminal debugging. Node-scoped fault events (crashes,
+/// restarts, lease expiries) come first under a `cluster:` header with
+/// absolute timestamps.
 pub fn render_timeline(events: &[TraceEvent]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+
+    let mut cluster: Vec<&TraceEvent> =
+        events.iter().filter(|e| e.invocation().is_none()).collect();
+    cluster.sort_by_key(|e| e.at());
+    if !cluster.is_empty() {
+        let _ = writeln!(out, "cluster:");
+        for e in &cluster {
+            let t = e.at().as_millis_f64();
+            let line = match e {
+                TraceEvent::WorkerCrashed { worker, .. } => format!("crash   {worker}"),
+                TraceEvent::WorkerRestarted { worker, .. } => format!("restart {worker}"),
+                TraceEvent::LeaseExpired { worker, .. } => format!("lease   {worker} expired"),
+                _ => unreachable!("only node-scoped events lack an invocation"),
+            };
+            let _ = writeln!(out, "  {t:>9.2} ms  {line}");
+        }
+    }
+
     let mut current: Option<(WorkflowId, InvocationId)> = None;
     let mut start = SimTime::ZERO;
-    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    let mut sorted: Vec<&TraceEvent> = events.iter().filter(|e| e.invocation().is_some()).collect();
     sorted.sort_by_key(|e| (e.invocation(), e.at()));
     for e in sorted {
-        if current != Some(e.invocation()) {
-            current = Some(e.invocation());
+        if current != e.invocation() {
+            current = e.invocation();
             start = e.at();
-            let (wf, inv) = e.invocation();
+            let (wf, inv) = e.invocation().expect("node-scoped events filtered out");
             let _ = writeln!(out, "{wf}/{inv}:");
         }
         let dt = (e.at() - start).as_millis_f64();
@@ -223,6 +408,22 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             } => format!(
                 "start   {function}#{instance} ({})",
                 if *cold { "cold" } else { "warm" }
+            ),
+            TraceEvent::ExecStarted {
+                function,
+                instance,
+                attempt,
+                ..
+            } => format!("exec    {function}#{instance} attempt {attempt}"),
+            TraceEvent::ExecFinished {
+                function,
+                instance,
+                attempt,
+                failed,
+                ..
+            } => format!(
+                "exec    {function}#{instance} attempt {attempt} {}",
+                if *failed { "failed" } else { "ok" }
             ),
             TraceEvent::Transferred {
                 function,
@@ -243,12 +444,32 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                 completed,
                 ..
             } => format!("sync    {completed}: {from} -> {to}"),
+            TraceEvent::StorageRetry {
+                function,
+                read,
+                attempt,
+                delay,
+                ..
+            } => format!(
+                "retry   {function} {} attempt {attempt} (+{:.2} ms)",
+                if *read { "read" } else { "write" },
+                delay.as_millis_f64()
+            ),
+            TraceEvent::InvocationRestarted { epoch, .. } => {
+                format!("restart epoch {epoch}")
+            }
+            TraceEvent::DeadLettered { .. } => "dead-lettered".to_string(),
             TraceEvent::InvocationCompleted { timed_out, .. } => {
                 if *timed_out {
                     "completed (after timeout)".to_string()
                 } else {
                     "completed".to_string()
                 }
+            }
+            TraceEvent::WorkerCrashed { .. }
+            | TraceEvent::WorkerRestarted { .. }
+            | TraceEvent::LeaseExpired { .. } => {
+                unreachable!("node-scoped events are rendered in the cluster section")
             }
         };
         let _ = writeln!(out, "  {dt:>9.2} ms  {line}");
@@ -260,28 +481,54 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
 mod tests {
     use super::*;
 
+    fn arrival(inv: u32, ms: u64) -> TraceEvent {
+        TraceEvent::InvocationArrived {
+            workflow: WorkflowId::new(0),
+            invocation: InvocationId::new(inv),
+            at: SimTime::ZERO + SimDuration::from_millis(ms),
+        }
+    }
+
     #[test]
     fn disabled_tracer_records_nothing() {
-        let mut t = Tracer::new(false);
-        t.record(|| TraceEvent::InvocationArrived {
-            workflow: WorkflowId::new(0),
-            invocation: InvocationId::new(0),
-            at: SimTime::ZERO,
-        });
+        let mut t = Tracer::new(false, usize::MAX);
+        t.record(|| arrival(0, 0));
         assert!(t.take().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_tracer_counts_drops() {
+        let mut t = Tracer::new(true, 2);
+        for i in 0..5 {
+            t.record(|| arrival(i, u64::from(i)));
+        }
+        assert_eq!(t.dropped(), 3);
+        let kept = t.take();
+        assert_eq!(kept.len(), 2);
+        // Drop-newest: the retained prefix is the chronological head.
+        assert_eq!(kept[0], arrival(0, 0));
+        assert_eq!(kept[1], arrival(1, 1));
     }
 
     #[test]
     fn timeline_groups_by_invocation() {
-        let wf = WorkflowId::new(0);
-        let mk = |inv: u32, ms: u64| TraceEvent::InvocationArrived {
-            workflow: wf,
-            invocation: InvocationId::new(inv),
-            at: SimTime::ZERO + faasflow_sim::SimDuration::from_millis(ms),
-        };
-        let text = render_timeline(&[mk(1, 5), mk(0, 0)]);
+        let text = render_timeline(&[arrival(1, 5), arrival(0, 0)]);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "wf0/inv0:");
         assert_eq!(lines[2], "wf0/inv1:");
+    }
+
+    #[test]
+    fn timeline_puts_node_events_in_cluster_section() {
+        let crash = TraceEvent::WorkerCrashed {
+            worker: NodeId::new(3),
+            at: SimTime::ZERO + SimDuration::from_millis(7),
+        };
+        let text = render_timeline(&[arrival(0, 0), crash]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "cluster:");
+        assert!(lines[1].contains("crash"));
+        assert_eq!(lines[2], "wf0/inv0:");
     }
 }

@@ -41,10 +41,10 @@ fn trace_is_causally_ordered_per_invocation() {
         for e in &events {
             match e {
                 TraceEvent::InvocationArrived { at, .. } => {
-                    arrived.insert(e.invocation(), *at);
+                    arrived.insert(e.invocation().unwrap(), *at);
                 }
                 TraceEvent::InvocationCompleted { at, .. } => {
-                    completed.insert(e.invocation(), *at);
+                    completed.insert(e.invocation().unwrap(), *at);
                 }
                 _ => {}
             }
@@ -52,7 +52,9 @@ fn trace_is_causally_ordered_per_invocation() {
         assert_eq!(arrived.len(), 4);
         assert_eq!(completed.len(), 4);
         for e in &events {
-            let key = e.invocation();
+            // Node-scoped events (crashes, restarts) carry no invocation;
+            // this fault-free run emits none of them.
+            let key = e.invocation().expect("fault-free run: all events scoped");
             assert!(
                 e.at() >= arrived[&key],
                 "event before its invocation arrived: {e:?}"
@@ -70,7 +72,7 @@ fn trace_counts_match_the_workflow_shape() {
     let events = traced_run(ScheduleMode::WorkerSp, true);
     let first = events
         .iter()
-        .filter(|e| e.invocation().1.index() == 0)
+        .filter(|e| e.invocation().is_some_and(|(_, inv)| inv.index() == 0))
         .collect::<Vec<_>>();
     // 3 function nodes trigger per invocation (a, b, c).
     let triggers = first
@@ -84,6 +86,17 @@ fn trace_counts_match_the_workflow_shape() {
         .filter(|e| matches!(e, TraceEvent::InstanceStarted { .. }))
         .count();
     assert_eq!(instances, 5);
+    // Every instance executes exactly once, and start/finish pair up.
+    let exec_starts = first
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ExecStarted { .. }))
+        .count();
+    let exec_finishes = first
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ExecFinished { failed: false, .. }))
+        .count();
+    assert_eq!(exec_starts, 5);
+    assert_eq!(exec_finishes, 5);
     // Node completions: a, b, c.
     let nodes = first
         .iter()

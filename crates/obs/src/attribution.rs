@@ -1,0 +1,292 @@
+//! Latency attribution: where did each millisecond of end-to-end latency
+//! go?
+//!
+//! Folds a [`SpanForest`] into per-workflow phase totals — execution,
+//! cold-start, warm queue-wait, data transfer (local vs remote), storage
+//! retry backoff — and derives the *control* residue: the part of the
+//! end-to-end window covered by no child span at all. Under MasterSP that
+//! residue is dominated by the central engine's queueing and messaging
+//! (the paper's §2.3 scheduling overhead); under WorkerSP it collapses to
+//! local engine costs, which is the paper's core claim rendered as a
+//! table.
+//!
+//! Phase sums are computed from exact nanosecond span extents and
+//! reconcile with the independently-accumulated `RunReport` histograms
+//! (`e2e.sum`, `transfer_total.sum`) to within floating-point rounding —
+//! `repro trace` asserts exactly that.
+
+use std::collections::BTreeMap;
+
+use faasflow_sim::{SimTime, WorkflowId};
+use serde::{Deserialize, Serialize};
+
+use crate::span::{AnnotationKind, SpanForest, SpanKind, SpanTree};
+
+/// Per-workflow phase totals, in milliseconds summed over invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// The workflow.
+    pub workflow: WorkflowId,
+    /// Invocations folded in.
+    pub invocations: u64,
+    /// End-to-end (root span) total.
+    pub e2e_ms: f64,
+    /// Executor attempt total.
+    pub exec_ms: f64,
+    /// Cold-start provisioning total.
+    pub cold_start_ms: f64,
+    /// Warm-container queue-wait total.
+    pub queue_wait_ms: f64,
+    /// Data transfers through worker-local memory.
+    pub transfer_local_ms: f64,
+    /// Data transfers through the remote store.
+    pub transfer_remote_ms: f64,
+    /// Storage blackout backoff (sum of retry delays).
+    pub store_retry_ms: f64,
+    /// End-to-end time covered by *no* child span: engine queueing,
+    /// messaging, and scheduling decisions.
+    pub control_ms: f64,
+}
+
+impl PhaseBreakdown {
+    fn new(workflow: WorkflowId) -> Self {
+        PhaseBreakdown {
+            workflow,
+            invocations: 0,
+            e2e_ms: 0.0,
+            exec_ms: 0.0,
+            cold_start_ms: 0.0,
+            queue_wait_ms: 0.0,
+            transfer_local_ms: 0.0,
+            transfer_remote_ms: 0.0,
+            store_retry_ms: 0.0,
+            control_ms: 0.0,
+        }
+    }
+
+    /// Total transfer time, both paths.
+    pub fn transfer_ms(&self) -> f64 {
+        self.transfer_local_ms + self.transfer_remote_ms
+    }
+}
+
+/// Milliseconds of the root window covered by no child span.
+fn control_residue_ms(tree: &SpanTree) -> f64 {
+    let root = tree.root();
+    let mut intervals: Vec<(SimTime, SimTime)> = tree
+        .spans
+        .iter()
+        .skip(1)
+        .map(|s| (s.start.max(root.start), s.end.min(root.end)))
+        .filter(|(a, b)| b > a)
+        .collect();
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cursor = root.start;
+    for (start, end) in intervals {
+        let start = start.max(cursor);
+        if end > start {
+            covered += (end - start).as_nanos();
+            cursor = end;
+        }
+    }
+    let residue = tree.e2e().as_nanos().saturating_sub(covered);
+    residue as f64 / 1e6
+}
+
+/// Folds the forest into one [`PhaseBreakdown`] per workflow, in workflow
+/// id order. Every tree contributes, completed or not.
+pub fn attribute(forest: &SpanForest) -> Vec<PhaseBreakdown> {
+    let mut by_wf: BTreeMap<WorkflowId, PhaseBreakdown> = BTreeMap::new();
+    for tree in &forest.trees {
+        let row = by_wf
+            .entry(tree.workflow)
+            .or_insert_with(|| PhaseBreakdown::new(tree.workflow));
+        row.invocations += 1;
+        row.e2e_ms += tree.e2e().as_millis_f64();
+        for span in &tree.spans {
+            let ms = span.duration().as_millis_f64();
+            match span.kind {
+                SpanKind::Invocation | SpanKind::Function => {}
+                SpanKind::Exec { .. } => row.exec_ms += ms,
+                SpanKind::Provision { cold: true } => row.cold_start_ms += ms,
+                SpanKind::Provision { cold: false } => row.queue_wait_ms += ms,
+                SpanKind::Transfer { remote: true, .. } => row.transfer_remote_ms += ms,
+                SpanKind::Transfer { remote: false, .. } => row.transfer_local_ms += ms,
+            }
+        }
+        for a in &tree.annotations {
+            if let AnnotationKind::StorageRetry { delay, .. } = a.kind {
+                row.store_retry_ms += delay.as_millis_f64();
+            }
+        }
+        row.control_ms += control_residue_ms(tree);
+    }
+    by_wf.into_values().collect()
+}
+
+/// Renders side-by-side attribution sections (e.g. MasterSP vs WorkerSP)
+/// as a fixed-width table of mean milliseconds per invocation. `names`
+/// resolves workflow ids to display names.
+pub fn render_attribution_table(
+    sections: &[(String, Vec<PhaseBreakdown>)],
+    mut names: impl FnMut(WorkflowId) -> String,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>5} {:>9} {:>8} {:>7} {:>7} {:>8} {:>7} {:>9}",
+        "mode", "workflow", "inv", "e2e", "exec", "cold", "queue", "xfer", "retry", "control"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(88));
+    for (label, rows) in sections {
+        for row in rows {
+            let n = row.invocations.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:<10} {:<10} {:>5} {:>9.1} {:>8.1} {:>7.1} {:>7.1} {:>8.1} {:>7.1} {:>9.1}",
+                label,
+                names(row.workflow),
+                row.invocations,
+                row.e2e_ms / n,
+                row.exec_ms / n,
+                row.cold_start_ms / n,
+                row.queue_wait_ms / n,
+                row.transfer_ms() / n,
+                row.store_retry_ms / n,
+                row.control_ms / n,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::build_forest;
+    use faasflow_core::TraceEvent;
+    use faasflow_sim::{ContainerId, FunctionId, InvocationId, NodeId, SimDuration};
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn phases_sum_and_control_is_the_uncovered_residue() {
+        let wf = WorkflowId::new(0);
+        let inv = InvocationId::new(0);
+        let f = FunctionId::new(1);
+        let n = NodeId::new(1);
+        // Arrival 0, trigger 10, instance ready (cold) 20, exec 20..50,
+        // remote write 50..60, node done 60, completed 70.
+        let forest = build_forest(&[
+            TraceEvent::InvocationArrived {
+                workflow: wf,
+                invocation: inv,
+                at: ms(0),
+            },
+            TraceEvent::FunctionTriggered {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                worker: n,
+                at: ms(10),
+            },
+            TraceEvent::InstanceStarted {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                instance: 0,
+                worker: n,
+                container: ContainerId::new(0),
+                cold: true,
+                at: ms(20),
+            },
+            TraceEvent::ExecStarted {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                instance: 0,
+                worker: n,
+                attempt: 0,
+                at: ms(20),
+            },
+            TraceEvent::ExecFinished {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                instance: 0,
+                worker: n,
+                attempt: 0,
+                failed: false,
+                at: ms(50),
+            },
+            TraceEvent::Transferred {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                instance: 0,
+                worker: n,
+                bytes: 1024,
+                remote: true,
+                read: false,
+                started: ms(50),
+                at: ms(60),
+            },
+            TraceEvent::NodeCompleted {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                at: ms(60),
+            },
+            TraceEvent::InvocationCompleted {
+                workflow: wf,
+                invocation: inv,
+                at: ms(70),
+                timed_out: false,
+            },
+        ]);
+        let rows = attribute(&forest);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.invocations, 1);
+        assert!((r.e2e_ms - 70.0).abs() < 1e-9);
+        assert!((r.exec_ms - 30.0).abs() < 1e-9);
+        assert!((r.cold_start_ms - 10.0).abs() < 1e-9);
+        assert!((r.transfer_remote_ms - 10.0).abs() < 1e-9);
+        assert_eq!(r.transfer_local_ms, 0.0);
+        // Function span covers 10..60; children cover 10..60 too; the
+        // uncovered residue is 0..10 (pre-trigger) + 60..70 (completion).
+        assert!((r.control_ms - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_one_row_per_workflow_per_section() {
+        let row = PhaseBreakdown {
+            workflow: WorkflowId::new(0),
+            invocations: 2,
+            e2e_ms: 200.0,
+            exec_ms: 100.0,
+            cold_start_ms: 20.0,
+            queue_wait_ms: 5.0,
+            transfer_local_ms: 10.0,
+            transfer_remote_ms: 30.0,
+            store_retry_ms: 0.0,
+            control_ms: 35.0,
+        };
+        let text = render_attribution_table(
+            &[
+                ("MasterSP".to_string(), vec![row]),
+                ("WorkerSP".to_string(), vec![row]),
+            ],
+            |_| "WC".to_string(),
+        );
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("MasterSP"));
+        assert!(text.contains("WorkerSP"));
+        // Mean e2e per invocation: 200/2.
+        assert!(text.contains("100.0"));
+    }
+}

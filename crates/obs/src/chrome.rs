@@ -1,0 +1,461 @@
+//! Chrome trace-event (Perfetto-loadable) exporter.
+//!
+//! Emits the JSON object format of the Trace Event specification:
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Spans become `B`/`E`
+//! duration pairs, annotations and node-scoped fault events become `i`
+//! instants, and the sampled resource series become `C` counter tracks.
+//! Load the file at `ui.perfetto.dev` or `chrome://tracing`.
+//!
+//! Track model: process 0 is the cluster (invocation roots and
+//! cluster-scoped annotations); process `n + 1` is node `n` of the
+//! simulated cluster (node 0 = master/storage, others = workers). Within a
+//! process, spans are packed onto threads by a greedy interval-lane
+//! allocator so every `B`/`E` pair on one thread is properly nested —
+//! overlapping spans (a parent and its children, or concurrent instances)
+//! land on separate lanes.
+//!
+//! Timestamps are microseconds of simulated time, so the export is
+//! bit-deterministic for a given seed and diffable as a golden file.
+
+use faasflow_core::{ResourceSeriesReport, TraceEvent};
+use faasflow_sim::SimTime;
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::span::{AnnotationKind, Span, SpanForest, SpanKind};
+
+/// A parsed JSON document. The vendored serde has no blanket
+/// `Serialize for Value`, so exporters build [`Value`] trees and wrap them
+/// in this newtype for printing; `Deserialize` makes it double as a
+/// grammar-level JSON validator via [`parse_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonDoc(pub Value);
+
+impl Serialize for JsonDoc {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for JsonDoc {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(JsonDoc(value.clone()))
+    }
+}
+
+/// Parses arbitrary JSON text into a [`Value`] tree (full grammar).
+///
+/// # Errors
+///
+/// Returns the parse error on malformed input.
+pub fn parse_json(text: &str) -> Result<Value, serde_json::Error> {
+    serde_json::from_str::<JsonDoc>(text).map(|doc| doc.0)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+/// Microseconds of sim time — the unit the trace viewer expects.
+fn us(at: SimTime) -> Value {
+    Value::Float(at.as_nanos() as f64 / 1000.0)
+}
+
+/// The process a span renders under.
+fn span_pid(span: &Span) -> u64 {
+    span.node.map_or(0, |n| n.index() as u64 + 1)
+}
+
+fn span_args(span: &Span) -> Value {
+    let mut fields: Vec<(&str, Value)> = Vec::new();
+    match span.kind {
+        SpanKind::Invocation | SpanKind::Function => {}
+        SpanKind::Provision { cold } => fields.push(("cold", Value::Bool(cold))),
+        SpanKind::Exec { attempt, failed } => {
+            fields.push(("attempt", Value::UInt(u64::from(attempt))));
+            fields.push(("failed", Value::Bool(failed)));
+        }
+        SpanKind::Transfer {
+            read,
+            remote,
+            bytes,
+        } => {
+            fields.push(("read", Value::Bool(read)));
+            fields.push(("remote", Value::Bool(remote)));
+            fields.push(("bytes", Value::UInt(bytes)));
+        }
+    }
+    if span.truncated {
+        fields.push(("truncated", Value::Bool(true)));
+    }
+    obj(fields)
+}
+
+/// Greedy interval-lane allocation: each span gets the lowest-numbered
+/// lane whose previous occupant has already closed. Returns `(lane,
+/// span)` pairs and keeps the by-`(start, end desc)` order, so within one
+/// lane spans are sequential and `B`/`E` pairs trivially nest.
+fn allocate_lanes(mut spans: Vec<(&Span, String)>) -> Vec<(usize, &Span, String)> {
+    spans.sort_by(|(a, _), (b, _)| {
+        a.start
+            .cmp(&b.start)
+            .then(b.end.cmp(&a.end))
+            .then(a.label.cmp(&b.label))
+    });
+    let mut lane_free_at: Vec<SimTime> = Vec::new();
+    let mut out = Vec::with_capacity(spans.len());
+    for (span, name) in spans {
+        let lane = match lane_free_at.iter().position(|&free| free <= span.start) {
+            Some(l) => l,
+            None => {
+                lane_free_at.push(SimTime::ZERO);
+                lane_free_at.len() - 1
+            }
+        };
+        lane_free_at[lane] = span.end;
+        out.push((lane, span, name));
+    }
+    out
+}
+
+/// Renders the forest (and, when sampling was on, the resource series) as
+/// Chrome trace-event JSON.
+pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport>) -> String {
+    let mut events: Vec<Value> = Vec::new();
+
+    // --- Track metadata -------------------------------------------------
+    let mut pids: Vec<u64> = forest
+        .trees
+        .iter()
+        .flat_map(|t| t.spans.iter().map(span_pid))
+        .chain(std::iter::once(0))
+        .collect();
+    if let Some(res) = resources {
+        pids.extend(res.nodes.iter().map(|n| n.node.index() as u64 + 1));
+    }
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        let name = match pid {
+            0 => "cluster".to_string(),
+            1 => "node0 (master/storage)".to_string(),
+            n => format!("node{} (worker)", n - 1),
+        };
+        events.push(obj(vec![
+            ("name", s("process_name")),
+            ("ph", s("M")),
+            ("pid", Value::UInt(*pid)),
+            ("tid", Value::UInt(0)),
+            ("args", obj(vec![("name", s(name))])),
+        ]));
+    }
+
+    // --- Spans as B/E pairs --------------------------------------------
+    for pid in &pids {
+        let spans: Vec<(&Span, String)> = forest
+            .trees
+            .iter()
+            .flat_map(|tree| {
+                tree.spans
+                    .iter()
+                    .filter(move |span| span_pid(span) == *pid)
+                    .map(move |span| {
+                        let name = if span.parent.is_none() {
+                            span.label.clone()
+                        } else {
+                            format!("{}/{} {}", tree.workflow, tree.invocation, span.label)
+                        };
+                        (span, name)
+                    })
+            })
+            .collect();
+        for (lane, span, name) in allocate_lanes(spans) {
+            let tid = Value::UInt(lane as u64);
+            events.push(obj(vec![
+                ("name", s(name)),
+                ("cat", s(category(span))),
+                ("ph", s("B")),
+                ("ts", us(span.start)),
+                ("pid", Value::UInt(*pid)),
+                ("tid", tid.clone()),
+                ("args", span_args(span)),
+            ]));
+            events.push(obj(vec![
+                ("ph", s("E")),
+                ("ts", us(span.end)),
+                ("pid", Value::UInt(*pid)),
+                ("tid", tid),
+            ]));
+        }
+    }
+
+    // --- Annotations and node-scoped fault events as instants ----------
+    for tree in &forest.trees {
+        for a in &tree.annotations {
+            let (name, pid) = match &a.kind {
+                AnnotationKind::StateSync {
+                    from,
+                    to,
+                    completed,
+                } => (
+                    format!("sync {completed}: {from} -> {to}"),
+                    from.index() as u64 + 1,
+                ),
+                AnnotationKind::StorageRetry {
+                    function,
+                    read,
+                    attempt,
+                    ..
+                } => (
+                    format!(
+                        "storage retry {function} {} attempt {attempt}",
+                        if *read { "read" } else { "write" }
+                    ),
+                    0,
+                ),
+                AnnotationKind::Restarted { epoch } => {
+                    (format!("{} restart epoch {epoch}", tree.invocation), 0)
+                }
+                AnnotationKind::DeadLettered => (format!("{} dead-lettered", tree.invocation), 0),
+            };
+            events.push(obj(vec![
+                ("name", s(name)),
+                ("cat", s("annotation")),
+                ("ph", s("i")),
+                ("s", s("p")),
+                ("ts", us(a.at)),
+                ("pid", Value::UInt(pid)),
+                ("tid", Value::UInt(0)),
+            ]));
+        }
+    }
+    for event in &forest.node_events {
+        let (name, node) = match event {
+            TraceEvent::WorkerCrashed { worker, .. } => ("worker crashed", worker),
+            TraceEvent::WorkerRestarted { worker, .. } => ("worker restarted", worker),
+            TraceEvent::LeaseExpired { worker, .. } => ("lease expired", worker),
+            _ => continue,
+        };
+        events.push(obj(vec![
+            ("name", s(name)),
+            ("cat", s("fault")),
+            ("ph", s("i")),
+            ("s", s("p")),
+            ("ts", us(event.at())),
+            ("pid", Value::UInt(node.index() as u64 + 1)),
+            ("tid", Value::UInt(0)),
+        ]));
+    }
+
+    // --- Resource series as counter tracks -----------------------------
+    if let Some(res) = resources {
+        for series in &res.nodes {
+            let pid = Value::UInt(series.node.index() as u64 + 1);
+            for sample in &series.samples {
+                let ts = Value::Float(sample.at_secs * 1e6);
+                let mut counter = |name: &str, args: Vec<(&str, Value)>| {
+                    events.push(obj(vec![
+                        ("name", s(name)),
+                        ("ph", s("C")),
+                        ("ts", ts.clone()),
+                        ("pid", pid.clone()),
+                        ("tid", Value::UInt(0)),
+                        ("args", obj(args)),
+                    ]));
+                };
+                counter(
+                    "containers",
+                    vec![
+                        ("busy", Value::UInt(sample.busy)),
+                        (
+                            "warm idle",
+                            Value::UInt(sample.containers.saturating_sub(sample.busy)),
+                        ),
+                    ],
+                );
+                counter(
+                    "queued admissions",
+                    vec![("queued", Value::UInt(sample.queued_admissions))],
+                );
+                counter(
+                    "memstore bytes",
+                    vec![
+                        ("used", Value::UInt(sample.memstore_used_bytes)),
+                        ("budget", Value::UInt(sample.memstore_budget_bytes)),
+                    ],
+                );
+                counter(
+                    "nic bytes/s",
+                    vec![
+                        ("tx", Value::Float(sample.nic_tx_bytes_per_sec)),
+                        ("rx", Value::Float(sample.nic_rx_bytes_per_sec)),
+                    ],
+                );
+            }
+        }
+        for sample in &res.cluster {
+            let ts = Value::Float(sample.at_secs * 1e6);
+            events.push(obj(vec![
+                ("name", s("cluster load")),
+                ("ph", s("C")),
+                ("ts", ts),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("pending events", Value::UInt(sample.pending_events)),
+                        (
+                            "inflight invocations",
+                            Value::UInt(sample.inflight_invocations),
+                        ),
+                    ]),
+                ),
+            ]));
+        }
+    }
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", s("ms")),
+    ]);
+    serde_json::to_string(&JsonDoc(doc)).expect("trace values are finite")
+}
+
+fn category(span: &Span) -> &'static str {
+    match span.kind {
+        SpanKind::Invocation => "invocation",
+        SpanKind::Function => "function",
+        SpanKind::Provision { .. } => "provision",
+        SpanKind::Exec { .. } => "exec",
+        SpanKind::Transfer { .. } => "transfer",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::build_forest;
+    use faasflow_sim::{ContainerId, FunctionId, InvocationId, NodeId, SimDuration, WorkflowId};
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    fn tiny_forest() -> SpanForest {
+        let wf = WorkflowId::new(0);
+        let inv = InvocationId::new(0);
+        let f = FunctionId::new(1);
+        let n = NodeId::new(1);
+        build_forest(&[
+            TraceEvent::InvocationArrived {
+                workflow: wf,
+                invocation: inv,
+                at: ms(0),
+            },
+            TraceEvent::FunctionTriggered {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                worker: n,
+                at: ms(1),
+            },
+            TraceEvent::InstanceStarted {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                instance: 0,
+                worker: n,
+                container: ContainerId::new(0),
+                cold: false,
+                at: ms(2),
+            },
+            TraceEvent::ExecStarted {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                instance: 0,
+                worker: n,
+                attempt: 0,
+                at: ms(2),
+            },
+            TraceEvent::ExecFinished {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                instance: 0,
+                worker: n,
+                attempt: 0,
+                failed: false,
+                at: ms(9),
+            },
+            TraceEvent::NodeCompleted {
+                workflow: wf,
+                invocation: inv,
+                function: f,
+                at: ms(9),
+            },
+            TraceEvent::InvocationCompleted {
+                workflow: wf,
+                invocation: inv,
+                at: ms(9),
+                timed_out: false,
+            },
+        ])
+    }
+
+    #[test]
+    fn export_round_trips_through_the_json_parser() {
+        let text = chrome_trace(&tiny_forest(), None);
+        let value = parse_json(&text).expect("valid JSON");
+        let Value::Map(fields) = value else {
+            panic!("top level must be an object")
+        };
+        let (_, Value::Seq(trace_events)) = &fields[0] else {
+            panic!("traceEvents must be an array")
+        };
+        assert!(!trace_events.is_empty());
+    }
+
+    #[test]
+    fn begin_and_end_events_balance_per_thread() {
+        let text = chrome_trace(&tiny_forest(), None);
+        let begins = text.matches("\"ph\":\"B\"").count();
+        let ends = text.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends);
+        assert!(begins >= 4, "root, function, provision, exec spans");
+    }
+
+    #[test]
+    fn lanes_never_overlap() {
+        let forest = tiny_forest();
+        let spans: Vec<(&Span, String)> = forest.trees[0]
+            .spans
+            .iter()
+            .map(|sp| (sp, sp.label.clone()))
+            .collect();
+        let mut by_lane: std::collections::HashMap<usize, Vec<&Span>> = Default::default();
+        for (lane, span, _) in allocate_lanes(spans) {
+            by_lane.entry(lane).or_default().push(span);
+        }
+        for spans in by_lane.values() {
+            for pair in spans.windows(2) {
+                assert!(pair[1].start >= pair[0].end, "lane occupants overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_json_rejects_garbage() {
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+    }
+}

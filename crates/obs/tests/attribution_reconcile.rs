@@ -1,0 +1,67 @@
+//! The span-derived phase breakdown must reconcile with the
+//! independently-accumulated RunReport histograms: per workflow,
+//! span-tree end-to-end sums match `e2e.sum` and transfer span sums match
+//! `transfer_total.sum` (both built from the same nanosecond instants, so
+//! only float summation order differs).
+
+use faasflow_core::{ClientConfig, Cluster, ClusterConfig, ScheduleMode};
+use faasflow_obs::attribution::attribute;
+use faasflow_obs::build_forest;
+use faasflow_workloads::Benchmark;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn breakdown_reconciles_with_report_histograms() {
+    for (mode, faastore) in [
+        (ScheduleMode::WorkerSp, true),
+        (ScheduleMode::MasterSp, false),
+    ] {
+        let mut cluster = Cluster::new(ClusterConfig {
+            mode,
+            faastore,
+            trace: true,
+            ..ClusterConfig::default()
+        })
+        .expect("valid config");
+        for bench in [Benchmark::WordCount, Benchmark::Genome] {
+            cluster
+                .register(
+                    &bench.workflow(),
+                    ClientConfig::ClosedLoop { invocations: 8 },
+                )
+                .expect("registers");
+        }
+        cluster.run_until_idle();
+        let report = cluster.report();
+        assert_eq!(report.trace_dropped, 0, "no drops in this small run");
+        let forest = build_forest(&cluster.take_trace());
+        forest.validate().expect("well-formed");
+        let rows = attribute(&forest);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            let name = cluster.workflow_name(row.workflow).expect("registered");
+            let wf = report.workflow(name);
+            assert_eq!(wf.timeouts, 0, "{mode:?}/{name}: clean run expected");
+            assert_eq!(row.invocations, wf.completed);
+            assert!(
+                close(row.e2e_ms, wf.e2e.sum),
+                "{mode:?}/{name}: span e2e {} vs report {}",
+                row.e2e_ms,
+                wf.e2e.sum
+            );
+            assert!(
+                close(row.transfer_ms(), wf.transfer_total.sum),
+                "{mode:?}/{name}: span transfer {} vs report {}",
+                row.transfer_ms(),
+                wf.transfer_total.sum
+            );
+            // Sanity on the residue: control time is non-negative and,
+            // with exec on the critical path, strictly below e2e.
+            assert!(row.control_ms >= 0.0);
+            assert!(row.control_ms < row.e2e_ms);
+        }
+    }
+}

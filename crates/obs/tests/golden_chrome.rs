@@ -1,0 +1,96 @@
+//! Golden Chrome-trace export: a small deterministic run must serialize
+//! byte-identically run over run. Regenerate with
+//! `GOLDEN_REGEN=1 cargo test -p faasflow-obs --test golden_chrome`.
+
+use faasflow_core::{ClientConfig, Cluster, ClusterConfig};
+use faasflow_obs::{build_forest, chrome_trace, parse_json};
+use faasflow_sim::SimDuration;
+use faasflow_wdl::{FunctionProfile, Step, Workflow};
+use serde::Value;
+
+fn small_trace() -> String {
+    let mut cluster = Cluster::new(ClusterConfig {
+        trace: true,
+        sample_every: Some(SimDuration::from_millis(50)),
+        ..ClusterConfig::default()
+    })
+    .expect("valid config");
+    let wf = Workflow::steps(
+        "golden",
+        Step::sequence(vec![
+            Step::task("extract", FunctionProfile::with_millis(40, 4 << 20)),
+            Step::foreach("map", FunctionProfile::with_millis(30, 2 << 20), 2),
+            Step::task("load", FunctionProfile::with_millis(20, 0)),
+        ]),
+    );
+    cluster
+        .register(&wf, ClientConfig::ClosedLoop { invocations: 2 })
+        .expect("registers");
+    cluster.run_until_idle();
+    let report = cluster.report();
+    let forest = build_forest(&cluster.take_trace());
+    forest.validate().expect("well-formed");
+    chrome_trace(&forest, report.resources.as_ref())
+}
+
+#[test]
+fn chrome_export_matches_the_committed_golden() {
+    let rendered = small_trace();
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_small.json");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir golden");
+        std::fs::write(&path, rendered + "\n").expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden chrome_small.json ({e}); run with GOLDEN_REGEN=1")
+    });
+    assert_eq!(
+        rendered + "\n",
+        golden,
+        "Chrome trace export diverged from the committed golden"
+    );
+}
+
+#[test]
+fn chrome_export_is_wellformed_trace_json() {
+    let text = small_trace();
+    let value = parse_json(&text).expect("export parses as JSON");
+    let Value::Map(fields) = value else {
+        panic!("top level must be an object")
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents present");
+    let Value::Seq(events) = events else {
+        panic!("traceEvents must be an array")
+    };
+    assert!(!events.is_empty());
+    // Every event is an object with a phase; B/E pairs balance.
+    let mut begins = 0u32;
+    let mut ends = 0u32;
+    for ev in events {
+        let Value::Map(fields) = ev else {
+            panic!("trace event must be an object")
+        };
+        let phase = fields
+            .iter()
+            .find(|(k, _)| k == "ph")
+            .and_then(|(_, v)| match v {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .expect("event has a phase");
+        match phase {
+            "B" => begins += 1,
+            "E" => ends += 1,
+            "M" | "i" | "C" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(begins, ends, "unbalanced B/E pairs");
+    assert!(begins > 0);
+}

@@ -1,0 +1,145 @@
+//! Span-tree well-formedness under adversarial schedules: chaos fault
+//! injection, open-loop overload, and exec-failure retries all must
+//! produce structurally valid forests — every started span closes, parents
+//! open before children, per-instance attempts never overlap.
+
+use faasflow_core::{
+    ClientConfig, Cluster, ClusterConfig, FaultPlan, NetFault, NodeCrash, ScheduleMode,
+    StorageFault, StorageFaultKind,
+};
+use faasflow_obs::{build_forest, SpanForest};
+use faasflow_sim::SimDuration;
+use faasflow_workloads::Benchmark;
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        node_crashes: vec![NodeCrash {
+            worker: 0,
+            at: SimDuration::from_secs(3),
+            restart_after: Some(SimDuration::from_secs(4)),
+        }],
+        storage_faults: vec![StorageFault {
+            at: SimDuration::from_secs(5),
+            duration: SimDuration::from_secs(6),
+            kind: StorageFaultKind::Brownout { slowdown: 6.0 },
+        }],
+        net_faults: vec![NetFault {
+            worker: 1,
+            at: SimDuration::from_secs(2),
+            duration: SimDuration::from_secs(6),
+            loss: 0.3,
+            latency_factor: 2.0,
+            bandwidth_factor: 0.5,
+        }],
+        ..FaultPlan::default()
+    }
+}
+
+fn forest_of(config: ClusterConfig, client: ClientConfig) -> SpanForest {
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(&Benchmark::WordCount.workflow(), client)
+        .expect("registers");
+    cluster.run_until_idle();
+    build_forest(&cluster.take_trace())
+}
+
+#[test]
+fn chaos_runs_build_valid_forests_in_both_modes() {
+    for mode in [ScheduleMode::WorkerSp, ScheduleMode::MasterSp] {
+        let forest = forest_of(
+            ClusterConfig {
+                mode,
+                faastore: mode == ScheduleMode::WorkerSp,
+                trace: true,
+                fault: chaos_plan(),
+                ..ClusterConfig::default()
+            },
+            ClientConfig::ClosedLoop { invocations: 30 },
+        );
+        assert!(!forest.trees.is_empty());
+        forest
+            .validate()
+            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        // The plan injects one crash; the node-scoped record must surface it.
+        assert!(
+            forest
+                .node_events
+                .iter()
+                .any(|e| matches!(e, faasflow_core::TraceEvent::WorkerCrashed { .. })),
+            "{mode:?}: crash missing from node-scoped events"
+        );
+    }
+}
+
+#[test]
+fn open_loop_overload_builds_a_valid_forest() {
+    let forest = forest_of(
+        ClusterConfig {
+            mode: ScheduleMode::WorkerSp,
+            faastore: true,
+            trace: true,
+            ..ClusterConfig::default()
+        },
+        ClientConfig::OpenLoop {
+            per_minute: 240.0,
+            invocations: 40,
+        },
+    );
+    assert_eq!(forest.trees.len(), 40);
+    forest.validate().expect("open-loop forest well-formed");
+    // Overload means queueing, which must show as concurrent invocations:
+    // at least two roots overlap in time.
+    let overlapping = forest
+        .trees
+        .windows(2)
+        .any(|pair| pair[1].root().start < pair[0].root().end);
+    assert!(overlapping, "open loop at 4/s should overlap invocations");
+}
+
+#[test]
+fn exec_retries_produce_non_overlapping_attempts() {
+    let forest = forest_of(
+        ClusterConfig {
+            mode: ScheduleMode::WorkerSp,
+            faastore: true,
+            trace: true,
+            exec_failure_rate: 0.2,
+            max_exec_retries: 3,
+            ..ClusterConfig::default()
+        },
+        ClientConfig::ClosedLoop { invocations: 25 },
+    );
+    forest.validate().expect("retry forest well-formed");
+    let failed_attempts: usize = forest
+        .trees
+        .iter()
+        .flat_map(|t| &t.spans)
+        .filter(|s| matches!(s.kind, faasflow_obs::SpanKind::Exec { failed: true, .. }))
+        .count();
+    assert!(
+        failed_attempts > 0,
+        "20% failure rate over 25 invocations must fail at least once"
+    );
+}
+
+#[test]
+fn every_completed_tree_has_closed_untruncated_spans() {
+    let forest = forest_of(
+        ClusterConfig {
+            mode: ScheduleMode::WorkerSp,
+            faastore: true,
+            trace: true,
+            ..ClusterConfig::default()
+        },
+        ClientConfig::ClosedLoop { invocations: 10 },
+    );
+    forest.validate().expect("well-formed");
+    for tree in &forest.trees {
+        assert!(tree.completed, "closed-loop fault-free run completes all");
+        for span in &tree.spans {
+            assert!(!span.truncated, "no truncation without faults");
+            assert!(span.end >= span.start);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Structured tracing: watch one invocation flow through WorkerSP — which
 //! worker triggers what, where the data lands, and which state syncs cross
-//! the network.
+//! the network — then fold the same events into causal span trees and a
+//! latency-attribution table.
 //!
 //! ```sh
 //! cargo run --example trace_timeline
@@ -8,6 +9,7 @@
 
 use faasflow::core::trace::render_timeline;
 use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ClusterError};
+use faasflow::obs::{attribute, build_forest, render_attribution_table, SpanKind};
 use faasflow::workloads::Benchmark;
 
 fn main() -> Result<(), ClusterError> {
@@ -29,5 +31,45 @@ fn main() -> Result<(), ClusterError> {
     );
     print!("{}", render_timeline(&events));
     println!("\n(second invocation reuses warm containers — compare the start lines)");
+
+    // The same stream, assembled into causal span trees.
+    let forest = build_forest(&events);
+    forest.validate().expect("span forest well-formed");
+    let tree = &forest.trees[0];
+    println!(
+        "\nspan tree of the first invocation ({} spans, e2e {:.1} ms):",
+        tree.spans.len(),
+        tree.e2e().as_millis_f64()
+    );
+    for (idx, span) in tree.spans.iter().enumerate() {
+        let depth = std::iter::successors(Some(idx), |&i| tree.spans[i].parent).count() - 1;
+        let marker = match span.kind {
+            SpanKind::Invocation => "inv ",
+            SpanKind::Function => "fn  ",
+            SpanKind::Provision { .. } => "prov",
+            SpanKind::Exec { .. } => "exec",
+            SpanKind::Transfer { .. } => "xfer",
+        };
+        println!(
+            "  {:indent$}{marker} {:<24} {:>8.2} ms",
+            "",
+            span.label,
+            span.duration().as_millis_f64(),
+            indent = depth * 2
+        );
+    }
+
+    // Where did the milliseconds go?
+    let rows = attribute(&forest);
+    println!("\nphase attribution (mean ms per invocation):");
+    print!(
+        "{}",
+        render_attribution_table(&[("WorkerSP".to_string(), rows)], |wf| {
+            cluster
+                .workflow_name(wf)
+                .expect("registered workflow")
+                .to_string()
+        })
+    );
     Ok(())
 }

@@ -36,5 +36,9 @@ pub use faasflow_engine as engine;
 /// Cluster simulation, invocation clients, and metrics.
 pub use faasflow_core as core;
 
+/// Observability: span trees, Chrome-trace/Prometheus exporters,
+/// latency attribution.
+pub use faasflow_obs as obs;
+
 /// The eight evaluation benchmarks.
 pub use faasflow_workloads as workloads;
