@@ -209,6 +209,45 @@ impl<T> ContainerManager<T> {
         }
     }
 
+    /// Requests a container without queueing: returns the admission if the
+    /// node can serve it now, `None` otherwise (the token is **not**
+    /// retained). Hedged dispatch uses this — a hedge is opportunistic and
+    /// must never add queue pressure to its target node.
+    pub fn request_immediate(
+        &mut self,
+        key: PoolKey,
+        token: T,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<Admission<T>> {
+        self.try_admit(key, now, rng)
+            .map(|(container, ready_at, start)| Admission {
+                token,
+                container,
+                ready_at,
+                start,
+            })
+    }
+
+    /// Removes and returns the longest-queued token (admission-control
+    /// head drop). `None` when the queue is empty.
+    pub fn shed_oldest(&mut self) -> Option<T> {
+        self.queue.pop_front().map(|w| w.token)
+    }
+
+    /// The queued tokens, oldest first (deadline-aware shedding scans
+    /// these to pick a victim).
+    pub fn queued_tokens(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter().map(|w| &w.token)
+    }
+
+    /// Removes the first queued entry whose token satisfies `pred`.
+    /// Returns the removed token, or `None` if nothing matched.
+    pub fn remove_queued(&mut self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let idx = self.queue.iter().position(|w| pred(&w.token))?;
+        self.queue.remove(idx).map(|w| w.token)
+    }
+
     /// Finishes a request: frees the container's core and returns it to the
     /// warm pool (or recycles it if doomed). Queued requests that can now
     /// run are admitted and returned, oldest first.
@@ -501,6 +540,40 @@ mod tests {
         assert_eq!(adm.start, StartKind::Cold);
         assert_eq!(adm.ready_at, t(0) + SimDuration::from_millis(500));
         assert_eq!(m.container_count(), 1);
+    }
+
+    #[test]
+    fn request_immediate_never_queues() {
+        let mut m = mgr(1, 128);
+        let mut rng = SimRng::seed_from(1);
+        m.request(key(0), 1, t(0), &mut rng).expect("admitted");
+        assert!(m.request_immediate(key(0), 2, t(0), &mut rng).is_none());
+        assert_eq!(m.queue_len(), 0, "rejected token is not retained");
+    }
+
+    #[test]
+    fn shed_oldest_pops_the_queue_head() {
+        let mut m = mgr(1, 128);
+        let mut rng = SimRng::seed_from(1);
+        m.request(key(0), 1, t(0), &mut rng).expect("admitted");
+        assert!(m.request(key(0), 2, t(0), &mut rng).is_none());
+        assert!(m.request(key(0), 3, t(0), &mut rng).is_none());
+        assert_eq!(m.shed_oldest(), Some(2));
+        assert_eq!(m.queue_len(), 1);
+        let queued: Vec<u32> = m.queued_tokens().copied().collect();
+        assert_eq!(queued, vec![3]);
+    }
+
+    #[test]
+    fn remove_queued_picks_by_predicate() {
+        let mut m = mgr(1, 128);
+        let mut rng = SimRng::seed_from(1);
+        m.request(key(0), 1, t(0), &mut rng).expect("admitted");
+        assert!(m.request(key(0), 2, t(0), &mut rng).is_none());
+        assert!(m.request(key(0), 3, t(0), &mut rng).is_none());
+        assert_eq!(m.remove_queued(|&tok| tok == 3), Some(3));
+        assert_eq!(m.remove_queued(|&tok| tok == 3), None);
+        assert_eq!(m.queue_len(), 1);
     }
 
     #[test]

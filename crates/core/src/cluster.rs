@@ -32,7 +32,10 @@ use faasflow_sim::{
     ContainerId, EventId, EventQueue, FunctionId, InvocationId, NodeId, SimDuration, SimRng,
     SimTime, WorkflowId,
 };
-use faasflow_store::{quota, DataKey, FaaStore, Placement, RemoteStore, StorageType};
+use faasflow_store::{
+    quota, BreakerDecision, BreakerState, CircuitBreaker, DataKey, FaaStore, Placement,
+    RemoteStore, StorageType,
+};
 use faasflow_wdl::{DagParser, NodeKind, ParserConfig, Workflow, WorkflowDag};
 
 use crate::config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
@@ -40,8 +43,10 @@ use crate::error::ClusterError;
 use crate::fault::StorageFaultKind;
 use crate::invocation::{InstanceState, InstanceToken, InvState};
 use crate::metrics::{
-    DistributionRow, FaultReport, LoopProfile, RunReport, WorkerUtilization, WorkflowMetrics,
+    DistributionRow, FaultReport, LoopProfile, OverloadReport, RunReport, WorkerUtilization,
+    WorkflowMetrics,
 };
+use crate::overload::{AdmissionConfig, BackpressureConfig, ShedPolicy};
 use crate::sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport, Ring};
 use crate::trace::{TraceEvent, Tracer};
 
@@ -75,6 +80,34 @@ enum MasterInbox {
         inv: InvocationId,
         function: FunctionId,
     },
+    /// Backpressure bounced an assignment off a saturated worker; the
+    /// master re-queues it centrally (costing central-plane CPU — the
+    /// §2.3 asymmetry under overload).
+    Requeue {
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+        epoch: u32,
+        attempt: u32,
+    },
+}
+
+/// Lifecycle of one speculative (hedged) execution. Keyed by the primary
+/// instance's token in `Cluster::hedges`; at most one hedge per instance.
+#[derive(Debug, Clone, Copy)]
+struct HedgeState {
+    /// Worker running the hedge.
+    worker: usize,
+    /// The hedge's container.
+    container: ContainerId,
+    /// The hedge's own admission sequence number (fences its events).
+    seq: u64,
+    /// The hedge container finished booting and its exec is in flight.
+    ready: bool,
+    /// The primary won while the hedge was still booting; `HedgeReady`
+    /// releases the container and drops the entry.
+    cancelled: bool,
 }
 
 /// Simulation events.
@@ -202,6 +235,26 @@ enum Event {
     /// `ClusterConfig::sample_every` is set). The handler reads gauges and
     /// draws no randomness, so it cannot perturb other events.
     Sample,
+    /// The hedge delay elapsed on a still-running exec; speculatively
+    /// re-dispatch the instance to another worker.
+    HedgeFire {
+        worker: usize,
+        token: InstanceToken,
+        seq: u64,
+    },
+    /// A hedge container finished booting; its exec starts.
+    HedgeReady { token: InstanceToken, seq: u64 },
+    /// A hedge's compute finished; first-winner resolution.
+    HedgeExecDone { token: InstanceToken, seq: u64 },
+    /// A backpressure-deferred dispatch retries (or proceeds).
+    BackpressureRetry {
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+        epoch: u32,
+        attempt: u32,
+    },
 }
 
 #[cfg(feature = "loop-profile")]
@@ -236,6 +289,10 @@ impl Event {
             Event::RetryRemoteWrite { .. } => "RetryRemoteWrite",
             Event::RecoverInvocation { .. } => "RecoverInvocation",
             Event::Sample => "Sample",
+            Event::HedgeFire { .. } => "HedgeFire",
+            Event::HedgeReady { .. } => "HedgeReady",
+            Event::HedgeExecDone { .. } => "HedgeExecDone",
+            Event::BackpressureRetry { .. } => "BackpressureRetry",
         }
     }
 }
@@ -297,6 +354,9 @@ struct ClusterScratch {
     wf_ids: Vec<WorkflowId>,
     /// Instances torn down when an invocation restarts or dead-letters.
     stale: Vec<(InstanceToken, InstanceState)>,
+    /// Hedge tokens swept during crashes and teardowns (nests inside the
+    /// `tokens` sweep, so it needs its own buffer).
+    hedge_tokens: Vec<InstanceToken>,
 }
 
 /// Live state of the resource sampler (see [`crate::sample`]); present
@@ -378,6 +438,13 @@ pub struct Cluster {
     storage_slowdown: f64,
     /// Monotonic admission counter fencing stale `ExecDone` events.
     next_instance_seq: u64,
+    /// Circuit breaker guarding the remote store (None when disabled).
+    breaker: Option<CircuitBreaker>,
+    /// In-flight speculative executions, keyed by the primary's token.
+    hedges: HashMap<InstanceToken, HedgeState>,
+    /// Overload-protection accounting (sheds, breaker, hedges,
+    /// backpressure).
+    overload: OverloadReport,
     tracer: Tracer,
     /// Resource time-series collector (`None` unless sampling is on).
     samples: Option<SampleCollector>,
@@ -463,6 +530,9 @@ impl Cluster {
             storage_down: false,
             storage_slowdown: 1.0,
             next_instance_seq: 0,
+            breaker: config.overload.breaker.map(CircuitBreaker::new),
+            hedges: HashMap::new(),
+            overload: OverloadReport::default(),
             tracer: Tracer::new(config.trace, config.trace_capacity),
             samples: config.sample_every.map(|every| SampleCollector {
                 every,
@@ -883,6 +953,7 @@ impl Cluster {
             exec_retries: self.exec_retries,
             repartition_failures: self.repartition_failures,
             faults: self.faults,
+            overload: self.overload,
             trace_dropped: self.tracer.dropped(),
             resources: self.resources_snapshot(),
         }
@@ -1185,6 +1256,17 @@ impl Cluster {
                     self.queue.schedule(now + every, Event::Sample);
                 }
             }
+            Event::HedgeFire { worker, token, seq } => self.on_hedge_fire(now, worker, token, seq),
+            Event::HedgeReady { token, seq } => self.on_hedge_ready(now, token, seq),
+            Event::HedgeExecDone { token, seq } => self.on_hedge_exec_done(now, token, seq),
+            Event::BackpressureRetry {
+                worker,
+                wf,
+                inv,
+                function,
+                epoch,
+                attempt,
+            } => self.on_backpressure_retry(now, worker, wf, inv, function, epoch, attempt),
         }
     }
 
@@ -1348,6 +1430,7 @@ impl Cluster {
         let timeout_at = now + self.config.timeout;
         inv_state.timeout_event = Some(self.queue.schedule(timeout_at, Event::Timeout { wf, inv }));
         self.metrics.get_mut(&wf).expect("metrics exist").sent += 1;
+        self.overload.admitted += 1;
 
         match self.config.mode {
             ScheduleMode::WorkerSp => {
@@ -1575,6 +1658,38 @@ impl Cluster {
                     Vec::new()
                 }
             }
+            MasterInbox::Requeue {
+                worker,
+                wf,
+                inv,
+                function,
+                epoch,
+                attempt,
+            } => {
+                // Central re-dispatch: the bounced assignment burned a
+                // master CPU slot and now travels back to the worker.
+                if self.epoch_alive(wf, inv, epoch) {
+                    let bp = self
+                        .config
+                        .overload
+                        .backpressure
+                        .expect("requeues only occur with backpressure enabled");
+                    let node = self.config.worker_node(worker as u32);
+                    let delay = self.control_delay(512, ClusterConfig::MASTER_NODE, node);
+                    self.queue.schedule(
+                        now + delay + bp.defer_delay,
+                        Event::BackpressureRetry {
+                            worker,
+                            wf,
+                            inv,
+                            function,
+                            epoch,
+                            attempt,
+                        },
+                    );
+                }
+                Vec::new()
+            }
         };
         self.apply_master_actions(now, actions);
         self.try_start_master(now);
@@ -1711,7 +1826,135 @@ impl Cluster {
     // Instance lifecycle
     // ==================================================================
 
+    /// Dispatches a function's instances on `worker`, deferring first when
+    /// backpressure is on and the worker's admission queue is saturated.
     fn spawn_instances(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+    ) {
+        if let Some(bp) = self.config.overload.backpressure {
+            if self.worker_alive[worker]
+                && self.containers[worker].queue_len() >= bp.queue_threshold
+            {
+                self.defer_dispatch(now, worker, wf, inv, function, 0, bp);
+                return;
+            }
+        }
+        self.spawn_instances_now(now, worker, wf, inv, function);
+    }
+
+    /// Pushes a saturated dispatch back. WorkerSP absorbs the wait locally
+    /// (a timer on the worker); MasterSP bounces the assignment through the
+    /// central queue, re-spending master CPU — the central-bottleneck
+    /// asymmetry the overload scenario measures.
+    #[allow(clippy::too_many_arguments)]
+    fn defer_dispatch(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+        attempt: u32,
+        bp: BackpressureConfig,
+    ) {
+        let Some(state) = self.invocations.get(&(wf, inv)) else {
+            return;
+        };
+        if state.completed {
+            return;
+        }
+        let epoch = state.epoch;
+        match self.config.mode {
+            ScheduleMode::WorkerSp => {
+                self.overload.backpressure_deferrals += 1;
+                self.queue.schedule(
+                    now + bp.defer_delay,
+                    Event::BackpressureRetry {
+                        worker,
+                        wf,
+                        inv,
+                        function,
+                        epoch,
+                        attempt,
+                    },
+                );
+            }
+            ScheduleMode::MasterSp => {
+                self.overload.master_requeues += 1;
+                let src = self.config.worker_node(worker as u32);
+                let delay = self.control_delay(512, src, ClusterConfig::MASTER_NODE);
+                self.queue.schedule(
+                    now + delay,
+                    Event::MasterArrive {
+                        msg: MasterInbox::Requeue {
+                            worker,
+                            wf,
+                            inv,
+                            function,
+                            epoch,
+                            attempt,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    /// A deferred dispatch comes due: defer again while the queue is still
+    /// saturated (up to `max_defers`), otherwise dispatch — re-routing or
+    /// dead-lettering if the worker died in the meantime.
+    #[allow(clippy::too_many_arguments)]
+    fn on_backpressure_retry(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+        epoch: u32,
+        attempt: u32,
+    ) {
+        if !self.epoch_alive(wf, inv, epoch) {
+            return;
+        }
+        let bp = self
+            .config
+            .overload
+            .backpressure
+            .expect("retries only occur with backpressure enabled");
+        let next = attempt + 1;
+        if self.worker_alive[worker]
+            && self.containers[worker].queue_len() >= bp.queue_threshold
+            && next < bp.max_defers
+        {
+            self.defer_dispatch(now, worker, wf, inv, function, next, bp);
+            return;
+        }
+        if self.worker_alive[worker] {
+            self.spawn_instances_now(now, worker, wf, inv, function);
+        } else if self.config.mode == ScheduleMode::MasterSp {
+            // Mirror `DeliverAssign`'s dead-worker handling.
+            if self.worker_detected_down[worker] {
+                if let Some(target) = self.pick_alive_worker(worker) {
+                    self.faults.crash_redispatches += 1;
+                    self.spawn_instances_now(now, target, wf, inv, function);
+                } else {
+                    self.dead_letter_invocation(now, wf, inv);
+                }
+            } else {
+                self.spooled_assigns[worker].push((wf, inv, function));
+            }
+        }
+        // WorkerSP with a dead worker: partition recovery restarts the
+        // invocation under a new epoch; this deferral is simply dropped.
+    }
+
+    fn spawn_instances_now(
         &mut self,
         now: SimTime,
         worker: usize,
@@ -1753,6 +1996,11 @@ impl Cluster {
     /// `InstanceReady`.
     fn request_instance(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
         debug_assert!(self.worker_alive[worker], "admitting on a dead worker");
+        // An earlier instance of the same spawn loop may have overflowed
+        // the admission queue and shed this very invocation.
+        if !self.epoch_alive(token.workflow, token.invocation, token.epoch) {
+            return;
+        }
         self.inflight_spawns.insert(token, worker);
         if let Some(adm) = self.containers[worker].request(
             (token.workflow, token.function),
@@ -1761,9 +2009,61 @@ impl Cluster {
             &mut self.rng,
         ) {
             self.schedule_admissions(worker, vec![adm]);
+        } else if let Some(adm_cfg) = self.config.overload.admission {
+            if self.containers[worker].queue_len() > adm_cfg.queue_capacity {
+                self.shed_overflow(now, worker, token, adm_cfg);
+            }
         }
         self.track_utilization(now, worker);
         self.reschedule_expiry(now, worker);
+    }
+
+    /// The admission queue on `worker` just overflowed its bound: pick a
+    /// victim per the shed policy and drop its whole invocation (the
+    /// teardown purges the victim's queued entries on every worker, so one
+    /// invocation is shed at most once).
+    fn shed_overflow(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        newcomer: InstanceToken,
+        cfg: AdmissionConfig,
+    ) {
+        let victim = match cfg.policy {
+            ShedPolicy::RejectNewest => {
+                self.containers[worker].remove_queued(|t| *t == newcomer);
+                self.overload.shed_newest += 1;
+                newcomer
+            }
+            ShedPolicy::RejectOldest => {
+                let v = self.containers[worker]
+                    .shed_oldest()
+                    .expect("the queue overflowed, so it is non-empty");
+                self.overload.shed_oldest += 1;
+                v
+            }
+            ShedPolicy::DeadlineAware => {
+                // Drop the invocation with the earliest (= most hopeless)
+                // QoS deadline. The newcomer is already queued, so the scan
+                // covers it too. Ties break on ids for determinism.
+                let qos = self.config.qos_target.expect("validated at build");
+                let mut best: Option<(SimTime, InstanceToken)> = None;
+                for &t in self.containers[worker].queued_tokens() {
+                    let Some(s) = self.invocations.get(&(t.workflow, t.invocation)) else {
+                        continue;
+                    };
+                    let key = (s.started + qos, t);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                let (_, v) = best.expect("the queue overflowed, so it is non-empty");
+                self.containers[worker].remove_queued(|t| *t == v);
+                self.overload.shed_deadline += 1;
+                v
+            }
+        };
+        self.shed_invocation(now, worker, victim.workflow, victim.invocation);
     }
 
     fn schedule_admissions(&mut self, worker: usize, admissions: Vec<Admission<InstanceToken>>) {
@@ -1837,9 +2137,11 @@ impl Cluster {
             InstanceState {
                 container,
                 worker,
+                home: worker,
                 pending_inputs: 0,
                 retries: 0,
                 seq,
+                exec_done: false,
             },
         );
         let worker_node = self.config.worker_node(worker as u32);
@@ -1945,6 +2247,16 @@ impl Cluster {
         });
         self.queue
             .schedule(now + exec, Event::ExecDone { worker, token, seq });
+        // Hedged retry: if the first attempt is still computing after the
+        // hedge delay, re-dispatch it speculatively to another worker.
+        // Retried attempts are never hedged (the container is already
+        // warm locally and the failure was transient, not a straggler).
+        if let Some(h) = self.config.overload.hedge {
+            if attempt == 0 && self.config.workers > 1 && !self.hedges.contains_key(&token) {
+                self.queue
+                    .schedule(now + h.delay, Event::HedgeFire { worker, token, seq });
+            }
+        }
     }
 
     fn on_exec_done(&mut self, now: SimTime, worker: usize, token: InstanceToken, seq: u64) {
@@ -2001,6 +2313,22 @@ impl Cluster {
                 return;
             }
         }
+        self.exec_success(now, worker, token);
+    }
+
+    /// The compute phase of `token` succeeded on `worker`: resolve any
+    /// outstanding hedge in the primary's favour and start the output
+    /// write. Shared by the normal `ExecDone` path and hedge wins (where
+    /// `worker` is the hedge's worker).
+    fn exec_success(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
+        if let Some(inst) = self
+            .invocations
+            .get_mut(&(token.workflow, token.invocation))
+            .and_then(|s| s.instances.get_mut(&token))
+        {
+            inst.exec_done = true;
+        }
+        self.cancel_hedge(now, token);
         let Some(state) = self
             .invocations
             .get_mut(&(token.workflow, token.invocation))
@@ -2064,6 +2392,246 @@ impl Cluster {
             Placement::Remote => {
                 self.schedule_remote_write(now, worker, token, share, now, 0);
             }
+        }
+    }
+
+    // ==================================================================
+    // Hedged retries
+    // ==================================================================
+
+    /// The hedge delay elapsed. If the primary attempt is still computing,
+    /// speculatively admit a copy on the first other live worker with
+    /// immediate capacity (ring order from the primary; no queueing — a
+    /// hedge that would wait is pointless).
+    fn on_hedge_fire(&mut self, now: SimTime, worker: usize, token: InstanceToken, seq: u64) {
+        if self.hedges.contains_key(&token) {
+            return;
+        }
+        let still_running = self
+            .invocations
+            .get(&(token.workflow, token.invocation))
+            .and_then(|s| s.instances.get(&token))
+            .is_some_and(|i| i.worker == worker && i.seq == seq && !i.exec_done);
+        if !still_running {
+            return;
+        }
+        let n = self.config.workers as usize;
+        let mut admitted = None;
+        for cand in (worker + 1..n).chain(0..worker) {
+            if !self.worker_alive[cand] {
+                continue;
+            }
+            if let Some(adm) = self.containers[cand].request_immediate(
+                (token.workflow, token.function),
+                token,
+                now,
+                &mut self.rng,
+            ) {
+                admitted = Some((cand, adm));
+                break;
+            }
+        }
+        let Some((target, adm)) = admitted else {
+            return; // Nobody has spare capacity: the hedge silently lapses.
+        };
+        let hedge_seq = self.next_instance_seq;
+        self.next_instance_seq += 1;
+        self.hedges.insert(
+            token,
+            HedgeState {
+                worker: target,
+                container: adm.container,
+                seq: hedge_seq,
+                ready: false,
+                cancelled: false,
+            },
+        );
+        self.overload.hedges_launched += 1;
+        let from_worker = self.config.worker_node(worker as u32);
+        let to_worker = self.config.worker_node(target as u32);
+        self.tracer.record(|| TraceEvent::HedgeLaunched {
+            workflow: token.workflow,
+            invocation: token.invocation,
+            function: token.function,
+            instance: token.instance,
+            from_worker,
+            to_worker,
+            at: now,
+        });
+        self.queue.schedule(
+            adm.ready_at,
+            Event::HedgeReady {
+                token,
+                seq: hedge_seq,
+            },
+        );
+        self.track_utilization(now, target);
+        self.reschedule_expiry(now, target);
+    }
+
+    /// A hedge container finished booting: sample its exec (the hedge
+    /// reads no inputs — it reuses the primary's already-fetched inputs,
+    /// the straggler being the *compute*, not the data).
+    fn on_hedge_ready(&mut self, now: SimTime, token: InstanceToken, seq: u64) {
+        let Some(h) = self.hedges.get(&token) else {
+            return;
+        };
+        if h.seq != seq {
+            return;
+        }
+        let (hw, hc, cancelled) = (h.worker, h.container, h.cancelled);
+        if cancelled {
+            // The primary won while we were booting: drop the copy.
+            self.hedges.remove(&token);
+            self.release_hedge_container(now, hw, hc);
+            return;
+        }
+        let exec = {
+            let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
+                // Torn down mid-boot (teardown cancels hedges, but be safe).
+                self.hedges.remove(&token);
+                self.release_hedge_container(now, hw, hc);
+                return;
+            };
+            match &state.dag.node(token.function).kind {
+                NodeKind::Function(profile) => profile.sample_exec(&mut self.rng),
+                _ => SimDuration::ZERO,
+            }
+        };
+        self.hedges.get_mut(&token).expect("checked above").ready = true;
+        self.queue
+            .schedule(now + exec, Event::HedgeExecDone { token, seq });
+    }
+
+    /// A hedge's compute finished: first-winner semantics. If the primary
+    /// already finished, `cancel_hedge` removed this entry and the event is
+    /// fenced off; otherwise the hedge takes over the instance and the
+    /// primary's pending `ExecDone` dies on the sequence fence.
+    fn on_hedge_exec_done(&mut self, now: SimTime, token: InstanceToken, seq: u64) {
+        let Some(h) = self.hedges.get(&token) else {
+            return;
+        };
+        if h.seq != seq || !h.ready || h.cancelled {
+            return;
+        }
+        let (hw, hc) = (h.worker, h.container);
+        let primary = self
+            .invocations
+            .get(&(token.workflow, token.invocation))
+            .and_then(|s| s.instances.get(&token))
+            .filter(|i| !i.exec_done)
+            .map(|i| (i.worker, i.container));
+        let Some((pw, pc)) = primary else {
+            // The instance vanished under us; orphaned hedge, clean up.
+            self.hedges.remove(&token);
+            self.overload.hedge_losses += 1;
+            self.release_hedge_container(now, hw, hc);
+            return;
+        };
+        // Hedges are subject to the same transient-failure injection as any
+        // attempt; a failed hedge simply loses (the primary keeps running).
+        let failed =
+            self.config.exec_failure_rate > 0.0 && self.rng.chance(self.config.exec_failure_rate);
+        if failed {
+            self.hedges.remove(&token);
+            self.overload.hedge_losses += 1;
+            self.tracer.record(|| TraceEvent::HedgeResolved {
+                workflow: token.workflow,
+                invocation: token.invocation,
+                function: token.function,
+                instance: token.instance,
+                winner_is_hedge: false,
+                at: now,
+            });
+            self.release_hedge_container(now, hw, hc);
+            return;
+        }
+        self.hedges.remove(&token);
+        self.overload.hedge_wins += 1;
+        // Close the primary's exec span before handing the instance over
+        // (its own `ExecDone` is about to be fenced off).
+        let (attempt, pw_node) = {
+            let inst = self
+                .invocations
+                .get(&(token.workflow, token.invocation))
+                .and_then(|s| s.instances.get(&token))
+                .expect("checked above");
+            (inst.retries, self.config.worker_node(pw as u32))
+        };
+        self.tracer.record(|| TraceEvent::ExecFinished {
+            workflow: token.workflow,
+            invocation: token.invocation,
+            function: token.function,
+            instance: token.instance,
+            worker: pw_node,
+            attempt,
+            failed: false,
+            at: now,
+        });
+        self.tracer.record(|| TraceEvent::HedgeResolved {
+            workflow: token.workflow,
+            invocation: token.invocation,
+            function: token.function,
+            instance: token.instance,
+            winner_is_hedge: true,
+            at: now,
+        });
+        // Release the losing primary's container and transplant the
+        // instance onto the hedge; output writes flow from the hedge's node.
+        let admissions = self.containers[pw].release(pc, now, &mut self.rng);
+        self.schedule_admissions(pw, admissions);
+        self.track_utilization(now, pw);
+        self.reschedule_expiry(now, pw);
+        {
+            let inst = self
+                .invocations
+                .get_mut(&(token.workflow, token.invocation))
+                .and_then(|s| s.instances.get_mut(&token))
+                .expect("checked above");
+            inst.worker = hw;
+            inst.container = hc;
+            inst.seq = seq;
+        }
+        self.exec_success(now, hw, token);
+    }
+
+    /// Resolves an outstanding hedge in the primary's favour (or cleans it
+    /// up on teardown). A booted hedge releases its container immediately;
+    /// one still booting is flagged and `HedgeReady` cleans up.
+    fn cancel_hedge(&mut self, now: SimTime, token: InstanceToken) {
+        let Some(h) = self.hedges.get_mut(&token) else {
+            return;
+        };
+        if h.cancelled {
+            return;
+        }
+        self.overload.hedge_losses += 1;
+        self.tracer.record(|| TraceEvent::HedgeResolved {
+            workflow: token.workflow,
+            invocation: token.invocation,
+            function: token.function,
+            instance: token.instance,
+            winner_is_hedge: false,
+            at: now,
+        });
+        let h = self.hedges.get_mut(&token).expect("present above");
+        if h.ready {
+            let (hw, hc) = (h.worker, h.container);
+            self.hedges.remove(&token);
+            self.release_hedge_container(now, hw, hc);
+        } else {
+            h.cancelled = true;
+        }
+    }
+
+    /// Releases a hedge's container if its worker is still alive and the
+    /// container still admitted (a crash wipes the pool wholesale).
+    fn release_hedge_container(&mut self, now: SimTime, worker: usize, container: ContainerId) {
+        if self.worker_alive[worker] && self.containers[worker].is_busy(container) {
+            let admissions = self.containers[worker].release(container, now, &mut self.rng);
+            self.schedule_admissions(worker, admissions);
+            self.track_utilization(now, worker);
+            self.reschedule_expiry(now, worker);
         }
     }
 
@@ -2193,7 +2761,7 @@ impl Cluster {
 
     fn finish_instance(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
         // Release the container.
-        let container = {
+        let (container, home) = {
             let Some(state) = self
                 .invocations
                 .get_mut(&(token.workflow, token.invocation))
@@ -2222,7 +2790,7 @@ impl Cluster {
                     at: now,
                 });
             }
-            inst.container
+            (inst.container, inst.home)
         };
         let admissions = self.containers[worker].release(container, now, &mut self.rng);
         self.schedule_admissions(worker, admissions);
@@ -2231,9 +2799,23 @@ impl Cluster {
 
         match self.config.mode {
             ScheduleMode::WorkerSp => {
+                // The engine tracking this node's state is the one that
+                // triggered the instance (its `home`). Normally that is
+                // `worker`, but a hedge win runs the instance elsewhere —
+                // the completion must travel back to the home engine
+                // (paying a LAN hop), or it would wait for the node forever.
+                let mut delay = self.config.worker_engine_cost;
+                if home != worker {
+                    let src = self.config.worker_node(worker as u32);
+                    let dst = self.config.worker_node(home as u32);
+                    delay += self.control_delay(512, src, dst);
+                }
                 self.queue.schedule(
-                    now + self.config.worker_engine_cost,
-                    Event::WorkerInstanceDone { worker, token },
+                    now + delay,
+                    Event::WorkerInstanceDone {
+                        worker: home,
+                        token,
+                    },
                 );
             }
             ScheduleMode::MasterSp => {
@@ -2327,6 +2909,38 @@ impl Cluster {
         }
         orphaned.sort_unstable();
         orphaned.dedup();
+        // Hedges die with the node too: speculative copies running *on* the
+        // dead worker vanish with its pool; hedges whose primary died are
+        // dropped (the orphaned primary restarts or recovers on its own).
+        let mut hedge_tokens = std::mem::take(&mut self.scratch.hedge_tokens);
+        hedge_tokens.extend(
+            self.hedges
+                .iter()
+                .filter(|&(_, h)| h.worker == w)
+                .map(|(&t, _)| t),
+        );
+        hedge_tokens.sort_unstable();
+        for &t in &hedge_tokens {
+            let h = self.hedges.remove(&t).expect("collected above");
+            if !h.cancelled {
+                self.overload.hedge_losses += 1;
+                self.tracer.record(|| TraceEvent::HedgeResolved {
+                    workflow: t.workflow,
+                    invocation: t.invocation,
+                    function: t.function,
+                    instance: t.instance,
+                    winner_is_hedge: false,
+                    at: now,
+                });
+            }
+        }
+        hedge_tokens.clear();
+        hedge_tokens.extend_from_slice(&orphaned);
+        for &t in &hedge_tokens {
+            self.cancel_hedge(now, t);
+        }
+        hedge_tokens.clear();
+        self.scratch.hedge_tokens = hedge_tokens;
         self.orphans[w].append(&mut orphaned);
         self.scratch.tokens = orphaned;
         // Heartbeats stop now; the lease expires after the detection delay.
@@ -2548,6 +3162,9 @@ impl Cluster {
                 self.reschedule_expiry(now, inst.worker);
             }
         }
+        for &(t, _) in &stale {
+            self.cancel_hedge(now, t);
+        }
         stale.clear();
         self.scratch.stale = stale;
         self.inflight_spawns
@@ -2591,6 +3208,25 @@ impl Cluster {
     /// holds is torn down, the dead-letter counters tick, and a closed-loop
     /// client moves on to its next invocation.
     fn dead_letter_invocation(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        self.abandon_invocation(now, wf, inv, None);
+    }
+
+    /// Load-sheds one invocation: the same teardown as a dead letter, but
+    /// accounted as an admission-control decision (`shed` counters, not
+    /// fault counters) and traced against the overflowing worker.
+    fn shed_invocation(&mut self, now: SimTime, worker: usize, wf: WorkflowId, inv: InvocationId) {
+        self.abandon_invocation(now, wf, inv, Some(worker));
+    }
+
+    /// Common teardown for dead letters (`shed_on == None`) and load sheds
+    /// (`shed_on == Some(overflowing worker)`).
+    fn abandon_invocation(
+        &mut self,
+        now: SimTime,
+        wf: WorkflowId,
+        inv: InvocationId,
+        shed_on: Option<usize>,
+    ) {
         let Some(mut state) = self.invocations.remove(&(wf, inv)) else {
             return;
         };
@@ -2598,16 +3234,31 @@ impl Cluster {
         if let Some(ev) = state.timeout_event.take() {
             self.queue.cancel(ev);
         }
-        self.faults.dead_letters += 1;
-        self.metrics
-            .get_mut(&wf)
-            .expect("metrics exist")
-            .dead_lettered += 1;
-        self.tracer.record(|| TraceEvent::DeadLettered {
-            workflow: wf,
-            invocation: inv,
-            at: now,
-        });
+        match shed_on {
+            None => {
+                self.faults.dead_letters += 1;
+                self.metrics
+                    .get_mut(&wf)
+                    .expect("metrics exist")
+                    .dead_lettered += 1;
+                self.tracer.record(|| TraceEvent::DeadLettered {
+                    workflow: wf,
+                    invocation: inv,
+                    at: now,
+                });
+            }
+            Some(w) => {
+                self.overload.shed += 1;
+                self.metrics.get_mut(&wf).expect("metrics exist").shed += 1;
+                let node = self.config.worker_node(w as u32);
+                self.tracer.record(|| TraceEvent::InvocationShed {
+                    workflow: wf,
+                    invocation: inv,
+                    worker: node,
+                    at: now,
+                });
+            }
+        }
         self.cancel_invocation_flows(now, wf, inv);
         let mut stale = std::mem::take(&mut self.scratch.stale);
         stale.extend(state.instances.drain());
@@ -2621,8 +3272,20 @@ impl Cluster {
                 self.reschedule_expiry(now, inst.worker);
             }
         }
+        for &(t, _) in &stale {
+            self.cancel_hedge(now, t);
+        }
         stale.clear();
         self.scratch.stale = stale;
+        // Purge the invocation's queued admissions everywhere: leaving them
+        // would hold bounded-queue slots for a dead invocation and let a
+        // later overflow "shed" it a second time.
+        for w in 0..self.config.workers as usize {
+            while self.containers[w]
+                .remove_queued(|t| t.workflow == wf && t.invocation == inv)
+                .is_some()
+            {}
+        }
         self.inflight_spawns
             .retain(|t, _| !(t.workflow == wf && t.invocation == inv));
         match self.config.mode {
@@ -2732,8 +3395,42 @@ impl Cluster {
         if !self.instance_on(worker, token) {
             return;
         }
-        if self.storage_down {
-            self.faults.storage_backoff_waits += 1;
+        let key = DataKey::new(token.workflow, token.invocation, producer);
+        let fast_fail = self.breaker_admit(now);
+        if fast_fail {
+            // Graceful degradation: while the breaker holds the store off,
+            // serve the read from any live worker's FaaStore copy, shipping
+            // worker-to-worker instead of through the storage node.
+            if let Some(src) = self.find_local_copy(worker, key) {
+                self.overload.breaker_local_serves += 1;
+                let src_node = self.config.worker_node(src as u32);
+                let dst = self.config.worker_node(worker as u32);
+                self.net.start_flow(
+                    src_node,
+                    dst,
+                    bytes,
+                    FlowTag::Read {
+                        token,
+                        producer,
+                        started,
+                        remote: false,
+                    },
+                    now,
+                );
+                self.reschedule_flow_timer(now);
+                return;
+            }
+            self.overload.breaker_fast_fails += 1;
+        }
+        if self.storage_down || fast_fail {
+            if self.storage_down {
+                self.faults.storage_backoff_waits += 1;
+                // An admitted call hitting the blackout counts as a breaker
+                // failure; fast-fails never reach the store, so they don't.
+                if !fast_fail {
+                    self.breaker_result(now, false, SimDuration::ZERO);
+                }
+            }
             if attempt >= self.config.fault.backoff.max_attempts {
                 self.dead_letter_invocation(now, token.workflow, token.invocation);
                 return;
@@ -2761,7 +3458,6 @@ impl Cluster {
             );
             return;
         }
-        let key = DataKey::new(token.workflow, token.invocation, producer);
         match self.remote.read(key) {
             Some((_, overhead)) => {
                 let overhead = if self.storage_slowdown != 1.0 {
@@ -2769,6 +3465,7 @@ impl Cluster {
                 } else {
                     overhead
                 };
+                self.breaker_result(now, true, overhead);
                 self.queue.schedule(
                     now + overhead,
                     Event::StartRemoteRead {
@@ -2811,8 +3508,20 @@ impl Cluster {
         if !self.instance_on(worker, token) {
             return;
         }
-        if self.storage_down {
-            self.faults.storage_backoff_waits += 1;
+        // Writes have no local fallback (the placement decision already
+        // chose the remote store): an open breaker pushes them into the
+        // same backoff-retry path a blackout does.
+        let fast_fail = self.breaker_admit(now);
+        if fast_fail {
+            self.overload.breaker_fast_fails += 1;
+        }
+        if self.storage_down || fast_fail {
+            if self.storage_down {
+                self.faults.storage_backoff_waits += 1;
+                if !fast_fail {
+                    self.breaker_result(now, false, SimDuration::ZERO);
+                }
+            }
             if attempt >= self.config.fault.backoff.max_attempts {
                 self.dead_letter_invocation(now, token.workflow, token.invocation);
                 return;
@@ -2847,6 +3556,7 @@ impl Cluster {
         } else {
             self.config.remote_store.put_overhead
         };
+        self.breaker_result(now, true, overhead);
         self.queue.schedule(
             now + overhead,
             Event::StartRemoteWrite {
@@ -2856,6 +3566,56 @@ impl Cluster {
                 started,
             },
         );
+    }
+
+    /// Consults the circuit breaker before a remote-store call. Returns
+    /// `true` when the call must fail fast (breaker open). `Allow` and
+    /// half-open `Probe` both proceed — probes are how the breaker learns
+    /// the store recovered.
+    fn breaker_admit(&mut self, now: SimTime) -> bool {
+        let (fast_fail, transition) = match &mut self.breaker {
+            Some(b) => {
+                let (decision, tr) = b.admit(now);
+                (decision == BreakerDecision::FastFail, tr)
+            }
+            None => (false, None),
+        };
+        if let Some(tr) = transition {
+            self.note_breaker_transition(now, tr);
+        }
+        fast_fail
+    }
+
+    /// Feeds one remote-store call outcome to the breaker. `latency` is the
+    /// server-side overhead (brownout-stretched), the signal the latency
+    /// threshold judges.
+    fn breaker_result(&mut self, now: SimTime, ok: bool, latency: SimDuration) {
+        let transition = match &mut self.breaker {
+            Some(b) => b.on_result(now, ok, latency, &mut self.rng),
+            None => None,
+        };
+        if let Some(tr) = transition {
+            self.note_breaker_transition(now, tr);
+        }
+    }
+
+    fn note_breaker_transition(&mut self, now: SimTime, (from, to): (BreakerState, BreakerState)) {
+        match to {
+            BreakerState::Open => self.overload.breaker_opens += 1,
+            BreakerState::HalfOpen => self.overload.breaker_half_opens += 1,
+            BreakerState::Closed => self.overload.breaker_closes += 1,
+        }
+        self.tracer
+            .record(|| TraceEvent::BreakerTransition { from, to, at: now });
+    }
+
+    /// The first live worker (the reader first, then ring order) whose
+    /// FaaStore holds a local copy of `key`.
+    fn find_local_copy(&mut self, reader: usize, key: DataKey) -> Option<usize> {
+        let n = self.config.workers as usize;
+        std::iter::once(reader)
+            .chain((reader + 1..n).chain(0..reader))
+            .find(|&w| self.worker_alive[w] && self.faastores[w].read_local(key).is_some())
     }
 
     // ==================================================================

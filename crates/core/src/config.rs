@@ -12,6 +12,7 @@ use faasflow_store::RemoteStoreConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultPlan;
+use crate::overload::OverloadConfig;
 
 /// How FaaStore takes memory back from containers (§4.3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -144,6 +145,10 @@ pub struct ClusterConfig {
     /// degradation windows, plus the recovery knobs (lease detection,
     /// backoff, dead-lettering). Empty by default.
     pub fault: FaultPlan,
+    /// Overload protection: admission control, the remote-store circuit
+    /// breaker, hedged exec retries and pool backpressure. All off by
+    /// default (runs are then bit-identical to pre-overload builds).
+    pub overload: OverloadConfig,
 }
 
 impl Default for ClusterConfig {
@@ -176,6 +181,7 @@ impl Default for ClusterConfig {
             placement: PlacementStrategy::WorstFit,
             partition_capacity: 12,
             fault: FaultPlan::default(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -252,6 +258,7 @@ impl ClusterConfig {
             }
         }
         self.fault.validate(self.workers)?;
+        self.overload.validate(self.timeout, self.qos_target)?;
         if self.mode == ScheduleMode::MasterSp && self.faastore {
             return Err(
                 "FaaStore requires WorkerSP (the baseline always uses the remote store)"
@@ -334,6 +341,130 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_admission_queue_capacity_is_rejected() {
+        use crate::overload::{AdmissionConfig, OverloadConfig};
+        let c = ClusterConfig {
+            overload: OverloadConfig {
+                admission: Some(AdmissionConfig {
+                    queue_capacity: 0,
+                    ..AdmissionConfig::default()
+                }),
+                ..OverloadConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("queue_capacity"));
+    }
+
+    #[test]
+    fn deadline_aware_shedding_needs_a_qos_target() {
+        use crate::overload::{AdmissionConfig, OverloadConfig, ShedPolicy};
+        let overload = OverloadConfig {
+            admission: Some(AdmissionConfig {
+                queue_capacity: 4,
+                policy: ShedPolicy::DeadlineAware,
+            }),
+            ..OverloadConfig::default()
+        };
+        let c = ClusterConfig {
+            overload,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("qos_target"));
+        let c = ClusterConfig {
+            overload,
+            qos_target: Some(SimDuration::from_secs(5)),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn hedge_delay_must_be_below_the_timeout() {
+        use crate::overload::{HedgeConfig, OverloadConfig};
+        let c = ClusterConfig {
+            overload: OverloadConfig {
+                hedge: Some(HedgeConfig {
+                    delay: SimDuration::from_secs(60),
+                }),
+                ..OverloadConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("timeout"));
+        let c = ClusterConfig {
+            overload: OverloadConfig {
+                hedge: Some(HedgeConfig {
+                    delay: SimDuration::ZERO,
+                }),
+                ..OverloadConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_breaker_thresholds_are_rejected() {
+        use crate::overload::{BreakerConfig, OverloadConfig};
+        for bad in [
+            BreakerConfig {
+                failure_threshold: 0,
+                ..BreakerConfig::default()
+            },
+            BreakerConfig {
+                half_open_probes: 0,
+                ..BreakerConfig::default()
+            },
+            BreakerConfig {
+                open_duration: SimDuration::ZERO,
+                ..BreakerConfig::default()
+            },
+            BreakerConfig {
+                jitter: 1.5,
+                ..BreakerConfig::default()
+            },
+        ] {
+            let c = ClusterConfig {
+                overload: OverloadConfig {
+                    breaker: Some(bad),
+                    ..OverloadConfig::default()
+                },
+                ..ClusterConfig::default()
+            };
+            assert!(c.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn zero_backpressure_knobs_are_rejected() {
+        use crate::overload::{BackpressureConfig, OverloadConfig};
+        for bad in [
+            BackpressureConfig {
+                queue_threshold: 0,
+                ..BackpressureConfig::default()
+            },
+            BackpressureConfig {
+                defer_delay: SimDuration::ZERO,
+                ..BackpressureConfig::default()
+            },
+            BackpressureConfig {
+                max_defers: 0,
+                ..BackpressureConfig::default()
+            },
+        ] {
+            let c = ClusterConfig {
+                overload: OverloadConfig {
+                    backpressure: Some(bad),
+                    ..OverloadConfig::default()
+                },
+                ..ClusterConfig::default()
+            };
+            assert!(c.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub(crate) struct InstanceState {
     pub container: ContainerId,
     /// Worker index hosting it.
     pub worker: usize,
+    /// Worker index whose engine triggered the instance and tracks its
+    /// node's state. Equal to `worker` unless a hedge win transplanted
+    /// execution elsewhere — the completion must still report back here.
+    pub home: usize,
     /// Input transfers still in flight.
     pub pending_inputs: u32,
     /// Execution attempts that failed and were retried.
@@ -45,6 +49,9 @@ pub(crate) struct InstanceState {
     /// stale `ExecDone` from the pre-crash admission drains; the sequence
     /// number fences those events where token+worker matching cannot.
     pub seq: u64,
+    /// The compute phase finished (output writes may still be in flight).
+    /// A hedge arriving after this point has lost the race.
+    pub exec_done: bool,
 }
 
 /// Cluster-side state of one in-flight invocation.

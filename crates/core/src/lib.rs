@@ -44,6 +44,7 @@ pub mod error;
 pub mod fault;
 pub mod invocation;
 pub mod metrics;
+pub mod overload;
 pub mod sample;
 pub mod trace;
 
@@ -53,8 +54,12 @@ pub use error::ClusterError;
 pub use fault::{BackoffPolicy, FaultPlan, NetFault, NodeCrash, StorageFault, StorageFaultKind};
 pub use invocation::InstanceToken;
 pub use metrics::{
-    DistributionRow, EventTypeProfile, FaultReport, LoopProfile, RunReport, WorkerUtilization,
-    WorkflowReport,
+    DistributionRow, EventTypeProfile, FaultReport, LoopProfile, OverloadReport, RunReport,
+    WorkerUtilization, WorkflowReport,
+};
+pub use overload::{
+    AdmissionConfig, BackpressureConfig, BreakerConfig, BreakerState, HedgeConfig, OverloadConfig,
+    ShedPolicy,
 };
 pub use sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport};
 pub use trace::TraceEvent;

@@ -22,6 +22,7 @@ pub(crate) struct WorkflowMetrics {
     pub timeouts: u64,
     pub sent: u64,
     pub dead_lettered: u64,
+    pub shed: u64,
     pub remote_bytes: u64,
     pub local_bytes: u64,
     pub first_completion: Option<SimTime>,
@@ -36,6 +37,7 @@ impl WorkflowMetrics {
             completed: self.completed,
             timeouts: self.timeouts,
             dead_lettered: self.dead_lettered,
+            shed: self.shed,
             e2e: self.e2e.summary(),
             sched_overhead: self.sched_overhead.summary(),
             transfer_total: self.transfer_total.summary(),
@@ -70,6 +72,9 @@ pub struct WorkflowReport {
     /// Invocations abandoned by fault recovery (crash-recovery budget or
     /// storage-retry budget exhausted) with explicit accounting.
     pub dead_lettered: u64,
+    /// Invocations shed by admission control (overload protection; 0
+    /// unless [`crate::OverloadConfig`] enables bounded queues).
+    pub shed: u64,
     /// End-to-end latency (ms).
     pub e2e: Summary,
     /// Scheduling overhead (ms).
@@ -123,6 +128,9 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting (all zero when the
     /// [`crate::FaultPlan`] is empty).
     pub faults: FaultReport,
+    /// Overload-protection accounting (all zero when the
+    /// [`crate::OverloadConfig`] is empty).
+    pub overload: OverloadReport,
     /// Trace events rejected by the `trace_capacity` cap (0 when tracing
     /// is off or the cap was never hit).
     pub trace_dropped: u64,
@@ -153,6 +161,48 @@ pub struct FaultReport {
     pub message_retransmits: u64,
     /// Invocations dead-lettered (recovery or retry budget exhausted).
     pub dead_letters: u64,
+}
+
+/// What the overload-protection subsystem did during a run. Terminal
+/// outcomes obey the conservation invariant
+/// `admitted == completed + dead_lettered + shed` once the cluster drains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadReport {
+    /// Invocations accepted into the system (every arrival; admission
+    /// control sheds *after* acceptance, never silently at the door).
+    pub admitted: u64,
+    /// Invocations shed by admission control (sum of the per-policy
+    /// counters below).
+    pub shed: u64,
+    /// Sheds that dropped the newly arriving instance's invocation.
+    pub shed_newest: u64,
+    /// Sheds that dropped the longest-queued invocation.
+    pub shed_oldest: u64,
+    /// Sheds that dropped the invocation with the least deadline slack.
+    pub shed_deadline: u64,
+    /// Breaker transitions into open.
+    pub breaker_opens: u64,
+    /// Breaker transitions into half-open.
+    pub breaker_half_opens: u64,
+    /// Breaker transitions back to closed.
+    pub breaker_closes: u64,
+    /// Remote-store calls refused while the breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Open-window reads served from another worker's FaaStore copy
+    /// instead of the remote store.
+    pub breaker_local_serves: u64,
+    /// Hedged executions dispatched.
+    pub hedges_launched: u64,
+    /// Hedges that finished before the primary (and took over).
+    pub hedge_wins: u64,
+    /// Hedges cancelled because the primary finished first (or the hedge
+    /// itself failed).
+    pub hedge_losses: u64,
+    /// Dispatches deferred by pool backpressure (WorkerSP local defers).
+    pub backpressure_deferrals: u64,
+    /// Dispatches bounced back through the master engine by backpressure
+    /// (MasterSP central re-queues).
+    pub master_requeues: u64,
 }
 
 impl RunReport {
@@ -303,6 +353,7 @@ mod tests {
             exec_retries: 0,
             repartition_failures: 0,
             faults: FaultReport::default(),
+            overload: OverloadReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -329,6 +380,7 @@ mod tests {
             exec_retries: 0,
             repartition_failures: 0,
             faults: FaultReport::default(),
+            overload: OverloadReport::default(),
             trace_dropped: 0,
             resources: None,
         };

@@ -1,0 +1,170 @@
+//! Overload protection and graceful degradation knobs.
+//!
+//! Four independent mechanisms, each optional and **off by default** so a
+//! default-config run draws exactly the same RNG sequence (and produces
+//! the same bytes) as before this subsystem existed:
+//!
+//! * **Admission control** — bounded per-node container queues with a
+//!   pluggable shed policy. Sheds are a first-class terminal outcome,
+//!   counted separately from dead letters.
+//! * **Circuit breaker** on the remote store (see
+//!   [`faasflow_store::breaker`]): during open windows reads are served
+//!   from FaaStore local copies when any worker holds one, otherwise the
+//!   call fails fast into the existing retry/backoff path.
+//! * **Hedged execution** — a straggling executor is speculatively
+//!   re-dispatched to another worker after a fixed delay; first winner
+//!   takes the instance, the loser is cancelled.
+//! * **Backpressure** — a saturated container pool pushes back on the
+//!   scheduler: WorkerSP defers the dispatch locally, MasterSP re-queues
+//!   through the central engine (paying the central-plane cost, which is
+//!   exactly the asymmetry the paper's §2.3 argument predicts).
+
+use faasflow_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+pub use faasflow_store::{BreakerConfig, BreakerState};
+
+/// Which invocation a full admission queue sheds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Shed the invocation whose instance just arrived (tail drop).
+    #[default]
+    RejectNewest,
+    /// Shed the invocation that has been queued longest (head drop —
+    /// its deadline budget is the most spent).
+    RejectOldest,
+    /// Shed the invocation with the least deadline slack, judged against
+    /// `qos_target` (requires one to be configured).
+    DeadlineAware,
+}
+
+/// Bounded admission queue per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Instances allowed to wait for a container per worker beyond the
+    /// ones already running; an instance that would push the queue past
+    /// this triggers the shed policy.
+    pub queue_capacity: usize,
+    /// Who gets shed when the queue is full.
+    pub policy: ShedPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 32,
+            policy: ShedPolicy::default(),
+        }
+    }
+}
+
+/// Hedged execution of stragglers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HedgeConfig {
+    /// How long an exec runs before a hedge is dispatched. Pick a high
+    /// quantile of the function's exec latency (adaptive estimation from
+    /// the observed distribution is a ROADMAP open item).
+    pub delay: SimDuration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            delay: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Container-pool backpressure toward the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackpressureConfig {
+    /// Queue depth at which a worker's pool counts as saturated.
+    pub queue_threshold: usize,
+    /// How long a deferred dispatch waits before retrying.
+    pub defer_delay: SimDuration,
+    /// Deferrals before the dispatch proceeds regardless (so backpressure
+    /// degrades latency rather than liveness).
+    pub max_defers: u32,
+}
+
+impl Default for BackpressureConfig {
+    fn default() -> Self {
+        BackpressureConfig {
+            queue_threshold: 8,
+            defer_delay: SimDuration::from_millis(50),
+            max_defers: 20,
+        }
+    }
+}
+
+/// The full overload-protection configuration. `None` everywhere (the
+/// default) disables the subsystem entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Bounded admission queues + shed policy.
+    pub admission: Option<AdmissionConfig>,
+    /// Remote-store circuit breaker.
+    pub breaker: Option<BreakerConfig>,
+    /// Hedged exec retries.
+    pub hedge: Option<HedgeConfig>,
+    /// Pool-to-scheduler backpressure.
+    pub backpressure: Option<BackpressureConfig>,
+}
+
+impl OverloadConfig {
+    /// True when every mechanism is disabled.
+    pub fn is_empty(&self) -> bool {
+        self.admission.is_none()
+            && self.breaker.is_none()
+            && self.hedge.is_none()
+            && self.backpressure.is_none()
+    }
+
+    /// Checks internal consistency against the cluster-level knobs the
+    /// mechanisms interact with.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a field is out of range.
+    pub fn validate(
+        &self,
+        timeout: SimDuration,
+        qos_target: Option<SimDuration>,
+    ) -> Result<(), String> {
+        if let Some(adm) = &self.admission {
+            if adm.queue_capacity == 0 {
+                return Err("admission queue_capacity must be at least 1".into());
+            }
+            if adm.policy == ShedPolicy::DeadlineAware && qos_target.is_none() {
+                return Err("DeadlineAware shedding requires a qos_target".into());
+            }
+        }
+        if let Some(breaker) = &self.breaker {
+            breaker.validate()?;
+        }
+        if let Some(hedge) = &self.hedge {
+            if hedge.delay <= SimDuration::ZERO {
+                return Err("hedge delay must be positive".into());
+            }
+            if hedge.delay >= timeout {
+                return Err(format!(
+                    "hedge delay ({:.3}s) must be below the invocation timeout ({:.3}s)",
+                    hedge.delay.as_secs_f64(),
+                    timeout.as_secs_f64()
+                ));
+            }
+        }
+        if let Some(bp) = &self.backpressure {
+            if bp.queue_threshold == 0 {
+                return Err("backpressure queue_threshold must be at least 1".into());
+            }
+            if bp.defer_delay <= SimDuration::ZERO {
+                return Err("backpressure defer_delay must be positive".into());
+            }
+            if bp.max_defers == 0 {
+                return Err("backpressure max_defers must be at least 1".into());
+            }
+        }
+        Ok(())
+    }
+}

@@ -222,6 +222,58 @@ pub enum TraceEvent {
         /// Instant.
         at: SimTime,
     },
+    /// Admission control shed the invocation (bounded queue overflow).
+    InvocationShed {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The worker whose full queue triggered the shed.
+        worker: NodeId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// The remote-store circuit breaker changed state.
+    BreakerTransition {
+        /// Previous state.
+        from: crate::overload::BreakerState,
+        /// New state.
+        to: crate::overload::BreakerState,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A hedged execution was dispatched for a straggling instance.
+    HedgeLaunched {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node.
+        function: FunctionId,
+        /// Instance index.
+        instance: u32,
+        /// The worker running the straggling primary.
+        from_worker: NodeId,
+        /// The worker the hedge was dispatched to.
+        to_worker: NodeId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A hedged execution resolved: either the hedge or the primary won.
+    HedgeResolved {
+        /// Workflow.
+        workflow: WorkflowId,
+        /// Invocation.
+        invocation: InvocationId,
+        /// The function node.
+        function: FunctionId,
+        /// Instance index.
+        instance: u32,
+        /// `true` when the hedge finished first and took the instance.
+        winner_is_hedge: bool,
+        /// Instant.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -242,7 +294,11 @@ impl TraceEvent {
             | TraceEvent::InvocationCompleted { at, .. }
             | TraceEvent::WorkerCrashed { at, .. }
             | TraceEvent::WorkerRestarted { at, .. }
-            | TraceEvent::LeaseExpired { at, .. } => *at,
+            | TraceEvent::LeaseExpired { at, .. }
+            | TraceEvent::InvocationShed { at, .. }
+            | TraceEvent::BreakerTransition { at, .. }
+            | TraceEvent::HedgeLaunched { at, .. }
+            | TraceEvent::HedgeResolved { at, .. } => *at,
         }
     }
 
@@ -309,10 +365,26 @@ impl TraceEvent {
                 workflow,
                 invocation,
                 ..
+            }
+            | TraceEvent::InvocationShed {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::HedgeLaunched {
+                workflow,
+                invocation,
+                ..
+            }
+            | TraceEvent::HedgeResolved {
+                workflow,
+                invocation,
+                ..
             } => Some((*workflow, *invocation)),
             TraceEvent::WorkerCrashed { .. }
             | TraceEvent::WorkerRestarted { .. }
-            | TraceEvent::LeaseExpired { .. } => None,
+            | TraceEvent::LeaseExpired { .. }
+            | TraceEvent::BreakerTransition { .. } => None,
         }
     }
 }
@@ -377,6 +449,9 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                 TraceEvent::WorkerCrashed { worker, .. } => format!("crash   {worker}"),
                 TraceEvent::WorkerRestarted { worker, .. } => format!("restart {worker}"),
                 TraceEvent::LeaseExpired { worker, .. } => format!("lease   {worker} expired"),
+                TraceEvent::BreakerTransition { from, to, .. } => {
+                    format!("breaker {from:?} -> {to:?}")
+                }
                 _ => unreachable!("only node-scoped events lack an invocation"),
             };
             let _ = writeln!(out, "  {t:>9.2} ms  {line}");
@@ -466,9 +541,29 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                     "completed".to_string()
                 }
             }
+            TraceEvent::InvocationShed { worker, .. } => {
+                format!("shed    (queue full on {worker})")
+            }
+            TraceEvent::HedgeLaunched {
+                function,
+                instance,
+                from_worker,
+                to_worker,
+                ..
+            } => format!("hedge   {function}#{instance} {from_worker} -> {to_worker}"),
+            TraceEvent::HedgeResolved {
+                function,
+                instance,
+                winner_is_hedge,
+                ..
+            } => format!(
+                "hedge   {function}#{instance} {} won",
+                if *winner_is_hedge { "hedge" } else { "primary" }
+            ),
             TraceEvent::WorkerCrashed { .. }
             | TraceEvent::WorkerRestarted { .. }
-            | TraceEvent::LeaseExpired { .. } => {
+            | TraceEvent::LeaseExpired { .. }
+            | TraceEvent::BreakerTransition { .. } => {
                 unreachable!("node-scoped events are rendered in the cluster section")
             }
         };

@@ -1,0 +1,291 @@
+//! Randomized chaos-sweep oracle: every seed derives a random fault plan,
+//! overload configuration and workload, runs the cluster to drain, and
+//! checks the invariants that must hold no matter what was thrown at it:
+//!
+//! * **Conservation** — per workflow,
+//!   `sent == completed + dead_lettered + shed`, and the overload
+//!   report's `admitted` equals total sent. Nothing enters the system
+//!   without leaving through exactly one terminal door.
+//! * **No stuck invocations** — once the event queue drains,
+//!   `live_invocation_states == 0`.
+//! * **Epoch monotonicity** — crash recovery bumps each invocation's
+//!   epoch strictly upward (`InvocationRestarted` trace events).
+//! * **Same-seed bit-identity** — re-running a sampled subset of seeds
+//!   produces byte-identical `RunReport` JSON.
+//!
+//! A failing seed prints its standalone repro command:
+//!
+//! ```text
+//! CHAOS_SEED=<seed> cargo test -p faasflow-core --test chaos_sweep
+//! ```
+
+use std::collections::HashMap;
+
+use faasflow_container::NodeCaps;
+use faasflow_core::{
+    AdmissionConfig, BackpressureConfig, BreakerConfig, ClientConfig, Cluster, ClusterConfig,
+    FaultPlan, HedgeConfig, NetFault, NodeCrash, OverloadConfig, RunReport, ScheduleMode,
+    ShedPolicy, StorageFault, StorageFaultKind, TraceEvent,
+};
+use faasflow_sim::{SimDuration, SimRng};
+use faasflow_wdl::{FunctionProfile, Step, Workflow};
+
+/// Seeds swept by default (the CI job runs exactly this range).
+const SEED_RANGE: std::ops::Range<u64> = 0..64;
+/// Every eighth seed is re-run to check bit-identity.
+const REPLAY_EVERY: u64 = 8;
+
+fn repro(seed: u64) -> String {
+    format!("rerun just this seed with: CHAOS_SEED={seed} cargo test -p faasflow-core --test chaos_sweep")
+}
+
+/// Derives the whole scenario — topology, faults, overload knobs,
+/// workload — from one seed. Only the *configuration* comes from this
+/// RNG; the run itself uses the cluster's own seeded stream.
+fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
+    let mut rng = SimRng::seed_from(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let workers = 2 + rng.next_below(3) as u32; // 2..=4
+    let mode = if rng.chance(0.5) {
+        ScheduleMode::WorkerSp
+    } else {
+        ScheduleMode::MasterSp
+    };
+    let faastore = mode == ScheduleMode::WorkerSp && rng.chance(0.7);
+
+    let mut fault = FaultPlan::default();
+    if rng.chance(0.6) {
+        fault.node_crashes.push(NodeCrash {
+            worker: rng.next_below(u64::from(workers)) as u32,
+            at: SimDuration::from_millis(500 + rng.next_below(3000)),
+            restart_after: if rng.chance(0.8) {
+                Some(SimDuration::from_millis(1000 + rng.next_below(3000)))
+            } else {
+                None
+            },
+        });
+    }
+    if rng.chance(0.5) {
+        let kind = if rng.chance(0.5) {
+            StorageFaultKind::Blackout
+        } else {
+            StorageFaultKind::Brownout {
+                slowdown: rng.range_f64(2.0, 8.0),
+            }
+        };
+        fault.storage_faults.push(StorageFault {
+            at: SimDuration::from_millis(300 + rng.next_below(3000)),
+            duration: SimDuration::from_millis(500 + rng.next_below(2500)),
+            kind,
+        });
+    }
+    if rng.chance(0.5) {
+        fault.net_faults.push(NetFault {
+            worker: rng.next_below(u64::from(workers)) as u32,
+            at: SimDuration::from_millis(rng.next_below(2000)),
+            duration: SimDuration::from_millis(500 + rng.next_below(4000)),
+            loss: rng.range_f64(0.0, 0.4),
+            latency_factor: rng.range_f64(1.0, 3.0),
+            bandwidth_factor: rng.range_f64(0.3, 1.0),
+        });
+    }
+
+    let mut overload = OverloadConfig::default();
+    if rng.chance(0.7) {
+        let policy = match rng.next_below(3) {
+            0 => ShedPolicy::RejectNewest,
+            1 => ShedPolicy::RejectOldest,
+            _ => ShedPolicy::DeadlineAware,
+        };
+        overload.admission = Some(AdmissionConfig {
+            queue_capacity: 2 + rng.next_below(8) as usize,
+            policy,
+        });
+    }
+    if rng.chance(0.5) {
+        overload.breaker = Some(BreakerConfig {
+            failure_threshold: 1 + rng.next_below(4) as u32,
+            ..BreakerConfig::default()
+        });
+    }
+    if rng.chance(0.5) {
+        overload.hedge = Some(HedgeConfig {
+            delay: SimDuration::from_millis(100 + rng.next_below(600)),
+        });
+    }
+    if rng.chance(0.5) {
+        overload.backpressure = Some(BackpressureConfig {
+            queue_threshold: 1 + rng.next_below(6) as usize,
+            defer_delay: SimDuration::from_millis(10 + rng.next_below(40)),
+            max_defers: 2 + rng.next_below(10) as u32,
+        });
+    }
+
+    let config = ClusterConfig {
+        mode,
+        faastore,
+        workers,
+        seed,
+        node_caps: NodeCaps {
+            cores: 2 + rng.next_below(3) as u32, // 2..=4 — small enough to queue
+            ..NodeCaps::default()
+        },
+        // DeadlineAware shedding requires a deadline, and a generous one
+        // keeps the scenario about overload, not QoS bookkeeping.
+        qos_target: Some(SimDuration::from_secs(20)),
+        exec_failure_rate: if rng.chance(0.4) {
+            rng.range_f64(0.01, 0.1)
+        } else {
+            0.0
+        },
+        trace: true,
+        fault,
+        overload,
+        ..ClusterConfig::default()
+    };
+
+    let fan = 3 + rng.next_below(6) as u32; // 3..=8
+    let exec = 60 + rng.next_below(200); // ms
+    let bytes = 1u64 << (18 + rng.next_below(5)); // 256 KiB .. 4 MiB
+    let wf = Workflow::steps(
+        "Chaos",
+        Step::sequence(vec![
+            Step::task("ingest", FunctionProfile::with_millis(exec, bytes)),
+            Step::foreach(
+                "work",
+                FunctionProfile::with_millis(exec + 60, bytes / 2).exec_variation(0.4),
+                fan,
+            ),
+            Step::task("merge", FunctionProfile::with_millis(40, 0)),
+        ]),
+    );
+    let invocations = 4 + rng.next_below(8) as u32; // 4..=11
+    (config, wf, invocations)
+}
+
+fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
+    let (config, wf, invocations) = scenario(seed);
+    if std::env::var_os("CHAOS_VERBOSE").is_some() {
+        eprintln!(
+            "seed {seed}: mode={:?} faastore={} workers={} cores={} fault={:?} overload={:?} \
+             exec_failure_rate={} invocations={invocations}",
+            config.mode,
+            config.faastore,
+            config.workers,
+            config.node_caps.cores,
+            config.fault,
+            config.overload,
+            config.exec_failure_rate
+        );
+    }
+    let mut cluster = Cluster::new(config).unwrap_or_else(|e| {
+        panic!(
+            "seed {seed}: generated config failed validation ({e}); {}",
+            repro(seed)
+        )
+    });
+    cluster
+        .register(&wf, ClientConfig::ClosedLoop { invocations })
+        .unwrap_or_else(|e| panic!("seed {seed}: register failed ({e}); {}", repro(seed)));
+    cluster.run_until_idle();
+    let trace = cluster.take_trace();
+    (cluster.report(), trace)
+}
+
+fn check_invariants(seed: u64, report: &RunReport, trace: &[TraceEvent]) {
+    let mut sent_total = 0;
+    for (name, wf) in &report.workflows {
+        assert_eq!(
+            wf.sent,
+            wf.completed + wf.dead_lettered + wf.shed,
+            "seed {seed}: {name} leaks invocations \
+             (sent {} != completed {} + dead_lettered {} + shed {}); {}",
+            wf.sent,
+            wf.completed,
+            wf.dead_lettered,
+            wf.shed,
+            repro(seed)
+        );
+        sent_total += wf.sent;
+    }
+    assert_eq!(
+        report.overload.admitted,
+        sent_total,
+        "seed {seed}: admitted != sent; {}",
+        repro(seed)
+    );
+    assert_eq!(
+        report.live_invocation_states,
+        0,
+        "seed {seed}: stuck invocation state after drain; {}",
+        repro(seed)
+    );
+    let o = &report.overload;
+    assert_eq!(
+        o.shed,
+        o.shed_newest + o.shed_oldest + o.shed_deadline,
+        "seed {seed}: shed counters disagree ({o:?}); {}",
+        repro(seed)
+    );
+    assert_eq!(
+        o.hedges_launched,
+        o.hedge_wins + o.hedge_losses,
+        "seed {seed}: unresolved hedges ({o:?}); {}",
+        repro(seed)
+    );
+
+    // Epoch fencing must only ever move forward, one invocation at a time.
+    let mut epochs: HashMap<(usize, usize), u32> = HashMap::new();
+    for ev in trace {
+        if let TraceEvent::InvocationRestarted {
+            workflow,
+            invocation,
+            epoch,
+            ..
+        } = ev
+        {
+            let key = (workflow.index(), invocation.index());
+            let prev = epochs.insert(key, *epoch);
+            let floor = prev.unwrap_or(0);
+            assert!(
+                *epoch > floor,
+                "seed {seed}: invocation {key:?} epoch went {floor} -> {epoch}; {}",
+                repro(seed)
+            );
+        }
+    }
+}
+
+fn sweep(seeds: impl Iterator<Item = u64>) {
+    for seed in seeds {
+        let (report, trace) = run_seed(seed);
+        check_invariants(seed, &report, &trace);
+        if seed % REPLAY_EVERY == 0 {
+            let (replay, _) = run_seed(seed);
+            assert_eq!(
+                serde_json::to_string(&report).expect("serializes"),
+                serde_json::to_string(&replay).expect("serializes"),
+                "seed {seed}: same-seed runs diverged; {}",
+                repro(seed)
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_sweep_holds_invariants() {
+    match std::env::var("CHAOS_SEED") {
+        Ok(v) => {
+            let seed: u64 = v.parse().expect("CHAOS_SEED must be an integer");
+            let (report, trace) = run_seed(seed);
+            check_invariants(seed, &report, &trace);
+            let (replay, _) = run_seed(seed);
+            assert_eq!(
+                serde_json::to_string(&report).expect("serializes"),
+                serde_json::to_string(&replay).expect("serializes"),
+                "seed {seed}: same-seed runs diverged; {}",
+                repro(seed)
+            );
+        }
+        Err(_) => sweep(SEED_RANGE),
+    }
+}

@@ -225,6 +225,30 @@ pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport
                     (format!("{} restart epoch {epoch}", tree.invocation), 0)
                 }
                 AnnotationKind::DeadLettered => (format!("{} dead-lettered", tree.invocation), 0),
+                AnnotationKind::Shed { worker } => (
+                    format!("{} shed (queue full)", tree.invocation),
+                    worker.index() as u64 + 1,
+                ),
+                AnnotationKind::HedgeLaunched {
+                    function,
+                    instance,
+                    from,
+                    to,
+                } => (
+                    format!("hedge {function}#{instance}: {from} -> {to}"),
+                    to.index() as u64 + 1,
+                ),
+                AnnotationKind::HedgeResolved {
+                    function,
+                    instance,
+                    winner_is_hedge,
+                } => (
+                    format!(
+                        "hedge {function}#{instance} {} won",
+                        if *winner_is_hedge { "hedge" } else { "primary" }
+                    ),
+                    0,
+                ),
             };
             events.push(obj(vec![
                 ("name", s(name)),
@@ -238,6 +262,32 @@ pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport
         }
     }
     for event in &forest.node_events {
+        // The storage-node breaker renders twice: an instant per transition
+        // and a counter track of its state level (0 = closed, 1 = open,
+        // 2 = half-open), both on the master/storage process.
+        if let TraceEvent::BreakerTransition { from, to, at } = event {
+            events.push(obj(vec![
+                ("name", s(format!("breaker {from:?} -> {to:?}"))),
+                ("cat", s("overload")),
+                ("ph", s("i")),
+                ("s", s("p")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(0)),
+            ]));
+            events.push(obj(vec![
+                ("name", s("breaker state")),
+                ("ph", s("C")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![("level", Value::UInt(u64::from(to.as_level())))]),
+                ),
+            ]));
+            continue;
+        }
         let (name, node) = match event {
             TraceEvent::WorkerCrashed { worker, .. } => ("worker crashed", worker),
             TraceEvent::WorkerRestarted { worker, .. } => ("worker restarted", worker),

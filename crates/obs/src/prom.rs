@@ -32,6 +32,7 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
             ("completed", wf.completed),
             ("timeout", wf.timeouts),
             ("dead_lettered", wf.dead_lettered),
+            ("shed", wf.shed),
         ] {
             let _ = writeln!(
                 out,
@@ -185,6 +186,32 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
         ("dead_letters", f.dead_letters),
     ] {
         let _ = writeln!(out, "faasflow_faults_total{{kind=\"{kind}\"}} {value}");
+    }
+    header(
+        &mut out,
+        "faasflow_overload_total",
+        "Overload-protection actions (admission control, breaker, hedges, backpressure).",
+        "counter",
+    );
+    let o = &report.overload;
+    for (kind, value) in [
+        ("admitted", o.admitted),
+        ("shed", o.shed),
+        ("shed_newest", o.shed_newest),
+        ("shed_oldest", o.shed_oldest),
+        ("shed_deadline", o.shed_deadline),
+        ("breaker_opens", o.breaker_opens),
+        ("breaker_half_opens", o.breaker_half_opens),
+        ("breaker_closes", o.breaker_closes),
+        ("breaker_fast_fails", o.breaker_fast_fails),
+        ("breaker_local_serves", o.breaker_local_serves),
+        ("hedges_launched", o.hedges_launched),
+        ("hedge_wins", o.hedge_wins),
+        ("hedge_losses", o.hedge_losses),
+        ("backpressure_deferrals", o.backpressure_deferrals),
+        ("master_requeues", o.master_requeues),
+    ] {
+        let _ = writeln!(out, "faasflow_overload_total{{kind=\"{kind}\"}} {value}");
     }
 
     // --- Last resource sample per node -----------------------------------

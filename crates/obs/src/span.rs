@@ -125,6 +125,31 @@ pub enum AnnotationKind {
     },
     /// The recovery budget ran out; the invocation was abandoned.
     DeadLettered,
+    /// Admission control dropped the invocation off an overflowing queue.
+    Shed {
+        /// The worker whose admission queue overflowed.
+        worker: NodeId,
+    },
+    /// A straggling exec was speculatively re-dispatched.
+    HedgeLaunched {
+        /// The function being hedged.
+        function: FunctionId,
+        /// The instance index.
+        instance: u32,
+        /// The primary's worker.
+        from: NodeId,
+        /// The hedge's worker.
+        to: NodeId,
+    },
+    /// A hedge race resolved.
+    HedgeResolved {
+        /// The function that was hedged.
+        function: FunctionId,
+        /// The instance index.
+        instance: u32,
+        /// `true` if the speculative copy finished first.
+        winner_is_hedge: bool,
+    },
 }
 
 /// [`AnnotationKind`] plus its instant.
@@ -154,6 +179,8 @@ pub struct SpanTree {
     pub timed_out: bool,
     /// The invocation was dead-lettered.
     pub dead_lettered: bool,
+    /// The invocation was load-shed by admission control.
+    pub shed: bool,
 }
 
 impl SpanTree {
@@ -315,6 +342,7 @@ impl TreeBuilder {
                 completed: false,
                 timed_out: false,
                 dead_lettered: false,
+                shed: false,
             },
             open_functions: HashMap::new(),
             open_execs: HashMap::new(),
@@ -557,6 +585,47 @@ impl TreeBuilder {
                 self.tree.dead_lettered = true;
                 self.root_open = false;
             }
+            TraceEvent::InvocationShed { worker, at, .. } => {
+                self.annotate(AnnotationKind::Shed { worker: *worker }, *at);
+                self.close_children(*at);
+                self.close(0, *at, false);
+                self.tree.shed = true;
+                self.root_open = false;
+            }
+            TraceEvent::HedgeLaunched {
+                function,
+                instance,
+                from_worker,
+                to_worker,
+                at,
+                ..
+            } => {
+                self.annotate(
+                    AnnotationKind::HedgeLaunched {
+                        function: *function,
+                        instance: *instance,
+                        from: *from_worker,
+                        to: *to_worker,
+                    },
+                    *at,
+                );
+            }
+            TraceEvent::HedgeResolved {
+                function,
+                instance,
+                winner_is_hedge,
+                at,
+                ..
+            } => {
+                self.annotate(
+                    AnnotationKind::HedgeResolved {
+                        function: *function,
+                        instance: *instance,
+                        winner_is_hedge: *winner_is_hedge,
+                    },
+                    *at,
+                );
+            }
             TraceEvent::InvocationCompleted { at, timed_out, .. } => {
                 self.close_children(*at);
                 self.close(0, *at, false);
@@ -566,7 +635,8 @@ impl TreeBuilder {
             }
             TraceEvent::WorkerCrashed { .. }
             | TraceEvent::WorkerRestarted { .. }
-            | TraceEvent::LeaseExpired { .. } => {
+            | TraceEvent::LeaseExpired { .. }
+            | TraceEvent::BreakerTransition { .. } => {
                 unreachable!("node-scoped events are handled by the forest builder")
             }
         }

@@ -30,12 +30,14 @@
 //! # Ok::<(), faasflow_wdl::WdlError>(())
 //! ```
 
+pub mod breaker;
 pub mod faastore;
 pub mod keys;
 pub mod memstore;
 pub mod quota;
 pub mod remote;
 
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 pub use faastore::{FaaStore, Placement, StorageType};
 pub use keys::DataKey;
 pub use memstore::MemStore;
