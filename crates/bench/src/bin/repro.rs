@@ -17,6 +17,8 @@
 //!   components  engine overhead & cluster scaling                 (§5.7)
 //!   ablations   design-choice ablations (DESIGN.md)
 //!   chaos       fault-domain recovery, WorkerSP vs MasterSP       (§6)
+//!   failover    engine crash + journaled recovery: MasterSP outage
+//!               vs WorkerSP single-partition degradation
 //!   overload    graceful degradation under an offered-load sweep:
 //!               admission control, backpressure, hedged retries
 //!   perf        hot-path microbenchmarks -> BENCH_kernel.json
@@ -35,8 +37,8 @@ use std::time::Instant;
 
 use faasflow_bench::{parallel_map, rule, run_colocated_with_distribution, run_one, Drive};
 use faasflow_core::{
-    ClientConfig, Cluster, ClusterConfig, FaultPlan, NetFault, NodeCrash, ScheduleMode,
-    StorageFault, StorageFaultKind,
+    ClientConfig, Cluster, ClusterConfig, EngineCrash, EngineTarget, FaultPlan, JournalConfig,
+    NetFault, NodeCrash, ScheduleMode, StorageFault, StorageFaultKind,
 };
 use faasflow_scheduler::{
     ContentionSet, GraphScheduler, PlacementStrategy, RuntimeMetrics, WorkerInfo,
@@ -155,6 +157,7 @@ fn main() {
         "components" => components(&scale),
         "ablations" => ablations(&scale),
         "chaos" => chaos(&scale),
+        "failover" => failover(&scale),
         "overload" => overload(&scale),
         "perf" => perf(quick),
         "trace" => trace_scenario(&scale, trace_out.as_deref().unwrap_or(".")),
@@ -171,6 +174,7 @@ fn main() {
             components(&scale);
             ablations(&scale);
             chaos(&scale);
+            failover(&scale);
             overload(&scale);
         }
         other => {
@@ -938,6 +942,184 @@ fn chaos(scale: &Scale) {
 }
 
 // ====================================================================
+// Failover — engine crash + journaled recovery
+// ====================================================================
+
+/// Crashes one scheduling engine mid-run in each mode and compares the
+/// blast radius: under MasterSP the central engine *is* the control
+/// plane, so its outage stalls every in-flight workflow until restart;
+/// under WorkerSP only the partition scheduled by the crashed worker's
+/// engine degrades while the other engines keep dispatching. Both modes
+/// run with write-ahead journaling on, so the restarted engine replays
+/// its log, reconciles with worker-reported progress under generation
+/// fencing, and resumes — every invocation still reaches exactly one
+/// terminal outcome.
+fn failover(scale: &Scale) {
+    use faasflow_sim::SimTime;
+
+    // The four real-world benchmarks: light enough that the cluster is
+    // unsaturated, so the snapshot isolates outage stall from queueing.
+    const BENCHES: [Benchmark; 4] = [
+        Benchmark::VideoFfmpeg,
+        Benchmark::IllegalRecognizer,
+        Benchmark::FileProcessing,
+        Benchmark::WordCount,
+    ];
+    println!("\n=== Failover: engine crash + journaled recovery, WorkerSP vs MasterSP ===");
+    println!("(scheduling engine crashes at t=5s, restarts at t=35s; journal on;");
+    println!(" 4 workflows on 4 workers, open loop; completion snapshot at t=34s)");
+    let n = scale.open.min(60);
+    let rate = 12.0; // 0.2 inv/s per workflow keeps arrivals flowing through the outage.
+    let horizon = SimTime::ZERO + SimDuration::from_secs(34);
+    let run = |config: ClusterConfig, target: EngineTarget| {
+        let mut cluster = Cluster::new(ClusterConfig {
+            workers: 4,
+            fault: FaultPlan {
+                engine_crashes: vec![EngineCrash {
+                    target,
+                    at: SimDuration::from_secs(5),
+                    restart_after: SimDuration::from_secs(30),
+                }],
+                ..FaultPlan::default()
+            },
+            journal: JournalConfig {
+                enabled: true,
+                ..JournalConfig::default()
+            },
+            ..config
+        })
+        .expect("valid experiment configuration");
+        for b in BENCHES {
+            cluster
+                .register(
+                    &b.workflow(),
+                    ClientConfig::OpenLoop {
+                        per_minute: rate,
+                        invocations: n,
+                    },
+                )
+                .expect("registers");
+        }
+        cluster.run_until(horizon);
+        let snapshot = cluster.report();
+        cluster.run_until_idle();
+        (snapshot, cluster.report())
+    };
+    let (m_snap, master) = run(master_config(), EngineTarget::Master);
+    let (w_snap, worker) = run(faasflow_config(), EngineTarget::Worker(1));
+    println!(
+        "{:<30} {:>16} {:>16}",
+        "metric", "HyperFlow(MSP)", "FaaSFlow(WSP)"
+    );
+    rule(64);
+    let mrow = |label: &str, m: u64, w: u64| println!("{label:<30} {m:>16} {w:>16}");
+    let total = |report: &faasflow_core::RunReport,
+                 pick: fn(&faasflow_core::WorkflowReport) -> u64| {
+        report.workflows.values().map(pick).sum::<u64>()
+    };
+    let ms_completed = total(&m_snap, |wf| wf.completed);
+    let ws_completed = total(&w_snap, |wf| wf.completed);
+    mrow("completed by t=34s", ms_completed, ws_completed);
+    mrow(
+        "invocations sent",
+        total(&master, |wf| wf.sent),
+        total(&worker, |wf| wf.sent),
+    );
+    mrow(
+        "completed (final)",
+        total(&master, |wf| wf.completed),
+        total(&worker, |wf| wf.completed),
+    );
+    mrow(
+        "dead-lettered",
+        total(&master, |wf| wf.dead_lettered),
+        total(&worker, |wf| wf.dead_lettered),
+    );
+    let mr = &master.recovery;
+    let wr = &worker.recovery;
+    mrow("engine crashes", mr.engine_crashes, wr.engine_crashes);
+    mrow(
+        "engine recoveries",
+        mr.engine_recoveries,
+        wr.engine_recoveries,
+    );
+    mrow("journal appends", mr.journal_appends, wr.journal_appends);
+    mrow(
+        "journal records replayed",
+        mr.journal_replayed_records,
+        wr.journal_replayed_records,
+    );
+    mrow(
+        "messages lost to outage",
+        mr.messages_lost,
+        wr.messages_lost,
+    );
+    mrow(
+        "duplicates suppressed",
+        mr.duplicate_suppressions,
+        wr.duplicate_suppressions,
+    );
+    println!(
+        "{:<30} {:>16.2} {:>16.2}",
+        "engine downtime (s)", mr.engine_downtime_secs, wr.engine_downtime_secs
+    );
+    let mf = &master.faults;
+    let wf = &worker.faults;
+    mrow(
+        "dead-letter: retries",
+        mf.dead_letter_retries_exhausted,
+        wf.dead_letter_retries_exhausted,
+    );
+    mrow(
+        "dead-letter: crash orphan",
+        mf.dead_letter_crash_orphan,
+        wf.dead_letter_crash_orphan,
+    );
+    mrow(
+        "dead-letter: journal lost",
+        mf.dead_letter_journal_unrecoverable,
+        wf.dead_letter_journal_unrecoverable,
+    );
+    rule(64);
+    for (label, report) in [("MasterSP", &master), ("WorkerSP", &worker)] {
+        assert_eq!(
+            total(report, |wf| wf.completed + wf.dead_lettered + wf.shed),
+            total(report, |wf| wf.sent),
+            "{label}: every invocation must reach exactly one terminal outcome"
+        );
+        assert_eq!(
+            report.live_invocation_states, 0,
+            "{label}: no leaked engine state"
+        );
+        let f = &report.faults;
+        assert_eq!(
+            f.dead_letter_retries_exhausted
+                + f.dead_letter_crash_orphan
+                + f.dead_letter_journal_unrecoverable,
+            f.dead_letters,
+            "{label}: every dead letter carries exactly one attributed reason"
+        );
+        assert_eq!(
+            report.recovery.engine_crashes, 1,
+            "{label}: the injected crash fired"
+        );
+        assert_eq!(
+            report.recovery.engine_recoveries, 1,
+            "{label}: the engine restarted and recovered"
+        );
+    }
+    assert!(
+        ws_completed > ms_completed,
+        "WorkerSP must complete strictly more than MasterSP by the snapshot \
+         horizon (WSP {ws_completed} vs MSP {ms_completed}): a central-engine \
+         outage stalls everything, a worker-engine outage degrades one partition"
+    );
+    println!("conservation held in both modes; outcomes recorded exactly once.");
+    println!("a MasterSP engine outage freezes the whole cluster until restart;");
+    println!("WorkerSP keeps the surviving partitions scheduling through it.");
+}
+
+// ====================================================================
 // overload — graceful degradation under an offered-load sweep
 // ====================================================================
 
@@ -978,6 +1160,7 @@ fn overload(scale: &Scale) {
             }),
             hedge: Some(HedgeConfig {
                 delay: SimDuration::from_millis(1540),
+                adaptive: None,
             }),
             ..OverloadConfig::default()
         },

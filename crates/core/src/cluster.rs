@@ -40,13 +40,14 @@ use faasflow_wdl::{DagParser, NodeKind, ParserConfig, Workflow, WorkflowDag};
 
 use crate::config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 use crate::error::ClusterError;
-use crate::fault::StorageFaultKind;
+use crate::fault::{DeadLetterReason, EngineTarget, StorageFaultKind};
 use crate::invocation::{InstanceState, InstanceToken, InvState};
+use crate::journal::{Journal, JournalRecord, TerminalOutcome};
 use crate::metrics::{
-    DistributionRow, FaultReport, LoopProfile, OverloadReport, RunReport, WorkerUtilization,
-    WorkflowMetrics,
+    DistributionRow, FaultReport, LoopProfile, OverloadReport, RecoveryReport, RunReport,
+    WorkerUtilization, WorkflowMetrics,
 };
-use crate::overload::{AdmissionConfig, BackpressureConfig, ShedPolicy};
+use crate::overload::{AdmissionConfig, BackpressureConfig, P2Quantile, ShedPolicy};
 use crate::sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport, Ring};
 use crate::trace::{TraceEvent, Tracer};
 
@@ -142,11 +143,16 @@ enum Event {
         wf: WorkflowId,
         inv: InvocationId,
         epoch: u32,
+        function: FunctionId,
     },
-    /// A message arrives in the master engine's inbox.
-    MasterArrive { msg: MasterInbox },
-    /// The master engine finishes processing its current message.
-    MasterDone,
+    /// A message arrives in the master engine's inbox. `gen` fences
+    /// pre-crash messages: a recovery bumps the engine generation, so
+    /// anything stamped with an older one is dropped as stale.
+    MasterArrive { msg: MasterInbox, gen: u64 },
+    /// The master engine finishes processing its current message. Fenced by
+    /// `gen` like `MasterArrive` (an engine crash aborts the in-service
+    /// message).
+    MasterDone { gen: u64 },
     /// WorkerSP: a virtual node completes on a worker.
     VirtualDone {
         worker: usize,
@@ -185,7 +191,13 @@ enum Event {
         seq: u64,
     },
     /// WorkerSP: the worker engine processes an instance completion.
-    WorkerInstanceDone { worker: usize, token: InstanceToken },
+    /// `gen` fences completions sent before the engine's last recovery
+    /// (replay already seeded them from cluster-side counts).
+    WorkerInstanceDone {
+        worker: usize,
+        token: InstanceToken,
+        gen: u64,
+    },
     /// The earliest network flow completes.
     FlowTick,
     /// A worker's earliest container keep-alive expires.
@@ -255,6 +267,20 @@ enum Event {
         epoch: u32,
         attempt: u32,
     },
+    /// Fault plan: `engine_crashes[idx]` kills its scheduling engine.
+    EngineCrash { idx: usize },
+    /// The supervisor restarts a crashed engine (`target: None` = the
+    /// central MasterSP engine, `Some(w)` = worker `w`'s engine): attempt
+    /// to read the journal back, backing off while the store is blacked
+    /// out. `era` fences chains orphaned by a second crash mid-recovery.
+    EngineRestart {
+        target: Option<usize>,
+        attempt: u32,
+        era: u32,
+    },
+    /// Journal replay finished; the engine reconciles with cluster-visible
+    /// progress and resumes.
+    EngineRecovered { target: Option<usize>, era: u32 },
 }
 
 #[cfg(feature = "loop-profile")]
@@ -268,7 +294,7 @@ impl Event {
             Event::DeliverAssign { .. } => "DeliverAssign",
             Event::DeliverExitReport { .. } => "DeliverExitReport",
             Event::MasterArrive { .. } => "MasterArrive",
-            Event::MasterDone => "MasterDone",
+            Event::MasterDone { .. } => "MasterDone",
             Event::VirtualDone { .. } => "VirtualDone",
             Event::InstanceReady { .. } => "InstanceReady",
             Event::StartRemoteRead { .. } => "StartRemoteRead",
@@ -293,6 +319,9 @@ impl Event {
             Event::HedgeReady { .. } => "HedgeReady",
             Event::HedgeExecDone { .. } => "HedgeExecDone",
             Event::BackpressureRetry { .. } => "BackpressureRetry",
+            Event::EngineCrash { .. } => "EngineCrash",
+            Event::EngineRestart { .. } => "EngineRestart",
+            Event::EngineRecovered { .. } => "EngineRecovered",
         }
     }
 }
@@ -442,6 +471,37 @@ pub struct Cluster {
     breaker: Option<CircuitBreaker>,
     /// In-flight speculative executions, keyed by the primary's token.
     hedges: HashMap<InstanceToken, HedgeState>,
+    /// Streaming exec-latency quantile per function (adaptive hedge delay).
+    /// Only touched when `hedge.adaptive` is set, so fixed-delay and
+    /// hedge-off runs are bit-identical to builds without it.
+    hedge_estimators: HashMap<(WorkflowId, FunctionId), P2Quantile>,
+    /// MasterSP central engine liveness (false between a crash and the end
+    /// of recovery). Messages reaching a down engine are lost.
+    master_engine_down: bool,
+    /// Master engine generation: bumped at each completed recovery; stale
+    /// stamps fence pre-recovery messages.
+    master_engine_gen: u64,
+    /// Master engine era: bumped at each crash; fences restart/recovery
+    /// chains orphaned by a second crash mid-recovery.
+    master_engine_era: u32,
+    /// Instant the master engine went down (downtime accounting).
+    master_down_since: SimTime,
+    /// The master journal could not be read back during the last recovery.
+    master_journal_unreadable: bool,
+    /// The central engine's write-ahead journal (MasterSP; also witnesses
+    /// gateway-side admissions and terminal outcomes in both modes).
+    master_journal: Journal,
+    /// Per-worker engine liveness/fencing mirrors of the master fields.
+    worker_engine_down: Vec<bool>,
+    worker_engine_gen: Vec<u64>,
+    worker_engine_era: Vec<u32>,
+    worker_down_since: Vec<SimTime>,
+    worker_journal_unreadable: Vec<bool>,
+    /// Per-worker engine journals (WorkerSP).
+    worker_journals: Vec<Journal>,
+    /// Engine-crash/recovery accounting (journal sums are folded in at
+    /// report time).
+    recovery: RecoveryReport,
     /// Overload-protection accounting (sheds, breaker, hedges,
     /// backpressure).
     overload: OverloadReport,
@@ -532,6 +592,22 @@ impl Cluster {
             next_instance_seq: 0,
             breaker: config.overload.breaker.map(CircuitBreaker::new),
             hedges: HashMap::new(),
+            hedge_estimators: HashMap::new(),
+            master_engine_down: false,
+            master_engine_gen: 0,
+            master_engine_era: 0,
+            master_down_since: SimTime::ZERO,
+            master_journal_unreadable: false,
+            master_journal: Journal::new(config.journal),
+            worker_engine_down: vec![false; config.workers as usize],
+            worker_engine_gen: vec![0; config.workers as usize],
+            worker_engine_era: vec![0; config.workers as usize],
+            worker_down_since: vec![SimTime::ZERO; config.workers as usize],
+            worker_journal_unreadable: vec![false; config.workers as usize],
+            worker_journals: (0..config.workers)
+                .map(|_| Journal::new(config.journal))
+                .collect(),
+            recovery: RecoveryReport::default(),
             overload: OverloadReport::default(),
             tracer: Tracer::new(config.trace, config.trace_capacity),
             samples: config.sample_every.map(|every| SampleCollector {
@@ -581,6 +657,10 @@ impl Cluster {
                 SimTime::ZERO + n.at + n.duration,
                 Event::NetFaultEnd { idx },
             );
+        }
+        for (idx, c) in self.config.fault.engine_crashes.iter().enumerate() {
+            self.queue
+                .schedule(SimTime::ZERO + c.at, Event::EngineCrash { idx });
         }
     }
 
@@ -933,6 +1013,40 @@ impl Cluster {
             .map(|e| e.live_invocations() as u64)
             .sum::<u64>()
             + self.master_engine.live_invocations() as u64;
+        let mut recovery = self.recovery;
+        recovery.journal_appends = self.master_journal.append_count()
+            + self
+                .worker_journals
+                .iter()
+                .map(|j| j.append_count())
+                .sum::<u64>();
+        recovery.journal_lost_appends = self.master_journal.lost_count()
+            + self
+                .worker_journals
+                .iter()
+                .map(|j| j.lost_count())
+                .sum::<u64>();
+        recovery.journal_replays = self.master_journal.replay_count()
+            + self
+                .worker_journals
+                .iter()
+                .map(|j| j.replay_count())
+                .sum::<u64>();
+        recovery.journal_replayed_records = self.master_journal.replayed_record_count()
+            + self
+                .worker_journals
+                .iter()
+                .map(|j| j.replayed_record_count())
+                .sum::<u64>();
+        // Engines still down at snapshot time contribute partial downtime.
+        if self.master_engine_down {
+            recovery.engine_downtime_secs += (now - self.master_down_since).as_secs_f64();
+        }
+        for w in 0..self.worker_engine_down.len() {
+            if self.worker_engine_down[w] {
+                recovery.engine_downtime_secs += (now - self.worker_down_since[w]).as_secs_f64();
+            }
+        }
         RunReport {
             workflows,
             sim_time_secs: sim_secs,
@@ -954,6 +1068,7 @@ impl Cluster {
             repartition_failures: self.repartition_failures,
             faults: self.faults,
             overload: self.overload,
+            recovery,
             trace_dropped: self.tracer.dropped(),
             resources: self.resources_snapshot(),
         }
@@ -1065,7 +1180,9 @@ impl Cluster {
                 inv,
                 epoch,
             } => {
-                if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
+                if self.worker_engine_down[worker] {
+                    self.recovery.messages_lost += 1;
+                } else if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
                     let actions = self.worker_engines[worker].begin_invocation(wf, inv);
                     self.apply_worker_actions(now, worker, actions);
                 }
@@ -1077,7 +1194,9 @@ impl Cluster {
                 completed,
                 epoch,
             } => {
-                if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
+                if self.worker_engine_down[worker] {
+                    self.recovery.messages_lost += 1;
+                } else if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
                     let actions = self.worker_engines[worker].on_state_sync(wf, inv, completed);
                     self.apply_worker_actions(now, worker, actions);
                 }
@@ -1099,7 +1218,7 @@ impl Cluster {
                         self.faults.crash_redispatches += 1;
                         self.spawn_instances(now, target, wf, inv, function);
                     } else {
-                        self.dead_letter_invocation(now, wf, inv);
+                        self.dead_letter_invocation(now, wf, inv, DeadLetterReason::CrashOrphan);
                     }
                 } else {
                     // Dead but undetected: the assignment sails into the
@@ -1107,16 +1226,25 @@ impl Cluster {
                     self.spooled_assigns[worker].push((wf, inv, function));
                 }
             }
-            Event::DeliverExitReport { wf, inv, epoch } => {
+            Event::DeliverExitReport {
+                wf,
+                inv,
+                epoch,
+                function,
+            } => {
                 if self.epoch_alive(wf, inv, epoch) {
-                    self.on_exit_report(now, wf, inv);
+                    self.on_exit_report(now, wf, inv, function);
                 }
             }
-            Event::MasterArrive { msg } => {
-                self.master_inbox.push_back(msg);
-                self.try_start_master(now);
+            Event::MasterArrive { msg, gen } => {
+                if self.master_engine_down || gen != self.master_engine_gen {
+                    self.recovery.messages_lost += 1;
+                } else {
+                    self.master_inbox.push_back(msg);
+                    self.try_start_master(now);
+                }
             }
-            Event::MasterDone => self.on_master_done(now),
+            Event::MasterDone { gen } => self.on_master_done(now, gen),
             Event::VirtualDone {
                 worker,
                 wf,
@@ -1124,12 +1252,31 @@ impl Cluster {
                 function,
                 epoch,
             } => {
-                if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
+                if self.worker_engine_down[worker] {
+                    self.recovery.messages_lost += 1;
+                } else if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
                     if let Some(state) = self.invocations.get_mut(&(wf, inv)) {
-                        state.completed_nodes.insert(function);
+                        if !state.completed_nodes.insert(function) {
+                            // Replay already re-derived this virtual node's
+                            // completion; the pre-crash event is a duplicate.
+                            self.recovery.duplicate_suppressions += 1;
+                            return;
+                        }
                     }
+                    let was_done = self.worker_engines[worker].node_done(wf, inv, function);
                     let actions =
                         self.worker_engines[worker].on_instance_complete(wf, inv, function);
+                    if !was_done && self.worker_engines[worker].node_done(wf, inv, function) {
+                        self.journal_append_worker(
+                            now,
+                            worker,
+                            JournalRecord::NodeDone {
+                                workflow: wf,
+                                invocation: inv,
+                                function,
+                            },
+                        );
+                    }
                     self.apply_worker_actions(now, worker, actions);
                 }
             }
@@ -1186,15 +1333,30 @@ impl Cluster {
                 }
             }
             Event::ExecDone { worker, token, seq } => self.on_exec_done(now, worker, token, seq),
-            Event::WorkerInstanceDone { worker, token } => {
-                if self.worker_alive[worker]
+            Event::WorkerInstanceDone { worker, token, gen } => {
+                if self.worker_engine_down[worker] || gen != self.worker_engine_gen[worker] {
+                    // Engine down or message predates the last recovery; the
+                    // completion was already reflected in the cluster-side
+                    // instance counts the replay seeded from.
+                    self.recovery.messages_lost += 1;
+                } else if self.worker_alive[worker]
                     && self.epoch_alive(token.workflow, token.invocation, token.epoch)
                 {
-                    let actions = self.worker_engines[worker].on_instance_complete(
-                        token.workflow,
-                        token.invocation,
-                        token.function,
-                    );
+                    let (wf, inv, function) = (token.workflow, token.invocation, token.function);
+                    let was_done = self.worker_engines[worker].node_done(wf, inv, function);
+                    let actions =
+                        self.worker_engines[worker].on_instance_complete(wf, inv, function);
+                    if !was_done && self.worker_engines[worker].node_done(wf, inv, function) {
+                        self.journal_append_worker(
+                            now,
+                            worker,
+                            JournalRecord::NodeDone {
+                                workflow: wf,
+                                invocation: inv,
+                                function,
+                            },
+                        );
+                    }
                     self.apply_worker_actions(now, worker, actions);
                 }
             }
@@ -1244,7 +1406,9 @@ impl Cluster {
                         ScheduleMode::WorkerSp => self.restart_invocation(now, wf, inv),
                         // The master-side baseline has no partition to fall
                         // back on once in-place recovery fails.
-                        ScheduleMode::MasterSp => self.dead_letter_invocation(now, wf, inv),
+                        ScheduleMode::MasterSp => {
+                            self.dead_letter_invocation(now, wf, inv, DeadLetterReason::CrashOrphan)
+                        }
                     }
                 }
             }
@@ -1267,6 +1431,13 @@ impl Cluster {
                 epoch,
                 attempt,
             } => self.on_backpressure_retry(now, worker, wf, inv, function, epoch, attempt),
+            Event::EngineCrash { idx } => self.on_engine_crash(now, idx),
+            Event::EngineRestart {
+                target,
+                attempt,
+                era,
+            } => self.on_engine_restart(now, target, attempt, era),
+            Event::EngineRecovered { target, era } => self.on_engine_recovered(now, target, era),
         }
     }
 
@@ -1439,10 +1610,21 @@ impl Cluster {
             }
             ScheduleMode::MasterSp => {
                 self.invocations.insert((wf, inv), inv_state);
+                // Write-ahead: the admission is durable before the engine
+                // sees it, so an engine crash before the Begin drains still
+                // leaves a recoverable journal record.
+                self.journal_append_master(
+                    now,
+                    JournalRecord::Admitted {
+                        workflow: wf,
+                        invocation: inv,
+                    },
+                );
                 self.queue.schedule(
                     now,
                     Event::MasterArrive {
                         msg: MasterInbox::Begin { wf, inv },
+                        gen: self.master_engine_gen,
                     },
                 );
             }
@@ -1464,6 +1646,14 @@ impl Cluster {
         entry_workers.sort_unstable();
         entry_workers.dedup();
         for worker in entry_workers {
+            self.journal_append_worker(
+                now,
+                worker,
+                JournalRecord::Admitted {
+                    workflow: wf,
+                    invocation: inv,
+                },
+            );
             let node = self.config.worker_node(worker as u32);
             let delay = self.control_delay(256, ClusterConfig::MASTER_NODE, node);
             self.queue.schedule(
@@ -1526,11 +1716,23 @@ impl Cluster {
             .record((self.config.timeout.saturating_sub(critical)).as_millis_f64());
     }
 
-    fn on_exit_report(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+    fn on_exit_report(
+        &mut self,
+        now: SimTime,
+        wf: WorkflowId,
+        inv: InvocationId,
+        function: FunctionId,
+    ) {
         let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
             return;
         };
         if state.completed {
+            return;
+        }
+        if !state.reported_exits.insert(function) {
+            // Engine-crash replay re-emitted this exit's completion; the
+            // invocation's exit count must only move once per exit node.
+            self.recovery.duplicate_suppressions += 1;
             return;
         }
         state.exits_remaining = state.exits_remaining.saturating_sub(1);
@@ -1548,6 +1750,17 @@ impl Cluster {
         if let Some(ev) = state.timeout_event.take() {
             self.queue.cancel(ev);
         }
+        // Terminal outcomes are journaled gateway-side in both modes: the
+        // exactly-once guarantee is that each invocation gets one (and only
+        // one) Terminal record.
+        self.journal_append_master(
+            now,
+            JournalRecord::Terminal {
+                workflow: wf,
+                invocation: inv,
+                outcome: TerminalOutcome::Completed,
+            },
+        );
         self.tracer.record(|| TraceEvent::InvocationCompleted {
             workflow: wf,
             invocation: inv,
@@ -1633,11 +1846,20 @@ impl Cluster {
             return;
         };
         self.master_current = Some(msg);
-        self.queue
-            .schedule(now + self.config.master_task_cost, Event::MasterDone);
+        self.queue.schedule(
+            now + self.config.master_task_cost,
+            Event::MasterDone {
+                gen: self.master_engine_gen,
+            },
+        );
     }
 
-    fn on_master_done(&mut self, now: SimTime) {
+    fn on_master_done(&mut self, now: SimTime, gen: u64) {
+        if self.master_engine_down || gen != self.master_engine_gen {
+            // The engine crashed while this task was processing; the work
+            // (and the inbox slot it held) died with the volatile state.
+            return;
+        }
         self.master_busy_time += self.config.master_task_cost;
         let msg = self
             .master_current
@@ -1653,7 +1875,19 @@ impl Cluster {
             }
             MasterInbox::StateReturn { wf, inv, function } => {
                 if self.invocation_alive(wf, inv) {
-                    self.master_engine.on_state_return(wf, inv, function)
+                    let was_done = self.master_engine.node_done(wf, inv, function);
+                    let actions = self.master_engine.on_state_return(wf, inv, function);
+                    if !was_done && self.master_engine.node_done(wf, inv, function) {
+                        self.journal_append_master(
+                            now,
+                            JournalRecord::NodeDone {
+                                workflow: wf,
+                                invocation: inv,
+                                function,
+                            },
+                        );
+                    }
+                    actions
                 } else {
                     Vec::new()
                 }
@@ -1708,6 +1942,14 @@ impl Cluster {
                         .config
                         .worker_index(worker)
                         .expect("assignments target workers");
+                    self.journal_append_master(
+                        now,
+                        JournalRecord::Dispatched {
+                            workflow,
+                            invocation,
+                            function,
+                        },
+                    );
                     let delay = self.control_delay(512, ClusterConfig::MASTER_NODE, worker);
                     self.queue.schedule(
                         now + delay,
@@ -1722,10 +1964,10 @@ impl Cluster {
                 MasterAction::ExitComplete {
                     workflow,
                     invocation,
-                    ..
+                    function,
                 } => {
                     // The master engine is co-located with the client.
-                    self.on_exit_report(now, workflow, invocation);
+                    self.on_exit_report(now, workflow, invocation, function);
                 }
             }
         }
@@ -1761,6 +2003,15 @@ impl Cluster {
                             },
                         );
                     } else {
+                        self.journal_append_worker(
+                            now,
+                            worker,
+                            JournalRecord::Dispatched {
+                                workflow,
+                                invocation,
+                                function,
+                            },
+                        );
                         self.spawn_instances(now, worker, workflow, invocation, function);
                     }
                 }
@@ -1770,6 +2021,15 @@ impl Cluster {
                     invocation,
                     completed,
                 } => {
+                    self.journal_append_worker(
+                        now,
+                        worker,
+                        JournalRecord::StateSynced {
+                            workflow,
+                            invocation,
+                            function: completed,
+                        },
+                    );
                     let from = self.config.worker_node(worker as u32);
                     self.tracer.record(|| TraceEvent::StateSyncSent {
                         from,
@@ -1800,7 +2060,7 @@ impl Cluster {
                 WorkerAction::ExitComplete {
                     workflow,
                     invocation,
-                    ..
+                    function,
                 } => {
                     let epoch = self
                         .invocations
@@ -1815,6 +2075,7 @@ impl Cluster {
                             wf: workflow,
                             inv: invocation,
                             epoch,
+                            function,
                         },
                     );
                 }
@@ -1899,6 +2160,7 @@ impl Cluster {
                             epoch,
                             attempt,
                         },
+                        gen: self.master_engine_gen,
                     },
                 );
             }
@@ -1944,7 +2206,7 @@ impl Cluster {
                     self.faults.crash_redispatches += 1;
                     self.spawn_instances_now(now, target, wf, inv, function);
                 } else {
-                    self.dead_letter_invocation(now, wf, inv);
+                    self.dead_letter_invocation(now, wf, inv, DeadLetterReason::CrashOrphan);
                 }
             } else {
                 self.spooled_assigns[worker].push((wf, inv, function));
@@ -1966,6 +2228,12 @@ impl Cluster {
             return;
         };
         if state.completed {
+            return;
+        }
+        if !state.dispatched.insert(function) {
+            // Engine-crash replay re-issued a dispatch that already landed;
+            // spawning twice would double-run (and double-count) the node.
+            self.recovery.duplicate_suppressions += 1;
             return;
         }
         let epoch = state.epoch;
@@ -2142,6 +2410,7 @@ impl Cluster {
                 retries: 0,
                 seq,
                 exec_done: false,
+                exec_started: now,
             },
         );
         let worker_node = self.config.worker_node(worker as u32);
@@ -2223,12 +2492,16 @@ impl Cluster {
     }
 
     fn start_exec(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
-        let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
+        let Some(state) = self
+            .invocations
+            .get_mut(&(token.workflow, token.invocation))
+        else {
             return;
         };
-        let Some(inst) = state.instances.get(&token) else {
+        let Some(inst) = state.instances.get_mut(&token) else {
             return;
         };
+        inst.exec_started = now;
         let seq = inst.seq;
         let attempt = inst.retries;
         let exec = match &state.dag.node(token.function).kind {
@@ -2253,8 +2526,20 @@ impl Cluster {
         // warm locally and the failure was transient, not a straggler).
         if let Some(h) = self.config.overload.hedge {
             if attempt == 0 && self.config.workers > 1 && !self.hedges.contains_key(&token) {
+                // Adaptive delay: the per-function P² latency quantile once
+                // warmed up, the configured fixed delay before that.
+                let delay = match h.adaptive {
+                    Some(a) => self
+                        .hedge_estimators
+                        .get(&(token.workflow, token.function))
+                        .filter(|e| e.count() >= u64::from(a.warmup))
+                        .and_then(|e| e.estimate())
+                        .map(SimDuration::from_secs_f64)
+                        .unwrap_or(h.delay),
+                    None => h.delay,
+                };
                 self.queue
-                    .schedule(now + h.delay, Event::HedgeFire { worker, token, seq });
+                    .schedule(now + delay, Event::HedgeFire { worker, token, seq });
             }
         }
     }
@@ -2309,8 +2594,29 @@ impl Cluster {
                 return;
             }
             if self.config.fault.dead_letter_on_exhaustion {
-                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                self.dead_letter_invocation(
+                    now,
+                    token.workflow,
+                    token.invocation,
+                    DeadLetterReason::RetriesExhausted,
+                );
                 return;
+            }
+        }
+        // Adaptive hedge: sample the successful attempt's compute latency
+        // into the per-function quantile estimator. Gated on the config so
+        // fixed-delay runs never touch the estimator map.
+        if let Some(a) = self.config.overload.hedge.and_then(|h| h.adaptive) {
+            if let Some(inst) = self
+                .invocations
+                .get(&(token.workflow, token.invocation))
+                .and_then(|s| s.instances.get(&token))
+            {
+                let secs = (now - inst.exec_started).as_secs_f64();
+                self.hedge_estimators
+                    .entry((token.workflow, token.function))
+                    .or_insert_with(|| P2Quantile::new(a.quantile))
+                    .observe(secs);
             }
         }
         self.exec_success(now, worker, token);
@@ -2815,6 +3121,7 @@ impl Cluster {
                     Event::WorkerInstanceDone {
                         worker: home,
                         token,
+                        gen: self.worker_engine_gen[home],
                     },
                 );
             }
@@ -2829,6 +3136,7 @@ impl Cluster {
                             inv: token.invocation,
                             function: token.function,
                         },
+                        gen: self.master_engine_gen,
                     },
                 );
             }
@@ -2882,9 +3190,20 @@ impl Cluster {
         self.track_utilization(now, w);
         // In-memory store contents are gone with the node.
         let _ = self.faastores[w].crash();
-        // WorkerSP: the engine process dies too.
+        // WorkerSP: the engine process dies too. Node-crash recovery is the
+        // partition-level path (lease expiry → redeploy → epoch-bump
+        // restarts), not journal replay — but in-flight journal appends
+        // from the dying engine are torn, and if an injected engine crash
+        // already had the engine down, its pending restart chain is now
+        // moot: bump the era to fence it (the node restart, if any, brings
+        // the engine back).
         if self.config.mode == ScheduleMode::WorkerSp {
             self.worker_engines[w] = WorkerEngine::new(node);
+            self.reinstall_worker_engine(w);
+            let _torn = self.worker_journals[w].crash(now);
+            if self.worker_engine_down[w] {
+                self.worker_engine_era[w] += 1;
+            }
         }
         // Orphan every instance the node was running, booting, or queueing.
         let mut orphaned = std::mem::take(&mut self.scratch.tokens);
@@ -2972,6 +3291,16 @@ impl Cluster {
         });
         if self.config.mode == ScheduleMode::WorkerSp {
             self.redeploy_all();
+            // The node restart brings the engine process back with it.
+            if self.worker_engine_down[w] {
+                self.worker_engine_down[w] = false;
+                self.worker_engine_gen[w] += 1;
+                self.worker_engine_era[w] += 1;
+                self.worker_journal_unreadable[w] = false;
+                self.recovery.engine_recoveries += 1;
+                self.recovery.engine_downtime_secs +=
+                    (now - self.worker_down_since[w]).as_secs_f64();
+            }
         }
         // MasterSP: assignments that arrived while the node was dead but
         // undetected replay locally on the reborn node.
@@ -3024,7 +3353,7 @@ impl Cluster {
             }
             state.recovery_attempts += 1;
             if state.recovery_attempts > self.config.fault.max_recovery_attempts {
-                self.dead_letter_invocation(now, wf, inv);
+                self.dead_letter_invocation(now, wf, inv, DeadLetterReason::RetriesExhausted);
             }
         }
         invs.clear();
@@ -3041,7 +3370,12 @@ impl Cluster {
                 continue;
             }
             let Some(target) = self.pick_alive_worker(w) else {
-                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                self.dead_letter_invocation(
+                    now,
+                    token.workflow,
+                    token.invocation,
+                    DeadLetterReason::CrashOrphan,
+                );
                 continue;
             };
             self.faults.crash_redispatches += 1;
@@ -3057,7 +3391,7 @@ impl Cluster {
                 continue;
             }
             let Some(target) = self.pick_alive_worker(w) else {
-                self.dead_letter_invocation(now, wf, inv);
+                self.dead_letter_invocation(now, wf, inv, DeadLetterReason::CrashOrphan);
                 continue;
             };
             self.faults.crash_redispatches += 1;
@@ -3119,6 +3453,423 @@ impl Cluster {
         self.scratch.wf_ids = wfs;
     }
 
+    // ==================================================================
+    // Engine crash injection & journaled recovery
+    // ==================================================================
+
+    /// Write-ahead append to the gateway/master journal, exposed to the
+    /// remote store's fault state: a blackout loses the append outright, a
+    /// brownout stretches its time-to-durable.
+    fn journal_append_master(&mut self, now: SimTime, rec: JournalRecord) {
+        if !self.master_journal.enabled() {
+            return;
+        }
+        if self.storage_down {
+            self.master_journal.append_lost();
+        } else {
+            self.master_journal.append(now, self.storage_slowdown, rec);
+        }
+    }
+
+    /// Write-ahead append to one worker engine's journal (WorkerSP).
+    fn journal_append_worker(&mut self, now: SimTime, w: usize, rec: JournalRecord) {
+        if !self.worker_journals[w].enabled() {
+            return;
+        }
+        if self.storage_down {
+            self.worker_journals[w].append_lost();
+        } else {
+            self.worker_journals[w].append(now, self.storage_slowdown, rec);
+        }
+    }
+
+    /// Re-registers every workflow's current deployment on a freshly wiped
+    /// central engine. Workflow contexts are control-plane config (re-read
+    /// at boot); only the per-invocation trigger trackers are volatile.
+    fn reinstall_master_engine(&mut self) {
+        let mut wfs: Vec<WorkflowId> = self.workflows.keys().copied().collect();
+        wfs.sort_unstable();
+        for wf in wfs {
+            let ws = &self.workflows[&wf];
+            let Some((version, _)) = ws.deployment.current() else {
+                continue;
+            };
+            let assignment = ws
+                .deployment
+                .assignment_arc(version)
+                .expect("current version has an assignment");
+            let dag = ws.dag_arc.clone();
+            let seed = ws.arm_seed;
+            self.master_engine.install(wf, dag, assignment, seed);
+        }
+    }
+
+    /// Worker-engine counterpart of [`Self::reinstall_master_engine`].
+    fn reinstall_worker_engine(&mut self, w: usize) {
+        let mut wfs: Vec<WorkflowId> = self.workflows.keys().copied().collect();
+        wfs.sort_unstable();
+        for wf in wfs {
+            let ws = &self.workflows[&wf];
+            let Some((version, _)) = ws.deployment.current() else {
+                continue;
+            };
+            let assignment = ws
+                .deployment
+                .assignment_arc(version)
+                .expect("current version has an assignment");
+            let dag = ws.dag_arc.clone();
+            let seed = ws.arm_seed;
+            self.worker_engines[w].install(wf, dag, assignment, seed);
+        }
+    }
+
+    /// Fault plan: a scheduling engine process dies. Volatile state — the
+    /// trigger trackers, and for the master its inbox and in-service task —
+    /// vanishes; in-flight journal appends that never became durable are
+    /// torn. The node itself stays up: executing containers keep running
+    /// and their completions keep updating cluster-side ground truth (they
+    /// just can't reach the dead engine).
+    fn on_engine_crash(&mut self, now: SimTime, idx: usize) {
+        let crash = self.config.fault.engine_crashes[idx];
+        match crash.target {
+            EngineTarget::Master => {
+                if self.master_engine_down {
+                    return; // overlapping outages collapse into one
+                }
+                self.recovery.engine_crashes += 1;
+                self.recovery.master_engine_crashes += 1;
+                self.master_engine_down = true;
+                self.master_down_since = now;
+                self.master_engine_era += 1;
+                let era = self.master_engine_era;
+                self.master_inbox.clear();
+                self.master_current = None;
+                self.master_engine = MasterEngine::new();
+                self.reinstall_master_engine();
+                let _torn = self.master_journal.crash(now);
+                self.tracer.record(|| TraceEvent::EngineCrashed {
+                    worker: None,
+                    at: now,
+                });
+                self.queue.schedule(
+                    now + crash.restart_after,
+                    Event::EngineRestart {
+                        target: None,
+                        attempt: 0,
+                        era,
+                    },
+                );
+            }
+            EngineTarget::Worker(w) => {
+                let w = w as usize;
+                if self.worker_engine_down[w] || !self.worker_alive[w] {
+                    return; // already down, or the whole node is dead
+                }
+                self.recovery.engine_crashes += 1;
+                self.recovery.worker_engine_crashes += 1;
+                self.worker_engine_down[w] = true;
+                self.worker_down_since[w] = now;
+                self.worker_engine_era[w] += 1;
+                let era = self.worker_engine_era[w];
+                let node = self.config.worker_node(w as u32);
+                self.worker_engines[w] = WorkerEngine::new(node);
+                self.reinstall_worker_engine(w);
+                let _torn = self.worker_journals[w].crash(now);
+                self.tracer.record(|| TraceEvent::EngineCrashed {
+                    worker: Some(node),
+                    at: now,
+                });
+                self.queue.schedule(
+                    now + crash.restart_after,
+                    Event::EngineRestart {
+                        target: Some(w),
+                        attempt: 0,
+                        era,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The crashed engine process comes back up and tries to read its
+    /// journal. A blacked-out journal store pushes the replay into backoff
+    /// (bounded by the plan's retry budget, after which the engine boots
+    /// journal-blind); otherwise replay costs time proportional to the
+    /// durable log. `era` fences chains orphaned by a second crash.
+    fn on_engine_restart(&mut self, now: SimTime, target: Option<usize>, attempt: u32, era: u32) {
+        match target {
+            None => {
+                if !self.master_engine_down || era != self.master_engine_era {
+                    return;
+                }
+                if self.master_journal.enabled() && self.storage_down {
+                    if attempt >= self.config.fault.backoff.max_attempts {
+                        self.master_journal_unreadable = true;
+                    } else {
+                        self.recovery.replay_backoffs += 1;
+                        let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);
+                        self.queue.schedule(
+                            now + delay,
+                            Event::EngineRestart {
+                                target,
+                                attempt: attempt + 1,
+                                era,
+                            },
+                        );
+                        return;
+                    }
+                }
+                let cost = if self.master_journal.enabled() && !self.master_journal_unreadable {
+                    self.master_journal.begin_replay(self.storage_slowdown)
+                } else {
+                    SimDuration::ZERO
+                };
+                self.queue
+                    .schedule(now + cost, Event::EngineRecovered { target, era });
+            }
+            Some(w) => {
+                if !self.worker_engine_down[w]
+                    || era != self.worker_engine_era[w]
+                    || !self.worker_alive[w]
+                {
+                    return;
+                }
+                if self.worker_journals[w].enabled() && self.storage_down {
+                    if attempt >= self.config.fault.backoff.max_attempts {
+                        self.worker_journal_unreadable[w] = true;
+                    } else {
+                        self.recovery.replay_backoffs += 1;
+                        let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);
+                        self.queue.schedule(
+                            now + delay,
+                            Event::EngineRestart {
+                                target,
+                                attempt: attempt + 1,
+                                era,
+                            },
+                        );
+                        return;
+                    }
+                }
+                let cost =
+                    if self.worker_journals[w].enabled() && !self.worker_journal_unreadable[w] {
+                        self.worker_journals[w].begin_replay(self.storage_slowdown)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                self.queue
+                    .schedule(now + cost, Event::EngineRecovered { target, era });
+            }
+        }
+    }
+
+    /// Replay finished: the engine rejoins under a bumped generation (so
+    /// completion messages sent to the previous incarnation are fenced) and
+    /// reconciles every live invocation.
+    fn on_engine_recovered(&mut self, now: SimTime, target: Option<usize>, era: u32) {
+        match target {
+            None => {
+                if !self.master_engine_down || era != self.master_engine_era {
+                    return;
+                }
+                self.master_engine_down = false;
+                self.master_engine_gen += 1;
+                self.recovery.engine_recoveries += 1;
+                self.recovery.engine_downtime_secs += (now - self.master_down_since).as_secs_f64();
+                let replayed = if self.master_journal.enabled() && !self.master_journal_unreadable {
+                    self.master_journal.durable_len() as u64
+                } else {
+                    0
+                };
+                self.tracer.record(|| TraceEvent::EngineRecovered {
+                    worker: None,
+                    replayed,
+                    at: now,
+                });
+                self.recover_master_engine(now);
+                self.master_journal_unreadable = false;
+            }
+            Some(w) => {
+                if !self.worker_engine_down[w]
+                    || era != self.worker_engine_era[w]
+                    || !self.worker_alive[w]
+                {
+                    return;
+                }
+                self.worker_engine_down[w] = false;
+                self.worker_engine_gen[w] += 1;
+                self.recovery.engine_recoveries += 1;
+                self.recovery.engine_downtime_secs +=
+                    (now - self.worker_down_since[w]).as_secs_f64();
+                let node = self.config.worker_node(w as u32);
+                let replayed =
+                    if self.worker_journals[w].enabled() && !self.worker_journal_unreadable[w] {
+                        self.worker_journals[w].durable_len() as u64
+                    } else {
+                        0
+                    };
+                self.tracer.record(|| TraceEvent::EngineRecovered {
+                    worker: Some(node),
+                    replayed,
+                    at: now,
+                });
+                self.recover_worker_engine(now, w);
+                self.worker_journal_unreadable[w] = false;
+            }
+        }
+    }
+
+    /// Post-recovery reconciliation for the central engine. For each live
+    /// invocation: if neither cluster-visible progress nor a durable
+    /// journal record witnesses it, its `Begin` died in the volatile inbox
+    /// — dead-letter it (exactly one terminal outcome). Otherwise rebuild
+    /// the trigger tracker from worker-reported ground truth
+    /// (`completed_nodes` / `instances_remaining` already reflect every
+    /// completion, including those whose report messages are still in
+    /// flight and will be generation-fenced) and re-issue dispatches; the
+    /// receiver-side `dispatched` / `reported_exits` sets suppress
+    /// anything that already landed, so nothing runs or counts twice.
+    fn recover_master_engine(&mut self, now: SimTime) {
+        let mut keys: Vec<(WorkflowId, InvocationId)> = self.invocations.keys().copied().collect();
+        keys.sort_unstable();
+        let journal_on = self.master_journal.enabled();
+        let readable = journal_on && !self.master_journal_unreadable;
+        for (wf, inv) in keys {
+            let Some(state) = self.invocations.get(&(wf, inv)) else {
+                continue;
+            };
+            if state.completed {
+                continue;
+            }
+            let progress = !state.instances.is_empty()
+                || !state.completed_nodes.is_empty()
+                || !state.instances_remaining.is_empty()
+                || !state.dispatched.is_empty();
+            let mentioned = readable && self.master_journal.mentions(wf, inv);
+            if !progress && !mentioned {
+                let reason = if journal_on && self.master_journal_unreadable {
+                    DeadLetterReason::JournalUnrecoverable
+                } else {
+                    DeadLetterReason::CrashOrphan
+                };
+                self.dead_letter_invocation(now, wf, inv, reason);
+                continue;
+            }
+            let state = &self.invocations[&(wf, inv)];
+            let mut completed: Vec<FunctionId> = state.completed_nodes.iter().copied().collect();
+            completed.sort_unstable();
+            let mut inflight: Vec<(FunctionId, u32)> = Vec::new();
+            for (&f, &remaining) in &state.instances_remaining {
+                if remaining > 0 && !state.completed_nodes.contains(&f) {
+                    let parallelism = state.dag.node(f).parallelism.max(1);
+                    inflight.push((f, parallelism - remaining));
+                }
+            }
+            inflight.sort_unstable();
+            let already_propagated: Vec<FunctionId> = completed
+                .iter()
+                .copied()
+                .filter(|&f| readable && self.master_journal.node_done_recorded(wf, inv, f))
+                .collect();
+            let actions = self.master_engine.replay_invocation(
+                wf,
+                inv,
+                &completed,
+                &already_propagated,
+                &inflight,
+            );
+            self.apply_master_actions(now, actions);
+        }
+    }
+
+    /// Post-recovery reconciliation for one worker engine (WorkerSP). Only
+    /// invocations whose pinned assignment routes work to this worker are
+    /// considered, and the no-evidence dead-letter applies only when this
+    /// worker hosts an entry node — a begun-elsewhere invocation with its
+    /// `Begin` still in flight to a healthy peer must not be killed by an
+    /// uninvolved engine's sweep.
+    fn recover_worker_engine(&mut self, now: SimTime, w: usize) {
+        let node = self.config.worker_node(w as u32);
+        let journal_on = self.worker_journals[w].enabled();
+        let readable = journal_on && !self.worker_journal_unreadable[w];
+        let mut keys: Vec<(WorkflowId, InvocationId)> = self.invocations.keys().copied().collect();
+        keys.sort_unstable();
+        for (wf, inv) in keys {
+            let Some(state) = self.invocations.get(&(wf, inv)) else {
+                continue;
+            };
+            // Route by the *installed* deployment, not the invocation's
+            // pinned assignment: the replaying engine was reinstalled with
+            // the current version, and its replay actions follow it — a
+            // sweep judging involvement by a stale pin would skip (or
+            // kill) invocations the engine actually schedules.
+            let Some((_, assignment)) = self
+                .workflows
+                .get(&wf)
+                .and_then(|ws| ws.deployment.current())
+            else {
+                continue;
+            };
+            if state.completed || !assignment.involves(node) {
+                continue;
+            }
+            let progress = !state.instances.is_empty()
+                || !state.completed_nodes.is_empty()
+                || !state.instances_remaining.is_empty()
+                || !state.dispatched.is_empty();
+            let mentioned = readable && self.worker_journals[w].mentions(wf, inv);
+            if !progress && !mentioned {
+                let hosts_entry = state
+                    .dag
+                    .entry_nodes()
+                    .iter()
+                    .any(|&e| assignment.worker_of(e) == node);
+                if hosts_entry {
+                    let reason = if journal_on && self.worker_journal_unreadable[w] {
+                        DeadLetterReason::JournalUnrecoverable
+                    } else {
+                        DeadLetterReason::CrashOrphan
+                    };
+                    self.dead_letter_invocation(now, wf, inv, reason);
+                }
+                continue;
+            }
+            let state = &self.invocations[&(wf, inv)];
+            let assignment = self
+                .workflows
+                .get(&wf)
+                .and_then(|ws| ws.deployment.current())
+                .expect("checked above")
+                .1;
+            let mut completed: Vec<FunctionId> = state.completed_nodes.iter().copied().collect();
+            completed.sort_unstable();
+            let mut inflight: Vec<(FunctionId, u32)> = Vec::new();
+            for (&f, &remaining) in &state.instances_remaining {
+                if remaining > 0
+                    && !state.completed_nodes.contains(&f)
+                    && assignment.worker_of(f) == node
+                {
+                    let parallelism = state.dag.node(f).parallelism.max(1);
+                    inflight.push((f, parallelism - remaining));
+                }
+            }
+            inflight.sort_unstable();
+            let already_propagated: Vec<FunctionId> = completed
+                .iter()
+                .copied()
+                .filter(|&f| readable && self.worker_journals[w].node_done_recorded(wf, inv, f))
+                .collect();
+            let actions = self.worker_engines[w].replay_invocation(
+                wf,
+                inv,
+                &completed,
+                &already_propagated,
+                &inflight,
+            );
+            self.apply_worker_actions(now, w, actions);
+        }
+    }
+
     /// Restarts one invocation from its entry nodes under a bumped epoch:
     /// all partial state (instances, flows, placements, store objects) is
     /// torn down and the invocation re-pins to the current deployment. The
@@ -3133,7 +3884,7 @@ impl Cluster {
         }
         state.recovery_attempts += 1;
         if state.recovery_attempts > self.config.fault.max_recovery_attempts {
-            self.dead_letter_invocation(now, wf, inv);
+            self.dead_letter_invocation(now, wf, inv, DeadLetterReason::RetriesExhausted);
             return;
         }
         state.epoch += 1;
@@ -3152,6 +3903,8 @@ impl Cluster {
         state.instances_remaining.clear();
         state.completed_nodes.clear();
         state.placements.clear();
+        state.dispatched.clear();
+        state.reported_exits.clear();
         state.exits_remaining = state.dag.exit_nodes().len();
         for &(_, inst) in &stale {
             if self.worker_alive[inst.worker] {
@@ -3197,7 +3950,7 @@ impl Cluster {
                 .unwrap_or(false)
         });
         if routes_dead {
-            self.dead_letter_invocation(now, wf, inv);
+            self.dead_letter_invocation(now, wf, inv, DeadLetterReason::CrashOrphan);
             return;
         }
         self.faults.crash_redispatches += 1;
@@ -3207,25 +3960,39 @@ impl Cluster {
     /// Abandons one invocation with explicit accounting: every resource it
     /// holds is torn down, the dead-letter counters tick, and a closed-loop
     /// client moves on to its next invocation.
-    fn dead_letter_invocation(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
-        self.abandon_invocation(now, wf, inv, None);
+    fn dead_letter_invocation(
+        &mut self,
+        now: SimTime,
+        wf: WorkflowId,
+        inv: InvocationId,
+        reason: DeadLetterReason,
+    ) {
+        self.abandon_invocation(now, wf, inv, None, reason);
     }
 
     /// Load-sheds one invocation: the same teardown as a dead letter, but
     /// accounted as an admission-control decision (`shed` counters, not
     /// fault counters) and traced against the overflowing worker.
     fn shed_invocation(&mut self, now: SimTime, worker: usize, wf: WorkflowId, inv: InvocationId) {
-        self.abandon_invocation(now, wf, inv, Some(worker));
+        self.abandon_invocation(
+            now,
+            wf,
+            inv,
+            Some(worker),
+            DeadLetterReason::RetriesExhausted,
+        );
     }
 
-    /// Common teardown for dead letters (`shed_on == None`) and load sheds
-    /// (`shed_on == Some(overflowing worker)`).
+    /// Common teardown for dead letters (`shed_on == None`, attributed to
+    /// `reason`) and load sheds (`shed_on == Some(overflowing worker)`,
+    /// `reason` ignored).
     fn abandon_invocation(
         &mut self,
         now: SimTime,
         wf: WorkflowId,
         inv: InvocationId,
         shed_on: Option<usize>,
+        reason: DeadLetterReason,
     ) {
         let Some(mut state) = self.invocations.remove(&(wf, inv)) else {
             return;
@@ -3237,6 +4004,23 @@ impl Cluster {
         match shed_on {
             None => {
                 self.faults.dead_letters += 1;
+                match reason {
+                    DeadLetterReason::RetriesExhausted => {
+                        self.faults.dead_letter_retries_exhausted += 1
+                    }
+                    DeadLetterReason::CrashOrphan => self.faults.dead_letter_crash_orphan += 1,
+                    DeadLetterReason::JournalUnrecoverable => {
+                        self.faults.dead_letter_journal_unrecoverable += 1
+                    }
+                }
+                self.journal_append_master(
+                    now,
+                    JournalRecord::Terminal {
+                        workflow: wf,
+                        invocation: inv,
+                        outcome: TerminalOutcome::DeadLettered,
+                    },
+                );
                 self.metrics
                     .get_mut(&wf)
                     .expect("metrics exist")
@@ -3249,6 +4033,14 @@ impl Cluster {
             }
             Some(w) => {
                 self.overload.shed += 1;
+                self.journal_append_master(
+                    now,
+                    JournalRecord::Terminal {
+                        workflow: wf,
+                        invocation: inv,
+                        outcome: TerminalOutcome::Shed,
+                    },
+                );
                 self.metrics.get_mut(&wf).expect("metrics exist").shed += 1;
                 let node = self.config.worker_node(w as u32);
                 self.tracer.record(|| TraceEvent::InvocationShed {
@@ -3432,7 +4224,12 @@ impl Cluster {
                 }
             }
             if attempt >= self.config.fault.backoff.max_attempts {
-                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                self.dead_letter_invocation(
+                    now,
+                    token.workflow,
+                    token.invocation,
+                    DeadLetterReason::RetriesExhausted,
+                );
                 return;
             }
             let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);
@@ -3523,7 +4320,12 @@ impl Cluster {
                 }
             }
             if attempt >= self.config.fault.backoff.max_attempts {
-                self.dead_letter_invocation(now, token.workflow, token.invocation);
+                self.dead_letter_invocation(
+                    now,
+                    token.workflow,
+                    token.invocation,
+                    DeadLetterReason::RetriesExhausted,
+                );
                 return;
             }
             let delay = self.config.fault.backoff.delay(attempt, &mut self.rng);

@@ -11,7 +11,8 @@ use faasflow_sim::{NodeId, SimDuration};
 use faasflow_store::RemoteStoreConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::fault::FaultPlan;
+use crate::fault::{EngineTarget, FaultPlan};
+use crate::journal::JournalConfig;
 use crate::overload::OverloadConfig;
 
 /// How FaaStore takes memory back from containers (§4.3.2).
@@ -149,6 +150,9 @@ pub struct ClusterConfig {
     /// breaker, hedged exec retries and pool backpressure. All off by
     /// default (runs are then bit-identical to pre-overload builds).
     pub overload: OverloadConfig,
+    /// Engine write-ahead journaling for crash recovery. Off by default
+    /// (runs are then bit-identical to pre-journal builds).
+    pub journal: JournalConfig,
 }
 
 impl Default for ClusterConfig {
@@ -182,6 +186,7 @@ impl Default for ClusterConfig {
             partition_capacity: 12,
             fault: FaultPlan::default(),
             overload: OverloadConfig::default(),
+            journal: JournalConfig::default(),
         }
     }
 }
@@ -258,6 +263,21 @@ impl ClusterConfig {
             }
         }
         self.fault.validate(self.workers)?;
+        for e in &self.fault.engine_crashes {
+            match (e.target, self.mode) {
+                (EngineTarget::Master, ScheduleMode::WorkerSp) => {
+                    return Err(
+                        "engine crash targets the central engine but WorkerSP has none".to_string(),
+                    );
+                }
+                (EngineTarget::Worker(w), ScheduleMode::MasterSp) => {
+                    return Err(format!(
+                        "engine crash targets worker engine {w} but MasterSP has no worker engines"
+                    ));
+                }
+                _ => {}
+            }
+        }
         self.overload.validate(self.timeout, self.qos_target)?;
         if self.mode == ScheduleMode::MasterSp && self.faastore {
             return Err(
@@ -389,6 +409,7 @@ mod tests {
             overload: OverloadConfig {
                 hedge: Some(HedgeConfig {
                     delay: SimDuration::from_secs(60),
+                    ..HedgeConfig::default()
                 }),
                 ..OverloadConfig::default()
             },
@@ -399,12 +420,50 @@ mod tests {
             overload: OverloadConfig {
                 hedge: Some(HedgeConfig {
                     delay: SimDuration::ZERO,
+                    ..HedgeConfig::default()
                 }),
                 ..OverloadConfig::default()
             },
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn engine_crash_targets_must_match_the_mode() {
+        use crate::fault::{EngineCrash, EngineTarget};
+        let mut fault = FaultPlan::default();
+        fault.engine_crashes.push(EngineCrash {
+            target: EngineTarget::Master,
+            at: SimDuration::from_secs(1),
+            restart_after: SimDuration::from_secs(1),
+        });
+        let c = ClusterConfig {
+            fault: fault.clone(),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("WorkerSP"));
+        let c = ClusterConfig {
+            mode: ScheduleMode::MasterSp,
+            faastore: false,
+            fault,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_ok());
+
+        let mut fault = FaultPlan::default();
+        fault.engine_crashes.push(EngineCrash {
+            target: EngineTarget::Worker(0),
+            at: SimDuration::from_secs(1),
+            restart_after: SimDuration::ZERO,
+        });
+        let c = ClusterConfig {
+            mode: ScheduleMode::MasterSp,
+            faastore: false,
+            fault,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("MasterSP"));
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`NetFault`] — a worker's link degrades for a window: engine messages
 //!   to/from it are lost with some probability (and retransmitted with
 //!   backoff), latencies stretch, and bulk-transfer bandwidth shrinks.
+//! * [`EngineCrash`] — a *scheduling engine* (the MasterSP central engine
+//!   or one WorkerSP per-worker engine) dies and restarts after a delay.
+//!   The node underneath keeps running — containers finish their work —
+//!   but the engine's volatile trigger state and message queue are lost
+//!   and must be rebuilt from its journal plus worker-reported progress.
 
 use faasflow_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
@@ -76,6 +81,47 @@ pub struct NetFault {
     pub latency_factor: f64,
     /// Multiplier in `(0, 1]` on the worker's NIC bandwidth for the window.
     pub bandwidth_factor: f64,
+}
+
+/// Which scheduling engine an [`EngineCrash`] kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineTarget {
+    /// The central engine on the storage/master node (MasterSP mode only).
+    Master,
+    /// The per-worker engine on worker index `0..workers` (WorkerSP only).
+    Worker(u32),
+}
+
+/// One scheduling-engine crash (and restart).
+///
+/// Unlike [`NodeCrash`], the host node survives: running containers keep
+/// executing and report completions that the dead engine can no longer
+/// hear. On restart the engine replays its journal (if enabled), reconciles
+/// with cluster-visible progress, and re-dispatches only work that never
+/// durably completed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineCrash {
+    /// Which engine dies.
+    pub target: EngineTarget,
+    /// Simulated instant the engine process dies.
+    pub at: SimDuration,
+    /// Delay until the supervisor restarts the engine and recovery begins.
+    /// Zero means an immediate restart (state is still lost).
+    pub restart_after: SimDuration,
+}
+
+/// Why an invocation was dead-lettered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeadLetterReason {
+    /// A recovery/retry budget (exec retries, storage retries, crash
+    /// recovery attempts) was exhausted.
+    RetriesExhausted,
+    /// An engine crash orphaned the invocation: no journal record survived
+    /// and no worker-reported progress existed to rebuild it from.
+    CrashOrphan,
+    /// The engine's journal could not be read back during recovery (store
+    /// blacked out through every replay attempt).
+    JournalUnrecoverable,
 }
 
 /// Exponential backoff with full-range jitter, used for storage retries and
@@ -151,6 +197,8 @@ pub struct FaultPlan {
     pub storage_faults: Vec<StorageFault>,
     /// Per-worker link degradation windows.
     pub net_faults: Vec<NetFault>,
+    /// Scheduling-engine crashes (central or per-worker).
+    pub engine_crashes: Vec<EngineCrash>,
     /// Workers heartbeat the failure detector at this interval.
     pub heartbeat_interval: SimDuration,
     /// Missed heartbeats before a worker's lease expires and recovery
@@ -174,6 +222,7 @@ impl Default for FaultPlan {
             node_crashes: Vec::new(),
             storage_faults: Vec::new(),
             net_faults: Vec::new(),
+            engine_crashes: Vec::new(),
             heartbeat_interval: SimDuration::from_millis(500),
             lease_misses: 3,
             backoff: BackoffPolicy::default(),
@@ -186,7 +235,10 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// `true` when the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.node_crashes.is_empty() && self.storage_faults.is_empty() && self.net_faults.is_empty()
+        self.node_crashes.is_empty()
+            && self.storage_faults.is_empty()
+            && self.net_faults.is_empty()
+            && self.engine_crashes.is_empty()
     }
 
     /// Time from a crash to its lease expiring (recovery kicking in).
@@ -218,6 +270,15 @@ impl FaultPlan {
             if let StorageFaultKind::Brownout { slowdown } = s.kind {
                 if !(slowdown.is_finite() && slowdown >= 1.0) {
                     return Err(format!("brownout slowdown must be >= 1, got {slowdown}"));
+                }
+            }
+        }
+        for e in &self.engine_crashes {
+            if let EngineTarget::Worker(w) = e.target {
+                if w >= workers {
+                    return Err(format!(
+                        "engine crash targets worker {w} but the cluster has {workers}"
+                    ));
                 }
             }
         }
@@ -294,6 +355,15 @@ mod tests {
             kind: StorageFaultKind::Brownout { slowdown: 0.5 },
         });
         assert!(plan.validate(4).is_err());
+
+        let mut plan = FaultPlan::default();
+        plan.engine_crashes.push(EngineCrash {
+            target: EngineTarget::Worker(4),
+            at: SimDuration::from_secs(1),
+            restart_after: SimDuration::ZERO,
+        });
+        assert!(plan.validate(4).is_err());
+        assert!(!plan.is_empty(), "engine crashes make the plan non-empty");
     }
 
     #[test]

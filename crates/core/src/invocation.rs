@@ -52,6 +52,9 @@ pub(crate) struct InstanceState {
     /// The compute phase finished (output writes may still be in flight).
     /// A hedge arriving after this point has lost the race.
     pub exec_done: bool,
+    /// When the current compute attempt started (adaptive-hedge latency
+    /// sample; meaningless until the first `ExecStarted`).
+    pub exec_started: SimTime,
 }
 
 /// Cluster-side state of one in-flight invocation.
@@ -85,6 +88,14 @@ pub(crate) struct InvState {
     pub placements: HashMap<FunctionId, Placement>,
     /// Transfer accounting.
     pub ledger: TransferLedger,
+    /// Function nodes whose dispatch was already accepted (engine-crash
+    /// replay can re-issue `AssignTask`/`TriggerFunction`; the second copy
+    /// is a duplicate-suppression, not a second spawn).
+    pub dispatched: HashSet<FunctionId>,
+    /// Exit nodes whose completion report was already accepted (replay can
+    /// re-emit `ExitComplete`; exactly-once terminal accounting depends on
+    /// dropping the duplicates).
+    pub reported_exits: HashSet<FunctionId>,
     /// Current recovery epoch; bumped each time crash recovery restarts
     /// the invocation (stale-event fencing).
     pub epoch: u32,
@@ -115,6 +126,8 @@ impl InvState {
             instances: HashMap::new(),
             placements: HashMap::new(),
             ledger: TransferLedger::default(),
+            dispatched: HashSet::new(),
+            reported_exits: HashSet::new(),
             epoch: 0,
             recovery_attempts: 0,
         }

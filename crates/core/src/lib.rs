@@ -43,6 +43,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod invocation;
+pub mod journal;
 pub mod metrics;
 pub mod overload;
 pub mod sample;
@@ -51,15 +52,19 @@ pub mod trace;
 pub use cluster::Cluster;
 pub use config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 pub use error::ClusterError;
-pub use fault::{BackoffPolicy, FaultPlan, NetFault, NodeCrash, StorageFault, StorageFaultKind};
+pub use fault::{
+    BackoffPolicy, DeadLetterReason, EngineCrash, EngineTarget, FaultPlan, NetFault, NodeCrash,
+    StorageFault, StorageFaultKind,
+};
 pub use invocation::InstanceToken;
+pub use journal::{Journal, JournalConfig, JournalRecord, TerminalOutcome};
 pub use metrics::{
-    DistributionRow, EventTypeProfile, FaultReport, LoopProfile, OverloadReport, RunReport,
-    WorkerUtilization, WorkflowReport,
+    DistributionRow, EventTypeProfile, FaultReport, LoopProfile, OverloadReport, RecoveryReport,
+    RunReport, WorkerUtilization, WorkflowReport,
 };
 pub use overload::{
-    AdmissionConfig, BackpressureConfig, BreakerConfig, BreakerState, HedgeConfig, OverloadConfig,
-    ShedPolicy,
+    AdaptiveHedge, AdmissionConfig, BackpressureConfig, BreakerConfig, BreakerState, HedgeConfig,
+    OverloadConfig, P2Quantile, ShedPolicy,
 };
 pub use sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport};
 pub use trace::TraceEvent;

@@ -131,6 +131,9 @@ pub struct RunReport {
     /// Overload-protection accounting (all zero when the
     /// [`crate::OverloadConfig`] is empty).
     pub overload: OverloadReport,
+    /// Engine-crash recovery and journal accounting (all zero when the
+    /// plan schedules no engine crashes and journaling is off).
+    pub recovery: RecoveryReport,
     /// Trace events rejected by the `trace_capacity` cap (0 when tracing
     /// is off or the cap was never hit).
     pub trace_dropped: u64,
@@ -159,8 +162,51 @@ pub struct FaultReport {
     pub storage_backoff_waits: u64,
     /// Engine messages retransmitted over degraded links.
     pub message_retransmits: u64,
-    /// Invocations dead-lettered (recovery or retry budget exhausted).
+    /// Invocations dead-lettered (sum of the per-reason counters below).
     pub dead_letters: u64,
+    /// Dead letters whose terminal cause was an exhausted retry/recovery
+    /// budget (exec retries, storage retries, crash-recovery attempts).
+    pub dead_letter_retries_exhausted: u64,
+    /// Dead letters orphaned by an engine crash: no surviving journal
+    /// record and no worker-reported progress to rebuild from.
+    pub dead_letter_crash_orphan: u64,
+    /// Dead letters caused by an unreadable journal at recovery (store
+    /// blacked out through every replay attempt).
+    pub dead_letter_journal_unrecoverable: u64,
+}
+
+/// What the engine-crash recovery subsystem did during a run: crash and
+/// restart counts, journal traffic, and the duplicate work that the
+/// exactly-once guards suppressed across crash/replay/hedge interleavings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Engine crashes injected (central + per-worker).
+    pub engine_crashes: u64,
+    /// Central (MasterSP) engine crashes among them.
+    pub master_engine_crashes: u64,
+    /// Per-worker (WorkerSP) engine crashes among them.
+    pub worker_engine_crashes: u64,
+    /// Engine restarts that completed recovery.
+    pub engine_recoveries: u64,
+    /// Journal records appended (including ones later torn off by crash).
+    pub journal_appends: u64,
+    /// Journal appends lost: dropped at a blacked-out store or torn off by
+    /// a crash before they were durable.
+    pub journal_lost_appends: u64,
+    /// Journal replay passes performed at engine restart.
+    pub journal_replays: u64,
+    /// Durable records read back across all replay passes.
+    pub journal_replayed_records: u64,
+    /// Replay attempts deferred because the journal store was blacked out.
+    pub replay_backoffs: u64,
+    /// Control messages lost at a dead engine or fenced as stale after a
+    /// recovery rebuilt the engine's state.
+    pub messages_lost: u64,
+    /// Duplicate dispatches/exit-reports/syncs suppressed by the
+    /// exactly-once guards during and after replay.
+    pub duplicate_suppressions: u64,
+    /// Total simulated seconds any engine spent down (summed over crashes).
+    pub engine_downtime_secs: f64,
 }
 
 /// What the overload-protection subsystem did during a run. Terminal
@@ -354,6 +400,7 @@ mod tests {
             repartition_failures: 0,
             faults: FaultReport::default(),
             overload: OverloadReport::default(),
+            recovery: RecoveryReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -381,6 +428,7 @@ mod tests {
             repartition_failures: 0,
             faults: FaultReport::default(),
             overload: OverloadReport::default(),
+            recovery: RecoveryReport::default(),
             trace_dropped: 0,
             resources: None,
         };

@@ -259,6 +259,24 @@ pub enum TraceEvent {
         /// Instant.
         at: SimTime,
     },
+    /// A workflow engine crashed (fault injection), losing its volatile
+    /// trigger state: the central master engine (`worker: None`) or one
+    /// worker's engine (`worker: Some(w)`).
+    EngineCrashed {
+        /// The worker whose engine crashed; `None` for the master engine.
+        worker: Option<NodeId>,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A crashed engine finished journal replay and resumed service.
+    EngineRecovered {
+        /// The worker whose engine recovered; `None` for the master engine.
+        worker: Option<NodeId>,
+        /// Journal records replayed to rebuild state.
+        replayed: u64,
+        /// Instant.
+        at: SimTime,
+    },
     /// A hedged execution resolved: either the hedge or the primary won.
     HedgeResolved {
         /// Workflow.
@@ -297,6 +315,8 @@ impl TraceEvent {
             | TraceEvent::LeaseExpired { at, .. }
             | TraceEvent::InvocationShed { at, .. }
             | TraceEvent::BreakerTransition { at, .. }
+            | TraceEvent::EngineCrashed { at, .. }
+            | TraceEvent::EngineRecovered { at, .. }
             | TraceEvent::HedgeLaunched { at, .. }
             | TraceEvent::HedgeResolved { at, .. } => *at,
         }
@@ -384,7 +404,9 @@ impl TraceEvent {
             TraceEvent::WorkerCrashed { .. }
             | TraceEvent::WorkerRestarted { .. }
             | TraceEvent::LeaseExpired { .. }
-            | TraceEvent::BreakerTransition { .. } => None,
+            | TraceEvent::BreakerTransition { .. }
+            | TraceEvent::EngineCrashed { .. }
+            | TraceEvent::EngineRecovered { .. } => None,
         }
     }
 }
@@ -452,6 +474,16 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                 TraceEvent::BreakerTransition { from, to, .. } => {
                     format!("breaker {from:?} -> {to:?}")
                 }
+                TraceEvent::EngineCrashed { worker, .. } => match worker {
+                    Some(w) => format!("engine  crash on {w}"),
+                    None => "engine  crash (master)".to_string(),
+                },
+                TraceEvent::EngineRecovered {
+                    worker, replayed, ..
+                } => match worker {
+                    Some(w) => format!("engine  up on {w} ({replayed} replayed)"),
+                    None => format!("engine  up (master, {replayed} replayed)"),
+                },
                 _ => unreachable!("only node-scoped events lack an invocation"),
             };
             let _ = writeln!(out, "  {t:>9.2} ms  {line}");
@@ -563,7 +595,9 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             TraceEvent::WorkerCrashed { .. }
             | TraceEvent::WorkerRestarted { .. }
             | TraceEvent::LeaseExpired { .. }
-            | TraceEvent::BreakerTransition { .. } => {
+            | TraceEvent::BreakerTransition { .. }
+            | TraceEvent::EngineCrashed { .. }
+            | TraceEvent::EngineRecovered { .. } => {
                 unreachable!("node-scoped events are rendered in the cluster section")
             }
         };

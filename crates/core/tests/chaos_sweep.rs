@@ -23,9 +23,10 @@ use std::collections::HashMap;
 
 use faasflow_container::NodeCaps;
 use faasflow_core::{
-    AdmissionConfig, BackpressureConfig, BreakerConfig, ClientConfig, Cluster, ClusterConfig,
-    FaultPlan, HedgeConfig, NetFault, NodeCrash, OverloadConfig, RunReport, ScheduleMode,
-    ShedPolicy, StorageFault, StorageFaultKind, TraceEvent,
+    AdaptiveHedge, AdmissionConfig, BackpressureConfig, BreakerConfig, ClientConfig, Cluster,
+    ClusterConfig, EngineCrash, EngineTarget, FaultPlan, HedgeConfig, JournalConfig, NetFault,
+    NodeCrash, OverloadConfig, RunReport, ScheduleMode, ShedPolicy, StorageFault, StorageFaultKind,
+    TraceEvent,
 };
 use faasflow_sim::{SimDuration, SimRng};
 use faasflow_wdl::{FunctionProfile, Step, Workflow};
@@ -88,6 +89,30 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
             bandwidth_factor: rng.range_f64(0.3, 1.0),
         });
     }
+    // Engine crashes target whichever engine the mode actually schedules
+    // with; restart_after may be zero (instant restart).
+    let journal_enabled = rng.chance(0.6);
+    if rng.chance(0.5) {
+        let crashes = 1 + rng.next_below(2); // 1..=2
+        for _ in 0..crashes {
+            let target = match mode {
+                ScheduleMode::MasterSp => EngineTarget::Master,
+                ScheduleMode::WorkerSp => {
+                    EngineTarget::Worker(rng.next_below(u64::from(workers)) as u32)
+                }
+            };
+            fault.engine_crashes.push(EngineCrash {
+                target,
+                at: SimDuration::from_millis(300 + rng.next_below(4000)),
+                restart_after: SimDuration::from_millis(rng.next_below(3000)),
+            });
+        }
+    }
+    let journal = JournalConfig {
+        enabled: journal_enabled,
+        append_overhead: SimDuration::from_micros(500 + rng.next_below(4000)),
+        replay_overhead: SimDuration::from_micros(50 + rng.next_below(500)),
+    };
 
     let mut overload = OverloadConfig::default();
     if rng.chance(0.7) {
@@ -110,6 +135,14 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
     if rng.chance(0.5) {
         overload.hedge = Some(HedgeConfig {
             delay: SimDuration::from_millis(100 + rng.next_below(600)),
+            adaptive: if rng.chance(0.5) {
+                Some(AdaptiveHedge {
+                    quantile: rng.range_f64(0.5, 0.99),
+                    warmup: 5 + rng.next_below(10) as u32,
+                })
+            } else {
+                None
+            },
         });
     }
     if rng.chance(0.5) {
@@ -140,6 +173,7 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
         trace: true,
         fault,
         overload,
+        journal,
         ..ClusterConfig::default()
     };
 
@@ -167,13 +201,14 @@ fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
     if std::env::var_os("CHAOS_VERBOSE").is_some() {
         eprintln!(
             "seed {seed}: mode={:?} faastore={} workers={} cores={} fault={:?} overload={:?} \
-             exec_failure_rate={} invocations={invocations}",
+             journal={:?} exec_failure_rate={} invocations={invocations}",
             config.mode,
             config.faastore,
             config.workers,
             config.node_caps.cores,
             config.fault,
             config.overload,
+            config.journal,
             config.exec_failure_rate
         );
     }
@@ -188,6 +223,11 @@ fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
         .unwrap_or_else(|e| panic!("seed {seed}: register failed ({e}); {}", repro(seed)));
     cluster.run_until_idle();
     let trace = cluster.take_trace();
+    if std::env::var_os("CHAOS_TRACE").is_some() {
+        for ev in &trace {
+            eprintln!("seed {seed}: {ev:?}");
+        }
+    }
     (cluster.report(), trace)
 }
 
@@ -230,6 +270,31 @@ fn check_invariants(seed: u64, report: &RunReport, trace: &[TraceEvent]) {
         o.hedges_launched,
         o.hedge_wins + o.hedge_losses,
         "seed {seed}: unresolved hedges ({o:?}); {}",
+        repro(seed)
+    );
+    // Every dead letter carries exactly one attributed reason.
+    let f = &report.faults;
+    assert_eq!(
+        f.dead_letter_retries_exhausted
+            + f.dead_letter_crash_orphan
+            + f.dead_letter_journal_unrecoverable,
+        f.dead_letters,
+        "seed {seed}: dead-letter reasons don't sum ({f:?}); {}",
+        repro(seed)
+    );
+    // Engine crash/recovery accounting is consistent: the target split
+    // covers every crash, and no engine recovers more often than it
+    // crashed (a permanently dead worker may never bring its engine back).
+    let r = &report.recovery;
+    assert_eq!(
+        r.engine_crashes,
+        r.master_engine_crashes + r.worker_engine_crashes,
+        "seed {seed}: engine crash split doesn't sum ({r:?}); {}",
+        repro(seed)
+    );
+    assert!(
+        r.engine_recoveries <= r.engine_crashes,
+        "seed {seed}: more recoveries than crashes ({r:?}); {}",
         repro(seed)
     );
 

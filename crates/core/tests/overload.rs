@@ -71,6 +71,7 @@ fn zero_exec_retries_with_hedging_drains_cleanly() {
         overload: OverloadConfig {
             hedge: Some(HedgeConfig {
                 delay: SimDuration::from_millis(700),
+                adaptive: None,
             }),
             ..OverloadConfig::default()
         },

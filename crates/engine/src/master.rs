@@ -151,9 +151,10 @@ impl MasterEngine {
     /// Handles an execution-state return from a worker: one executor
     /// instance of `function` completed there.
     ///
-    /// # Panics
-    ///
-    /// Panics if the invocation is unknown.
+    /// An unknown invocation is ignored (returns no actions): after an
+    /// engine crash this engine comes back blank, and a state return for a
+    /// pre-crash invocation may still be in flight — the recovery layer
+    /// owns reconciling it.
     pub fn on_state_return(
         &mut self,
         workflow: WorkflowId,
@@ -161,10 +162,9 @@ impl MasterEngine {
         function: FunctionId,
     ) -> Vec<MasterAction> {
         self.stats.state_returns.inc();
-        let tracker = self
-            .invocations
-            .get_mut(&(workflow, invocation))
-            .expect("state return for unknown invocation");
+        let Some(tracker) = self.invocations.get_mut(&(workflow, invocation)) else {
+            return Vec::new();
+        };
         if !tracker.instance_done(function) {
             return Vec::new();
         }
@@ -174,6 +174,114 @@ impl MasterEngine {
     /// Drops the invocation's state.
     pub fn release_invocation(&mut self, workflow: WorkflowId, invocation: InvocationId) {
         self.invocations.remove(&(workflow, invocation));
+    }
+
+    /// Whether this engine has recorded `function` as fully completed for
+    /// the invocation (all state returns in).
+    pub fn node_done(
+        &self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        function: FunctionId,
+    ) -> bool {
+        self.invocations
+            .get(&(workflow, invocation))
+            .is_some_and(|t| t.is_done(function))
+    }
+
+    /// Crash recovery: rebuilds this invocation's tracker from durable
+    /// history and returns the actions needed to resume it.
+    ///
+    /// * `completed` — function nodes known to have fully completed
+    ///   (virtual nodes are re-derived inline, as in normal operation).
+    /// * `already_propagated` — completions whose downstream effects were
+    ///   durably journaled; their exit reports are not re-emitted.
+    /// * `inflight` — `(node, completions)` seeds for nodes still running,
+    ///   covering state returns lost while the engine was down.
+    ///
+    /// Emitted `AssignTask`/`ExitComplete` actions may duplicate pre-crash
+    /// ones; the runtime's dispatch and exit-report dedup drop those.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workflow was never installed.
+    pub fn replay_invocation(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        completed: &[FunctionId],
+        already_propagated: &[FunctionId],
+        inflight: &[(FunctionId, u32)],
+    ) -> Vec<MasterAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("replay on uninstalled workflow")
+            .clone();
+        let mut tracker = TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed);
+        // Mark every known completion up front so the cascades below can
+        // neither re-trigger nor re-complete them.
+        for &f in completed {
+            tracker.force_done(f);
+        }
+        self.invocations.insert((workflow, invocation), tracker);
+        let mut actions = Vec::new();
+        // Entry nodes that never completed re-trigger (virtual entries
+        // cascade inline through dispatch, as in normal operation).
+        let mut entry_triggered = Vec::new();
+        {
+            let tracker = self
+                .invocations
+                .get_mut(&(workflow, invocation))
+                .expect("tracker inserted above");
+            for entry in ctx.dag.entry_nodes() {
+                if tracker.force_trigger(entry) {
+                    entry_triggered.push(entry);
+                }
+            }
+        }
+        actions.extend(self.dispatch(workflow, invocation, entry_triggered));
+        // Re-run each completed node's downstream effects through the
+        // fresh tracker; virtual successors complete inline and cascade.
+        let mut worklist: Vec<FunctionId> = completed.to_vec();
+        let mut triggered = Vec::new();
+        while let Some(f) = worklist.pop() {
+            if !already_propagated.contains(&f) && ctx.dag.successors(f).is_empty() {
+                actions.push(MasterAction::ExitComplete {
+                    workflow,
+                    invocation,
+                    function: f,
+                });
+            }
+            let tracker = self
+                .invocations
+                .get_mut(&(workflow, invocation))
+                .expect("tracker alive during replay");
+            for s in tracker.successors_to_notify(f) {
+                let tracker = self
+                    .invocations
+                    .get_mut(&(workflow, invocation))
+                    .expect("tracker alive");
+                if tracker.predecessor_done(s) {
+                    if ctx.dag.node(s).kind.is_function() {
+                        triggered.push(s);
+                    } else if tracker.instance_done(s) {
+                        worklist.push(s);
+                    }
+                }
+            }
+        }
+        actions.extend(self.dispatch(workflow, invocation, triggered));
+        // Seed in-flight instance counts: state returns that were lost at
+        // the dead engine will never be re-sent.
+        let tracker = self
+            .invocations
+            .get_mut(&(workflow, invocation))
+            .expect("tracker alive after replay");
+        for &(f, done) in inflight {
+            tracker.set_instances_done(f, done);
+        }
+        actions
     }
 
     /// Processes a node completion: exit reporting and successor triggering.

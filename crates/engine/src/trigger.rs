@@ -22,6 +22,10 @@ struct NodeState {
     triggered: bool,
     done: bool,
     instances_done: u32,
+    /// This engine already processed the node's completion (propagated it
+    /// to successors / sent syncs). Receiver-side dedup: a duplicate sync
+    /// about an already-propagated node must not count a predecessor twice.
+    propagated: bool,
 }
 
 /// Per-invocation trigger state over one workflow DAG.
@@ -127,6 +131,49 @@ impl TriggerTracker {
         }
     }
 
+    /// Replay: marks `node` fully completed without the incremental
+    /// instance accounting — triggered, done, every instance counted.
+    /// Idempotent; used when rebuilding a tracker from durable history.
+    pub fn force_done(&mut self, node: FunctionId) {
+        let parallelism = self.dag.node(node).parallelism;
+        let st = self.states.entry(node).or_default();
+        st.triggered = true;
+        st.done = true;
+        st.instances_done = parallelism;
+    }
+
+    /// Replay: seeds the instance-completion count of an in-flight `node`
+    /// with completions the engine would otherwise never hear about again
+    /// (they were reported while the engine was down). Also marks the node
+    /// triggered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `done` exceeds the node's parallelism.
+    pub fn set_instances_done(&mut self, node: FunctionId, done: u32) {
+        let parallelism = self.dag.node(node).parallelism;
+        assert!(
+            done <= parallelism,
+            "seeding {done} instance completions on {node} with parallelism {parallelism}"
+        );
+        let st = self.states.entry(node).or_default();
+        st.triggered = true;
+        st.instances_done = done;
+    }
+
+    /// Marks `node`'s completion as processed by this engine (successor
+    /// propagation done). Returns `false` when it already was — the
+    /// duplicate-sync suppression signal.
+    pub fn mark_propagated(&mut self, node: FunctionId) -> bool {
+        let st = self.states.entry(node).or_default();
+        if st.propagated {
+            false
+        } else {
+            st.propagated = true;
+            true
+        }
+    }
+
     /// True once every instance of `node` completed.
     pub fn is_done(&self, node: FunctionId) -> bool {
         self.states.get(&node).map(|s| s.done).unwrap_or(false)
@@ -215,6 +262,42 @@ mod tests {
         let a = dag.nodes()[0].id;
         let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
         tr.instance_done(a);
+    }
+
+    #[test]
+    fn force_done_is_idempotent_and_counts_all_instances() {
+        let dag = parse(Step::foreach("fe", p(), 3));
+        let fe = dag.nodes().iter().find(|n| n.name == "fe").unwrap().id;
+        let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        tr.force_done(fe);
+        tr.force_done(fe);
+        assert!(tr.is_done(fe));
+        assert!(tr.is_triggered(fe));
+    }
+
+    #[test]
+    fn seeded_instances_resume_counting() {
+        let dag = parse(Step::foreach("fe", p(), 3));
+        let fe = dag.nodes().iter().find(|n| n.name == "fe").unwrap().id;
+        let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        tr.set_instances_done(fe, 2);
+        assert!(!tr.is_done(fe));
+        assert!(
+            tr.instance_done(fe),
+            "one live completion finishes the node"
+        );
+    }
+
+    #[test]
+    fn propagation_marks_deduplicate() {
+        let dag = parse(Step::task("a", p()));
+        let a = dag.nodes()[0].id;
+        let mut tr = TriggerTracker::new(dag, InvocationId::new(0), 1);
+        assert!(tr.mark_propagated(a));
+        assert!(
+            !tr.mark_propagated(a),
+            "second sync about `a` is a duplicate"
+        );
     }
 
     #[test]

@@ -196,6 +196,11 @@ impl WorkerEngine {
     /// Handles a state-sync message from a remote engine: `completed` (a
     /// function hosted elsewhere) finished; update local successors.
     ///
+    /// A duplicate sync about a node whose completion this engine already
+    /// processed is ignored — crash recovery re-sends syncs whose durable
+    /// record was lost, and counting a predecessor twice would trigger
+    /// successors prematurely.
+    ///
     /// # Panics
     ///
     /// Panics if the workflow was never installed.
@@ -214,6 +219,9 @@ impl WorkerEngine {
             .invocations
             .entry((workflow, invocation))
             .or_insert_with(|| TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed));
+        if !tracker.mark_propagated(completed) {
+            return Vec::new();
+        }
         let mut actions = Vec::new();
         let successors = tracker.successors_to_notify(completed);
         for s in successors {
@@ -241,6 +249,119 @@ impl WorkerEngine {
     /// invocation").
     pub fn release_invocation(&mut self, workflow: WorkflowId, invocation: InvocationId) {
         self.invocations.remove(&(workflow, invocation));
+    }
+
+    /// Whether this engine has recorded `function` as fully completed for
+    /// the invocation (all instances done). Used by the journal layer to
+    /// decide when a `NodeDone` record should be appended.
+    pub fn node_done(
+        &self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        function: FunctionId,
+    ) -> bool {
+        self.invocations
+            .get(&(workflow, invocation))
+            .is_some_and(|t| t.is_done(function))
+    }
+
+    /// Crash recovery: rebuilds this invocation's tracker from durable
+    /// history and returns the actions needed to resume it.
+    ///
+    /// * `completed` — nodes known (cluster-wide) to have fully completed.
+    /// * `already_propagated` — the subset whose downstream effects this
+    ///   engine durably recorded (journaled `NodeDone`); their syncs and
+    ///   exit reports are *not* re-emitted. Unrecorded completions re-emit
+    ///   and rely on receiver-side dedup.
+    /// * `inflight` — `(node, completions)` seeds for nodes still running,
+    ///   covering completions reported while the engine was down.
+    ///
+    /// Emitted `TriggerFunction` actions may duplicate pre-crash
+    /// dispatches; the runtime's dispatch dedup drops those.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workflow was never installed.
+    pub fn replay_invocation(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        completed: &[FunctionId],
+        already_propagated: &[FunctionId],
+        inflight: &[(FunctionId, u32)],
+    ) -> Vec<WorkerAction> {
+        let ctx = self
+            .workflows
+            .get(&workflow)
+            .expect("replay on uninstalled workflow")
+            .clone();
+        let mut tracker = TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed);
+        // Mark every known completion up front so the cascade below can
+        // neither re-trigger nor re-complete them.
+        for &f in completed {
+            tracker.force_done(f);
+        }
+        let mut actions = Vec::new();
+        // Local entry nodes that never completed need (re)triggering.
+        for entry in ctx.dag.entry_nodes() {
+            if ctx.assignment.worker_of(entry) == self.node && tracker.force_trigger(entry) {
+                self.stats.triggers.inc();
+                actions.push(WorkerAction::TriggerFunction {
+                    workflow,
+                    invocation,
+                    function: entry,
+                });
+            }
+        }
+        // Re-run each completed node's downstream effects through the
+        // fresh tracker: local predecessor counts always (they are this
+        // tracker's private state), external effects (syncs, exit reports)
+        // only when no durable record says they already went out.
+        for &f in completed {
+            tracker.mark_propagated(f);
+            let home = ctx.assignment.worker_of(f) == self.node;
+            let suppress_external = !home || already_propagated.contains(&f);
+            if !suppress_external && ctx.dag.successors(f).is_empty() {
+                actions.push(WorkerAction::ExitComplete {
+                    workflow,
+                    invocation,
+                    function: f,
+                });
+            }
+            let mut remote_workers: Vec<NodeId> = Vec::new();
+            for s in tracker.successors_to_notify(f) {
+                let w = ctx.assignment.worker_of(s);
+                if w == self.node {
+                    self.stats.local_updates.inc();
+                    if tracker.predecessor_done(s) {
+                        self.stats.triggers.inc();
+                        actions.push(WorkerAction::TriggerFunction {
+                            workflow,
+                            invocation,
+                            function: s,
+                        });
+                    }
+                } else if !suppress_external && !remote_workers.contains(&w) {
+                    remote_workers.push(w);
+                }
+            }
+            for w in remote_workers {
+                self.stats.syncs_sent.inc();
+                actions.push(WorkerAction::SyncState {
+                    to: w,
+                    workflow,
+                    invocation,
+                    completed: f,
+                });
+            }
+        }
+        // Seed in-flight instance counts: completions that were reported
+        // while the engine was down will never be re-sent.
+        for &(f, done) in inflight {
+            tracker.set_instances_done(f, done);
+        }
+        self.invocations.insert((workflow, invocation), tracker);
+        actions
     }
 
     /// Node completion: notify local successors inline (in-process RPC) and

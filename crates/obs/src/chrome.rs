@@ -288,6 +288,59 @@ pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport
             ]));
             continue;
         }
+        // Engine outages render as a duration span on the owning process
+        // (crash opens it, recovery closes it) plus an instant per edge so
+        // the replay size is visible at the recovery point.
+        if let TraceEvent::EngineCrashed { worker, at } = event {
+            let pid = worker.map(|n| n.index() as u64 + 1).unwrap_or(1);
+            events.push(obj(vec![
+                ("name", s("engine down")),
+                ("cat", s("fault")),
+                ("ph", s("B")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(pid)),
+                ("tid", Value::UInt(0)),
+            ]));
+            events.push(obj(vec![
+                ("name", s("engine crashed")),
+                ("cat", s("fault")),
+                ("ph", s("i")),
+                ("s", s("p")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(pid)),
+                ("tid", Value::UInt(0)),
+            ]));
+            continue;
+        }
+        if let TraceEvent::EngineRecovered {
+            worker,
+            replayed,
+            at,
+        } = event
+        {
+            let pid = worker.map(|n| n.index() as u64 + 1).unwrap_or(1);
+            events.push(obj(vec![
+                ("name", s("engine down")),
+                ("cat", s("fault")),
+                ("ph", s("E")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(pid)),
+                ("tid", Value::UInt(0)),
+            ]));
+            events.push(obj(vec![
+                (
+                    "name",
+                    s(format!("engine recovered ({replayed} records replayed)")),
+                ),
+                ("cat", s("fault")),
+                ("ph", s("i")),
+                ("s", s("p")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(pid)),
+                ("tid", Value::UInt(0)),
+            ]));
+            continue;
+        }
         let (name, node) = match event {
             TraceEvent::WorkerCrashed { worker, .. } => ("worker crashed", worker),
             TraceEvent::WorkerRestarted { worker, .. } => ("worker restarted", worker),

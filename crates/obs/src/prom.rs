@@ -189,6 +189,55 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
     }
     header(
         &mut out,
+        "faasflow_dead_letters_total",
+        "Dead-lettered invocations by attributed reason.",
+        "counter",
+    );
+    for (reason, value) in [
+        ("retries_exhausted", f.dead_letter_retries_exhausted),
+        ("engine_crash_orphan", f.dead_letter_crash_orphan),
+        ("journal_unrecoverable", f.dead_letter_journal_unrecoverable),
+    ] {
+        let _ = writeln!(
+            out,
+            "faasflow_dead_letters_total{{reason=\"{reason}\"}} {value}"
+        );
+    }
+    header(
+        &mut out,
+        "faasflow_recovery_total",
+        "Engine crash injection and journaled recovery actions.",
+        "counter",
+    );
+    let r = &report.recovery;
+    for (kind, value) in [
+        ("engine_crashes", r.engine_crashes),
+        ("master_engine_crashes", r.master_engine_crashes),
+        ("worker_engine_crashes", r.worker_engine_crashes),
+        ("engine_recoveries", r.engine_recoveries),
+        ("journal_appends", r.journal_appends),
+        ("journal_lost_appends", r.journal_lost_appends),
+        ("journal_replays", r.journal_replays),
+        ("journal_replayed_records", r.journal_replayed_records),
+        ("replay_backoffs", r.replay_backoffs),
+        ("messages_lost", r.messages_lost),
+        ("duplicate_suppressions", r.duplicate_suppressions),
+    ] {
+        let _ = writeln!(out, "faasflow_recovery_total{{kind=\"{kind}\"}} {value}");
+    }
+    header(
+        &mut out,
+        "faasflow_engine_downtime_seconds",
+        "Cumulative scheduling-engine outage time.",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "faasflow_engine_downtime_seconds {}",
+        r.engine_downtime_secs
+    );
+    header(
+        &mut out,
         "faasflow_overload_total",
         "Overload-protection actions (admission control, breaker, hedges, backpressure).",
         "counter",

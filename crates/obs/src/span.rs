@@ -636,7 +636,9 @@ impl TreeBuilder {
             TraceEvent::WorkerCrashed { .. }
             | TraceEvent::WorkerRestarted { .. }
             | TraceEvent::LeaseExpired { .. }
-            | TraceEvent::BreakerTransition { .. } => {
+            | TraceEvent::BreakerTransition { .. }
+            | TraceEvent::EngineCrashed { .. }
+            | TraceEvent::EngineRecovered { .. } => {
                 unreachable!("node-scoped events are handled by the forest builder")
             }
         }

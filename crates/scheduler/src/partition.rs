@@ -163,6 +163,13 @@ impl Assignment {
         self.worker_of(e.from) == self.worker_of(e.to)
     }
 
+    /// True when at least one DAG node is routed to `worker` — i.e. the
+    /// worker's engine plays a part in invocations pinned to this
+    /// assignment (crash recovery skips uninvolved engines).
+    pub fn involves(&self, worker: NodeId) -> bool {
+        self.node_of.contains(&worker)
+    }
+
     /// Per-worker group distribution (Figure 15): `(worker, group count,
     /// function count)` sorted by worker.
     pub fn distribution(&self, dag: &WorkflowDag) -> Vec<(NodeId, usize, usize)> {

@@ -1,0 +1,137 @@
+//! Append-only engine journal log (the storage half of crash recovery).
+//!
+//! Engines write-ahead their workflow transitions into a per-engine log
+//! that lives on the simulated store, so a restarted engine can replay to
+//! a consistent point (the Durable Functions / Netherite recipe). This
+//! module models only the *storage mechanics* — append durability and
+//! crash truncation; what the records mean is the engine's business
+//! (`faasflow-core::journal`).
+//!
+//! Appends are asynchronous write-behind: the caller hands us the record
+//! together with the simulated time at which the backing store will have
+//! made it durable. A crash at time `t` keeps exactly the records whose
+//! durability point is `<= t`; everything later is torn off the tail, the
+//! same way a real log loses its unfsynced suffix.
+
+use faasflow_sim::stats::Counter;
+use faasflow_sim::SimTime;
+
+/// One durable-tail log. Generic over the record type so the storage
+/// crate stays independent of engine semantics.
+#[derive(Debug, Clone, Default)]
+pub struct JournalLog<R> {
+    records: Vec<(SimTime, R)>,
+    appends: Counter,
+    lost_appends: Counter,
+    truncated: Counter,
+}
+
+impl<R> JournalLog<R> {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        JournalLog {
+            records: Vec::new(),
+            appends: Counter::default(),
+            lost_appends: Counter::default(),
+            truncated: Counter::default(),
+        }
+    }
+
+    /// Appends a record that becomes durable at `durable_at`. Records must
+    /// be appended in non-decreasing durability order (the engine issues
+    /// them in simulated-time order).
+    pub fn append(&mut self, durable_at: SimTime, record: R) {
+        debug_assert!(
+            self.records.last().is_none_or(|(t, _)| *t <= durable_at),
+            "journal appends must be ordered by durability time"
+        );
+        self.records.push((durable_at, record));
+        self.appends.inc();
+    }
+
+    /// Records an append that never reached the store (e.g. issued while
+    /// the storage node was blacked out). Only counted — the data is gone.
+    pub fn append_lost(&mut self) {
+        self.lost_appends.inc();
+    }
+
+    /// Crash at time `now`: tears off every record not yet durable and
+    /// returns how many were lost.
+    pub fn crash(&mut self, now: SimTime) -> usize {
+        let keep = self.records.partition_point(|(t, _)| *t <= now);
+        let torn = self.records.len() - keep;
+        self.records.truncate(keep);
+        self.truncated.add(torn as u64);
+        torn
+    }
+
+    /// The durable records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &R> {
+        self.records.iter().map(|(_, r)| r)
+    }
+
+    /// Number of records currently in the log (durable by construction
+    /// after any [`JournalLog::crash`]).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total appends ever issued (including ones later torn off by crash).
+    pub fn append_count(&self) -> u64 {
+        self.appends.get()
+    }
+
+    /// Appends dropped because the store was unreachable.
+    pub fn lost_append_count(&self) -> u64 {
+        self.lost_appends.get()
+    }
+
+    /// Records torn off by crashes (issued but not durable in time).
+    pub fn torn_count(&self) -> u64 {
+        self.truncated.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasflow_sim::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn crash_tears_off_the_undurable_tail() {
+        let mut log = JournalLog::new();
+        log.append(at(10), "a");
+        log.append(at(20), "b");
+        log.append(at(30), "c");
+        assert_eq!(log.crash(at(20)), 1);
+        assert_eq!(log.records().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(log.torn_count(), 1);
+        assert_eq!(log.append_count(), 3);
+    }
+
+    #[test]
+    fn crash_at_exact_durability_point_keeps_the_record() {
+        let mut log = JournalLog::new();
+        log.append(at(10), 1u32);
+        assert_eq!(log.crash(at(10)), 0);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn lost_appends_are_counted_not_stored() {
+        let mut log: JournalLog<u32> = JournalLog::new();
+        log.append_lost();
+        log.append_lost();
+        assert!(log.is_empty());
+        assert_eq!(log.lost_append_count(), 2);
+    }
+}

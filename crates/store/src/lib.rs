@@ -32,6 +32,7 @@
 
 pub mod breaker;
 pub mod faastore;
+pub mod journal;
 pub mod keys;
 pub mod memstore;
 pub mod quota;
@@ -39,6 +40,7 @@ pub mod remote;
 
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 pub use faastore::{FaaStore, Placement, StorageType};
+pub use journal::JournalLog;
 pub use keys::DataKey;
 pub use memstore::MemStore;
 pub use remote::{RemoteStore, RemoteStoreConfig};
