@@ -21,6 +21,8 @@
 //!               vs WorkerSP single-partition degradation
 //!   overload    graceful degradation under an offered-load sweep:
 //!               admission control, backpressure, hedged retries
+//!   placement   load- & locality-aware placement vs the legacy
+//!               worker-0 tie-break: group skew, p99, remote bytes
 //!   perf        hot-path microbenchmarks -> BENCH_kernel.json
 //!   trace       causal spans, resource series, phase attribution
 //!               -> trace_*.json (Perfetto) + metrics_*.prom
@@ -35,17 +37,18 @@
 
 use std::time::Instant;
 
-use faasflow_bench::{parallel_map, rule, run_colocated_with_distribution, run_one, Drive};
+use faasflow_bench::{mb, parallel_map, rule, run_colocated_with_distribution, run_one, Drive};
 use faasflow_core::{
     ClientConfig, Cluster, ClusterConfig, EngineCrash, EngineTarget, FaultPlan, JournalConfig,
     NetFault, NodeCrash, ScheduleMode, StorageFault, StorageFaultKind,
 };
 use faasflow_scheduler::{
-    ContentionSet, GraphScheduler, PlacementStrategy, RuntimeMetrics, WorkerInfo,
+    ContentionSet, GraphScheduler, PartitionConfig, PlacementConfig, PlacementStrategy,
+    RuntimeMetrics, WorkerInfo, WorkerLoad,
 };
 use faasflow_sim::SimDuration;
 use faasflow_sim::{NodeId, SimRng};
-use faasflow_wdl::DagParser;
+use faasflow_wdl::{DagParser, FunctionProfile, Step, Workflow};
 use faasflow_workloads::{scientific, without_data, Benchmark};
 
 /// (benchmark, MasterSP overhead ms) from Figure 4 — the paper reports the
@@ -159,6 +162,7 @@ fn main() {
         "chaos" => chaos(&scale),
         "failover" => failover(&scale),
         "overload" => overload(&scale),
+        "placement" => placement(&scale),
         "perf" => perf(quick),
         "trace" => trace_scenario(&scale, trace_out.as_deref().unwrap_or(".")),
         "all" => {
@@ -176,6 +180,7 @@ fn main() {
             chaos(&scale);
             failover(&scale);
             overload(&scale);
+            placement(&scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -1295,6 +1300,172 @@ fn overload(scale: &Scale) {
 }
 
 // ====================================================================
+// placement — load- & locality-aware placement vs the legacy tie-break
+// ====================================================================
+
+/// Many independent small pipelines co-run in one cluster. Legacy
+/// bin-packing re-offers nominal capacity on every deploy and breaks
+/// capacity ties toward worker 0, so every merged group lands there and
+/// the cluster serializes on one node. The load-aware layer sees residual
+/// capacity, spreads by least-loaded scoring, and rebalances on skew; the
+/// table compares the per-worker group shares, the end-to-end tail, and
+/// the bytes forced through the remote storage node.
+fn placement(scale: &Scale) {
+    use faasflow_container::NodeCaps;
+
+    const WORKERS: usize = 4;
+    const PIPELINES: usize = 8;
+    const RATE_PER_MIN: f64 = 90.0;
+
+    println!("\n=== Placement: load-aware vs legacy (worker-0 tie-break bias) ===");
+    println!(
+        "({PIPELINES} independent pipelines, open loop {RATE_PER_MIN:.0} inv/min each, \
+         {WORKERS} workers)"
+    );
+    // Peak memory close to the provisioned size keeps each workflow's
+    // FaaStore quota (Eq. 2) tight — roughly one invocation's edges — so
+    // queueing-driven invocation overlap spills puts to remote storage.
+    let tight = |exec_ms: u64, out: u64| {
+        FunctionProfile::with_millis(exec_ms, out).peak_mem((256 - 32 - 1) << 20)
+    };
+    let pipeline = |i: usize| {
+        Workflow::steps(
+            format!("pipe{i}"),
+            Step::sequence(vec![
+                Step::task("ingest", tight(30, 1 << 20)),
+                Step::foreach("crunch", tight(90, 1 << 20), 4),
+                Step::task("publish", tight(25, 0)),
+            ]),
+        )
+    };
+    let measure = (scale.open / 4).max(8);
+    let cell = |pcfg: PlacementConfig| {
+        let config = ClusterConfig {
+            mode: ScheduleMode::WorkerSp,
+            faastore: true,
+            workers: WORKERS as u32,
+            node_caps: NodeCaps {
+                cores: 4,
+                ..NodeCaps::default()
+            },
+            placement_config: pcfg,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(config).expect("valid config");
+        let ids: Vec<_> = (0..PIPELINES)
+            .map(|i| {
+                cluster
+                    .register(&pipeline(i), ClientConfig::ClosedLoop { invocations: 1 })
+                    .expect("registers")
+            })
+            .collect();
+        cluster.run_until_idle();
+        cluster.reset_metrics();
+        for &id in &ids {
+            cluster.switch_to_open_loop(id, RATE_PER_MIN, measure);
+        }
+        cluster.run_until_idle();
+        let mut groups = vec![0usize; WORKERS];
+        for &id in &ids {
+            for row in cluster.distribution(id) {
+                groups[row.worker.index() - 1] += row.groups;
+            }
+        }
+        (groups, cluster.report())
+    };
+    let results = parallel_map(
+        vec![PlacementConfig::legacy(), PlacementConfig::default()],
+        scale.threads,
+        cell,
+    );
+    let ((legacy_groups, legacy), (aware_groups, aware)) = (results[0].clone(), results[1].clone());
+
+    let share0 = |groups: &[usize]| {
+        let total: usize = groups.iter().sum();
+        100.0 * groups[0] as f64 / total.max(1) as f64
+    };
+    let mean_p99 = |r: &faasflow_core::RunReport| {
+        let p99s: Vec<f64> = r.workflows.values().map(|w| w.e2e.p99).collect();
+        avg(&p99s)
+    };
+    let spread = |groups: &[usize]| {
+        groups
+            .iter()
+            .enumerate()
+            .map(|(w, g)| format!("w{w}:{g}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!(
+        "{:<12} {:>22} {:>9} {:>12} {:>13}",
+        "placement", "groups per worker", "w0 share", "mean p99", "remote bytes"
+    );
+    rule(74);
+    for (label, groups, report) in [
+        ("legacy", &legacy_groups, &legacy),
+        ("load-aware", &aware_groups, &aware),
+    ] {
+        println!(
+            "{:<12} {:>22} {:>8.0}% {:>9.0} ms {:>10} MB",
+            label,
+            spread(groups),
+            share0(groups),
+            mean_p99(report),
+            mb(report.storage_node_bytes),
+        );
+    }
+    rule(74);
+    let p = &aware.placement;
+    println!(
+        "load-aware actions: {} partitions, {} capacity fallbacks, {} skew + {} recovery \
+         rebalances ({} workflows moved)",
+        p.load_aware_partitions,
+        p.capacity_fallbacks,
+        p.skew_rebalances,
+        p.recovery_rebalances,
+        p.rebalanced_workflows
+    );
+
+    for (label, report) in [("legacy", &legacy), ("load-aware", &aware)] {
+        for (name, wf) in &report.workflows {
+            assert_eq!(
+                wf.sent,
+                wf.completed + wf.dead_lettered + wf.shed,
+                "{label}/{name}: invocation leak"
+            );
+        }
+        assert_eq!(
+            report.live_invocation_states, 0,
+            "{label}: leaked engine state"
+        );
+    }
+    assert!(
+        share0(&aware_groups) < share0(&legacy_groups),
+        "load-aware placement must cut worker 0's group share \
+         (aware {:.0}% vs legacy {:.0}%)",
+        share0(&aware_groups),
+        share0(&legacy_groups)
+    );
+    assert!(
+        mean_p99(&aware) < mean_p99(&legacy),
+        "load-aware placement must improve the tail \
+         (aware {:.0} ms vs legacy {:.0} ms)",
+        mean_p99(&aware),
+        mean_p99(&legacy)
+    );
+    assert!(
+        aware.storage_node_bytes < legacy.storage_node_bytes,
+        "load-aware placement must push fewer bytes through the storage node \
+         (aware {} vs legacy {})",
+        aware.storage_node_bytes,
+        legacy.storage_node_bytes
+    );
+    println!("spreading the pipelines off worker 0 shortens its admission queue, so");
+    println!("puts stay within each workflow's FaaStore budget (fewer remote spills)");
+    println!("and the end-to-end tail drops.");
+}
+
+// ====================================================================
 // trace — causal spans, resource series, exporters, attribution
 // ====================================================================
 
@@ -1641,6 +1812,49 @@ fn perf(quick: bool) {
             delivered
         });
         push("flownet/drain_64_flows_to_completion", "live", base, us);
+    }
+
+    // Placement kernel: Algorithm 1 partition of Genome-50 onto 7 loaded
+    // workers — the legacy index tie-break vs the load-aware scoring
+    // (residual capacity, p99/memory tie-breaks, locality affinity). The
+    // delta is the placement layer's per-partition cost on the hot path.
+    {
+        let parser = DagParser::default();
+        let wf = scientific::genome(50);
+        let dag = parser.parse(&wf).expect("genome parses");
+        let metrics = RuntimeMetrics::initial(&dag);
+        let workers: Vec<WorkerInfo> = (0..7u32)
+            .map(|i| {
+                WorkerInfo::new(NodeId::new(i + 1), 40).with_load(WorkerLoad {
+                    queued: i,
+                    running: (i * 3) % 5,
+                    mem_used_bytes: u64::from(i) << 20,
+                    recent_p99_ms: 100 + 40 * i,
+                })
+            })
+            .collect();
+        let bench = |sched: GraphScheduler| {
+            let mut rng = SimRng::seed_from(7);
+            median_us(reps, || {
+                let a = sched
+                    .partition(
+                        &dag,
+                        &workers,
+                        &metrics,
+                        &ContentionSet::default(),
+                        u64::MAX,
+                        &mut rng,
+                    )
+                    .expect("partition succeeds");
+                a.groups.len() as u64
+            })
+        };
+        let base = bench(GraphScheduler::new(PartitionConfig {
+            placement_config: PlacementConfig::legacy(),
+            ..PartitionConfig::default()
+        }));
+        let us = bench(GraphScheduler::new(PartitionConfig::default()));
+        push("scheduler/partition_gen50/load_aware", "live", base, us);
     }
 
     // Whole-cluster: five closed-loop invocations end to end (mirrors

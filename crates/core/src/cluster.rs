@@ -26,7 +26,7 @@ use faasflow_engine::{MasterAction, MasterEngine, WorkerAction, WorkerEngine};
 use faasflow_net::{Flow, FlowId, FlowNet, LinkFaultTable, LinkQuality, NicSpec};
 use faasflow_scheduler::{
     ContentionSet, DeploymentManager, FeedbackCollector, GraphScheduler, PartitionConfig,
-    RuntimeMetrics, WorkerInfo,
+    RuntimeMetrics, ScheduleError, WorkerInfo, WorkerLoad,
 };
 use faasflow_sim::{
     ContainerId, EventId, EventQueue, FunctionId, InvocationId, NodeId, SimDuration, SimRng,
@@ -44,8 +44,8 @@ use crate::fault::{DeadLetterReason, EngineTarget, StorageFaultKind};
 use crate::invocation::{InstanceState, InstanceToken, InvState};
 use crate::journal::{Journal, JournalRecord, TerminalOutcome};
 use crate::metrics::{
-    DistributionRow, FaultReport, LoopProfile, OverloadReport, RecoveryReport, RunReport,
-    WorkerUtilization, WorkflowMetrics,
+    DistributionRow, FaultReport, LoopProfile, OverloadReport, PlacementReport, RecoveryReport,
+    RunReport, WorkerUtilization, WorkflowMetrics,
 };
 use crate::overload::{AdmissionConfig, BackpressureConfig, P2Quantile, ShedPolicy};
 use crate::sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport, Ring};
@@ -505,6 +505,15 @@ pub struct Cluster {
     /// Overload-protection accounting (sheds, breaker, hedges,
     /// backpressure).
     overload: OverloadReport,
+    /// Placement-layer accounting (load-aware partitions, fallbacks,
+    /// incremental rebalances).
+    placement: PlacementReport,
+    /// Streaming p99 of end-to-end latency per worker, attributed to every
+    /// worker an invocation's placement touched. Only fed when the
+    /// placement layer is enabled, so legacy runs are bit-identical.
+    worker_p99: Vec<P2Quantile>,
+    /// Completions since the last skew check (rebalancer cooldown).
+    completions_since_skew_check: u32,
     tracer: Tracer,
     /// Resource time-series collector (`None` unless sampling is on).
     samples: Option<SampleCollector>,
@@ -572,6 +581,7 @@ impl Cluster {
             next_invocation: 0,
             scheduler: GraphScheduler::new(PartitionConfig {
                 placement: config.placement,
+                placement_config: config.placement_config,
                 ..PartitionConfig::default()
             }),
             partition_wall_secs: 0.0,
@@ -609,6 +619,9 @@ impl Cluster {
                 .collect(),
             recovery: RecoveryReport::default(),
             overload: OverloadReport::default(),
+            placement: PlacementReport::default(),
+            worker_p99: (0..config.workers).map(|_| P2Quantile::new(0.99)).collect(),
+            completions_since_skew_check: 0,
             tracer: Tracer::new(config.trace, config.trace_capacity),
             samples: config.sample_every.map(|every| SampleCollector {
                 every,
@@ -776,6 +789,22 @@ impl Cluster {
                 worker,
                 groups,
                 functions,
+            })
+            .collect()
+    }
+
+    /// Live per-worker load exactly as the placement layer sees it,
+    /// alongside each worker engine's own load report — the surface behind
+    /// the per-worker load gauges in `faasflow-obs`.
+    pub fn worker_load_snapshot(&self) -> Vec<(NodeId, WorkerLoad, faasflow_engine::EngineLoad)> {
+        let loads = self.worker_loads();
+        (0..self.config.workers as usize)
+            .map(|w| {
+                (
+                    self.config.worker_node(w as u32),
+                    loads[w],
+                    self.worker_engines[w].load(),
+                )
             })
             .collect()
     }
@@ -1068,6 +1097,7 @@ impl Cluster {
             repartition_failures: self.repartition_failures,
             faults: self.faults,
             overload: self.overload,
+            placement: self.placement,
             recovery,
             trace_dropped: self.tracer.dropped(),
             resources: self.resources_snapshot(),
@@ -1078,6 +1108,60 @@ impl Cluster {
     // Partitioning / deployment
     // ==================================================================
 
+    /// Live per-worker load fed into load-aware placement: container queue
+    /// depth, booting + running instances, resident memstore bytes, and the
+    /// recently observed end-to-end tail.
+    fn worker_loads(&self) -> Vec<WorkerLoad> {
+        let n = self.config.workers as usize;
+        let mut loads = vec![WorkerLoad::default(); n];
+        for (w, load) in loads.iter_mut().enumerate() {
+            load.queued = self.containers[w].queue_len() as u32;
+            let ms = self.faastores[w].memstore();
+            for wf_idx in 0..self.name_table.len() {
+                load.mem_used_bytes += ms.used(WorkflowId::new(wf_idx as u32));
+            }
+            load.recent_p99_ms = self.worker_p99[w]
+                .estimate()
+                .map_or(0, |p| p.round().max(0.0) as u32);
+        }
+        for state in self.invocations.values() {
+            for inst in state.instances.values() {
+                loads[inst.worker].running += 1;
+            }
+        }
+        // Admissions still booting; skip tokens already counted above.
+        for (t, &w) in &self.inflight_spawns {
+            let counted = self
+                .invocations
+                .get(&(t.workflow, t.invocation))
+                .is_some_and(|s| s.instances.contains_key(t));
+            if !counted {
+                loads[w].running += 1;
+            }
+        }
+        loads
+    }
+
+    /// The partition target set: alive workers, at residual capacity
+    /// (nominal minus live instances) when the placement layer is enabled,
+    /// at nominal capacity otherwise.
+    fn placement_workers(&self, residual: bool, loads: &[WorkerLoad]) -> Vec<WorkerInfo> {
+        (0..self.config.workers)
+            .filter(|&i| self.worker_alive[i as usize])
+            .map(|i| {
+                let mut info =
+                    WorkerInfo::new(self.config.worker_node(i), self.config.worker_capacity());
+                if let Some(load) = loads.get(i as usize) {
+                    if residual {
+                        info.capacity = info.capacity.saturating_sub(load.busy());
+                    }
+                    info = info.with_load(*load);
+                }
+                info
+            })
+            .collect()
+    }
+
     fn partition_and_deploy(
         &mut self,
         wf: WorkflowId,
@@ -1085,19 +1169,41 @@ impl Cluster {
     ) -> Result<(), ClusterError> {
         // Only live workers take part: a crash shrinks the partition target
         // set and recovery redeploys onto the survivors.
-        let workers: Vec<WorkerInfo> = (0..self.config.workers)
-            .filter(|&i| self.worker_alive[i as usize])
-            .map(|i| WorkerInfo::new(self.config.worker_node(i), self.config.worker_capacity()))
-            .collect();
+        let enabled = self.config.placement_config.enabled;
+        let loads = if enabled {
+            self.worker_loads()
+        } else {
+            Vec::new()
+        };
+        let workers = self.placement_workers(enabled, &loads);
         let start = std::time::Instant::now();
-        let assignment = self.scheduler.partition(
+        let mut result = self.scheduler.partition(
             &state.dag,
             &workers,
             &state.prev_metrics,
             &state.contention,
             state.quota,
             &mut self.rng,
-        )?;
+        );
+        if enabled {
+            self.placement.load_aware_partitions += 1;
+            if matches!(result, Err(ScheduleError::InsufficientCapacity { .. })) {
+                // Residual capacity can transiently under-report (a burst of
+                // live instances); fall back to nominal so a workflow that
+                // used to fit still deploys.
+                self.placement.capacity_fallbacks += 1;
+                let workers = self.placement_workers(false, &loads);
+                result = self.scheduler.partition(
+                    &state.dag,
+                    &workers,
+                    &state.prev_metrics,
+                    &state.contention,
+                    state.quota,
+                    &mut self.rng,
+                );
+            }
+        }
+        let assignment = result?;
         self.partition_wall_secs += start.elapsed().as_secs_f64();
         self.partition_runs += 1;
 
@@ -1161,9 +1267,18 @@ impl Cluster {
         self.workflows.insert(wf, state);
         if let Err(e) = result {
             // A repartition that no longer fits keeps the previous version —
-            // counted, not silently swallowed.
+            // counted, not silently swallowed. Capacity misses are a
+            // legitimate runtime condition (scale feedback can raise a
+            // node's demand past what the cluster holds); anything else
+            // (stale metrics, no workers) is a bug.
             self.repartition_failures += 1;
-            debug_assert!(false, "repartition failed: {e}");
+            debug_assert!(
+                matches!(
+                    e,
+                    ClusterError::Schedule(ScheduleError::InsufficientCapacity { .. })
+                ),
+                "repartition failed: {e}"
+            );
         }
     }
 
@@ -1183,6 +1298,7 @@ impl Cluster {
                 if self.worker_engine_down[worker] {
                     self.recovery.messages_lost += 1;
                 } else if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
+                    self.pin_engine_invocation(worker, wf, inv);
                     let actions = self.worker_engines[worker].begin_invocation(wf, inv);
                     self.apply_worker_actions(now, worker, actions);
                 }
@@ -1197,6 +1313,7 @@ impl Cluster {
                 if self.worker_engine_down[worker] {
                     self.recovery.messages_lost += 1;
                 } else if self.worker_alive[worker] && self.epoch_alive(wf, inv, epoch) {
+                    self.pin_engine_invocation(worker, wf, inv);
                     let actions = self.worker_engines[worker].on_state_sync(wf, inv, completed);
                     self.apply_worker_actions(now, worker, actions);
                 }
@@ -1631,6 +1748,29 @@ impl Cluster {
         }
     }
 
+    /// WorkerSP: pins the invocation's engine-side context to its
+    /// cluster-side pinned deployment before the first `begin`/`sync`
+    /// event is processed there. Without this, an incremental rebalance
+    /// landing between an invocation's arrival and a delayed sync would
+    /// make the receiving engine route the live invocation by the *new*
+    /// assignment — stranding successors and breaking the data-placement
+    /// contract (a `LocalMem` put whose consumer moved elsewhere).
+    fn pin_engine_invocation(&mut self, worker: usize, wf: WorkflowId, inv: InvocationId) {
+        let Some(state) = self.invocations.get(&(wf, inv)) else {
+            return;
+        };
+        let Some(ws) = self.workflows.get(&wf) else {
+            return;
+        };
+        self.worker_engines[worker].ensure_invocation(
+            wf,
+            inv,
+            state.dag.clone(),
+            state.assignment.clone(),
+            ws.arm_seed,
+        );
+    }
+
     /// WorkerSP: notify each worker hosting an entry node of the
     /// invocation's pinned assignment. Used on arrival and again after a
     /// crash-recovery restart (under the bumped epoch).
@@ -1785,6 +1925,17 @@ impl Cluster {
                     .record(e2e.saturating_sub(ws.critical_exec).as_millis_f64());
             }
         }
+        if self.config.placement_config.enabled {
+            // Feed the per-worker tail estimate every worker this
+            // invocation's placement touched (timeouts included: a timed-out
+            // invocation is exactly the pain the signal should carry).
+            let e2e_ms = (now - state.started).as_millis_f64();
+            for w in 0..self.config.workers as usize {
+                if state.assignment.involves(self.config.worker_node(w as u32)) {
+                    self.worker_p99[w].observe(e2e_ms);
+                }
+            }
+        }
         metrics
             .transfer_total
             .record(state.ledger.total_latency.as_millis_f64());
@@ -1832,6 +1983,118 @@ impl Cluster {
             self.schedule_arrival(now, wf);
         }
         self.maybe_repartition(wf, qos_violated);
+        self.maybe_rebalance_on_skew();
+    }
+
+    // ==================================================================
+    // Incremental rebalancing (placement layer)
+    // ==================================================================
+
+    /// Per-worker placed-group counts over every workflow's current
+    /// deployment (order-independent sums, so map iteration is fine).
+    fn placed_group_counts(&self) -> Vec<u64> {
+        let mut groups = vec![0u64; self.config.workers as usize];
+        for ws in self.workflows.values() {
+            let Some((_, asg)) = ws.deployment.current() else {
+                continue;
+            };
+            for g in &asg.groups {
+                if let Some(w) = self.config.worker_index(g.worker) {
+                    groups[w] += 1;
+                }
+            }
+        }
+        groups
+    }
+
+    /// The alive worker holding the most placed groups (first index wins
+    /// ties — deterministic), or `None` when nothing is placed.
+    fn most_loaded_worker(&self) -> Option<(usize, u64, u64)> {
+        let groups = self.placed_group_counts();
+        let mut best: Option<(usize, u64)> = None;
+        let mut total = 0u64;
+        for (w, &count) in groups.iter().enumerate() {
+            if !self.worker_alive[w] {
+                continue;
+            }
+            total += count;
+            if best.is_none_or(|(_, b)| count > b) {
+                best = Some((w, count));
+            }
+        }
+        let (hot, max) = best?;
+        if max == 0 {
+            return None;
+        }
+        Some((hot, max, total))
+    }
+
+    /// Skew trigger of the incremental rebalancer: every
+    /// `rebalance_cooldown` completions, if the most-loaded alive worker
+    /// holds more than `skew_threshold_pct`% of the mean per-worker
+    /// placed-group count, re-place just the workflows contributing to it.
+    fn maybe_rebalance_on_skew(&mut self) {
+        let pcfg = self.config.placement_config;
+        if !pcfg.enabled {
+            return;
+        }
+        self.completions_since_skew_check += 1;
+        if self.completions_since_skew_check < pcfg.rebalance_cooldown {
+            return;
+        }
+        self.completions_since_skew_check = 0;
+        let alive = self.worker_alive.iter().filter(|&&a| a).count() as u64;
+        if alive < 2 {
+            return;
+        }
+        let Some((hot, max, total)) = self.most_loaded_worker() else {
+            return;
+        };
+        // max > (threshold_pct / 100) * (total / alive), in integers.
+        let skewed = max >= 2
+            && u128::from(max) * 100 * u128::from(alive)
+                > u128::from(total) * u128::from(pcfg.skew_threshold_pct);
+        if !skewed {
+            return;
+        }
+        let node = self.config.worker_node(hot as u32);
+        let moved = self.rebalance_workflows_on(node);
+        if moved > 0 {
+            self.placement.skew_rebalances += 1;
+            self.placement.rebalanced_workflows += moved;
+            let at = self.queue.now();
+            self.tracer.record(|| TraceEvent::PlacementRebalanced {
+                worker: node,
+                workflows: moved,
+                recovery: false,
+                at,
+            });
+        }
+    }
+
+    /// Re-places only the workflows whose current deployment has a group on
+    /// `node`, via the ordinary epoch-fenced red-black redeploy path.
+    /// Returns how many workflows were re-placed.
+    fn rebalance_workflows_on(&mut self, node: NodeId) -> u64 {
+        let mut wfs = std::mem::take(&mut self.scratch.wf_ids);
+        wfs.extend(self.workflows.iter().filter_map(|(&wf, ws)| {
+            let (_, asg) = ws.deployment.current()?;
+            asg.involves(node).then_some(wf)
+        }));
+        wfs.sort_unstable();
+        let mut moved = 0u64;
+        for &wf in &wfs {
+            let mut state = self.workflows.remove(&wf).expect("workflow exists");
+            let result = self.partition_and_deploy(wf, &mut state);
+            self.workflows.insert(wf, state);
+            match result {
+                Ok(()) => moved += 1,
+                Err(_) => self.repartition_failures += 1,
+            }
+        }
+        wfs.clear();
+        self.scratch.wf_ids = wfs;
+        moved
     }
 
     // ==================================================================
@@ -2311,21 +2574,29 @@ impl Cluster {
                 v
             }
             ShedPolicy::DeadlineAware => {
-                // Drop the invocation with the earliest (= most hopeless)
-                // QoS deadline. The newcomer is already queued, so the scan
-                // covers it too. Ties break on ids for determinism.
+                // Drop the lowest priority class first; within a class, the
+                // invocation with the earliest (= most hopeless) QoS
+                // deadline. The newcomer is already queued, so the scan
+                // covers it too. Ties break on ids for determinism. With
+                // every function at the default class 0 this degenerates to
+                // the legacy earliest-deadline ordering.
                 let qos = self.config.qos_target.expect("validated at build");
-                let mut best: Option<(SimTime, InstanceToken)> = None;
+                let mut best: Option<(u8, SimTime, InstanceToken)> = None;
                 for &t in self.containers[worker].queued_tokens() {
                     let Some(s) = self.invocations.get(&(t.workflow, t.invocation)) else {
                         continue;
                     };
-                    let key = (s.started + qos, t);
+                    let prio = self
+                        .workflows
+                        .get(&t.workflow)
+                        .and_then(|ws| ws.dag.node(t.function).kind.profile())
+                        .map_or(0, |p| p.priority);
+                    let key = (prio, s.started + qos, t);
                     if best.is_none_or(|b| key < b) {
                         best = Some(key);
                     }
                 }
-                let (_, v) = best.expect("the queue overflowed, so it is non-empty");
+                let (_, _, v) = best.expect("the queue overflowed, so it is non-empty");
                 self.containers[worker].remove_queued(|t| *t == v);
                 self.overload.shed_deadline += 1;
                 v
@@ -3290,7 +3561,27 @@ impl Cluster {
             at: now,
         });
         if self.config.mode == ScheduleMode::WorkerSp {
-            self.redeploy_all();
+            if self.config.placement_config.enabled {
+                // Incremental fold-in: re-place only the workflows squeezed
+                // onto the most-crowded survivor; load-aware scoring pulls
+                // them toward the idle reborn worker.
+                if let Some((hot, _, _)) = self.most_loaded_worker() {
+                    let hot_node = self.config.worker_node(hot as u32);
+                    let moved = self.rebalance_workflows_on(hot_node);
+                    if moved > 0 {
+                        self.placement.recovery_rebalances += 1;
+                        self.placement.rebalanced_workflows += moved;
+                        self.tracer.record(|| TraceEvent::PlacementRebalanced {
+                            worker: hot_node,
+                            workflows: moved,
+                            recovery: true,
+                            at: now,
+                        });
+                    }
+                }
+            } else {
+                self.redeploy_all();
+            }
             // The node restart brings the engine process back with it.
             if self.worker_engine_down[w] {
                 self.worker_engine_down[w] = false;
@@ -3426,7 +3717,24 @@ impl Cluster {
             }
         }
         impacted.sort_unstable();
-        self.redeploy_all();
+        if self.config.placement_config.enabled {
+            // Incremental recovery: only workflows with a group on the dead
+            // node need new placements; everyone else keeps their (still
+            // valid) deployment instead of churning through a full sweep.
+            let moved = self.rebalance_workflows_on(node);
+            if moved > 0 {
+                self.placement.recovery_rebalances += 1;
+                self.placement.rebalanced_workflows += moved;
+                self.tracer.record(|| TraceEvent::PlacementRebalanced {
+                    worker: node,
+                    workflows: moved,
+                    recovery: true,
+                    at: now,
+                });
+            }
+        } else {
+            self.redeploy_all();
+        }
         for &(wf, inv) in &impacted {
             self.restart_invocation(now, wf, inv);
         }

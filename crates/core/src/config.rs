@@ -6,7 +6,7 @@
 
 use faasflow_container::{ContainerConfig, NodeCaps};
 use faasflow_net::MessageModel;
-use faasflow_scheduler::PlacementStrategy;
+use faasflow_scheduler::{PlacementConfig, PlacementStrategy};
 use faasflow_sim::{NodeId, SimDuration};
 use faasflow_store::RemoteStoreConfig;
 use serde::{Deserialize, Serialize};
@@ -136,6 +136,12 @@ pub struct ClusterConfig {
     /// Group placement policy of the partitioner's bin-packing step
     /// (worst-fit load balancing by default, matching Figure 15).
     pub placement: PlacementStrategy,
+    /// Load- and locality-aware placement: live per-worker load feeds the
+    /// partitioner (residual capacity, least-loaded/locality tie-breaks)
+    /// and the incremental rebalancer re-places affected workflows on skew
+    /// or recovery signals. Legacy (disabled) by default — runs are then
+    /// bit-identical to pre-placement-layer builds.
+    pub placement_config: PlacementConfig,
     /// Algorithm 1's `Cap[node]`: container capacity per worker offered to
     /// the partitioner — the artifact's `scale_limit`. Sized from the
     /// worker's *concurrency* (cores plus head-room), not its memory-max:
@@ -183,6 +189,7 @@ impl Default for ClusterConfig {
             max_exec_retries: 3,
             reclamation: ReclamationMode::default(),
             placement: PlacementStrategy::WorstFit,
+            placement_config: PlacementConfig::legacy(),
             partition_capacity: 12,
             fault: FaultPlan::default(),
             overload: OverloadConfig::default(),
@@ -250,6 +257,19 @@ impl ClusterConfig {
         }
         if self.partition_capacity == 0 {
             return Err("partition_capacity must be positive".to_string());
+        }
+        if self.placement_config.enabled {
+            if self.placement_config.skew_threshold_pct < 100 {
+                return Err(format!(
+                    "placement skew_threshold_pct must be >= 100, got {}",
+                    self.placement_config.skew_threshold_pct
+                ));
+            }
+            if self.placement_config.rebalance_cooldown == 0 {
+                return Err(
+                    "placement rebalance_cooldown must be positive when enabled".to_string()
+                );
+            }
         }
         if self.trace && self.trace_capacity == 0 {
             return Err("trace_capacity must be positive when trace is on".to_string());

@@ -59,8 +59,8 @@ pub use fault::{
 pub use invocation::InstanceToken;
 pub use journal::{Journal, JournalConfig, JournalRecord, TerminalOutcome};
 pub use metrics::{
-    DistributionRow, EventTypeProfile, FaultReport, LoopProfile, OverloadReport, RecoveryReport,
-    RunReport, WorkerUtilization, WorkflowReport,
+    DistributionRow, EventTypeProfile, FaultReport, LoopProfile, OverloadReport, PlacementReport,
+    RecoveryReport, RunReport, WorkerUtilization, WorkflowReport,
 };
 pub use overload::{
     AdaptiveHedge, AdmissionConfig, BackpressureConfig, BreakerConfig, BreakerState, HedgeConfig,
@@ -68,3 +68,6 @@ pub use overload::{
 };
 pub use sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport};
 pub use trace::TraceEvent;
+// Placement-layer types threaded through the cluster's public surface.
+pub use faasflow_engine::EngineLoad;
+pub use faasflow_scheduler::{PlacementConfig, WorkerLoad};

@@ -92,7 +92,12 @@ pub struct WorkflowReport {
 }
 
 /// Cluster-wide report produced by `Cluster::report`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (the vendored derive has no
+/// `skip_serializing_if`): the `placement` block is omitted when all-zero
+/// so legacy-mode reports — and the committed goldens — stay bit-identical
+/// to builds that predate the placement layer.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Per-workflow results keyed by workflow name.
     pub workflows: BTreeMap<String, WorkflowReport>,
@@ -134,12 +139,88 @@ pub struct RunReport {
     /// Engine-crash recovery and journal accounting (all zero when the
     /// plan schedules no engine crashes and journaling is off).
     pub recovery: RecoveryReport,
+    /// Load- and locality-aware placement accounting (all zero when
+    /// [`crate::ClusterConfig::placement_config`] stays legacy; omitted
+    /// from serialized reports in that case so legacy goldens stay
+    /// bit-identical).
+    pub placement: PlacementReport,
     /// Trace events rejected by the `trace_capacity` cap (0 when tracing
     /// is off or the cap was never hit).
     pub trace_dropped: u64,
     /// Resource time-series sampled over the run (`None` unless
     /// [`crate::ClusterConfig::sample_every`] is set).
     pub resources: Option<crate::sample::ResourceSeriesReport>,
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = Vec::new();
+        macro_rules! put {
+            ($field:ident) => {
+                m.push((stringify!($field).to_string(), self.$field.to_value()))
+            };
+        }
+        put!(workflows);
+        put!(sim_time_secs);
+        put!(master_busy_fraction);
+        put!(master_tasks_assigned);
+        put!(master_state_returns);
+        put!(worker_syncs);
+        put!(worker_local_updates);
+        put!(cold_starts);
+        put!(warm_starts);
+        put!(storage_node_bytes);
+        put!(faastore_local_bytes);
+        put!(live_invocation_states);
+        put!(exec_retries);
+        put!(repartition_failures);
+        put!(faults);
+        put!(overload);
+        put!(recovery);
+        if !self.placement.is_zero() {
+            put!(placement);
+        }
+        put!(trace_dropped);
+        put!(resources);
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let m = serde::expect_map(value, "RunReport")?;
+        macro_rules! get {
+            ($field:ident) => {
+                serde::field(m, stringify!($field), "RunReport")?
+            };
+        }
+        Ok(RunReport {
+            workflows: get!(workflows),
+            sim_time_secs: get!(sim_time_secs),
+            master_busy_fraction: get!(master_busy_fraction),
+            master_tasks_assigned: get!(master_tasks_assigned),
+            master_state_returns: get!(master_state_returns),
+            worker_syncs: get!(worker_syncs),
+            worker_local_updates: get!(worker_local_updates),
+            cold_starts: get!(cold_starts),
+            warm_starts: get!(warm_starts),
+            storage_node_bytes: get!(storage_node_bytes),
+            faastore_local_bytes: get!(faastore_local_bytes),
+            live_invocation_states: get!(live_invocation_states),
+            exec_retries: get!(exec_retries),
+            repartition_failures: get!(repartition_failures),
+            faults: get!(faults),
+            overload: get!(overload),
+            recovery: get!(recovery),
+            // Absent in legacy-era reports (and legacy-mode runs).
+            placement: match m.iter().find(|(k, _)| k == "placement") {
+                Some((_, v)) => PlacementReport::from_value(v)?,
+                None => PlacementReport::default(),
+            },
+            trace_dropped: get!(trace_dropped),
+            resources: get!(resources),
+        })
+    }
 }
 
 /// What the fault-injection subsystem did during a run — every recovery
@@ -207,6 +288,33 @@ pub struct RecoveryReport {
     pub duplicate_suppressions: u64,
     /// Total simulated seconds any engine spent down (summed over crashes).
     pub engine_downtime_secs: f64,
+}
+
+/// What the load- and locality-aware placement layer did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementReport {
+    /// Partitions that ran against live residual capacities (includes
+    /// rebalances; 0 in legacy mode, where bin-packing always sees fresh
+    /// nominal capacity).
+    pub load_aware_partitions: u64,
+    /// Partitions that did not fit under residual capacity and fell back
+    /// to nominal capacity (heavily loaded cluster).
+    pub capacity_fallbacks: u64,
+    /// Incremental rebalance sweeps triggered by placed-group skew.
+    pub skew_rebalances: u64,
+    /// Incremental rebalance sweeps triggered by a recovery signal (worker
+    /// crash or restart) instead of a full re-partition of every workflow.
+    pub recovery_rebalances: u64,
+    /// Workflows re-placed by incremental rebalance sweeps (both kinds).
+    pub rebalanced_workflows: u64,
+}
+
+impl PlacementReport {
+    /// True when the placement layer never acted (legacy mode, or an
+    /// enabled run that registered no workflow).
+    pub fn is_zero(&self) -> bool {
+        *self == PlacementReport::default()
+    }
 }
 
 /// What the overload-protection subsystem did during a run. Terminal
@@ -353,6 +461,46 @@ pub struct DistributionRow {
 mod tests {
     use super::*;
 
+    /// An all-zero placement block must not appear in serialized reports
+    /// (legacy goldens predate the field), and reports without one must
+    /// still deserialize.
+    #[test]
+    fn zero_placement_report_is_not_serialized() {
+        let report = RunReport {
+            workflows: BTreeMap::new(),
+            sim_time_secs: 1.0,
+            master_busy_fraction: 0.0,
+            master_tasks_assigned: 0,
+            master_state_returns: 0,
+            worker_syncs: 0,
+            worker_local_updates: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            storage_node_bytes: 0,
+            faastore_local_bytes: 0,
+            live_invocation_states: 0,
+            exec_retries: 0,
+            repartition_failures: 0,
+            faults: FaultReport::default(),
+            overload: OverloadReport::default(),
+            recovery: RecoveryReport::default(),
+            placement: PlacementReport::default(),
+            trace_dropped: 0,
+            resources: None,
+        };
+        let legacy = serde_json::to_string(&report).unwrap();
+        assert!(!legacy.contains("placement"), "{legacy}");
+        let back: RunReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, report);
+
+        let mut enabled = report.clone();
+        enabled.placement.load_aware_partitions = 3;
+        let rendered = serde_json::to_string(&enabled).unwrap();
+        assert!(rendered.contains("placement"), "{rendered}");
+        let back: RunReport = serde_json::from_str(&rendered).unwrap();
+        assert_eq!(back, enabled);
+    }
+
     #[test]
     fn throughput_uses_completion_window() {
         let mut m = WorkflowMetrics {
@@ -401,6 +549,7 @@ mod tests {
             faults: FaultReport::default(),
             overload: OverloadReport::default(),
             recovery: RecoveryReport::default(),
+            placement: PlacementReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -429,6 +578,7 @@ mod tests {
             faults: FaultReport::default(),
             overload: OverloadReport::default(),
             recovery: RecoveryReport::default(),
+            placement: PlacementReport::default(),
             trace_dropped: 0,
             resources: None,
         };

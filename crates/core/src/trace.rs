@@ -277,6 +277,23 @@ pub enum TraceEvent {
         /// Instant.
         at: SimTime,
     },
+    /// The placement layer ran an incremental rebalance sweep: only the
+    /// workflows with groups placed on `worker` were re-placed (via the
+    /// epoch-fenced red-black redeploy path), everyone else kept their
+    /// deployment.
+    PlacementRebalanced {
+        /// The worker whose placed groups triggered the sweep (the skewed
+        /// hot worker, the crashed node, or the most-crowded survivor at a
+        /// restart).
+        worker: NodeId,
+        /// Workflows re-placed by the sweep.
+        workflows: u64,
+        /// `true` when a recovery signal (worker crash or restart)
+        /// triggered it; `false` for steady-state load skew.
+        recovery: bool,
+        /// Instant.
+        at: SimTime,
+    },
     /// A hedged execution resolved: either the hedge or the primary won.
     HedgeResolved {
         /// Workflow.
@@ -318,6 +335,7 @@ impl TraceEvent {
             | TraceEvent::EngineCrashed { at, .. }
             | TraceEvent::EngineRecovered { at, .. }
             | TraceEvent::HedgeLaunched { at, .. }
+            | TraceEvent::PlacementRebalanced { at, .. }
             | TraceEvent::HedgeResolved { at, .. } => *at,
         }
     }
@@ -406,7 +424,8 @@ impl TraceEvent {
             | TraceEvent::LeaseExpired { .. }
             | TraceEvent::BreakerTransition { .. }
             | TraceEvent::EngineCrashed { .. }
-            | TraceEvent::EngineRecovered { .. } => None,
+            | TraceEvent::EngineRecovered { .. }
+            | TraceEvent::PlacementRebalanced { .. } => None,
         }
     }
 }
@@ -484,6 +503,15 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                     Some(w) => format!("engine  up on {w} ({replayed} replayed)"),
                     None => format!("engine  up (master, {replayed} replayed)"),
                 },
+                TraceEvent::PlacementRebalanced {
+                    worker,
+                    workflows,
+                    recovery,
+                    ..
+                } => format!(
+                    "rebal   {workflows} workflow(s) off {worker} ({})",
+                    if *recovery { "recovery" } else { "skew" }
+                ),
                 _ => unreachable!("only node-scoped events lack an invocation"),
             };
             let _ = writeln!(out, "  {t:>9.2} ms  {line}");
@@ -597,7 +625,8 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             | TraceEvent::LeaseExpired { .. }
             | TraceEvent::BreakerTransition { .. }
             | TraceEvent::EngineCrashed { .. }
-            | TraceEvent::EngineRecovered { .. } => {
+            | TraceEvent::EngineRecovered { .. }
+            | TraceEvent::PlacementRebalanced { .. } => {
                 unreachable!("node-scoped events are rendered in the cluster section")
             }
         };

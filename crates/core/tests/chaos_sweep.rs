@@ -25,8 +25,8 @@ use faasflow_container::NodeCaps;
 use faasflow_core::{
     AdaptiveHedge, AdmissionConfig, BackpressureConfig, BreakerConfig, ClientConfig, Cluster,
     ClusterConfig, EngineCrash, EngineTarget, FaultPlan, HedgeConfig, JournalConfig, NetFault,
-    NodeCrash, OverloadConfig, RunReport, ScheduleMode, ShedPolicy, StorageFault, StorageFaultKind,
-    TraceEvent,
+    NodeCrash, OverloadConfig, PlacementConfig, RunReport, ScheduleMode, ShedPolicy, StorageFault,
+    StorageFaultKind, TraceEvent,
 };
 use faasflow_sim::{SimDuration, SimRng};
 use faasflow_wdl::{FunctionProfile, Step, Workflow};
@@ -153,11 +153,25 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
         });
     }
 
+    // Half the seeds run the load-aware placement layer with randomized
+    // knobs (aggressive to lazy rebalancing); the rest stay legacy.
+    let placement_config = if rng.chance(0.5) {
+        PlacementConfig {
+            enabled: true,
+            locality_threshold_bytes: 1 << (12 + rng.next_below(10)), // 4 KiB..2 MiB
+            skew_threshold_pct: 100 + rng.next_below(201) as u32,     // 100..=300
+            rebalance_cooldown: 1 + rng.next_below(16) as u32,        // 1..=16
+        }
+    } else {
+        PlacementConfig::legacy()
+    };
+
     let config = ClusterConfig {
         mode,
         faastore,
         workers,
         seed,
+        placement_config,
         node_caps: NodeCaps {
             cores: 2 + rng.next_below(3) as u32, // 2..=4 — small enough to queue
             ..NodeCaps::default()
@@ -201,7 +215,7 @@ fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
     if std::env::var_os("CHAOS_VERBOSE").is_some() {
         eprintln!(
             "seed {seed}: mode={:?} faastore={} workers={} cores={} fault={:?} overload={:?} \
-             journal={:?} exec_failure_rate={} invocations={invocations}",
+             journal={:?} placement={:?} exec_failure_rate={} invocations={invocations}",
             config.mode,
             config.faastore,
             config.workers,
@@ -209,6 +223,7 @@ fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
             config.fault,
             config.overload,
             config.journal,
+            config.placement_config,
             config.exec_failure_rate
         );
     }

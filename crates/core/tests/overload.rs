@@ -198,6 +198,75 @@ fn shed_policies_are_deterministic_and_attributed() {
     }
 }
 
+/// Priority classes reorder `DeadlineAware` shedding: on overflow the scan
+/// drops the lowest class first, so a premium workflow sharing the same
+/// starved queues keeps completing while the best-effort one absorbs the
+/// sheds.
+#[test]
+fn deadline_aware_shedding_drops_low_priority_first() {
+    fn tiered(name: &str, class: u8) -> Workflow {
+        Workflow::steps(
+            name,
+            Step::sequence(vec![
+                Step::task(
+                    "split",
+                    FunctionProfile::with_millis(40, 2 << 20).priority(class),
+                ),
+                Step::foreach(
+                    "work",
+                    FunctionProfile::with_millis(120, 1 << 20).priority(class),
+                    6,
+                ),
+                Step::task("merge", FunctionProfile::with_millis(30, 0).priority(class)),
+            ]),
+        )
+    }
+    let config = ClusterConfig {
+        mode: ScheduleMode::WorkerSp,
+        faastore: true,
+        workers: 2,
+        node_caps: NodeCaps {
+            cores: 2,
+            ..NodeCaps::default()
+        },
+        qos_target: Some(SimDuration::from_secs(5)),
+        overload: OverloadConfig {
+            admission: Some(AdmissionConfig {
+                queue_capacity: 4,
+                policy: ShedPolicy::DeadlineAware,
+            }),
+            ..OverloadConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config).expect("valid config");
+    cluster
+        .register(
+            &tiered("BestEffort", 0),
+            ClientConfig::ClosedLoop { invocations: 6 },
+        )
+        .expect("registers");
+    cluster
+        .register(
+            &tiered("Premium", 2),
+            ClientConfig::ClosedLoop { invocations: 6 },
+        )
+        .expect("registers");
+    cluster.run_until_idle();
+    let report = cluster.report();
+
+    assert_conserved(&report);
+    let o = &report.overload;
+    assert!(o.shed > 0, "queue never overflowed: {o:?}");
+    assert_eq!(o.shed_deadline, o.shed);
+    let low = report.workflow("BestEffort").shed;
+    let high = report.workflow("Premium").shed;
+    assert!(
+        low > high,
+        "class 0 must absorb the sheds: best-effort shed {low}, premium shed {high}"
+    );
+}
+
 /// A saturated pool pushes back differently per mode: WorkerSP defers the
 /// dispatch locally, MasterSP bounces it through the central engine. Both
 /// must keep liveness (`max_defers` caps the wait) and conservation.

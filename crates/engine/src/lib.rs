@@ -28,4 +28,4 @@ pub mod worker;
 
 pub use master::{MasterAction, MasterEngine};
 pub use trigger::TriggerTracker;
-pub use worker::{WorkerAction, WorkerEngine};
+pub use worker::{EngineLoad, WorkerAction, WorkerEngine};

@@ -101,6 +101,16 @@ impl MasterEngine {
         self.invocations.len()
     }
 
+    /// The central engine's load report. `local_groups` is always 0: the
+    /// master routes task assignments, it hosts no function groups itself.
+    pub fn load(&self) -> crate::worker::EngineLoad {
+        crate::worker::EngineLoad {
+            live_invocations: self.invocations.len(),
+            installed_workflows: self.workflows.len(),
+            local_groups: 0,
+        }
+    }
+
     /// Registers a workflow with its placement (the control-variate routing
     /// of §5.1).
     pub fn install(

@@ -67,6 +67,19 @@ pub struct WorkerEngineStats {
     pub triggers: Counter,
 }
 
+/// The engine's own view of its load, reported up to the cluster's
+/// placement layer and the observability exporters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineLoad {
+    /// Live per-invocation trigger trackers held by the engine.
+    pub live_invocations: usize,
+    /// Workflows with a sub-graph context installed.
+    pub installed_workflows: usize,
+    /// Function groups of those contexts placed on this node (0 for the
+    /// central engine, which routes rather than hosts).
+    pub local_groups: usize,
+}
+
 #[derive(Debug, Clone)]
 struct WorkflowCtx {
     dag: Arc<WorkflowDag>,
@@ -74,12 +87,32 @@ struct WorkflowCtx {
     seed: u64,
 }
 
+/// One in-flight invocation: its trigger tracker plus the workflow context
+/// pinned when the invocation first touched this engine. Routing a live
+/// invocation through a *newer* installed assignment would strand it —
+/// the data-placement decisions and the other engines' sync targets all
+/// follow the pinned version (red-black deployment).
+#[derive(Debug)]
+struct LiveInvocation {
+    tracker: TriggerTracker,
+    ctx: WorkflowCtx,
+}
+
+impl LiveInvocation {
+    fn new(invocation: InvocationId, ctx: WorkflowCtx) -> Self {
+        LiveInvocation {
+            tracker: TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed),
+            ctx,
+        }
+    }
+}
+
 /// The decentralized engine of one worker node.
 #[derive(Debug)]
 pub struct WorkerEngine {
     node: NodeId,
     workflows: HashMap<WorkflowId, WorkflowCtx>,
-    invocations: HashMap<(WorkflowId, InvocationId), TriggerTracker>,
+    invocations: HashMap<(WorkflowId, InvocationId), LiveInvocation>,
     stats: WorkerEngineStats,
 }
 
@@ -109,10 +142,30 @@ impl WorkerEngine {
         self.invocations.len()
     }
 
+    /// The engine's load report: live invocation structures, installed
+    /// workflow contexts, and how many of their groups are placed here.
+    pub fn load(&self) -> EngineLoad {
+        EngineLoad {
+            live_invocations: self.invocations.len(),
+            installed_workflows: self.workflows.len(),
+            local_groups: self
+                .workflows
+                .values()
+                .map(|ctx| {
+                    ctx.assignment
+                        .groups
+                        .iter()
+                        .filter(|g| g.worker == self.node)
+                        .count()
+                })
+                .sum(),
+        }
+    }
+
     /// Installs (or replaces) the sub-graph context of a workflow — called
     /// at every partition iteration when the Graph Scheduler pushes new
-    /// versions. In-flight invocations keep their old trackers (red-black:
-    /// the tracker captured the old `Arc`s).
+    /// versions. In-flight invocations keep their pinned context (red-black:
+    /// only invocations beginning after this call see the new assignment).
     pub fn install(
         &mut self,
         workflow: WorkflowId,
@@ -135,6 +188,34 @@ impl WorkerEngine {
         self.workflows.remove(&workflow);
     }
 
+    /// Pins an invocation to an explicit deployment snapshot before the
+    /// first `begin`/`sync` event reaches this engine. The runtime calls
+    /// this with the invocation's cluster-side pinned version, so every
+    /// engine routes it identically even when a rebalance installed a
+    /// newer assignment in between. A no-op if the invocation already has
+    /// a pinned context here.
+    pub fn ensure_invocation(
+        &mut self,
+        workflow: WorkflowId,
+        invocation: InvocationId,
+        dag: Arc<WorkflowDag>,
+        assignment: Arc<Assignment>,
+        seed: u64,
+    ) {
+        self.invocations
+            .entry((workflow, invocation))
+            .or_insert_with(|| {
+                LiveInvocation::new(
+                    invocation,
+                    WorkflowCtx {
+                        dag,
+                        assignment,
+                        seed,
+                    },
+                )
+            });
+    }
+
     /// Starts an invocation on this worker: triggers every *local* entry
     /// node of the workflow DAG.
     ///
@@ -146,18 +227,19 @@ impl WorkerEngine {
         workflow: WorkflowId,
         invocation: InvocationId,
     ) -> Vec<WorkerAction> {
-        let ctx = self
+        let installed = self
             .workflows
             .get(&workflow)
             .expect("begin_invocation on uninstalled workflow")
             .clone();
-        let tracker = self
+        let live = self
             .invocations
             .entry((workflow, invocation))
-            .or_insert_with(|| TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed));
+            .or_insert_with(|| LiveInvocation::new(invocation, installed));
+        let ctx = live.ctx.clone();
         let mut actions = Vec::new();
         for entry in ctx.dag.entry_nodes() {
-            if ctx.assignment.worker_of(entry) == self.node && tracker.force_trigger(entry) {
+            if ctx.assignment.worker_of(entry) == self.node && live.tracker.force_trigger(entry) {
                 self.stats.triggers.inc();
                 actions.push(WorkerAction::TriggerFunction {
                     workflow,
@@ -183,10 +265,10 @@ impl WorkerEngine {
         invocation: InvocationId,
         function: FunctionId,
     ) -> Vec<WorkerAction> {
-        let Some(tracker) = self.invocations.get_mut(&(workflow, invocation)) else {
+        let Some(live) = self.invocations.get_mut(&(workflow, invocation)) else {
             return Vec::new();
         };
-        if tracker.instance_done(function) {
+        if live.tracker.instance_done(function) {
             self.propagate_completion(workflow, invocation, function)
         } else {
             Vec::new()
@@ -210,29 +292,30 @@ impl WorkerEngine {
         invocation: InvocationId,
         completed: FunctionId,
     ) -> Vec<WorkerAction> {
-        let ctx = self
+        let installed = self
             .workflows
             .get(&workflow)
             .expect("state sync for uninstalled workflow")
             .clone();
-        let tracker = self
+        let live = self
             .invocations
             .entry((workflow, invocation))
-            .or_insert_with(|| TriggerTracker::new(ctx.dag.clone(), invocation, ctx.seed));
-        if !tracker.mark_propagated(completed) {
+            .or_insert_with(|| LiveInvocation::new(invocation, installed));
+        let ctx = live.ctx.clone();
+        if !live.tracker.mark_propagated(completed) {
             return Vec::new();
         }
         let mut actions = Vec::new();
-        let successors = tracker.successors_to_notify(completed);
+        let successors = live.tracker.successors_to_notify(completed);
         for s in successors {
             if ctx.assignment.worker_of(s) != self.node {
                 continue; // another worker owns this successor
             }
-            let tracker = self
+            let live = self
                 .invocations
                 .get_mut(&(workflow, invocation))
                 .expect("tracker created above");
-            if tracker.predecessor_done(s) {
+            if live.tracker.predecessor_done(s) {
                 self.stats.triggers.inc();
                 actions.push(WorkerAction::TriggerFunction {
                     workflow,
@@ -262,7 +345,7 @@ impl WorkerEngine {
     ) -> bool {
         self.invocations
             .get(&(workflow, invocation))
-            .is_some_and(|t| t.is_done(function))
+            .is_some_and(|li| li.tracker.is_done(function))
     }
 
     /// Crash recovery: rebuilds this invocation's tracker from durable
@@ -290,6 +373,9 @@ impl WorkerEngine {
         already_propagated: &[FunctionId],
         inflight: &[(FunctionId, u32)],
     ) -> Vec<WorkerAction> {
+        // Replay deliberately re-pins to the *installed* context: the
+        // recovery layer redeployed before replaying, and the restarted
+        // invocation follows the fresh version.
         let ctx = self
             .workflows
             .get(&workflow)
@@ -360,7 +446,8 @@ impl WorkerEngine {
         for &(f, done) in inflight {
             tracker.set_instances_done(f, done);
         }
-        self.invocations.insert((workflow, invocation), tracker);
+        self.invocations
+            .insert((workflow, invocation), LiveInvocation { tracker, ctx });
         actions
     }
 
@@ -372,15 +459,11 @@ impl WorkerEngine {
         invocation: InvocationId,
         function: FunctionId,
     ) -> Vec<WorkerAction> {
-        let ctx = self
-            .workflows
-            .get(&workflow)
-            .expect("completion for uninstalled workflow")
-            .clone();
-        let tracker = self
+        let live = self
             .invocations
             .get_mut(&(workflow, invocation))
             .expect("completion for unknown invocation");
+        let ctx = live.ctx.clone();
         let mut actions = Vec::new();
         if ctx.dag.successors(function).is_empty() {
             actions.push(WorkerAction::ExitComplete {
@@ -389,7 +472,7 @@ impl WorkerEngine {
                 function,
             });
         }
-        let successors = tracker.successors_to_notify(function);
+        let successors = live.tracker.successors_to_notify(function);
         let mut remote_workers: Vec<NodeId> = Vec::new();
         let mut local: Vec<FunctionId> = Vec::new();
         for s in successors {
@@ -404,11 +487,11 @@ impl WorkerEngine {
         let mut to_run = Vec::new();
         for s in local {
             self.stats.local_updates.inc();
-            let tracker = self
+            let live = self
                 .invocations
                 .get_mut(&(workflow, invocation))
                 .expect("tracker alive during propagation");
-            if tracker.predecessor_done(s) {
+            if live.tracker.predecessor_done(s) {
                 to_run.push(s);
             }
         }

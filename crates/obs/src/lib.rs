@@ -49,5 +49,5 @@ pub mod span;
 
 pub use attribution::{attribute, render_attribution_table, PhaseBreakdown};
 pub use chrome::{chrome_trace, parse_json, JsonDoc};
-pub use prom::prometheus_snapshot;
+pub use prom::{prometheus_snapshot, prometheus_worker_loads};
 pub use span::{build_forest, Annotation, AnnotationKind, Span, SpanForest, SpanKind, SpanTree};

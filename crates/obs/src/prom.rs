@@ -8,7 +8,8 @@
 
 use std::fmt::Write as _;
 
-use faasflow_core::RunReport;
+use faasflow_core::{EngineLoad, RunReport, WorkerLoad};
+use faasflow_sim::NodeId;
 
 fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     let _ = writeln!(out, "# HELP {name} {help}");
@@ -263,6 +264,28 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
         let _ = writeln!(out, "faasflow_overload_total{{kind=\"{kind}\"}} {value}");
     }
 
+    // --- Placement layer --------------------------------------------------
+    // Only rendered when the layer acted, mirroring the report's own
+    // omit-when-zero behaviour (legacy snapshots stay byte-identical).
+    if !report.placement.is_zero() {
+        header(
+            &mut out,
+            "faasflow_placement_total",
+            "Load- and locality-aware placement actions.",
+            "counter",
+        );
+        let p = &report.placement;
+        for (kind, value) in [
+            ("load_aware_partitions", p.load_aware_partitions),
+            ("capacity_fallbacks", p.capacity_fallbacks),
+            ("skew_rebalances", p.skew_rebalances),
+            ("recovery_rebalances", p.recovery_rebalances),
+            ("rebalanced_workflows", p.rebalanced_workflows),
+        ] {
+            let _ = writeln!(out, "faasflow_placement_total{{kind=\"{kind}\"}} {value}");
+        }
+    }
+
     // --- Last resource sample per node -----------------------------------
     if let Some(res) = &report.resources {
         header(
@@ -318,6 +341,34 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
                 out,
                 "faasflow_cluster_load{{gauge=\"inflight_invocations\"}} {}",
                 last.inflight_invocations
+            );
+        }
+    }
+    out
+}
+
+/// Renders the live per-worker load gauges — the placement layer's input
+/// signal, scraped via [`faasflow_core::Cluster::worker_load_snapshot`].
+pub fn prometheus_worker_loads(loads: &[(NodeId, WorkerLoad, EngineLoad)]) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "faasflow_worker_load",
+        "Live per-worker load as seen by the placement layer.",
+        "gauge",
+    );
+    for (node, load, engine) in loads {
+        for (gauge, value) in [
+            ("queued", u64::from(load.queued)),
+            ("running", u64::from(load.running)),
+            ("mem_used_bytes", load.mem_used_bytes),
+            ("recent_p99_ms", u64::from(load.recent_p99_ms)),
+            ("engine_live_invocations", engine.live_invocations as u64),
+            ("engine_local_groups", engine.local_groups as u64),
+        ] {
+            let _ = writeln!(
+                out,
+                "faasflow_worker_load{{node=\"{node}\",gauge=\"{gauge}\"}} {value}"
             );
         }
     }

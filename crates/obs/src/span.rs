@@ -638,7 +638,8 @@ impl TreeBuilder {
             | TraceEvent::LeaseExpired { .. }
             | TraceEvent::BreakerTransition { .. }
             | TraceEvent::EngineCrashed { .. }
-            | TraceEvent::EngineRecovered { .. } => {
+            | TraceEvent::EngineRecovered { .. }
+            | TraceEvent::PlacementRebalanced { .. } => {
                 unreachable!("node-scoped events are handled by the forest builder")
             }
         }

@@ -12,6 +12,37 @@ use faasflow_sim::{FunctionId, SimDuration};
 use faasflow_wdl::{EdgeId, WorkflowDag};
 use serde::{Deserialize, Serialize};
 
+/// Live load snapshot of one worker, fed back from the cluster into
+/// placement decisions alongside the per-node [`RuntimeMetrics`].
+///
+/// Where `Scale(v)`/`Map(v)` describe one workflow's own history, this
+/// describes the *cluster* the workflow is being placed into: instances
+/// other workflows already queued or run on each worker, memory pressure,
+/// and the worker's recently observed tail latency. The partitioner uses it
+/// to score otherwise-equal placement candidates; the cluster additionally
+/// subtracts [`WorkerLoad::busy`] from nominal capacity so bin-packing sees
+/// residual — not nominal — room.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerLoad {
+    /// Admissions waiting in the worker's queue for a container slot.
+    pub queued: u32,
+    /// Instances currently booting or running on the worker.
+    pub running: u32,
+    /// Bytes resident in the worker's in-memory store.
+    pub mem_used_bytes: u64,
+    /// Recently observed p99 end-to-end latency (milliseconds, rounded) of
+    /// invocations whose placement touched this worker; 0 until enough
+    /// samples exist.
+    pub recent_p99_ms: u32,
+}
+
+impl WorkerLoad {
+    /// Container-units of live work: queued plus running instances.
+    pub fn busy(&self) -> u32 {
+        self.queued.saturating_add(self.running)
+    }
+}
+
 /// The per-node metrics one partition iteration runs under.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeMetrics {

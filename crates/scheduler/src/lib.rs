@@ -40,8 +40,8 @@ pub mod partition;
 
 pub use deploy::{DeploymentManager, Version};
 pub use error::ScheduleError;
-pub use feedback::{FeedbackCollector, RuntimeMetrics};
+pub use feedback::{FeedbackCollector, RuntimeMetrics, WorkerLoad};
 pub use partition::{
-    Assignment, ContentionSet, GraphScheduler, Group, PartitionConfig, PlacementStrategy,
-    WorkerInfo,
+    Assignment, ContentionSet, GraphScheduler, Group, PartitionConfig, PlacementConfig,
+    PlacementStrategy, WorkerInfo,
 };

@@ -26,9 +26,15 @@ use faasflow_wdl::{EdgeId, WorkflowDag};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ScheduleError;
-use crate::feedback::RuntimeMetrics;
+use crate::feedback::{RuntimeMetrics, WorkerLoad};
 
 /// How merged groups are placed onto workers (Algorithm 1 line 21).
+///
+/// Note on ties: in legacy mode (see [`PlacementConfig`]) both strategies
+/// break capacity ties toward the lowest worker index, so on a fresh
+/// cluster every small workflow's merged group lands on worker 0 and the
+/// cluster serializes on that node. The load-aware mode replaces the index
+/// tie-break with least-loaded/locality scoring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PlacementStrategy {
     /// Best fit: the worker with the *least* sufficient residual capacity.
@@ -43,6 +49,55 @@ pub enum PlacementStrategy {
     WorstFit,
 }
 
+/// Cluster-wide placement tuning: the load- and locality-aware layer on top
+/// of Algorithm 1's bin-packing.
+///
+/// `Default` is the tested least-loaded configuration. The simulated
+/// cluster opts *out* explicitly via [`PlacementConfig::legacy`], which
+/// keeps the original behavior — random initial placement and the
+/// worker-0-biased capacity tie-break — bit-identical so historical goldens
+/// stay stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Master switch. When false, placement is byte-identical to the
+    /// pre-placement-layer builds (same comparisons, same RNG draws).
+    pub enabled: bool,
+    /// Data-edge affinity below this many bytes is ignored when scoring a
+    /// merged group's candidate workers; above it, co-locating the edge
+    /// (a FaaStore local hit) outranks residual capacity.
+    pub locality_threshold_bytes: u64,
+    /// The cluster's incremental rebalancer fires when the most-loaded
+    /// worker holds more than this percentage of the mean per-worker placed
+    /// group count (e.g. 200 = twice the mean). Must be ≥ 100.
+    pub skew_threshold_pct: u32,
+    /// Minimum completed invocations between skew-triggered rebalance
+    /// sweeps. Must be ≥ 1 when enabled.
+    pub rebalance_cooldown: u32,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            enabled: true,
+            locality_threshold_bytes: 64 << 10,
+            skew_threshold_pct: 200,
+            rebalance_cooldown: 16,
+        }
+    }
+}
+
+impl PlacementConfig {
+    /// The pre-placement-layer behavior: random initial placement and the
+    /// lowest-index capacity tie-break. Bit-identical to builds that
+    /// predate the placement layer.
+    pub fn legacy() -> Self {
+        PlacementConfig {
+            enabled: false,
+            ..PlacementConfig::default()
+        }
+    }
+}
+
 /// Partitioner tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PartitionConfig {
@@ -54,6 +109,9 @@ pub struct PartitionConfig {
     pub max_merges: u32,
     /// Group placement policy.
     pub placement: PlacementStrategy,
+    /// Load- and locality-aware placement tuning.
+    #[serde(default)]
+    pub placement_config: PlacementConfig,
 }
 
 impl Default for PartitionConfig {
@@ -62,6 +120,7 @@ impl Default for PartitionConfig {
             local_edge_weight: SimDuration::from_micros(200),
             max_merges: 100_000,
             placement: PlacementStrategy::WorstFit,
+            placement_config: PlacementConfig::default(),
         }
     }
 }
@@ -72,14 +131,29 @@ impl Default for PartitionConfig {
 pub struct WorkerInfo {
     /// The worker's node id in the cluster.
     pub node: NodeId,
-    /// Containers this node can still host.
+    /// Containers this node can still host. The cluster passes *residual*
+    /// capacity here when load-aware placement is enabled (nominal minus
+    /// live instances), nominal capacity otherwise.
     pub capacity: u32,
+    /// Live load snapshot used to score otherwise-equal candidates.
+    #[serde(default)]
+    pub load: WorkerLoad,
 }
 
 impl WorkerInfo {
-    /// Creates a worker descriptor.
+    /// Creates an unloaded worker descriptor.
     pub fn new(node: NodeId, capacity: u32) -> Self {
-        WorkerInfo { node, capacity }
+        WorkerInfo {
+            node,
+            capacity,
+            load: WorkerLoad::default(),
+        }
+    }
+
+    /// Attaches a live load snapshot.
+    pub fn with_load(mut self, load: WorkerLoad) -> Self {
+        self.load = load;
+        self
     }
 }
 
@@ -266,6 +340,17 @@ impl GraphScheduler {
             });
         }
 
+        // Load-aware mode rotates the deterministic tie-break order once
+        // per partition (a single RNG draw), so equal-score ties land on
+        // different workers across successive partitions instead of always
+        // on index 0. Legacy mode draws nothing here, keeping the RNG
+        // stream — and therefore every historical golden — bit-identical.
+        let rot = if self.config.placement_config.enabled {
+            (rng.next_u64() % workers.len() as u64) as usize
+        } else {
+            0
+        };
+
         let n = dag.node_count();
         // Container demand of each node: ⌈Scale(v)⌉ (0 for virtual nodes).
         let demand: Vec<u32> = (0..n)
@@ -286,12 +371,12 @@ impl GraphScheduler {
         let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
         let mut worker_of_group: Vec<usize> = Vec::with_capacity(n);
         for &node_demand in demand.iter().take(n) {
-            let w = self.place_initial(&cap, node_demand, rng).ok_or_else(|| {
-                ScheduleError::InsufficientCapacity {
+            let w = self
+                .place_initial(workers, &cap, node_demand, rot, rng)
+                .ok_or_else(|| ScheduleError::InsufficientCapacity {
                     required: node_demand,
                     largest_free: cap.iter().copied().max().unwrap_or(0).max(0) as u32,
-                }
-            })?;
+                })?;
             cap[w] -= i64::from(node_demand);
             worker_of_group.push(w);
         }
@@ -372,11 +457,25 @@ impl GraphScheduler {
                 // Line 21: bin-pack the merged group onto a worker.
                 cap[worker_of_group[gs]] += i64::from(n_start);
                 cap[worker_of_group[ge]] += i64::from(n_end);
-                let candidates = (0..workers.len()).filter(|&w| cap[w] >= need);
-                let target = match self.config.placement {
-                    PlacementStrategy::BestFit => candidates.min_by_key(|&w| (cap[w], w)),
-                    PlacementStrategy::WorstFit => {
-                        candidates.max_by_key(|&w| (cap[w], std::cmp::Reverse(w)))
+                let target = if self.config.placement_config.enabled {
+                    self.place_merged(
+                        dag,
+                        workers,
+                        &cap,
+                        &group_of,
+                        &worker_of_group,
+                        gs,
+                        ge,
+                        need,
+                        rot,
+                    )
+                } else {
+                    let candidates = (0..workers.len()).filter(|&w| cap[w] >= need);
+                    match self.config.placement {
+                        PlacementStrategy::BestFit => candidates.min_by_key(|&w| (cap[w], w)),
+                        PlacementStrategy::WorstFit => {
+                            candidates.max_by_key(|&w| (cap[w], std::cmp::Reverse(w)))
+                        }
                     }
                 }
                 .expect("fits_somewhere guaranteed a target");
@@ -433,12 +532,104 @@ impl GraphScheduler {
         })
     }
 
-    /// Random initial placement among workers that can host `demand`.
-    fn place_initial(&self, cap: &[i64], demand: u32, rng: &mut SimRng) -> Option<usize> {
-        let feasible: Vec<usize> = (0..cap.len())
-            .filter(|&w| cap[w] >= i64::from(demand))
-            .collect();
-        rng.pick(&feasible).copied()
+    /// Initial placement among workers that can host `demand` (Algorithm 1
+    /// line 1). Legacy mode picks uniformly at random (the paper's hash
+    /// partition); load-aware mode picks the least-loaded feasible worker
+    /// deterministically: most residual capacity, then the calmest recent
+    /// tail and memory pressure, then the rotated index.
+    fn place_initial(
+        &self,
+        workers: &[WorkerInfo],
+        cap: &[i64],
+        demand: u32,
+        rot: usize,
+        rng: &mut SimRng,
+    ) -> Option<usize> {
+        if self.config.placement_config.enabled {
+            let n = cap.len();
+            (0..n)
+                .filter(|&w| cap[w] >= i64::from(demand))
+                .max_by_key(|&w| {
+                    let l = workers[w].load;
+                    (
+                        cap[w],
+                        std::cmp::Reverse(l.recent_p99_ms),
+                        std::cmp::Reverse(l.mem_used_bytes),
+                        std::cmp::Reverse((w + n - rot) % n),
+                    )
+                })
+        } else {
+            let feasible: Vec<usize> = (0..cap.len())
+                .filter(|&w| cap[w] >= i64::from(demand))
+                .collect();
+            rng.pick(&feasible).copied()
+        }
+    }
+
+    /// Load- and locality-aware variant of Algorithm 1's line 21: among the
+    /// workers that can host the merged group `gs ∪ ge`, prefer (1) the
+    /// worker already holding the heaviest data traffic with the merged
+    /// members — placing the group there turns those edges into FaaStore
+    /// local hits — then (2) the strategy's capacity preference and calmest
+    /// live load, with the rotated index as the final deterministic
+    /// tie-break. Affinity below `locality_threshold_bytes` is ignored so
+    /// trivial edges cannot override load balancing.
+    #[allow(clippy::too_many_arguments)]
+    fn place_merged(
+        &self,
+        dag: &WorkflowDag,
+        workers: &[WorkerInfo],
+        cap: &[i64],
+        group_of: &[usize],
+        worker_of_group: &[usize],
+        gs: usize,
+        ge: usize,
+        need: i64,
+        rot: usize,
+    ) -> Option<usize> {
+        let n = workers.len();
+        let mut affinity = vec![0u64; n];
+        for d in dag.data_edges() {
+            let p = d.producer.index();
+            let c = d.consumer.index();
+            let p_in = group_of[p] == gs || group_of[p] == ge;
+            let c_in = group_of[c] == gs || group_of[c] == ge;
+            if p_in != c_in {
+                let outside = if p_in { c } else { p };
+                affinity[worker_of_group[group_of[outside]]] += d.bytes;
+            }
+        }
+        let threshold = self.config.placement_config.locality_threshold_bytes;
+        let aff = |w: usize| {
+            if affinity[w] >= threshold {
+                affinity[w]
+            } else {
+                0
+            }
+        };
+        let candidates = (0..n).filter(|&w| cap[w] >= need);
+        match self.config.placement {
+            PlacementStrategy::BestFit => candidates.max_by_key(|&w| {
+                let l = workers[w].load;
+                (
+                    aff(w),
+                    std::cmp::Reverse(cap[w]),
+                    std::cmp::Reverse(l.recent_p99_ms),
+                    std::cmp::Reverse(l.mem_used_bytes),
+                    std::cmp::Reverse((w + n - rot) % n),
+                )
+            }),
+            PlacementStrategy::WorstFit => candidates.max_by_key(|&w| {
+                let l = workers[w].load;
+                (
+                    aff(w),
+                    cap[w],
+                    std::cmp::Reverse(l.recent_p99_ms),
+                    std::cmp::Reverse(l.mem_used_bytes),
+                    std::cmp::Reverse((w + n - rot) % n),
+                )
+            }),
+        }
     }
 }
 
@@ -664,6 +855,174 @@ mod tests {
             dag.total_data_bytes(),
             "singleton groups ship every edge"
         );
+    }
+
+    #[test]
+    fn default_placement_config_is_least_loaded() {
+        // Satellite: the new least-loaded tie-break is the *default* of
+        // PlacementConfig; legacy() is the explicit opt-out.
+        assert!(PlacementConfig::default().enabled);
+        assert!(!PlacementConfig::legacy().enabled);
+        assert!(PartitionConfig::default().placement_config.enabled);
+    }
+
+    fn legacy_scheduler() -> GraphScheduler {
+        GraphScheduler::new(PartitionConfig {
+            placement_config: PlacementConfig::legacy(),
+            ..PartitionConfig::default()
+        })
+    }
+
+    #[test]
+    fn legacy_tiebreak_piles_merges_onto_worker_zero() {
+        // Documents the worker-0 bias: on a fresh cluster all capacities
+        // tie, both strategies break toward the lowest index, and every
+        // small workflow's merged group lands on the first worker.
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        for seed in 0..8 {
+            let mut rng = SimRng::seed_from(seed);
+            let a = legacy_scheduler()
+                .partition(
+                    &dag,
+                    &workers(4, 64),
+                    &metrics,
+                    &ContentionSet::default(),
+                    u64::MAX,
+                    &mut rng,
+                )
+                .expect("partition succeeds");
+            assert_eq!(a.groups.len(), 1);
+            assert!(
+                a.node_of.iter().all(|&w| w == NodeId::new(1)),
+                "legacy merge always targets the first worker"
+            );
+        }
+    }
+
+    #[test]
+    fn load_aware_tiebreak_avoids_hot_worker() {
+        // Equal residual capacity everywhere, but workers 0 and 2 carry a
+        // hot recent tail: the merged group must land on the calm worker 1.
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        let hot = WorkerLoad {
+            recent_p99_ms: 900,
+            ..WorkerLoad::default()
+        };
+        let ws = vec![
+            WorkerInfo::new(NodeId::new(1), 64).with_load(hot),
+            WorkerInfo::new(NodeId::new(2), 64),
+            WorkerInfo::new(NodeId::new(3), 64).with_load(hot),
+        ];
+        let mut rng = SimRng::seed_from(42);
+        let a = GraphScheduler::default()
+            .partition(
+                &dag,
+                &ws,
+                &metrics,
+                &ContentionSet::default(),
+                u64::MAX,
+                &mut rng,
+            )
+            .expect("partition succeeds");
+        assert_eq!(a.groups.len(), 1);
+        assert!(a.node_of.iter().all(|&w| w == NodeId::new(2)));
+    }
+
+    #[test]
+    fn load_aware_respects_residual_capacity() {
+        // Worker 0 reports almost no residual room (the cluster already
+        // subtracted its live load); the whole chain must go elsewhere.
+        let wf = chain(&[("a", 50 << 20), ("b", 50 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        let ws = vec![
+            WorkerInfo::new(NodeId::new(1), 1).with_load(WorkerLoad {
+                running: 11,
+                ..WorkerLoad::default()
+            }),
+            WorkerInfo::new(NodeId::new(2), 64),
+        ];
+        let mut rng = SimRng::seed_from(42);
+        let a = GraphScheduler::default()
+            .partition(
+                &dag,
+                &ws,
+                &metrics,
+                &ContentionSet::default(),
+                u64::MAX,
+                &mut rng,
+            )
+            .expect("partition succeeds");
+        assert_eq!(a.groups.len(), 1);
+        assert!(a.node_of.iter().all(|&w| w == NodeId::new(2)));
+    }
+
+    #[test]
+    fn locality_pulls_merge_toward_its_data() {
+        // Only one merge is allowed. {a,b} merge along the 50MB edge; the
+        // 10MB edge b→c should pull the merged group onto whichever worker
+        // already hosts c, co-locating the heavy data edge.
+        let wf = chain(&[("a", 50 << 20), ("b", 10 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        let sched = GraphScheduler::new(PartitionConfig {
+            max_merges: 1,
+            ..PartitionConfig::default()
+        });
+        for seed in 0..8 {
+            let mut rng = SimRng::seed_from(seed);
+            let a = sched
+                .partition(
+                    &dag,
+                    &workers(3, 64),
+                    &metrics,
+                    &ContentionSet::default(),
+                    u64::MAX,
+                    &mut rng,
+                )
+                .expect("partition succeeds");
+            assert_eq!(a.groups.len(), 2, "exactly one merge happened");
+            let ca = a.worker_of(dag.nodes().iter().find(|n| n.name == "a").unwrap().id);
+            let cb = a.worker_of(dag.nodes().iter().find(|n| n.name == "b").unwrap().id);
+            let cc = a.worker_of(dag.nodes().iter().find(|n| n.name == "c").unwrap().id);
+            assert_eq!(ca, cb, "a and b merged");
+            assert_eq!(ca, cc, "the merged group moved onto c's worker");
+        }
+    }
+
+    #[test]
+    fn load_aware_partition_is_deterministic_for_a_seed() {
+        let wf = chain(&[("a", 9 << 20), ("b", 3 << 20), ("c", 0)]);
+        let dag = parse(&wf);
+        let metrics = RuntimeMetrics::initial(&dag);
+        let hot = WorkerLoad {
+            queued: 3,
+            running: 2,
+            mem_used_bytes: 5 << 20,
+            recent_p99_ms: 120,
+        };
+        let mk = || {
+            let mut rng = SimRng::seed_from(123);
+            GraphScheduler::default()
+                .partition(
+                    &dag,
+                    &[
+                        WorkerInfo::new(NodeId::new(1), 16).with_load(hot),
+                        WorkerInfo::new(NodeId::new(2), 16),
+                        WorkerInfo::new(NodeId::new(3), 9),
+                    ],
+                    &metrics,
+                    &ContentionSet::default(),
+                    u64::MAX,
+                    &mut rng,
+                )
+                .expect("partition succeeds")
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]

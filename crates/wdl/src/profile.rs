@@ -21,7 +21,7 @@ pub const DEFAULT_PROVISIONED_MEM: u64 = 256 << 20;
 /// assert_eq!(p.exec_mean.as_millis_f64(), 120.0);
 /// assert_eq!(p.output_bytes, 4 << 20);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FunctionProfile {
     /// Mean execution time of one instance (compute only, excluding data
     /// fetch/store, which the engines add on top).
@@ -37,6 +37,50 @@ pub struct FunctionProfile {
     pub peak_mem_bytes: u64,
     /// Provisioned container memory — the paper's `Mem(v)` in Eq. (1).
     pub provisioned_mem_bytes: u64,
+    /// Priority class: higher values are shed later under overload
+    /// (`ShedPolicy::DeadlineAware` drops the lowest class first). The
+    /// default class 0 keeps the legacy earliest-deadline-only ordering.
+    pub priority: u8,
+}
+
+// Serialization is hand-written so the `priority` field stays optional on
+// the wire: class-0 profiles serialize exactly as they did before the field
+// existed, and legacy workflow JSON (no `priority` key) deserializes to
+// class 0.
+impl Serialize for FunctionProfile {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = vec![
+            ("exec_mean".to_string(), self.exec_mean.to_value()),
+            ("exec_cv".to_string(), self.exec_cv.to_value()),
+            ("output_bytes".to_string(), self.output_bytes.to_value()),
+            ("peak_mem_bytes".to_string(), self.peak_mem_bytes.to_value()),
+            (
+                "provisioned_mem_bytes".to_string(),
+                self.provisioned_mem_bytes.to_value(),
+            ),
+        ];
+        if self.priority != 0 {
+            m.push(("priority".to_string(), self.priority.to_value()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for FunctionProfile {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let m = serde::expect_map(value, "FunctionProfile")?;
+        Ok(FunctionProfile {
+            exec_mean: serde::field(m, "exec_mean", "FunctionProfile")?,
+            exec_cv: serde::field(m, "exec_cv", "FunctionProfile")?,
+            output_bytes: serde::field(m, "output_bytes", "FunctionProfile")?,
+            peak_mem_bytes: serde::field(m, "peak_mem_bytes", "FunctionProfile")?,
+            provisioned_mem_bytes: serde::field(m, "provisioned_mem_bytes", "FunctionProfile")?,
+            priority: match m.iter().find(|(k, _)| k == "priority") {
+                Some((_, v)) => u8::from_value(v)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 impl FunctionProfile {
@@ -50,7 +94,15 @@ impl FunctionProfile {
             output_bytes,
             peak_mem_bytes: 64 << 20,
             provisioned_mem_bytes: DEFAULT_PROVISIONED_MEM,
+            priority: 0,
         }
+    }
+
+    /// Sets the priority class (higher survives overload shedding longer),
+    /// returning the modified profile.
+    pub fn priority(mut self, class: u8) -> Self {
+        self.priority = class;
+        self
     }
 
     /// Sets the peak memory usage (`S`), returning the modified profile.
@@ -160,6 +212,24 @@ mod tests {
         // Clamp at zero when the function already uses everything.
         let tight = p.peak_mem(250 << 20);
         assert_eq!(tight.overprovisioned_bytes(mu), 0);
+    }
+
+    #[test]
+    fn priority_is_optional_on_the_wire() {
+        // Class 0 serializes exactly as the field-less legacy format…
+        let p = FunctionProfile::with_millis(10, 0);
+        let json = serde_json::to_string(&p).expect("serializes");
+        assert!(!json.contains("priority"), "class 0 stays off the wire");
+        // …and legacy JSON (no `priority` key) deserializes to class 0.
+        let back: FunctionProfile = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, p);
+        assert_eq!(back.priority, 0);
+        // Non-zero classes round-trip.
+        let hi = p.priority(3);
+        let json = serde_json::to_string(&hi).expect("serializes");
+        assert!(json.contains("\"priority\":3"));
+        let back: FunctionProfile = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, hi);
     }
 
     #[test]
