@@ -26,7 +26,9 @@
 //!   perf        hot-path microbenchmarks -> BENCH_kernel.json
 //!   trace       causal spans, resource series, phase attribution
 //!               -> trace_*.json (Perfetto) + metrics_*.prom
-//!   all         everything above in order (perf and trace excluded)
+//!   critpath    observed critical path per invocation: phase shares,
+//!               what-if speedup bounds, MasterSP vs WorkerSP bottlenecks
+//!   all         everything above in order (perf, trace, critpath excluded)
 //! ```
 //!
 //! `--trace-out DIR` redirects the `trace` artifacts (default: cwd).
@@ -165,6 +167,7 @@ fn main() {
         "placement" => placement(&scale),
         "perf" => perf(quick),
         "trace" => trace_scenario(&scale, trace_out.as_deref().unwrap_or(".")),
+        "critpath" => critpath_scenario(&scale),
         "all" => {
             fig4(&scale);
             fig5(&scale);
@@ -1576,6 +1579,107 @@ fn trace_scenario(scale: &Scale, out_dir: &str) {
     );
     println!("span-derived e2e and transfer sums reconcile with the report histograms.");
     println!("open the trace_*.json files at ui.perfetto.dev to browse the spans.");
+}
+
+// ====================================================================
+// critpath — observed critical path and what-if latency bounds
+// ====================================================================
+
+fn critpath_scenario(scale: &Scale) {
+    use faasflow_obs::{
+        aggregate, build_forest, extract, render_critpath_table, render_whatif_table, what_if_all,
+        CritPhase, WorkflowWhatIf,
+    };
+    use faasflow_workloads::deterministic_exec;
+
+    println!("\n=== Critical path: observed bottleneck chain & what-if bounds ===");
+    let n = scale.closed.min(20);
+    println!("(real-world benchmarks, deterministic exec, {n} closed-loop invocations each)");
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+    let mut names: std::collections::HashMap<faasflow_sim::WorkflowId, String> = Default::default();
+    let mut statics: std::collections::HashMap<faasflow_sim::WorkflowId, f64> = Default::default();
+    let mut cp_sections = Vec::new();
+    let mut wi_sections: Vec<(String, Vec<WorkflowWhatIf>)> = Vec::new();
+    for (label, base) in [
+        ("MasterSP", master_config()),
+        ("WorkerSP", faasflow_config()),
+    ] {
+        let mut cluster = Cluster::new(ClusterConfig {
+            trace: true,
+            ..base
+        })
+        .expect("valid experiment configuration");
+        for bench in Benchmark::REAL_WORLD {
+            // Zero exec variation so the observed exec-only floor provably
+            // dominates the DAG's static critical_path_exec() bound.
+            cluster
+                .register(
+                    &deterministic_exec(&bench.workflow()),
+                    ClientConfig::ClosedLoop { invocations: n },
+                )
+                .expect("registers");
+        }
+        cluster.run_until_idle();
+        let report = cluster.report();
+        assert_eq!(report.trace_dropped, 0, "{label}: run fits the trace cap");
+        // Non-consuming accessor: the cluster keeps its trace, so the
+        // report and the forest describe the same run.
+        let forest = build_forest(cluster.trace());
+        forest.validate().expect("span forest well-formed");
+        let paths = extract(&forest);
+        for (path, tree) in paths.iter().zip(&forest.trees) {
+            // The chain is contiguous, causally ordered, and sums exactly
+            // to the invocation makespan.
+            path.validate(tree)
+                .unwrap_or_else(|e| panic!("{label}: invalid critical path: {e}"));
+            let static_exec = cluster
+                .critical_exec(path.workflow)
+                .expect("registered workflow")
+                .as_millis_f64();
+            let exec = path.phase_total(CritPhase::Exec).as_millis_f64();
+            assert!(
+                exec >= static_exec - 1e-6,
+                "{label}/{}: observed exec {exec} ms below static bound {static_exec} ms",
+                path.workflow
+            );
+            statics.insert(path.workflow, static_exec);
+            if let Some(name) = cluster.workflow_name(path.workflow) {
+                names.insert(path.workflow, name.to_string());
+            }
+        }
+        let rows = aggregate(&paths);
+        for row in &rows {
+            let share_sum: f64 = CritPhase::ALL.iter().map(|&p| row.share(p)).sum();
+            assert!(
+                row.total_ms == 0.0 || close(share_sum, 1.0),
+                "{label}/{}: phase shares sum to {share_sum}, not 1",
+                row.workflow
+            );
+        }
+        let bounds = what_if_all(&rows);
+        println!(
+            "{label}: {} invocations validated; every chain sums to its makespan",
+            paths.len()
+        );
+        cp_sections.push((label.to_string(), rows));
+        wi_sections.push((label.to_string(), bounds));
+    }
+    println!("\ncritical-path phase shares (chain ms = makespan, % of chain):");
+    print!(
+        "{}",
+        render_critpath_table(&cp_sections, |wf| names[&wf].clone())
+    );
+    println!("\nwhat-if upper bounds (mean ms per invocation, max speedup):");
+    print!(
+        "{}",
+        render_whatif_table(
+            &wi_sections,
+            |wf| names[&wf].clone(),
+            |wf| statics.get(&wf).copied(),
+        )
+    );
+    println!("observed >= exec-only >= static critical_path_exec() on every invocation.");
+    println!("the gap between columns is the most any one optimization can recover.");
 }
 
 // ====================================================================

@@ -49,6 +49,7 @@ use crate::metrics::{
 };
 use crate::overload::{AdmissionConfig, BackpressureConfig, P2Quantile, ShedPolicy};
 use crate::sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport, Ring};
+use crate::slo::{SloMonitor, SloTransition};
 use crate::trace::{TraceEvent, Tracer};
 
 /// Tag attached to every network flow.
@@ -508,6 +509,8 @@ pub struct Cluster {
     /// Placement-layer accounting (load-aware partitions, fallbacks,
     /// incremental rebalances).
     placement: PlacementReport,
+    /// Online SLO burn-rate monitor (`None` unless `config.slo` is set).
+    slo: Option<SloMonitor>,
     /// Streaming p99 of end-to-end latency per worker, attributed to every
     /// worker an invocation's placement touched. Only fed when the
     /// placement layer is enabled, so legacy runs are bit-identical.
@@ -620,6 +623,7 @@ impl Cluster {
             recovery: RecoveryReport::default(),
             overload: OverloadReport::default(),
             placement: PlacementReport::default(),
+            slo: config.slo.as_ref().map(SloMonitor::new),
             worker_p99: (0..config.workers).map(|_| P2Quantile::new(0.99)).collect(),
             completions_since_skew_check: 0,
             tracer: Tracer::new(config.trace, config.trace_capacity),
@@ -744,6 +748,9 @@ impl Cluster {
         };
         self.partition_and_deploy(wf, &mut state)?;
         self.workflows.insert(wf, state);
+        if let Some(slo) = &mut self.slo {
+            slo.bind(workflow.name.as_str(), wf);
+        }
         debug_assert_eq!(self.name_table.len(), wf.index());
         self.name_table.push(name.clone());
         self.names.insert(name, wf);
@@ -941,6 +948,43 @@ impl Cluster {
         self.tracer.take()
     }
 
+    /// The recorded trace without draining it (empty unless `config.trace`
+    /// is set) — lets callers both assemble a span forest and later export
+    /// the raw stream without cloning.
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.tracer.events()
+    }
+
+    /// The static critical-path execution time of a registered workflow's
+    /// DAG — the `dag.critical_path_exec()` lower bound every observed
+    /// critical path is measured against.
+    pub fn critical_exec(&self, wf: WorkflowId) -> Option<SimDuration> {
+        self.workflows.get(&wf).map(|ws| ws.critical_exec)
+    }
+
+    /// Feeds one terminal outcome to the SLO monitor (no-op when
+    /// `config.slo` is unset) and traces any alert transitions.
+    fn slo_evaluate(&mut self, now: SimTime, wf: WorkflowId, e2e: SimDuration, bad_outcome: bool) {
+        let Some(slo) = &mut self.slo else { return };
+        for transition in slo.evaluate(wf, e2e, bad_outcome) {
+            self.tracer.record(|| match transition {
+                SloTransition::Fired {
+                    workflow,
+                    fast_burn,
+                    slow_burn,
+                } => TraceEvent::SloAlertFired {
+                    workflow,
+                    fast_burn,
+                    slow_burn,
+                    at: now,
+                },
+                SloTransition::Resolved { workflow } => {
+                    TraceEvent::SloAlertResolved { workflow, at: now }
+                }
+            });
+        }
+    }
+
     /// Time-averaged and peak CPU/memory usage per worker, up to the
     /// current simulated instant (§5.6–5.7).
     pub fn utilization(&self) -> Vec<WorkerUtilization> {
@@ -1099,6 +1143,11 @@ impl Cluster {
             overload: self.overload,
             placement: self.placement,
             recovery,
+            slo: self
+                .slo
+                .as_ref()
+                .map(SloMonitor::report)
+                .unwrap_or_default(),
             trace_dropped: self.tracer.dropped(),
             resources: self.resources_snapshot(),
         }
@@ -1907,6 +1956,7 @@ impl Cluster {
             at: now,
             timed_out: state.timed_out,
         });
+        self.slo_evaluate(now, wf, now - state.started, state.timed_out);
 
         // Metrics (skip latency if the timeout already recorded it).
         let ws = self.workflows.get_mut(&wf).expect("workflow exists");
@@ -4359,6 +4409,9 @@ impl Cluster {
                 });
             }
         }
+        // Abandoned invocations never completed: they always consume SLO
+        // error budget, whatever their elapsed time was.
+        self.slo_evaluate(now, wf, now - state.started, true);
         self.cancel_invocation_flows(now, wf, inv);
         let mut stale = std::mem::take(&mut self.scratch.stale);
         stale.extend(state.instances.drain());

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::fault::{EngineTarget, FaultPlan};
 use crate::journal::JournalConfig;
 use crate::overload::OverloadConfig;
+use crate::slo::SloConfig;
 
 /// How FaaStore takes memory back from containers (§4.3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -159,6 +160,11 @@ pub struct ClusterConfig {
     /// Engine write-ahead journaling for crash recovery. Off by default
     /// (runs are then bit-identical to pre-journal builds).
     pub journal: JournalConfig,
+    /// Online SLO burn-rate monitoring: per-workflow latency objectives
+    /// evaluated deterministically on completions, with multi-window
+    /// burn-rate alerting. `None` (the default) evaluates nothing and
+    /// draws no RNG — runs are then bit-identical to pre-SLO builds.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -194,6 +200,7 @@ impl Default for ClusterConfig {
             fault: FaultPlan::default(),
             overload: OverloadConfig::default(),
             journal: JournalConfig::default(),
+            slo: None,
         }
     }
 }
@@ -299,6 +306,9 @@ impl ClusterConfig {
             }
         }
         self.overload.validate(self.timeout, self.qos_target)?;
+        if let Some(slo) = &self.slo {
+            slo.validate()?;
+        }
         if self.mode == ScheduleMode::MasterSp && self.faastore {
             return Err(
                 "FaaStore requires WorkerSP (the baseline always uses the remote store)"
@@ -371,6 +381,31 @@ mod tests {
         assert_eq!(c.worker_index(ClusterConfig::MASTER_NODE), None);
         assert_eq!(c.worker_index(NodeId::new(7)), Some(6));
         assert_eq!(c.worker_index(NodeId::new(8)), None);
+    }
+
+    #[test]
+    fn inconsistent_slo_config_is_rejected() {
+        use crate::slo::SloObjective;
+        let mut c = ClusterConfig {
+            slo: Some(SloConfig {
+                objectives: vec![SloObjective {
+                    workflow: "wf".to_string(),
+                    ..SloObjective::default()
+                }],
+            }),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        c.slo = Some(SloConfig { objectives: vec![] });
+        assert!(c.validate().is_err());
+        c.slo = Some(SloConfig {
+            objectives: vec![SloObjective {
+                workflow: "wf".to_string(),
+                error_budget: 0.0,
+                ..SloObjective::default()
+            }],
+        });
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod journal;
 pub mod metrics;
 pub mod overload;
 pub mod sample;
+pub mod slo;
 pub mod trace;
 
 pub use cluster::Cluster;
@@ -67,6 +68,7 @@ pub use overload::{
     OverloadConfig, P2Quantile, ShedPolicy,
 };
 pub use sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport};
+pub use slo::{SloConfig, SloObjective, SloReport};
 pub use trace::TraceEvent;
 // Placement-layer types threaded through the cluster's public surface.
 pub use faasflow_engine::EngineLoad;

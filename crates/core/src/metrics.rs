@@ -6,6 +6,8 @@ use faasflow_sim::stats::{Histogram, Summary};
 use faasflow_sim::{NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::slo::SloReport;
+
 /// Per-workflow measurement accumulators (crate-internal mutable side).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct WorkflowMetrics {
@@ -144,6 +146,10 @@ pub struct RunReport {
     /// from serialized reports in that case so legacy goldens stay
     /// bit-identical).
     pub placement: PlacementReport,
+    /// SLO burn-rate monitoring accounting (all zero when
+    /// [`crate::ClusterConfig::slo`] is unset; omitted from serialized
+    /// reports in that case so pre-SLO goldens stay bit-identical).
+    pub slo: SloReport,
     /// Trace events rejected by the `trace_capacity` cap (0 when tracing
     /// is off or the cap was never hit).
     pub trace_dropped: u64,
@@ -179,6 +185,9 @@ impl Serialize for RunReport {
         put!(recovery);
         if !self.placement.is_zero() {
             put!(placement);
+        }
+        if !self.slo.is_zero() {
+            put!(slo);
         }
         put!(trace_dropped);
         put!(resources);
@@ -216,6 +225,11 @@ impl Deserialize for RunReport {
             placement: match m.iter().find(|(k, _)| k == "placement") {
                 Some((_, v)) => PlacementReport::from_value(v)?,
                 None => PlacementReport::default(),
+            },
+            // Absent in pre-SLO reports (and runs without an SloConfig).
+            slo: match m.iter().find(|(k, _)| k == "slo") {
+                Some((_, v)) => SloReport::from_value(v)?,
+                None => SloReport::default(),
             },
             trace_dropped: get!(trace_dropped),
             resources: get!(resources),
@@ -485,6 +499,7 @@ mod tests {
             overload: OverloadReport::default(),
             recovery: RecoveryReport::default(),
             placement: PlacementReport::default(),
+            slo: SloReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -550,6 +565,7 @@ mod tests {
             overload: OverloadReport::default(),
             recovery: RecoveryReport::default(),
             placement: PlacementReport::default(),
+            slo: SloReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -579,6 +595,7 @@ mod tests {
             overload: OverloadReport::default(),
             recovery: RecoveryReport::default(),
             placement: PlacementReport::default(),
+            slo: SloReport::default(),
             trace_dropped: 0,
             resources: None,
         };

@@ -1,0 +1,453 @@
+//! Online SLO burn-rate monitoring.
+//!
+//! A latency SLO per workflow ("p-fraction of invocations complete within
+//! `target`", expressed as an error budget: the allowed fraction of slow
+//! invocations) evaluated **deterministically** on completion events — no
+//! wall clock, no RNG, no sampling. Alerting follows the multi-window
+//! burn-rate pattern from SRE practice: the *burn rate* is how fast the
+//! error budget is being consumed relative to the allowed rate, and an
+//! alert fires only when both a fast (small) and a slow (large) sliding
+//! window exceed their thresholds — the fast window gives low detection
+//! latency, the slow window suppresses one-off blips.
+//!
+//! Windows are **count-based** (last N completed invocations) rather than
+//! time-based: completion order is deterministic in the simulation, so the
+//! whole monitor is a pure fold over the completion stream. With
+//! [`crate::ClusterConfig::slo`] unset (the default) nothing is evaluated,
+//! no RNG is drawn, and every pre-SLO run stays bit-identical.
+
+use std::collections::VecDeque;
+
+use faasflow_sim::{SimDuration, WorkflowId};
+use serde::{Deserialize, Serialize};
+
+/// One per-workflow latency objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloObjective {
+    /// Name of the workflow the objective applies to (matched against
+    /// [`crate::Cluster::register`]ed workflow names; an objective naming
+    /// a workflow that is never registered simply never evaluates).
+    pub workflow: String,
+    /// Latency target: an invocation slower than this (or timed out, or
+    /// dead-lettered/shed before completing) consumes error budget.
+    pub target: SimDuration,
+    /// Allowed fraction of bad invocations, in `(0, 1]`. Burn rate is the
+    /// observed bad fraction divided by this budget: burn 1.0 = consuming
+    /// budget exactly as fast as allowed.
+    pub error_budget: f64,
+    /// Completions in the fast (detection) sliding window.
+    pub fast_window: u32,
+    /// Completions in the slow (confirmation) sliding window. Must be at
+    /// least `fast_window`.
+    pub slow_window: u32,
+    /// Burn-rate threshold the fast window must exceed to fire.
+    pub fast_burn: f64,
+    /// Burn-rate threshold the slow window must exceed to fire. Must not
+    /// exceed `fast_burn` (the slow window smooths, so its threshold is
+    /// the lower of the pair).
+    pub slow_burn: f64,
+}
+
+impl Default for SloObjective {
+    fn default() -> Self {
+        SloObjective {
+            workflow: String::new(),
+            target: SimDuration::from_secs(1),
+            error_budget: 0.05,
+            // The classic 1h/6h multi-window pair, translated to counts.
+            fast_window: 8,
+            slow_window: 32,
+            fast_burn: 2.0,
+            slow_burn: 1.0,
+        }
+    }
+}
+
+impl SloObjective {
+    /// Checks the objective for internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workflow.is_empty() {
+            return Err("SLO objective names an empty workflow".to_string());
+        }
+        if self.target == SimDuration::ZERO {
+            return Err(format!("SLO target for '{}' is zero", self.workflow));
+        }
+        if !(self.error_budget > 0.0 && self.error_budget <= 1.0) {
+            return Err(format!(
+                "SLO error budget for '{}' must be in (0, 1], got {}",
+                self.workflow, self.error_budget
+            ));
+        }
+        if self.fast_window == 0 {
+            return Err(format!("SLO fast window for '{}' is zero", self.workflow));
+        }
+        if self.slow_window < self.fast_window {
+            return Err(format!(
+                "SLO slow window for '{}' ({}) is smaller than the fast window ({})",
+                self.workflow, self.slow_window, self.fast_window
+            ));
+        }
+        if self.fast_burn <= 0.0 || !self.fast_burn.is_finite() {
+            return Err(format!(
+                "SLO fast burn threshold for '{}' must be positive and finite",
+                self.workflow
+            ));
+        }
+        if self.slow_burn <= 0.0 || !self.slow_burn.is_finite() {
+            return Err(format!(
+                "SLO slow burn threshold for '{}' must be positive and finite",
+                self.workflow
+            ));
+        }
+        if self.slow_burn > self.fast_burn {
+            return Err(format!(
+                "SLO slow burn threshold for '{}' ({}) exceeds the fast threshold ({})",
+                self.workflow, self.slow_burn, self.fast_burn
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The SLO monitor configuration: a set of latency objectives.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Objectives, evaluated in order on every completion of the named
+    /// workflow. Several objectives may target the same workflow (e.g. a
+    /// tight p95-style target and a loose p99-style one).
+    pub objectives: Vec<SloObjective>,
+}
+
+impl SloConfig {
+    /// Validates every objective.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.objectives.is_empty() {
+            return Err("SLO config has no objectives".to_string());
+        }
+        for objective in &self.objectives {
+            objective.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate SLO counters for [`crate::RunReport`]. All-zero (and omitted
+/// from serialized reports) when no [`SloConfig`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Configured objectives.
+    pub objectives: u32,
+    /// Completion events evaluated against some objective.
+    pub evaluations: u64,
+    /// Evaluations that consumed error budget (missed the target, timed
+    /// out, or ended dead-lettered/shed).
+    pub violations: u64,
+    /// Alert transitions inactive → active.
+    pub alerts_fired: u64,
+    /// Alert transitions active → inactive.
+    pub alerts_resolved: u64,
+    /// Highest fast-window burn rate observed across all objectives.
+    pub worst_fast_burn: f64,
+    /// Highest slow-window burn rate observed across all objectives.
+    pub worst_slow_burn: f64,
+}
+
+impl SloReport {
+    /// True when no SLO was configured and nothing happened — the report
+    /// block is then omitted from serialized output so pre-SLO goldens
+    /// stay bit-identical.
+    pub fn is_zero(&self) -> bool {
+        *self == SloReport::default()
+    }
+}
+
+/// A sliding window over the last `cap` completions.
+#[derive(Debug)]
+struct BurnWindow {
+    window: VecDeque<bool>,
+    cap: usize,
+    bad: u32,
+}
+
+impl BurnWindow {
+    fn new(cap: u32) -> Self {
+        let cap = cap as usize;
+        BurnWindow {
+            window: VecDeque::with_capacity(cap),
+            cap,
+            bad: 0,
+        }
+    }
+
+    fn push(&mut self, bad: bool) {
+        if self.window.len() == self.cap && self.window.pop_front() == Some(true) {
+            self.bad -= 1;
+        }
+        self.window.push_back(bad);
+        if bad {
+            self.bad += 1;
+        }
+    }
+
+    /// Bad fraction over the window contents, divided by the error budget.
+    fn burn(&self, budget: f64) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            (f64::from(self.bad) / self.window.len() as f64) / budget
+        }
+    }
+}
+
+/// An alert state transition produced by one completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SloTransition {
+    /// Both windows crossed their thresholds; the alert went active.
+    Fired {
+        /// The objective's workflow.
+        workflow: WorkflowId,
+        /// Fast-window burn rate at the transition.
+        fast_burn: f64,
+        /// Slow-window burn rate at the transition.
+        slow_burn: f64,
+    },
+    /// Some window dropped below its threshold; the alert went inactive.
+    Resolved {
+        /// The objective's workflow.
+        workflow: WorkflowId,
+    },
+}
+
+#[derive(Debug)]
+struct ObjectiveState {
+    spec: SloObjective,
+    /// Resolved at registration time; `None` until (and unless) a workflow
+    /// with the matching name registers.
+    workflow: Option<WorkflowId>,
+    fast: BurnWindow,
+    slow: BurnWindow,
+    alert: bool,
+}
+
+/// Per-cluster monitor state: one [`ObjectiveState`] per configured
+/// objective, folded over the deterministic completion stream.
+#[derive(Debug)]
+pub(crate) struct SloMonitor {
+    objectives: Vec<ObjectiveState>,
+    report: SloReport,
+}
+
+impl SloMonitor {
+    pub(crate) fn new(config: &SloConfig) -> Self {
+        let objectives: Vec<ObjectiveState> = config
+            .objectives
+            .iter()
+            .map(|spec| ObjectiveState {
+                workflow: None,
+                fast: BurnWindow::new(spec.fast_window),
+                slow: BurnWindow::new(spec.slow_window),
+                alert: false,
+                spec: spec.clone(),
+            })
+            .collect();
+        let report = SloReport {
+            objectives: objectives.len() as u32,
+            ..SloReport::default()
+        };
+        SloMonitor { objectives, report }
+    }
+
+    /// Binds objectives naming `name` to the registered workflow id.
+    pub(crate) fn bind(&mut self, name: &str, workflow: WorkflowId) {
+        for state in &mut self.objectives {
+            if state.spec.workflow == name {
+                state.workflow = Some(workflow);
+            }
+        }
+    }
+
+    /// Evaluates one terminal invocation outcome. `bad_outcome` marks
+    /// terminal states that never produced a latency (dead-letter, shed):
+    /// those always consume budget. Returns the alert transitions this
+    /// completion caused, in objective order.
+    pub(crate) fn evaluate(
+        &mut self,
+        workflow: WorkflowId,
+        e2e: SimDuration,
+        bad_outcome: bool,
+    ) -> Vec<SloTransition> {
+        let mut transitions = Vec::new();
+        for state in &mut self.objectives {
+            if state.workflow != Some(workflow) {
+                continue;
+            }
+            let bad = bad_outcome || e2e > state.spec.target;
+            self.report.evaluations += 1;
+            if bad {
+                self.report.violations += 1;
+            }
+            state.fast.push(bad);
+            state.slow.push(bad);
+            let fast_burn = state.fast.burn(state.spec.error_budget);
+            let slow_burn = state.slow.burn(state.spec.error_budget);
+            if fast_burn > self.report.worst_fast_burn {
+                self.report.worst_fast_burn = fast_burn;
+            }
+            if slow_burn > self.report.worst_slow_burn {
+                self.report.worst_slow_burn = slow_burn;
+            }
+            let firing = fast_burn >= state.spec.fast_burn && slow_burn >= state.spec.slow_burn;
+            if firing && !state.alert {
+                state.alert = true;
+                self.report.alerts_fired += 1;
+                transitions.push(SloTransition::Fired {
+                    workflow,
+                    fast_burn,
+                    slow_burn,
+                });
+            } else if !firing && state.alert {
+                state.alert = false;
+                self.report.alerts_resolved += 1;
+                transitions.push(SloTransition::Resolved { workflow });
+            }
+        }
+        transitions
+    }
+
+    pub(crate) fn report(&self) -> SloReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objective(workflow: &str) -> SloObjective {
+        SloObjective {
+            workflow: workflow.to_string(),
+            target: SimDuration::from_millis(100),
+            error_budget: 0.1,
+            fast_window: 2,
+            slow_window: 4,
+            fast_burn: 5.0,
+            slow_burn: 2.5,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_objectives() {
+        assert!(objective("wf").validate().is_ok());
+        assert!(objective("").validate().is_err());
+        let mut o = objective("wf");
+        o.target = SimDuration::ZERO;
+        assert!(o.validate().is_err());
+        let mut o = objective("wf");
+        o.error_budget = 0.0;
+        assert!(o.validate().is_err());
+        let mut o = objective("wf");
+        o.error_budget = 1.5;
+        assert!(o.validate().is_err());
+        let mut o = objective("wf");
+        o.fast_window = 0;
+        assert!(o.validate().is_err());
+        let mut o = objective("wf");
+        o.slow_window = 1;
+        assert!(o.validate().is_err());
+        let mut o = objective("wf");
+        o.slow_burn = o.fast_burn + 1.0;
+        assert!(o.validate().is_err());
+        assert!(SloConfig { objectives: vec![] }.validate().is_err());
+        assert!(SloConfig {
+            objectives: vec![objective("wf")]
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn window_evicts_and_counts() {
+        let mut w = BurnWindow::new(2);
+        assert_eq!(w.burn(0.1), 0.0);
+        w.push(true);
+        assert!((w.burn(0.1) - 10.0).abs() < 1e-12); // 1/1 bad / 0.1
+        w.push(false);
+        assert!((w.burn(0.1) - 5.0).abs() < 1e-12); // 1/2 bad / 0.1
+        w.push(false); // evicts the bad one
+        assert_eq!(w.burn(0.1), 0.0);
+    }
+
+    #[test]
+    fn alert_fires_once_and_resolves() {
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![objective("wf")],
+        });
+        let wf = WorkflowId::new(0);
+        m.bind("wf", wf);
+        let slow = SimDuration::from_millis(500);
+        let fast = SimDuration::from_millis(10);
+
+        // First miss: fast burn = (1/1)/0.1 = 10 >= 5, slow = 10 >= 2.5
+        // -> fires immediately, exactly once.
+        let t = m.evaluate(wf, slow, false);
+        assert!(matches!(t.as_slice(), [SloTransition::Fired { .. }]));
+        // Still violating: no duplicate fire.
+        assert!(m.evaluate(wf, slow, false).is_empty());
+        assert!(m.evaluate(wf, slow, false).is_empty());
+
+        // One hit: fast burn = (1/2)/0.1 = 5, still >= 5 -> no transition;
+        // a second hit empties the fast window of misses -> resolves.
+        assert!(m.evaluate(wf, fast, false).is_empty());
+        let t = m.evaluate(wf, fast, false);
+        assert_eq!(t.as_slice(), [SloTransition::Resolved { workflow: wf }]);
+
+        let report = m.report();
+        assert_eq!(report.objectives, 1);
+        assert_eq!(report.evaluations, 5);
+        assert_eq!(report.violations, 3);
+        assert_eq!(report.alerts_fired, 1);
+        assert_eq!(report.alerts_resolved, 1);
+        assert!(report.worst_fast_burn >= 10.0 - 1e-12);
+    }
+
+    #[test]
+    fn unbound_and_foreign_workflows_are_ignored() {
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![objective("wf")],
+        });
+        // Not bound yet: nothing evaluates.
+        assert!(m
+            .evaluate(WorkflowId::new(0), SimDuration::from_secs(5), false)
+            .is_empty());
+        assert_eq!(m.report().evaluations, 0);
+        m.bind("other", WorkflowId::new(1)); // name mismatch: no binding
+        m.bind("wf", WorkflowId::new(2));
+        assert!(m
+            .evaluate(WorkflowId::new(1), SimDuration::from_secs(5), false)
+            .is_empty());
+        m.evaluate(WorkflowId::new(2), SimDuration::from_secs(5), false);
+        assert_eq!(m.report().evaluations, 1);
+        assert_eq!(m.report().violations, 1);
+    }
+
+    #[test]
+    fn bad_outcome_counts_regardless_of_latency() {
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![objective("wf")],
+        });
+        let wf = WorkflowId::new(0);
+        m.bind("wf", wf);
+        m.evaluate(wf, SimDuration::ZERO, true);
+        assert_eq!(m.report().violations, 1);
+    }
+
+    #[test]
+    fn zero_report_detection() {
+        assert!(SloReport::default().is_zero());
+        let configured = SloMonitor::new(&SloConfig {
+            objectives: vec![objective("wf")],
+        })
+        .report();
+        assert!(!configured.is_zero());
+    }
+}

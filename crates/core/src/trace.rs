@@ -309,6 +309,25 @@ pub enum TraceEvent {
         /// Instant.
         at: SimTime,
     },
+    /// An SLO burn-rate alert went active: both the fast and the slow
+    /// sliding window exceeded their thresholds (see [`crate::SloConfig`]).
+    SloAlertFired {
+        /// The workflow whose objective fired.
+        workflow: WorkflowId,
+        /// Fast-window burn rate at the transition.
+        fast_burn: f64,
+        /// Slow-window burn rate at the transition.
+        slow_burn: f64,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A previously firing SLO alert dropped back below its thresholds.
+    SloAlertResolved {
+        /// The workflow whose objective resolved.
+        workflow: WorkflowId,
+        /// Instant.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -336,7 +355,9 @@ impl TraceEvent {
             | TraceEvent::EngineRecovered { at, .. }
             | TraceEvent::HedgeLaunched { at, .. }
             | TraceEvent::PlacementRebalanced { at, .. }
-            | TraceEvent::HedgeResolved { at, .. } => *at,
+            | TraceEvent::HedgeResolved { at, .. }
+            | TraceEvent::SloAlertFired { at, .. }
+            | TraceEvent::SloAlertResolved { at, .. } => *at,
         }
     }
 
@@ -425,7 +446,9 @@ impl TraceEvent {
             | TraceEvent::BreakerTransition { .. }
             | TraceEvent::EngineCrashed { .. }
             | TraceEvent::EngineRecovered { .. }
-            | TraceEvent::PlacementRebalanced { .. } => None,
+            | TraceEvent::PlacementRebalanced { .. }
+            | TraceEvent::SloAlertFired { .. }
+            | TraceEvent::SloAlertResolved { .. } => None,
         }
     }
 }
@@ -468,6 +491,11 @@ impl Tracer {
 
     pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// The recorded events, without draining them.
+    pub(crate) fn events(&self) -> &[TraceEvent] {
+        &self.events
     }
 }
 
@@ -512,6 +540,15 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                     "rebal   {workflows} workflow(s) off {worker} ({})",
                     if *recovery { "recovery" } else { "skew" }
                 ),
+                TraceEvent::SloAlertFired {
+                    workflow,
+                    fast_burn,
+                    slow_burn,
+                    ..
+                } => format!("slo     {workflow} fired (burn {fast_burn:.1}/{slow_burn:.1})"),
+                TraceEvent::SloAlertResolved { workflow, .. } => {
+                    format!("slo     {workflow} resolved")
+                }
                 _ => unreachable!("only node-scoped events lack an invocation"),
             };
             let _ = writeln!(out, "  {t:>9.2} ms  {line}");
@@ -626,7 +663,9 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             | TraceEvent::BreakerTransition { .. }
             | TraceEvent::EngineCrashed { .. }
             | TraceEvent::EngineRecovered { .. }
-            | TraceEvent::PlacementRebalanced { .. } => {
+            | TraceEvent::PlacementRebalanced { .. }
+            | TraceEvent::SloAlertFired { .. }
+            | TraceEvent::SloAlertResolved { .. } => {
                 unreachable!("node-scoped events are rendered in the cluster section")
             }
         };

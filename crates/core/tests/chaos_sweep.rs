@@ -25,8 +25,8 @@ use faasflow_container::NodeCaps;
 use faasflow_core::{
     AdaptiveHedge, AdmissionConfig, BackpressureConfig, BreakerConfig, ClientConfig, Cluster,
     ClusterConfig, EngineCrash, EngineTarget, FaultPlan, HedgeConfig, JournalConfig, NetFault,
-    NodeCrash, OverloadConfig, PlacementConfig, RunReport, ScheduleMode, ShedPolicy, StorageFault,
-    StorageFaultKind, TraceEvent,
+    NodeCrash, OverloadConfig, PlacementConfig, RunReport, ScheduleMode, ShedPolicy, SloConfig,
+    SloObjective, StorageFault, StorageFaultKind, TraceEvent,
 };
 use faasflow_sim::{SimDuration, SimRng};
 use faasflow_wdl::{FunctionProfile, Step, Workflow};
@@ -166,7 +166,7 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
         PlacementConfig::legacy()
     };
 
-    let config = ClusterConfig {
+    let mut config = ClusterConfig {
         mode,
         faastore,
         workers,
@@ -207,6 +207,23 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
         ]),
     );
     let invocations = 4 + rng.next_below(8) as u32; // 4..=11
+                                                    // SLO monitoring on half the seeds. Drawn last so pre-existing seeds
+                                                    // keep their exact scenarios. Tight targets make alerts actually fire
+                                                    // under chaos; generous ones exercise the quiet path.
+    if rng.chance(0.5) {
+        let fast_burn = rng.range_f64(0.5, 4.0);
+        config.slo = Some(SloConfig {
+            objectives: vec![SloObjective {
+                workflow: "Chaos".to_string(),
+                target: SimDuration::from_millis(200 + rng.next_below(4000)),
+                error_budget: rng.range_f64(0.01, 0.5),
+                fast_window: 1 + rng.next_below(8) as u32,
+                slow_window: 8 + rng.next_below(24) as u32,
+                fast_burn,
+                slow_burn: fast_burn * rng.range_f64(0.1, 1.0),
+            }],
+        });
+    }
     (config, wf, invocations)
 }
 
@@ -215,7 +232,7 @@ fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
     if std::env::var_os("CHAOS_VERBOSE").is_some() {
         eprintln!(
             "seed {seed}: mode={:?} faastore={} workers={} cores={} fault={:?} overload={:?} \
-             journal={:?} placement={:?} exec_failure_rate={} invocations={invocations}",
+             journal={:?} placement={:?} slo={:?} exec_failure_rate={} invocations={invocations}",
             config.mode,
             config.faastore,
             config.workers,
@@ -224,6 +241,7 @@ fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
             config.overload,
             config.journal,
             config.placement_config,
+            config.slo,
             config.exec_failure_rate
         );
     }
@@ -312,6 +330,47 @@ fn check_invariants(seed: u64, report: &RunReport, trace: &[TraceEvent]) {
         "seed {seed}: more recoveries than crashes ({r:?}); {}",
         repro(seed)
     );
+
+    // SLO accounting: alerts alternate fired -> resolved, and only
+    // evaluated completions can consume budget.
+    let s = &report.slo;
+    assert!(
+        s.alerts_resolved <= s.alerts_fired,
+        "seed {seed}: more SLO alerts resolved than fired ({s:?}); {}",
+        repro(seed)
+    );
+    assert!(
+        s.violations <= s.evaluations,
+        "seed {seed}: more SLO violations than evaluations ({s:?}); {}",
+        repro(seed)
+    );
+    if s.objectives == 0 {
+        assert!(
+            s.is_zero(),
+            "seed {seed}: SLO counters without objectives ({s:?}); {}",
+            repro(seed)
+        );
+    }
+
+    // Critical-path oracle: on every traced seed — crashes, hedges and
+    // engine downtime included — each invocation's observed chain must be
+    // contiguous, causally ordered, and sum exactly to its makespan.
+    let forest = faasflow_obs::build_forest(trace);
+    forest
+        .validate()
+        .unwrap_or_else(|e| panic!("seed {seed}: malformed span forest ({e}); {}", repro(seed)));
+    let paths = faasflow_obs::extract(&forest);
+    assert_eq!(
+        paths.len(),
+        forest.trees.len(),
+        "seed {seed}: critical-path count != invocation count; {}",
+        repro(seed)
+    );
+    for (path, tree) in paths.iter().zip(&forest.trees) {
+        path.validate(tree).unwrap_or_else(|e| {
+            panic!("seed {seed}: invalid critical path ({e}); {}", repro(seed))
+        });
+    }
 
     // Epoch fencing must only ever move forward, one invocation at a time.
     let mut epochs: HashMap<(usize, usize), u32> = HashMap::new();

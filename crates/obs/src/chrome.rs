@@ -74,7 +74,7 @@ fn span_pid(span: &Span) -> u64 {
     span.node.map_or(0, |n| n.index() as u64 + 1)
 }
 
-fn span_args(span: &Span) -> Value {
+fn span_args(span: &Span, critical: bool) -> Value {
     let mut fields: Vec<(&str, Value)> = Vec::new();
     match span.kind {
         SpanKind::Invocation | SpanKind::Function => {}
@@ -95,6 +95,9 @@ fn span_args(span: &Span) -> Value {
     }
     if span.truncated {
         fields.push(("truncated", Value::Bool(true)));
+    }
+    if critical {
+        fields.push(("critical_path", Value::Bool(true)));
     }
     obj(fields)
 }
@@ -130,6 +133,20 @@ fn allocate_lanes(mut spans: Vec<(&Span, String)>) -> Vec<(usize, &Span, String)
 /// Chrome trace-event JSON.
 pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport>) -> String {
     let mut events: Vec<Value> = Vec::new();
+
+    // Spans on an invocation's observed critical path are highlighted
+    // (distinct color name + a `critical_path` arg) so the bottleneck
+    // chain is visually traceable through the lanes.
+    let critical_spans: std::collections::HashSet<*const Span> = crate::critpath::extract(forest)
+        .iter()
+        .zip(&forest.trees)
+        .flat_map(|(path, tree)| {
+            path.segments
+                .iter()
+                .filter_map(|seg| seg.span)
+                .map(|idx| &tree.spans[idx] as *const Span)
+        })
+        .collect();
 
     // --- Track metadata -------------------------------------------------
     let mut pids: Vec<u64> = forest
@@ -179,15 +196,22 @@ pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport
             .collect();
         for (lane, span, name) in allocate_lanes(spans) {
             let tid = Value::UInt(lane as u64);
-            events.push(obj(vec![
+            let critical = critical_spans.contains(&(span as *const Span));
+            let mut begin = vec![
                 ("name", s(name)),
                 ("cat", s(category(span))),
                 ("ph", s("B")),
                 ("ts", us(span.start)),
                 ("pid", Value::UInt(*pid)),
                 ("tid", tid.clone()),
-                ("args", span_args(span)),
-            ]));
+                ("args", span_args(span, critical)),
+            ];
+            if critical {
+                // Legacy Chrome color name: renders the gating slices in a
+                // uniform alarm red in both Perfetto and chrome://tracing.
+                begin.push(("cname", s("terrible")));
+            }
+            events.push(obj(begin));
             events.push(obj(vec![
                 ("ph", s("E")),
                 ("ts", us(span.end)),
@@ -338,6 +362,74 @@ pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport
                 ("ts", us(*at)),
                 ("pid", Value::UInt(pid)),
                 ("tid", Value::UInt(0)),
+            ]));
+            continue;
+        }
+        // SLO alert transitions render on the cluster process: an instant
+        // per edge plus a burn-rate counter track that steps to the firing
+        // burn rates and back to zero on resolve.
+        if let TraceEvent::SloAlertFired {
+            workflow,
+            fast_burn,
+            slow_burn,
+            at,
+        } = event
+        {
+            events.push(obj(vec![
+                ("name", s(format!("SLO alert fired: {workflow}"))),
+                ("cat", s("slo")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("fast_burn", Value::Float(*fast_burn)),
+                        ("slow_burn", Value::Float(*slow_burn)),
+                    ]),
+                ),
+            ]));
+            events.push(obj(vec![
+                ("name", s(format!("slo burn rate {workflow}"))),
+                ("ph", s("C")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("fast", Value::Float(*fast_burn)),
+                        ("slow", Value::Float(*slow_burn)),
+                    ]),
+                ),
+            ]));
+            continue;
+        }
+        if let TraceEvent::SloAlertResolved { workflow, at } = event {
+            events.push(obj(vec![
+                ("name", s(format!("SLO alert resolved: {workflow}"))),
+                ("cat", s("slo")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+            ]));
+            events.push(obj(vec![
+                ("name", s(format!("slo burn rate {workflow}"))),
+                ("ph", s("C")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("fast", Value::Float(0.0)),
+                        ("slow", Value::Float(0.0)),
+                    ]),
+                ),
             ]));
             continue;
         }

@@ -17,6 +17,13 @@
 //!   phase breakdown ([`attribute`]) that reconciles with the
 //!   independently-measured report histograms, and prints it as a
 //!   MasterSP-vs-WorkerSP table ([`render_attribution_table`]).
+//! * [`critpath`] — extracts the *observed critical path* of each
+//!   invocation ([`extract`]): the contiguous chain of span segments that
+//!   actually gated completion, summing exactly to the makespan, with
+//!   per-workflow phase shares ([`aggregate`]).
+//! * [`whatif`] — Amdahl-style speedup bounds from the critical path
+//!   ([`what_if`]): how much a free-transfer / warm-only / no-queueing
+//!   cluster could shave off, per workflow.
 //!
 //! ```
 //! use faasflow_core::{ClientConfig, Cluster, ClusterConfig};
@@ -44,10 +51,19 @@
 
 pub mod attribution;
 pub mod chrome;
+pub mod critpath;
 pub mod prom;
 pub mod span;
+pub mod whatif;
 
 pub use attribution::{attribute, render_attribution_table, PhaseBreakdown};
 pub use chrome::{chrome_trace, parse_json, JsonDoc};
+pub use critpath::{
+    aggregate, critical_path, downtime_windows, extract, render_critpath_table, CritPathBreakdown,
+    CritPhase, CritSegment, CriticalPath,
+};
 pub use prom::{prometheus_snapshot, prometheus_worker_loads};
 pub use span::{build_forest, Annotation, AnnotationKind, Span, SpanForest, SpanKind, SpanTree};
+pub use whatif::{
+    render_whatif_table, what_if, what_if_all, WhatIfBound, WhatIfScenario, WorkflowWhatIf,
+};

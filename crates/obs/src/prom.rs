@@ -286,6 +286,44 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
         }
     }
 
+    // --- SLO burn-rate monitor --------------------------------------------
+    // Only rendered when an SloConfig was set, mirroring the report's own
+    // omit-when-zero behaviour (pre-SLO snapshots stay byte-identical).
+    if !report.slo.is_zero() {
+        header(
+            &mut out,
+            "faasflow_slo_total",
+            "SLO evaluations, violations and alert transitions.",
+            "counter",
+        );
+        let slo = &report.slo;
+        for (kind, value) in [
+            ("objectives", u64::from(slo.objectives)),
+            ("evaluations", slo.evaluations),
+            ("violations", slo.violations),
+            ("alerts_fired", slo.alerts_fired),
+            ("alerts_resolved", slo.alerts_resolved),
+        ] {
+            let _ = writeln!(out, "faasflow_slo_total{{kind=\"{kind}\"}} {value}");
+        }
+        header(
+            &mut out,
+            "faasflow_slo_worst_burn_rate",
+            "Highest burn rate observed per sliding window.",
+            "gauge",
+        );
+        let _ = writeln!(
+            out,
+            "faasflow_slo_worst_burn_rate{{window=\"fast\"}} {}",
+            slo.worst_fast_burn
+        );
+        let _ = writeln!(
+            out,
+            "faasflow_slo_worst_burn_rate{{window=\"slow\"}} {}",
+            slo.worst_slow_burn
+        );
+    }
+
     // --- Last resource sample per node -----------------------------------
     if let Some(res) = &report.resources {
         header(

@@ -639,7 +639,9 @@ impl TreeBuilder {
             | TraceEvent::BreakerTransition { .. }
             | TraceEvent::EngineCrashed { .. }
             | TraceEvent::EngineRecovered { .. }
-            | TraceEvent::PlacementRebalanced { .. } => {
+            | TraceEvent::PlacementRebalanced { .. }
+            | TraceEvent::SloAlertFired { .. }
+            | TraceEvent::SloAlertResolved { .. } => {
                 unreachable!("node-scoped events are handled by the forest builder")
             }
         }

@@ -1,0 +1,278 @@
+//! What-if latency modeling: Amdahl-style speedup bounds from the
+//! observed critical path.
+//!
+//! If a fraction `p` of the critical path is spent in some overhead phase,
+//! then eliminating that phase entirely — free transfers, warm-only
+//! starts, zero queueing — can shrink the makespan to at most `1 - p` of
+//! itself: a speedup bound of `1 / (1 - p)`. The bounds are *upper*
+//! bounds on what any optimization of that phase can buy (removing
+//! transfer time can expose a different path as critical, never a longer
+//! one), which makes them the right yardstick for the paper's locality
+//! argument: "X% of the critical path is transfer, so locality can buy at
+//! most Y×".
+//!
+//! The floor of all scenarios is [`WorkflowWhatIf::exec_only_ms`]: only
+//! successful execution left on the chain. With deterministic execution
+//! times it dominates the DAG's static `critical_path_exec()` (see
+//! [`crate::critpath`] for why), so `observed >= exec-only >= static`
+//! quantifies scheduling inflation end to end.
+
+use faasflow_sim::WorkflowId;
+use serde::{Deserialize, Serialize};
+
+use crate::critpath::CritPathBreakdown;
+
+/// A phase-elimination scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WhatIfScenario {
+    /// All data movement (remote and local) is free.
+    FreeTransfers,
+    /// Every cold start is served warm (cold-start time removed; the warm
+    /// queue-wait that remains is untouched).
+    WarmStartsOnly,
+    /// No waiting for warm containers.
+    NoQueueing,
+    /// Only successful execution remains: every overhead phase removed at
+    /// once — the floor of the other scenarios.
+    ExecOnly,
+}
+
+impl WhatIfScenario {
+    /// All scenarios, in rendering order.
+    pub const ALL: [WhatIfScenario; 4] = [
+        WhatIfScenario::FreeTransfers,
+        WhatIfScenario::WarmStartsOnly,
+        WhatIfScenario::NoQueueing,
+        WhatIfScenario::ExecOnly,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            WhatIfScenario::FreeTransfers => "free-xfer",
+            WhatIfScenario::WarmStartsOnly => "warm-only",
+            WhatIfScenario::NoQueueing => "no-queue",
+            WhatIfScenario::ExecOnly => "exec-only",
+        }
+    }
+
+    /// The critical-path milliseconds this scenario removes.
+    fn removed_ms(self, row: &CritPathBreakdown) -> f64 {
+        match self {
+            WhatIfScenario::FreeTransfers => row.transfer_ms(),
+            WhatIfScenario::WarmStartsOnly => row.cold_start_ms,
+            WhatIfScenario::NoQueueing => row.queue_wait_ms,
+            WhatIfScenario::ExecOnly => row.total_ms - row.exec_ms,
+        }
+    }
+}
+
+/// One scenario's bound for one workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfBound {
+    /// The scenario.
+    pub scenario: WhatIfScenario,
+    /// Lower bound on the makespan with the phase removed, ms (summed
+    /// over the breakdown's invocations, like [`CritPathBreakdown`]).
+    pub bound_ms: f64,
+    /// Upper bound on the speedup the elimination can buy
+    /// (`total / bound`; infinite when nothing but the phase remains).
+    pub speedup: f64,
+}
+
+/// What-if bounds for one workflow, derived from its critical-path
+/// breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowWhatIf {
+    /// Workflow.
+    pub workflow: WorkflowId,
+    /// Invocations folded in.
+    pub invocations: u64,
+    /// Observed critical-path total, ms.
+    pub observed_ms: f64,
+    /// One bound per [`WhatIfScenario::ALL`] entry, in that order.
+    pub bounds: Vec<WhatIfBound>,
+    /// Successful execution left on the chain, ms — the floor (equal to
+    /// the exec-only scenario's `bound_ms`).
+    pub exec_only_ms: f64,
+}
+
+impl WorkflowWhatIf {
+    /// The bound for one scenario.
+    pub fn bound(&self, scenario: WhatIfScenario) -> &WhatIfBound {
+        self.bounds
+            .iter()
+            .find(|b| b.scenario == scenario)
+            .expect("all scenarios are computed")
+    }
+}
+
+/// Computes every scenario's bound for one workflow.
+pub fn what_if(row: &CritPathBreakdown) -> WorkflowWhatIf {
+    let bounds = WhatIfScenario::ALL
+        .iter()
+        .map(|&scenario| {
+            let removed = scenario.removed_ms(row).min(row.total_ms);
+            let bound_ms = row.total_ms - removed;
+            let speedup = if row.total_ms == 0.0 {
+                1.0
+            } else if bound_ms == 0.0 {
+                f64::INFINITY
+            } else {
+                row.total_ms / bound_ms
+            };
+            WhatIfBound {
+                scenario,
+                bound_ms,
+                speedup,
+            }
+        })
+        .collect::<Vec<_>>();
+    let exec_only_ms = bounds
+        .iter()
+        .find(|b| b.scenario == WhatIfScenario::ExecOnly)
+        .expect("exec-only is always computed")
+        .bound_ms;
+    WorkflowWhatIf {
+        workflow: row.workflow,
+        invocations: row.invocations,
+        observed_ms: row.total_ms,
+        bounds,
+        exec_only_ms,
+    }
+}
+
+/// Computes bounds for every workflow in a breakdown set.
+pub fn what_if_all(rows: &[CritPathBreakdown]) -> Vec<WorkflowWhatIf> {
+    rows.iter().map(what_if).collect()
+}
+
+/// Renders what-if speedup bounds as a table: per workflow the observed
+/// mean chain, each scenario's bound (mean ms and max speedup), and the
+/// static lower bound when the caller can supply one.
+pub fn render_whatif_table(
+    sections: &[(String, Vec<WorkflowWhatIf>)],
+    mut names: impl FnMut(WorkflowId) -> String,
+    mut static_exec_ms: impl FnMut(WorkflowId) -> Option<f64>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>9} {:>15} {:>15} {:>15} {:>15} {:>9}",
+        "mode", "workflow", "observed", "free-xfer", "warm-only", "no-queue", "exec-only", "static"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(104));
+    for (label, rows) in sections {
+        for row in rows {
+            let n = row.invocations.max(1) as f64;
+            let cell = |b: &WhatIfBound| {
+                if b.speedup.is_infinite() {
+                    format!("{:.1} (inf)", b.bound_ms / n)
+                } else {
+                    format!("{:.1} ({:.2}x)", b.bound_ms / n, b.speedup)
+                }
+            };
+            let static_cell = match static_exec_ms(row.workflow) {
+                Some(ms) => format!("{ms:.1}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:<10} {:>9.1} {:>15} {:>15} {:>15} {:>15} {:>9}",
+                label,
+                names(row.workflow),
+                row.observed_ms / n,
+                cell(row.bound(WhatIfScenario::FreeTransfers)),
+                cell(row.bound(WhatIfScenario::WarmStartsOnly)),
+                cell(row.bound(WhatIfScenario::NoQueueing)),
+                cell(row.bound(WhatIfScenario::ExecOnly)),
+                static_cell,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> CritPathBreakdown {
+        CritPathBreakdown {
+            workflow: WorkflowId::new(0),
+            invocations: 2,
+            total_ms: 200.0,
+            exec_ms: 100.0,
+            retry_ms: 10.0,
+            cold_start_ms: 30.0,
+            transfer_remote_ms: 25.0,
+            transfer_local_ms: 5.0,
+            queue_wait_ms: 20.0,
+            engine_down_ms: 0.0,
+            control_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn amdahl_bounds_are_consistent() {
+        let w = what_if(&row());
+        assert_eq!(w.observed_ms, 200.0);
+        let free = w.bound(WhatIfScenario::FreeTransfers);
+        assert!((free.bound_ms - 170.0).abs() < 1e-9);
+        assert!((free.speedup - 200.0 / 170.0).abs() < 1e-9);
+        let warm = w.bound(WhatIfScenario::WarmStartsOnly);
+        assert!((warm.bound_ms - 170.0).abs() < 1e-9);
+        let queue = w.bound(WhatIfScenario::NoQueueing);
+        assert!((queue.bound_ms - 180.0).abs() < 1e-9);
+        let exec = w.bound(WhatIfScenario::ExecOnly);
+        assert!((exec.bound_ms - 100.0).abs() < 1e-9);
+        assert!((exec.speedup - 2.0).abs() < 1e-9);
+        assert_eq!(w.exec_only_ms, exec.bound_ms);
+        // Every scenario's bound floors at exec-only.
+        for b in &w.bounds {
+            assert!(b.bound_ms >= w.exec_only_ms - 1e-9);
+            assert!(b.speedup >= 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_chain_degenerates_gracefully() {
+        let mut r = row();
+        r.total_ms = 0.0;
+        r.exec_ms = 0.0;
+        r.retry_ms = 0.0;
+        r.cold_start_ms = 0.0;
+        r.transfer_remote_ms = 0.0;
+        r.transfer_local_ms = 0.0;
+        r.queue_wait_ms = 0.0;
+        r.control_ms = 0.0;
+        let w = what_if(&r);
+        for b in &w.bounds {
+            assert_eq!(b.bound_ms, 0.0);
+            assert_eq!(b.speedup, 1.0);
+        }
+    }
+
+    #[test]
+    fn all_overhead_chain_gives_infinite_headroom() {
+        let mut r = row();
+        r.exec_ms = 0.0;
+        r.transfer_remote_ms = 125.0; // keep phases summing to total
+        let w = what_if(&r);
+        assert!(w.bound(WhatIfScenario::ExecOnly).speedup.is_infinite());
+    }
+
+    #[test]
+    fn table_renders_every_scenario() {
+        let w = what_if_all(std::slice::from_ref(&row()));
+        let table = render_whatif_table(
+            &[("wsp".to_string(), w)],
+            |wf| format!("{wf}"),
+            |_| Some(50.0),
+        );
+        assert!(table.contains("free-xfer"));
+        assert!(table.contains("exec-only"));
+        assert!(table.contains("50.0"));
+    }
+}

@@ -37,7 +37,7 @@ pub mod realworld;
 pub mod scientific;
 pub mod transform;
 
-pub use transform::without_data;
+pub use transform::{deterministic_exec, without_data};
 
 use faasflow_wdl::Workflow;
 

@@ -30,11 +30,58 @@ fn zero_step(step: &mut Step) {
     }
 }
 
+/// The same workflow with every execution-time coefficient of variation
+/// zeroed: realized execution equals the profile mean on every attempt.
+/// The critical-path experiment runs this variant so the observed exec
+/// total provably dominates the DAG's static `critical_path_exec()` bound
+/// (with variation, a lucky short run could dip below the mean-based
+/// bound).
+pub fn deterministic_exec(workflow: &Workflow) -> Workflow {
+    let mut wf = workflow.clone();
+    match &mut wf.spec {
+        WorkflowSpec::Steps(root) => fix_step(root),
+        WorkflowSpec::Dag(spec) => {
+            for task in &mut spec.tasks {
+                task.profile.exec_cv = 0.0;
+            }
+        }
+    }
+    wf
+}
+
+fn fix_step(step: &mut Step) {
+    match step {
+        Step::Task { profile, .. } | Step::Foreach { profile, .. } => {
+            profile.exec_cv = 0.0;
+        }
+        Step::Sequence { steps } => steps.iter_mut().for_each(fix_step),
+        Step::Parallel { branches } => branches.iter_mut().for_each(fix_step),
+        Step::Switch { cases } => cases.iter_mut().for_each(|c| fix_step(&mut c.step)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Benchmark;
     use faasflow_wdl::DagParser;
+
+    #[test]
+    fn deterministic_exec_zeroes_every_cv() {
+        for b in Benchmark::ALL {
+            let wf = deterministic_exec(&b.workflow());
+            let dag = DagParser::default().parse(&wf).expect("still valid");
+            for node in dag.nodes() {
+                if let Some(p) = node.kind.profile() {
+                    assert_eq!(p.exec_cv, 0.0, "{b} node {} keeps cv", node.id);
+                }
+            }
+            // Structure and means are untouched.
+            let original = DagParser::default().parse(&b.workflow()).expect("parses");
+            assert_eq!(dag.node_count(), original.node_count());
+            assert_eq!(dag.critical_path_exec(), original.critical_path_exec());
+        }
+    }
 
     #[test]
     fn zeroes_every_edge_of_every_benchmark() {

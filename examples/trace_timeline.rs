@@ -1,7 +1,8 @@
 //! Structured tracing: watch one invocation flow through WorkerSP — which
 //! worker triggers what, where the data lands, and which state syncs cross
-//! the network — then fold the same events into causal span trees and a
-//! latency-attribution table.
+//! the network — then fold the same events into causal span trees, a
+//! latency-attribution table, the observed critical path of each
+//! invocation, and what-if speedup bounds.
 //!
 //! ```sh
 //! cargo run --example trace_timeline
@@ -9,7 +10,9 @@
 
 use faasflow::core::trace::render_timeline;
 use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ClusterError};
-use faasflow::obs::{attribute, build_forest, render_attribution_table, SpanKind};
+use faasflow::obs::{
+    aggregate, attribute, build_forest, extract, render_attribution_table, what_if, SpanKind,
+};
 use faasflow::workloads::Benchmark;
 
 fn main() -> Result<(), ClusterError> {
@@ -24,16 +27,18 @@ fn main() -> Result<(), ClusterError> {
     )?;
     cluster.run_until_idle();
 
-    let events = cluster.take_trace();
+    // `trace()` borrows the buffer without consuming it, so the cluster
+    // stays usable for names and reports below.
+    let events = cluster.trace();
     println!(
         "File Processing under WorkerSP + FaaStore ({} trace events):\n",
         events.len()
     );
-    print!("{}", render_timeline(&events));
+    print!("{}", render_timeline(events));
     println!("\n(second invocation reuses warm containers — compare the start lines)");
 
     // The same stream, assembled into causal span trees.
-    let forest = build_forest(&events);
+    let forest = build_forest(events);
     forest.validate().expect("span forest well-formed");
     let tree = &forest.trees[0];
     println!(
@@ -59,6 +64,28 @@ fn main() -> Result<(), ClusterError> {
         );
     }
 
+    // The observed critical path: the chain of segments that actually
+    // gated completion. Its segments sum exactly to the e2e above.
+    let paths = extract(&forest);
+    let path = &paths[0];
+    path.validate(tree).expect("chain sums to the makespan");
+    println!(
+        "\nobserved critical path of the first invocation ({:.1} ms total):",
+        path.total().as_millis_f64()
+    );
+    for seg in &path.segments {
+        let label = match seg.span {
+            Some(idx) => tree.spans[idx].label.as_str(),
+            None => "-",
+        };
+        println!(
+            "  {:<9} {:<24} {:>8.2} ms",
+            seg.phase.label(),
+            label,
+            seg.duration().as_millis_f64()
+        );
+    }
+
     // Where did the milliseconds go?
     let rows = attribute(&forest);
     println!("\nphase attribution (mean ms per invocation):");
@@ -71,5 +98,24 @@ fn main() -> Result<(), ClusterError> {
                 .to_string()
         })
     );
+
+    // What could an optimization buy, at most?
+    let breakdown = aggregate(&paths);
+    let bounds = what_if(&breakdown[0]);
+    let n = bounds.invocations.max(1) as f64;
+    println!(
+        "\nwhat-if bounds (mean over {} invocations, observed {:.1} ms):",
+        bounds.invocations,
+        bounds.observed_ms / n
+    );
+    for b in &bounds.bounds {
+        println!(
+            "  {:<9} -> at best {:>8.1} ms ({:.2}x speedup)",
+            b.scenario.label(),
+            b.bound_ms / n,
+            b.speedup
+        );
+    }
+    println!("(bounds are Amdahl limits: removing a phase can never beat exec-only)");
     Ok(())
 }
