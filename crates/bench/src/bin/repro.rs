@@ -21,6 +21,8 @@
 //!               vs WorkerSP single-partition degradation
 //!   overload    graceful degradation under an offered-load sweep:
 //!               admission control, backpressure, hedged retries
+//!   degrade     closed-loop SLO-driven degradation: burn-rate alerts
+//!               throttle the offending workflow, sparing the innocent one
 //!   placement   load- & locality-aware placement vs the legacy
 //!               worker-0 tie-break: group skew, p99, remote bytes
 //!   perf        hot-path microbenchmarks -> BENCH_kernel.json
@@ -164,6 +166,7 @@ fn main() {
         "chaos" => chaos(&scale),
         "failover" => failover(&scale),
         "overload" => overload(&scale),
+        "degrade" => degrade(&scale),
         "placement" => placement(&scale),
         "perf" => perf(quick),
         "trace" => trace_scenario(&scale, trace_out.as_deref().unwrap_or(".")),
@@ -183,6 +186,7 @@ fn main() {
             chaos(&scale);
             failover(&scale);
             overload(&scale);
+            degrade(&scale);
             placement(&scale);
         }
         other => {
@@ -1300,6 +1304,252 @@ fn overload(scale: &Scale) {
     println!("degradation is graceful: the shed rate rises with offered load while");
     println!("p99 stays bounded; WorkerSP holds the lower tail past saturation because");
     println!("its pushback (deferrals) stays local instead of re-queueing centrally.");
+}
+
+// ====================================================================
+// degrade — closed-loop SLO-driven degradation, offender vs innocent
+// ====================================================================
+
+/// Two workflows share one four-worker cluster. "Offender" is driven far
+/// past its latency objective; "Innocent" trickles along well inside
+/// capacity. Without the degradation controller the shared admission
+/// queue sheds blindly, so the offender's overload bleeds into the
+/// innocent tail. With it, the offender's burn-rate alert drives that
+/// workflow Normal -> Throttled -> Shedding (per-workflow concurrency
+/// cap, shed-priority demotion, hedge suspension), so the sheds
+/// concentrate on the offender and the innocent p99 stays bounded.
+fn degrade(scale: &Scale) {
+    use faasflow_container::NodeCaps;
+    use faasflow_core::{
+        AdmissionConfig, DegradeConfig, HedgeConfig, OverloadConfig, ShedPolicy, SloConfig,
+        SloObjective, WindowMode,
+    };
+
+    const OFFENDER_RATE: f64 = 150.0; // inv/min, far past capacity
+    const INNOCENT_RATE: f64 = 20.0; // inv/min, comfortably inside it
+
+    println!("\n=== Degrade: SLO burn-rate alerts steer per-workflow degradation ===");
+    println!(
+        "(Offender at {OFFENDER_RATE:.0} inv/min past its 8 s objective, Innocent at \
+         {INNOCENT_RATE:.0} inv/min;"
+    );
+    println!(" 4 workers x 4 cores, shared deadline-aware admission; controller off vs on)");
+
+    let offender = Workflow::steps(
+        "Offender",
+        Step::sequence(vec![
+            Step::task("ingest", FunctionProfile::with_millis(120, 4 << 20)),
+            Step::foreach("crunch", FunctionProfile::with_millis(900, 2 << 20), 8),
+            Step::task("merge", FunctionProfile::with_millis(60, 0)),
+        ]),
+    );
+    let innocent = Workflow::steps(
+        "Innocent",
+        Step::sequence(vec![
+            Step::task("fetch", FunctionProfile::with_millis(60, 1 << 20)),
+            Step::foreach("resize", FunctionProfile::with_millis(150, 1 << 20), 2),
+            Step::task("publish", FunctionProfile::with_millis(30, 0)),
+        ]),
+    );
+    // The objective names only the offender, so the controller tracks (and
+    // degrades) only it; the innocent workflow is never throttled.
+    let slo = SloConfig {
+        objectives: vec![SloObjective {
+            workflow: "Offender".to_string(),
+            target: SimDuration::from_secs(8),
+            error_budget: 0.1,
+            fast_window: 8,
+            slow_window: 16,
+            fast_burn: 1.0,
+            slow_burn: 1.0,
+            window: WindowMode::Count,
+        }],
+    };
+    let controller = DegradeConfig {
+        initial_cap: 6,
+        min_cap: 1,
+        tighten: 0.5,
+        recover_step: 1,
+        cooldown: SimDuration::from_secs(3),
+        shed_admit_fraction: 0.2,
+        probe_fraction: 0.5,
+        probe_successes: 4,
+        suspend_hedges: true,
+        demote_shed_priority: true,
+    };
+
+    let measure = scale.open;
+    let cell = |degrade: Option<DegradeConfig>| {
+        let config = ClusterConfig {
+            mode: ScheduleMode::WorkerSp,
+            faastore: true,
+            workers: 4,
+            node_caps: NodeCaps {
+                cores: 4,
+                ..NodeCaps::default()
+            },
+            qos_target: Some(SimDuration::from_secs(30)),
+            overload: OverloadConfig {
+                admission: Some(AdmissionConfig {
+                    queue_capacity: 16,
+                    policy: ShedPolicy::DeadlineAware,
+                }),
+                hedge: Some(HedgeConfig {
+                    delay: SimDuration::from_millis(1540),
+                    adaptive: None,
+                }),
+                ..OverloadConfig::default()
+            },
+            slo: Some(slo.clone()),
+            degrade,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(config).expect("valid config");
+        let off_id = cluster
+            .register(&offender, ClientConfig::ClosedLoop { invocations: 2 })
+            .expect("registers");
+        let inn_id = cluster
+            .register(&innocent, ClientConfig::ClosedLoop { invocations: 2 })
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.reset_metrics();
+        cluster.switch_to_open_loop(off_id, OFFENDER_RATE, measure);
+        cluster.switch_to_open_loop(inn_id, INNOCENT_RATE, (measure / 4).max(8));
+        cluster.run_until_idle();
+        cluster.report()
+    };
+    let results = parallel_map(vec![None, Some(controller)], scale.threads, cell);
+    let (off_cell, on_cell) = (&results[0], &results[1]);
+
+    let shed_pct = |wf: &faasflow_core::WorkflowReport| {
+        if wf.sent == 0 {
+            0.0
+        } else {
+            100.0 * wf.shed as f64 / wf.sent as f64
+        }
+    };
+    println!(
+        "{:<12} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "", "Off p50", "Off p99", "shed%", "Inn p50", "Inn p99", "shed%"
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "controller", "(ms)", "(ms)", "", "(ms)", "(ms)", ""
+    );
+    rule(72);
+    for (label, report) in [("off", off_cell), ("on", on_cell)] {
+        let off_wf = report.workflow("Offender");
+        let inn_wf = report.workflow("Innocent");
+        println!(
+            "{:<12} {:>9.0} {:>9.0} {:>7.1} | {:>9.0} {:>9.0} {:>7.1}",
+            label,
+            off_wf.e2e.median,
+            off_wf.e2e.p99,
+            shed_pct(off_wf),
+            inn_wf.e2e.median,
+            inn_wf.e2e.p99,
+            shed_pct(inn_wf)
+        );
+    }
+    rule(72);
+    let d = &on_cell.degrade;
+    let s = &on_cell.slo;
+    println!(
+        "alerts fired/resolved: {}/{}   controller: {} throttles, {} escalations, \
+         {} tightenings",
+        s.alerts_fired, s.alerts_resolved, d.throttles, d.escalations, d.tightenings
+    );
+    println!(
+        "recovery: {} recoveries, {} probes ({} failed), {} restores, {} relapses",
+        d.recoveries, d.probes, d.probe_failures, d.restores, d.relapses
+    );
+    println!(
+        "actions while degraded: {} controller sheds, {} hedges suppressed, \
+         {} demoted sheds",
+        d.sheds, d.hedges_suppressed, d.demoted_sheds
+    );
+
+    for (label, report) in [("off", off_cell), ("on", on_cell)] {
+        let mut shed_total = 0;
+        for (name, wf) in &report.workflows {
+            assert_eq!(
+                wf.sent,
+                wf.completed + wf.dead_lettered + wf.shed,
+                "controller {label}/{name}: invocation leak"
+            );
+            shed_total += wf.shed;
+        }
+        assert_eq!(
+            report.live_invocation_states, 0,
+            "controller {label}: leaked engine state"
+        );
+        assert_eq!(
+            shed_total,
+            report.overload.shed + report.degrade.sheds,
+            "controller {label}: shed accounting split disagrees"
+        );
+    }
+    assert!(
+        s.alerts_fired > 0 && d.throttles > 0,
+        "the offender must trip its burn-rate alert and be throttled \
+         ({} alerts, {} throttles)",
+        s.alerts_fired,
+        d.throttles
+    );
+    assert!(
+        d.sheds > 0,
+        "the degraded offender must absorb controller sheds"
+    );
+    for snap in &d.workflows {
+        assert_eq!(
+            snap.workflow, "Offender",
+            "only the offender may be tracked by the controller"
+        );
+    }
+    let (off_on, inn_on) = (on_cell.workflow("Offender"), on_cell.workflow("Innocent"));
+    let inn_off = off_cell.workflow("Innocent");
+    assert!(
+        shed_pct(off_on) > shed_pct(inn_on),
+        "sheds must concentrate on the offender (offender {:.1}% vs innocent {:.1}%)",
+        shed_pct(off_on),
+        shed_pct(inn_on)
+    );
+    assert!(
+        shed_pct(inn_on) < shed_pct(inn_off),
+        "the controller must spare the innocent workflow's admissions \
+         (on {:.1}% shed vs off {:.1}%)",
+        shed_pct(inn_on),
+        shed_pct(inn_off)
+    );
+    assert!(
+        inn_on.completed > inn_off.completed,
+        "innocent goodput must rise with the controller on \
+         (on {} vs off {} completed)",
+        inn_on.completed,
+        inn_off.completed
+    );
+    assert!(
+        inn_on.e2e.p99 < 30_000.0,
+        "the innocent p99 must stay inside the QoS target \
+         (got {:.0} ms)",
+        inn_on.e2e.p99
+    );
+    println!(
+        "isolation holds: sheds concentrate on the offender ({:.1}% vs {:.1}% innocent),",
+        shed_pct(off_on),
+        shed_pct(inn_on)
+    );
+    println!(
+        "innocent sheds fall {:.1}% -> {:.1}% (goodput {} -> {} completions) and its",
+        shed_pct(inn_off),
+        shed_pct(inn_on),
+        inn_off.completed,
+        inn_on.completed
+    );
+    println!(
+        "p99 stays inside the 30 s QoS target ({:.0} ms) while the offender is degraded",
+        inn_on.e2e.p99
+    );
 }
 
 // ====================================================================

@@ -39,6 +39,7 @@ use faasflow_store::{
 use faasflow_wdl::{DagParser, NodeKind, ParserConfig, Workflow, WorkflowDag};
 
 use crate::config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
+use crate::degrade::{AdmitDecision, DegradeController, DegradeTransition};
 use crate::error::ClusterError;
 use crate::fault::{DeadLetterReason, EngineTarget, StorageFaultKind};
 use crate::invocation::{InstanceState, InstanceToken, InvState};
@@ -51,6 +52,19 @@ use crate::overload::{AdmissionConfig, BackpressureConfig, P2Quantile, ShedPolic
 use crate::sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport, Ring};
 use crate::slo::{SloMonitor, SloTransition};
 use crate::trace::{TraceEvent, Tracer};
+
+/// How an invocation is being abandoned — decides the accounting in
+/// `abandon_invocation`.
+#[derive(Debug, Clone, Copy)]
+enum AbandonKind {
+    /// Fault-path dead letter, attributed to a reason.
+    DeadLetter(DeadLetterReason),
+    /// Queue-overflow load shed on a worker (overload accounting).
+    Shed { worker: usize },
+    /// Refused at the degradation gate before dispatch (degrade
+    /// accounting; deliberately *not* fed back into the SLO monitor).
+    DegradeShed { worker: usize },
+}
 
 /// Tag attached to every network flow.
 #[derive(Debug, Clone, Copy)]
@@ -511,6 +525,9 @@ pub struct Cluster {
     placement: PlacementReport,
     /// Online SLO burn-rate monitor (`None` unless `config.slo` is set).
     slo: Option<SloMonitor>,
+    /// SLO-driven degradation controller (`None` unless `config.degrade`
+    /// is set).
+    degrade: Option<DegradeController>,
     /// Streaming p99 of end-to-end latency per worker, attributed to every
     /// worker an invocation's placement touched. Only fed when the
     /// placement layer is enabled, so legacy runs are bit-identical.
@@ -624,6 +641,7 @@ impl Cluster {
             overload: OverloadReport::default(),
             placement: PlacementReport::default(),
             slo: config.slo.as_ref().map(SloMonitor::new),
+            degrade: config.degrade.map(DegradeController::new),
             worker_p99: (0..config.workers).map(|_| P2Quantile::new(0.99)).collect(),
             completions_since_skew_check: 0,
             tracer: Tracer::new(config.trace, config.trace_capacity),
@@ -750,6 +768,13 @@ impl Cluster {
         self.workflows.insert(wf, state);
         if let Some(slo) = &mut self.slo {
             slo.bind(workflow.name.as_str(), wf);
+            // The degradation controller only tracks workflows that carry
+            // an objective: untracked workflows pass the gate untouched.
+            if slo.has_objective_for(workflow.name.as_str()) {
+                if let Some(degrade) = &mut self.degrade {
+                    degrade.track(workflow.name.as_str(), wf);
+                }
+            }
         }
         debug_assert_eq!(self.name_table.len(), wf.index());
         self.name_table.push(name.clone());
@@ -963,11 +988,22 @@ impl Cluster {
     }
 
     /// Feeds one terminal outcome to the SLO monitor (no-op when
-    /// `config.slo` is unset) and traces any alert transitions.
-    fn slo_evaluate(&mut self, now: SimTime, wf: WorkflowId, e2e: SimDuration, bad_outcome: bool) {
+    /// `config.slo` is unset), traces any alert transitions, and drives
+    /// the degradation controller off the monitor's verdict. `probe`
+    /// marks invocations admitted as degradation recovery probes.
+    fn slo_evaluate(
+        &mut self,
+        now: SimTime,
+        wf: WorkflowId,
+        e2e: SimDuration,
+        bad_outcome: bool,
+        probe: bool,
+    ) {
+        // Without a monitor there is no controller either (validated).
         let Some(slo) = &mut self.slo else { return };
-        for transition in slo.evaluate(wf, e2e, bad_outcome) {
-            self.tracer.record(|| match transition {
+        let verdict = slo.evaluate(now, wf, e2e, bad_outcome);
+        for transition in &verdict.transitions {
+            self.tracer.record(|| match *transition {
                 SloTransition::Fired {
                     workflow,
                     fast_burn,
@@ -980,6 +1016,50 @@ impl Cluster {
                 },
                 SloTransition::Resolved { workflow } => {
                     TraceEvent::SloAlertResolved { workflow, at: now }
+                }
+            });
+        }
+        let Some(degrade) = &mut self.degrade else {
+            return;
+        };
+        let mut changes: Vec<DegradeTransition> = Vec::new();
+        // The terminal outcome first: it frees the inflight slot and — for
+        // probes — decides restore vs relapse before any alert edge from
+        // this same completion advances the state machine.
+        if verdict.evaluated {
+            changes.extend(degrade.on_terminal(now, wf, probe, verdict.bad));
+        }
+        let mut resolved = false;
+        for transition in &verdict.transitions {
+            match *transition {
+                SloTransition::Fired { workflow, .. } => {
+                    changes.extend(degrade.on_fired(now, workflow));
+                }
+                SloTransition::Resolved { workflow } => resolved |= workflow == wf,
+            }
+        }
+        if resolved && !verdict.alert_active {
+            // Recovery starts only once *every* objective of the workflow
+            // has stopped alerting, not on the first partial resolve.
+            changes.extend(degrade.on_resolved(now, wf));
+        }
+        if verdict.alert_active {
+            changes.extend(degrade.on_alert_active(now, wf));
+        }
+        for change in changes {
+            self.tracer.record(|| match change {
+                DegradeTransition::Degraded {
+                    workflow,
+                    level,
+                    cap,
+                } => TraceEvent::WorkflowDegraded {
+                    workflow,
+                    level,
+                    cap,
+                    at: now,
+                },
+                DegradeTransition::Restored { workflow } => {
+                    TraceEvent::WorkflowRestored { workflow, at: now }
                 }
             });
         }
@@ -1147,6 +1227,11 @@ impl Cluster {
                 .slo
                 .as_ref()
                 .map(SloMonitor::report)
+                .unwrap_or_default(),
+            degrade: self
+                .degrade
+                .as_ref()
+                .map(DegradeController::report)
                 .unwrap_or_default(),
             trace_dropped: self.tracer.dropped(),
             resources: self.resources_snapshot(),
@@ -1769,9 +1854,25 @@ impl Cluster {
         self.metrics.get_mut(&wf).expect("metrics exist").sent += 1;
         self.overload.admitted += 1;
 
+        // Degradation gate: a Throttled/Shedding workflow may have this
+        // arrival refused before any dispatch work happens. The arrival is
+        // still accepted into the system (`sent`/`admitted` tick, the
+        // conservation invariants hold) and then shed with explicit
+        // accounting. Admissions during recovery may be marked as probes.
+        let decision = match &mut self.degrade {
+            Some(degrade) => degrade.admit(wf),
+            None => AdmitDecision::ADMIT,
+        };
+        inv_state.degrade_probe = decision.probe;
+
         match self.config.mode {
             ScheduleMode::WorkerSp => {
                 self.invocations.insert((wf, inv), inv_state);
+                if !decision.admitted {
+                    let worker = self.degrade_shed_worker(wf, inv);
+                    self.abandon_invocation(now, wf, inv, AbandonKind::DegradeShed { worker });
+                    return;
+                }
                 self.begin_invocation_dispatch(now, wf, inv);
             }
             ScheduleMode::MasterSp => {
@@ -1786,6 +1887,13 @@ impl Cluster {
                         invocation: inv,
                     },
                 );
+                if !decision.admitted {
+                    // Admitted is already durable, so the journal replays
+                    // the pair Admitted → Terminal(Shed) consistently.
+                    let worker = self.degrade_shed_worker(wf, inv);
+                    self.abandon_invocation(now, wf, inv, AbandonKind::DegradeShed { worker });
+                    return;
+                }
                 self.queue.schedule(
                     now,
                     Event::MasterArrive {
@@ -1795,6 +1903,20 @@ impl Cluster {
                 );
             }
         }
+    }
+
+    /// The worker a degradation-gate shed is attributed to: the first
+    /// entry node's worker (where dispatch would have begun), falling back
+    /// to worker 0 for degenerate placements.
+    fn degrade_shed_worker(&self, wf: WorkflowId, inv: InvocationId) -> usize {
+        let state = &self.invocations[&(wf, inv)];
+        state
+            .dag
+            .entry_nodes()
+            .iter()
+            .filter_map(|&e| self.config.worker_index(state.assignment.worker_of(e)))
+            .min()
+            .unwrap_or(0)
     }
 
     /// WorkerSP: pins the invocation's engine-side context to its
@@ -1956,7 +2078,13 @@ impl Cluster {
             at: now,
             timed_out: state.timed_out,
         });
-        self.slo_evaluate(now, wf, now - state.started, state.timed_out);
+        self.slo_evaluate(
+            now,
+            wf,
+            now - state.started,
+            state.timed_out,
+            state.degrade_probe,
+        );
 
         // Metrics (skip latency if the timeout already recorded it).
         let ws = self.workflows.get_mut(&wf).expect("workflow exists");
@@ -2624,29 +2752,39 @@ impl Cluster {
                 v
             }
             ShedPolicy::DeadlineAware => {
-                // Drop the lowest priority class first; within a class, the
+                // Drop degradation-demoted workflows first (the SLO
+                // offender takes the hit before innocent tenants); then
+                // the lowest priority class; within a class, the
                 // invocation with the earliest (= most hopeless) QoS
                 // deadline. The newcomer is already queued, so the scan
                 // covers it too. Ties break on ids for determinism. With
-                // every function at the default class 0 this degenerates to
-                // the legacy earliest-deadline ordering.
+                // every function at the default class 0 and no degraded
+                // workflow this degenerates to the legacy
+                // earliest-deadline ordering.
                 let qos = self.config.qos_target.expect("validated at build");
-                let mut best: Option<(u8, SimTime, InstanceToken)> = None;
+                let mut best: Option<(u8, u8, SimTime, InstanceToken)> = None;
                 for &t in self.containers[worker].queued_tokens() {
                     let Some(s) = self.invocations.get(&(t.workflow, t.invocation)) else {
                         continue;
                     };
+                    let demoted = self.degrade.as_ref().is_some_and(|d| d.demotes(t.workflow));
                     let prio = self
                         .workflows
                         .get(&t.workflow)
                         .and_then(|ws| ws.dag.node(t.function).kind.profile())
                         .map_or(0, |p| p.priority);
-                    let key = (prio, s.started + qos, t);
+                    let key = (u8::from(!demoted), prio, s.started + qos, t);
                     if best.is_none_or(|b| key < b) {
                         best = Some(key);
                     }
                 }
-                let (_, _, v) = best.expect("the queue overflowed, so it is non-empty");
+                let (demoted_rank, _, _, v) =
+                    best.expect("the queue overflowed, so it is non-empty");
+                if demoted_rank == 0 {
+                    if let Some(degrade) = &mut self.degrade {
+                        degrade.note_demoted_shed();
+                    }
+                }
                 self.containers[worker].remove_queued(|t| *t == v);
                 self.overload.shed_deadline += 1;
                 v
@@ -2846,7 +2984,16 @@ impl Cluster {
         // Retried attempts are never hedged (the container is already
         // warm locally and the failure was transient, not a straggler).
         if let Some(h) = self.config.overload.hedge {
-            if attempt == 0 && self.config.workers > 1 && !self.hedges.contains_key(&token) {
+            // Degraded workflows get no hedges: speculative re-dispatch
+            // amplifies load exactly when the offender must be contained.
+            if attempt == 0
+                && self.config.workers > 1
+                && !self.hedges.contains_key(&token)
+                && !self
+                    .degrade
+                    .as_mut()
+                    .is_some_and(|d| d.suppress_hedge(token.workflow))
+            {
                 // Adaptive delay: the per-function P² latency quantile once
                 // warmed up, the configured fixed delay before that.
                 let delay = match h.adaptive {
@@ -4325,32 +4472,24 @@ impl Cluster {
         inv: InvocationId,
         reason: DeadLetterReason,
     ) {
-        self.abandon_invocation(now, wf, inv, None, reason);
+        self.abandon_invocation(now, wf, inv, AbandonKind::DeadLetter(reason));
     }
 
     /// Load-sheds one invocation: the same teardown as a dead letter, but
     /// accounted as an admission-control decision (`shed` counters, not
     /// fault counters) and traced against the overflowing worker.
     fn shed_invocation(&mut self, now: SimTime, worker: usize, wf: WorkflowId, inv: InvocationId) {
-        self.abandon_invocation(
-            now,
-            wf,
-            inv,
-            Some(worker),
-            DeadLetterReason::RetriesExhausted,
-        );
+        self.abandon_invocation(now, wf, inv, AbandonKind::Shed { worker });
     }
 
-    /// Common teardown for dead letters (`shed_on == None`, attributed to
-    /// `reason`) and load sheds (`shed_on == Some(overflowing worker)`,
-    /// `reason` ignored).
+    /// Common teardown for every abandonment path; `kind` decides the
+    /// accounting (dead-letter vs overload shed vs degradation-gate shed).
     fn abandon_invocation(
         &mut self,
         now: SimTime,
         wf: WorkflowId,
         inv: InvocationId,
-        shed_on: Option<usize>,
-        reason: DeadLetterReason,
+        kind: AbandonKind,
     ) {
         let Some(mut state) = self.invocations.remove(&(wf, inv)) else {
             return;
@@ -4359,8 +4498,8 @@ impl Cluster {
         if let Some(ev) = state.timeout_event.take() {
             self.queue.cancel(ev);
         }
-        match shed_on {
-            None => {
+        match kind {
+            AbandonKind::DeadLetter(reason) => {
                 self.faults.dead_letters += 1;
                 match reason {
                     DeadLetterReason::RetriesExhausted => {
@@ -4389,8 +4528,14 @@ impl Cluster {
                     at: now,
                 });
             }
-            Some(w) => {
-                self.overload.shed += 1;
+            AbandonKind::Shed { worker } | AbandonKind::DegradeShed { worker } => {
+                if matches!(kind, AbandonKind::Shed { .. }) {
+                    // Degradation-gate sheds are accounted in
+                    // `DegradeReport::sheds`, not in the overload
+                    // per-policy counters (which must keep summing to
+                    // `overload.shed`).
+                    self.overload.shed += 1;
+                }
                 self.journal_append_master(
                     now,
                     JournalRecord::Terminal {
@@ -4400,7 +4545,7 @@ impl Cluster {
                     },
                 );
                 self.metrics.get_mut(&wf).expect("metrics exist").shed += 1;
-                let node = self.config.worker_node(w as u32);
+                let node = self.config.worker_node(worker as u32);
                 self.tracer.record(|| TraceEvent::InvocationShed {
                     workflow: wf,
                     invocation: inv,
@@ -4410,8 +4555,13 @@ impl Cluster {
             }
         }
         // Abandoned invocations never completed: they always consume SLO
-        // error budget, whatever their elapsed time was.
-        self.slo_evaluate(now, wf, now - state.started, true);
+        // error budget, whatever their elapsed time was. Degradation-gate
+        // sheds are the one exception: the refusal is the protection
+        // layer's own decision, not a capacity failure — feeding it back
+        // into the monitor would keep the alert firing forever.
+        if !matches!(kind, AbandonKind::DegradeShed { .. }) {
+            self.slo_evaluate(now, wf, now - state.started, true, state.degrade_probe);
+        }
         self.cancel_invocation_flows(now, wf, inv);
         let mut stale = std::mem::take(&mut self.scratch.stale);
         stale.extend(state.instances.drain());

@@ -11,6 +11,7 @@ use faasflow_sim::{NodeId, SimDuration};
 use faasflow_store::RemoteStoreConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::degrade::DegradeConfig;
 use crate::fault::{EngineTarget, FaultPlan};
 use crate::journal::JournalConfig;
 use crate::overload::OverloadConfig;
@@ -165,6 +166,13 @@ pub struct ClusterConfig {
     /// burn-rate alerting. `None` (the default) evaluates nothing and
     /// draws no RNG — runs are then bit-identical to pre-SLO builds.
     pub slo: Option<SloConfig>,
+    /// Closed-loop SLO-driven degradation: burn-rate alerts move the
+    /// offending workflow through Throttled → Shedding with half-open
+    /// probing recovery, steering per-workflow admission, shed priority
+    /// and hedging. Requires `slo`. `None` (the default) acts on nothing
+    /// and draws no RNG — runs are then bit-identical to pre-degradation
+    /// builds.
+    pub degrade: Option<DegradeConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -201,6 +209,7 @@ impl Default for ClusterConfig {
             overload: OverloadConfig::default(),
             journal: JournalConfig::default(),
             slo: None,
+            degrade: None,
         }
     }
 }
@@ -309,6 +318,15 @@ impl ClusterConfig {
         if let Some(slo) = &self.slo {
             slo.validate()?;
         }
+        if let Some(degrade) = &self.degrade {
+            degrade.validate()?;
+            if self.slo.is_none() {
+                return Err(
+                    "degrade requires an SLO config: burn-rate alerts are its only input signal"
+                        .to_string(),
+                );
+            }
+        }
         if self.mode == ScheduleMode::MasterSp && self.faastore {
             return Err(
                 "FaaStore requires WorkerSP (the baseline always uses the remote store)"
@@ -406,6 +424,31 @@ mod tests {
             }],
         });
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn degrade_requires_slo_and_valid_knobs() {
+        use crate::slo::SloObjective;
+        // Degradation without an SLO monitor has no input signal.
+        let mut c = ClusterConfig {
+            degrade: Some(DegradeConfig::default()),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("requires an SLO"));
+        c.slo = Some(SloConfig {
+            objectives: vec![SloObjective {
+                workflow: "wf".to_string(),
+                ..SloObjective::default()
+            }],
+        });
+        assert!(c.validate().is_ok());
+        // Out-of-range degradation knobs are rejected through the cluster
+        // validator, not just DegradeConfig::validate.
+        c.degrade = Some(DegradeConfig {
+            tighten: 1.5,
+            ..DegradeConfig::default()
+        });
+        assert!(c.validate().unwrap_err().contains("tighten"));
     }
 
     #[test]

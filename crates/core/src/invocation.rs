@@ -102,6 +102,9 @@ pub(crate) struct InvState {
     /// Crash recoveries performed for this invocation (dead-letter once it
     /// exceeds the plan's `max_recovery_attempts`).
     pub recovery_attempts: u32,
+    /// Admitted as a degradation recovery probe: its terminal outcome
+    /// feeds the controller's restore/relapse decision.
+    pub degrade_probe: bool,
 }
 
 impl InvState {
@@ -130,6 +133,7 @@ impl InvState {
             reported_exits: HashSet::new(),
             epoch: 0,
             recovery_attempts: 0,
+            degrade_probe: false,
         }
     }
 

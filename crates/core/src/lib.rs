@@ -40,6 +40,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod degrade;
 pub mod error;
 pub mod fault;
 pub mod invocation;
@@ -52,6 +53,7 @@ pub mod trace;
 
 pub use cluster::Cluster;
 pub use config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
+pub use degrade::{DegradeConfig, DegradeLevel, DegradeReport, WorkflowDegradeSnapshot};
 pub use error::ClusterError;
 pub use fault::{
     BackoffPolicy, DeadLetterReason, EngineCrash, EngineTarget, FaultPlan, NetFault, NodeCrash,
@@ -68,7 +70,7 @@ pub use overload::{
     OverloadConfig, P2Quantile, ShedPolicy,
 };
 pub use sample::{ClusterSample, NodeSample, NodeSeries, ResourceSeriesReport};
-pub use slo::{SloConfig, SloObjective, SloReport};
+pub use slo::{SloConfig, SloObjective, SloObjectiveSnapshot, SloReport, WindowMode};
 pub use trace::TraceEvent;
 // Placement-layer types threaded through the cluster's public surface.
 pub use faasflow_engine::EngineLoad;

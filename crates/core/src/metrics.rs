@@ -6,6 +6,7 @@ use faasflow_sim::stats::{Histogram, Summary};
 use faasflow_sim::{NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::degrade::DegradeReport;
 use crate::slo::SloReport;
 
 /// Per-workflow measurement accumulators (crate-internal mutable side).
@@ -150,6 +151,10 @@ pub struct RunReport {
     /// [`crate::ClusterConfig::slo`] is unset; omitted from serialized
     /// reports in that case so pre-SLO goldens stay bit-identical).
     pub slo: SloReport,
+    /// SLO-driven degradation accounting (all zero when
+    /// [`crate::ClusterConfig::degrade`] is unset; omitted from serialized
+    /// reports in that case so pre-degradation goldens stay bit-identical).
+    pub degrade: DegradeReport,
     /// Trace events rejected by the `trace_capacity` cap (0 when tracing
     /// is off or the cap was never hit).
     pub trace_dropped: u64,
@@ -188,6 +193,9 @@ impl Serialize for RunReport {
         }
         if !self.slo.is_zero() {
             put!(slo);
+        }
+        if !self.degrade.is_zero() {
+            put!(degrade);
         }
         put!(trace_dropped);
         put!(resources);
@@ -230,6 +238,12 @@ impl Deserialize for RunReport {
             slo: match m.iter().find(|(k, _)| k == "slo") {
                 Some((_, v)) => SloReport::from_value(v)?,
                 None => SloReport::default(),
+            },
+            // Absent in pre-degradation reports (and runs without a
+            // DegradeConfig).
+            degrade: match m.iter().find(|(k, _)| k == "degrade") {
+                Some((_, v)) => DegradeReport::from_value(v)?,
+                None => DegradeReport::default(),
             },
             trace_dropped: get!(trace_dropped),
             resources: get!(resources),
@@ -500,18 +514,22 @@ mod tests {
             recovery: RecoveryReport::default(),
             placement: PlacementReport::default(),
             slo: SloReport::default(),
+            degrade: DegradeReport::default(),
             trace_dropped: 0,
             resources: None,
         };
         let legacy = serde_json::to_string(&report).unwrap();
         assert!(!legacy.contains("placement"), "{legacy}");
+        assert!(!legacy.contains("degrade"), "{legacy}");
         let back: RunReport = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back, report);
 
         let mut enabled = report.clone();
         enabled.placement.load_aware_partitions = 3;
+        enabled.degrade.workflows_tracked = 1;
         let rendered = serde_json::to_string(&enabled).unwrap();
         assert!(rendered.contains("placement"), "{rendered}");
+        assert!(rendered.contains("degrade"), "{rendered}");
         let back: RunReport = serde_json::from_str(&rendered).unwrap();
         assert_eq!(back, enabled);
     }
@@ -566,6 +584,7 @@ mod tests {
             recovery: RecoveryReport::default(),
             placement: PlacementReport::default(),
             slo: SloReport::default(),
+            degrade: DegradeReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -596,6 +615,7 @@ mod tests {
             recovery: RecoveryReport::default(),
             placement: PlacementReport::default(),
             slo: SloReport::default(),
+            degrade: DegradeReport::default(),
             trace_dropped: 0,
             resources: None,
         };

@@ -18,6 +18,14 @@
 //!   scheduler: WorkerSP defers the dispatch locally, MasterSP re-queues
 //!   through the central engine (paying the central-plane cost, which is
 //!   exactly the asymmetry the paper's §2.3 argument predicts).
+//!
+//! All four react to *cluster-wide* pressure signals (queue depth, store
+//! failures, stragglers). The per-workflow layer above them lives in
+//! [`crate::degrade`]: SLO burn-rate alerts ([`crate::slo`]) drive a
+//! degradation controller that caps the offending workflow's admissions,
+//! demotes its shed priority under [`ShedPolicy::DeadlineAware`], and
+//! suspends its hedges — steering these mechanisms at the offender
+//! instead of shedding blindly across workflows.
 
 use faasflow_sim::SimDuration;
 use serde::{Deserialize, Serialize};

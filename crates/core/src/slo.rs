@@ -10,16 +10,38 @@
 //! window exceed their thresholds — the fast window gives low detection
 //! latency, the slow window suppresses one-off blips.
 //!
-//! Windows are **count-based** (last N completed invocations) rather than
-//! time-based: completion order is deterministic in the simulation, so the
-//! whole monitor is a pure fold over the completion stream. With
-//! [`crate::ClusterConfig::slo`] unset (the default) nothing is evaluated,
-//! no RNG is drawn, and every pre-SLO run stays bit-identical.
+//! Windows come in two flavours, selectable per objective via
+//! [`WindowMode`]: **count-based** (last N completed invocations — a pure
+//! fold over the deterministic completion stream, the default) and
+//! **time-based** (completions within the last Δ of *simulated* time —
+//! matching SRE practice for low-rate workflows whose last N completions
+//! may span hours). Both are deterministic: the time windows use simulated
+//! instants, never the wall clock. With [`crate::ClusterConfig::slo`]
+//! unset (the default) nothing is evaluated, no RNG is drawn, and every
+//! pre-SLO run stays bit-identical.
 
 use std::collections::VecDeque;
 
-use faasflow_sim::{SimDuration, WorkflowId};
+use faasflow_sim::{SimDuration, SimTime, WorkflowId};
 use serde::{Deserialize, Serialize};
+
+/// Which kind of sliding window an objective's burn rates are computed
+/// over.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum WindowMode {
+    /// Last `fast_window` / `slow_window` completions (the default). Order
+    /// is deterministic, so the monitor is a pure fold over the stream.
+    #[default]
+    Count,
+    /// Completions within the trailing `fast` / `slow` span of simulated
+    /// time (e.g. 5 min / 1 h). The count fields are ignored in this mode.
+    Time {
+        /// Span of the fast (detection) window.
+        fast: SimDuration,
+        /// Span of the slow (confirmation) window. Must be at least `fast`.
+        slow: SimDuration,
+    },
+}
 
 /// One per-workflow latency objective.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,10 +57,10 @@ pub struct SloObjective {
     /// observed bad fraction divided by this budget: burn 1.0 = consuming
     /// budget exactly as fast as allowed.
     pub error_budget: f64,
-    /// Completions in the fast (detection) sliding window.
+    /// Completions in the fast (detection) sliding window (count mode).
     pub fast_window: u32,
-    /// Completions in the slow (confirmation) sliding window. Must be at
-    /// least `fast_window`.
+    /// Completions in the slow (confirmation) sliding window (count mode).
+    /// Must be at least `fast_window`.
     pub slow_window: u32,
     /// Burn-rate threshold the fast window must exceed to fire.
     pub fast_burn: f64,
@@ -46,6 +68,8 @@ pub struct SloObjective {
     /// exceed `fast_burn` (the slow window smooths, so its threshold is
     /// the lower of the pair).
     pub slow_burn: f64,
+    /// Count-based (default) or wall-clock-spanned windows.
+    pub window: WindowMode,
 }
 
 impl Default for SloObjective {
@@ -59,6 +83,7 @@ impl Default for SloObjective {
             slow_window: 32,
             fast_burn: 2.0,
             slow_burn: 1.0,
+            window: WindowMode::Count,
         }
     }
 }
@@ -78,14 +103,32 @@ impl SloObjective {
                 self.workflow, self.error_budget
             ));
         }
-        if self.fast_window == 0 {
-            return Err(format!("SLO fast window for '{}' is zero", self.workflow));
-        }
-        if self.slow_window < self.fast_window {
-            return Err(format!(
-                "SLO slow window for '{}' ({}) is smaller than the fast window ({})",
-                self.workflow, self.slow_window, self.fast_window
-            ));
+        match self.window {
+            WindowMode::Count => {
+                if self.fast_window == 0 {
+                    return Err(format!("SLO fast window for '{}' is zero", self.workflow));
+                }
+                if self.slow_window < self.fast_window {
+                    return Err(format!(
+                        "SLO slow window for '{}' ({}) is smaller than the fast window ({})",
+                        self.workflow, self.slow_window, self.fast_window
+                    ));
+                }
+            }
+            WindowMode::Time { fast, slow } => {
+                if fast == SimDuration::ZERO {
+                    return Err(format!(
+                        "SLO fast time window for '{}' is zero",
+                        self.workflow
+                    ));
+                }
+                if slow < fast {
+                    return Err(format!(
+                        "SLO slow time window for '{}' is smaller than the fast window",
+                        self.workflow
+                    ));
+                }
+            }
         }
         if self.fast_burn <= 0.0 || !self.fast_burn.is_finite() {
             return Err(format!(
@@ -131,9 +174,23 @@ impl SloConfig {
     }
 }
 
+/// Final burn-rate state of one objective, for the per-workflow Prometheus
+/// gauges (`faasflow_slo_burn_rate{workflow=...,window=...}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloObjectiveSnapshot {
+    /// The workflow the objective names.
+    pub workflow: String,
+    /// Fast-window burn rate at report time.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at report time.
+    pub slow_burn: f64,
+    /// Whether the alert was active at report time.
+    pub alert: bool,
+}
+
 /// Aggregate SLO counters for [`crate::RunReport`]. All-zero (and omitted
 /// from serialized reports) when no [`SloConfig`] is set.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SloReport {
     /// Configured objectives.
     pub objectives: u32,
@@ -150,6 +207,8 @@ pub struct SloReport {
     pub worst_fast_burn: f64,
     /// Highest slow-window burn rate observed across all objectives.
     pub worst_slow_burn: f64,
+    /// Per-objective burn-rate state at report time, in objective order.
+    pub per_objective: Vec<SloObjectiveSnapshot>,
 }
 
 impl SloReport {
@@ -161,40 +220,89 @@ impl SloReport {
     }
 }
 
-/// A sliding window over the last `cap` completions.
+/// A sliding window of good/bad completion outcomes.
 #[derive(Debug)]
-struct BurnWindow {
-    window: VecDeque<bool>,
-    cap: usize,
-    bad: u32,
+enum BurnWindow {
+    /// Last `cap` completions.
+    Count {
+        window: VecDeque<bool>,
+        cap: usize,
+        bad: u32,
+    },
+    /// Completions within the trailing `period` of simulated time.
+    Time {
+        window: VecDeque<(SimTime, bool)>,
+        period: SimDuration,
+        bad: u32,
+    },
 }
 
 impl BurnWindow {
-    fn new(cap: u32) -> Self {
+    fn count(cap: u32) -> Self {
         let cap = cap as usize;
-        BurnWindow {
+        BurnWindow::Count {
             window: VecDeque::with_capacity(cap),
             cap,
             bad: 0,
         }
     }
 
-    fn push(&mut self, bad: bool) {
-        if self.window.len() == self.cap && self.window.pop_front() == Some(true) {
-            self.bad -= 1;
+    fn time(period: SimDuration) -> Self {
+        BurnWindow::Time {
+            window: VecDeque::new(),
+            period,
+            bad: 0,
         }
-        self.window.push_back(bad);
-        if bad {
-            self.bad += 1;
+    }
+
+    fn push(&mut self, now: SimTime, bad: bool) {
+        match self {
+            BurnWindow::Count {
+                window,
+                cap,
+                bad: bad_count,
+            } => {
+                if window.len() == *cap && window.pop_front() == Some(true) {
+                    *bad_count -= 1;
+                }
+                window.push_back(bad);
+                if bad {
+                    *bad_count += 1;
+                }
+            }
+            BurnWindow::Time {
+                window,
+                period,
+                bad: bad_count,
+            } => {
+                // Evict entries that have aged out of the trailing span.
+                while let Some(&(t, was_bad)) = window.front() {
+                    if now - t < *period {
+                        break;
+                    }
+                    window.pop_front();
+                    if was_bad {
+                        *bad_count -= 1;
+                    }
+                }
+                window.push_back((now, bad));
+                if bad {
+                    *bad_count += 1;
+                }
+            }
         }
     }
 
     /// Bad fraction over the window contents, divided by the error budget.
     fn burn(&self, budget: f64) -> f64 {
-        if self.window.is_empty() {
+        let (bad, len) = match self {
+            BurnWindow::Count { window, bad, .. } => (*bad, window.len()),
+            BurnWindow::Time { window, bad, .. } => (*bad, window.len()),
+        };
+        if len == 0 {
             0.0
         } else {
-            (f64::from(self.bad) / self.window.len() as f64) / budget
+            (f64::from(bad) / len as f64) / budget
         }
     }
 }
@@ -216,6 +324,21 @@ pub(crate) enum SloTransition {
         /// The objective's workflow.
         workflow: WorkflowId,
     },
+}
+
+/// Everything one terminal outcome told the monitor — consumed by the
+/// degradation controller ([`crate::DegradeConfig`]) as its input signal.
+#[derive(Debug, Default)]
+pub(crate) struct SloVerdict {
+    /// Alert transitions this completion caused, in objective order.
+    pub transitions: Vec<SloTransition>,
+    /// At least one objective evaluated this completion.
+    pub evaluated: bool,
+    /// Some evaluating objective judged the completion bad (budget burn).
+    pub bad: bool,
+    /// Some objective bound to this workflow is alerting *after* this
+    /// evaluation.
+    pub alert_active: bool,
 }
 
 #[derive(Debug)]
@@ -242,12 +365,23 @@ impl SloMonitor {
         let objectives: Vec<ObjectiveState> = config
             .objectives
             .iter()
-            .map(|spec| ObjectiveState {
-                workflow: None,
-                fast: BurnWindow::new(spec.fast_window),
-                slow: BurnWindow::new(spec.slow_window),
-                alert: false,
-                spec: spec.clone(),
+            .map(|spec| {
+                let (fast, slow) = match spec.window {
+                    WindowMode::Count => (
+                        BurnWindow::count(spec.fast_window),
+                        BurnWindow::count(spec.slow_window),
+                    ),
+                    WindowMode::Time { fast, slow } => {
+                        (BurnWindow::time(fast), BurnWindow::time(slow))
+                    }
+                };
+                ObjectiveState {
+                    workflow: None,
+                    fast,
+                    slow,
+                    alert: false,
+                    spec: spec.clone(),
+                }
             })
             .collect();
         let report = SloReport {
@@ -266,28 +400,36 @@ impl SloMonitor {
         }
     }
 
-    /// Evaluates one terminal invocation outcome. `bad_outcome` marks
-    /// terminal states that never produced a latency (dead-letter, shed):
-    /// those always consume budget. Returns the alert transitions this
-    /// completion caused, in objective order.
+    /// Whether any objective names this workflow (used to decide which
+    /// workflows the degradation controller tracks).
+    pub(crate) fn has_objective_for(&self, name: &str) -> bool {
+        self.objectives.iter().any(|s| s.spec.workflow == name)
+    }
+
+    /// Evaluates one terminal invocation outcome at simulated instant
+    /// `now`. `bad_outcome` marks terminal states that never produced a
+    /// latency (dead-letter, shed): those always consume budget.
     pub(crate) fn evaluate(
         &mut self,
+        now: SimTime,
         workflow: WorkflowId,
         e2e: SimDuration,
         bad_outcome: bool,
-    ) -> Vec<SloTransition> {
-        let mut transitions = Vec::new();
+    ) -> SloVerdict {
+        let mut verdict = SloVerdict::default();
         for state in &mut self.objectives {
             if state.workflow != Some(workflow) {
                 continue;
             }
             let bad = bad_outcome || e2e > state.spec.target;
+            verdict.evaluated = true;
+            verdict.bad |= bad;
             self.report.evaluations += 1;
             if bad {
                 self.report.violations += 1;
             }
-            state.fast.push(bad);
-            state.slow.push(bad);
+            state.fast.push(now, bad);
+            state.slow.push(now, bad);
             let fast_burn = state.fast.burn(state.spec.error_budget);
             let slow_burn = state.slow.burn(state.spec.error_budget);
             if fast_burn > self.report.worst_fast_burn {
@@ -300,7 +442,7 @@ impl SloMonitor {
             if firing && !state.alert {
                 state.alert = true;
                 self.report.alerts_fired += 1;
-                transitions.push(SloTransition::Fired {
+                verdict.transitions.push(SloTransition::Fired {
                     workflow,
                     fast_burn,
                     slow_burn,
@@ -308,14 +450,28 @@ impl SloMonitor {
             } else if !firing && state.alert {
                 state.alert = false;
                 self.report.alerts_resolved += 1;
-                transitions.push(SloTransition::Resolved { workflow });
+                verdict
+                    .transitions
+                    .push(SloTransition::Resolved { workflow });
             }
+            verdict.alert_active |= state.alert;
         }
-        transitions
+        verdict
     }
 
     pub(crate) fn report(&self) -> SloReport {
-        self.report
+        let mut report = self.report.clone();
+        report.per_objective = self
+            .objectives
+            .iter()
+            .map(|s| SloObjectiveSnapshot {
+                workflow: s.spec.workflow.clone(),
+                fast_burn: s.fast.burn(s.spec.error_budget),
+                slow_burn: s.slow.burn(s.spec.error_budget),
+                alert: s.alert,
+            })
+            .collect();
+        report
     }
 }
 
@@ -332,7 +488,12 @@ mod tests {
             slow_window: 4,
             fast_burn: 5.0,
             slow_burn: 2.5,
+            window: WindowMode::Count,
         }
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
     #[test]
@@ -357,6 +518,28 @@ mod tests {
         let mut o = objective("wf");
         o.slow_burn = o.fast_burn + 1.0;
         assert!(o.validate().is_err());
+        // Time-mode consistency: zero fast span, slow < fast.
+        let mut o = objective("wf");
+        o.window = WindowMode::Time {
+            fast: SimDuration::ZERO,
+            slow: SimDuration::from_secs(60),
+        };
+        assert!(o.validate().is_err());
+        let mut o = objective("wf");
+        o.window = WindowMode::Time {
+            fast: SimDuration::from_secs(60),
+            slow: SimDuration::from_secs(10),
+        };
+        assert!(o.validate().is_err());
+        // Time mode ignores the count fields entirely.
+        let mut o = objective("wf");
+        o.fast_window = 0;
+        o.slow_window = 0;
+        o.window = WindowMode::Time {
+            fast: SimDuration::from_secs(60),
+            slow: SimDuration::from_secs(360),
+        };
+        assert!(o.validate().is_ok());
         assert!(SloConfig { objectives: vec![] }.validate().is_err());
         assert!(SloConfig {
             objectives: vec![objective("wf")]
@@ -367,14 +550,63 @@ mod tests {
 
     #[test]
     fn window_evicts_and_counts() {
-        let mut w = BurnWindow::new(2);
+        let mut w = BurnWindow::count(2);
         assert_eq!(w.burn(0.1), 0.0);
-        w.push(true);
+        w.push(at(0), true);
         assert!((w.burn(0.1) - 10.0).abs() < 1e-12); // 1/1 bad / 0.1
-        w.push(false);
+        w.push(at(1), false);
         assert!((w.burn(0.1) - 5.0).abs() < 1e-12); // 1/2 bad / 0.1
-        w.push(false); // evicts the bad one
+        w.push(at(2), false); // evicts the bad one
         assert_eq!(w.burn(0.1), 0.0);
+    }
+
+    #[test]
+    fn time_window_evicts_by_age_not_count() {
+        let mut w = BurnWindow::time(SimDuration::from_millis(100));
+        w.push(at(0), true);
+        w.push(at(10), true);
+        w.push(at(20), false);
+        // All three inside the span: 2/3 bad / 0.5 budget.
+        assert!((w.burn(0.5) - (2.0 / 3.0) / 0.5).abs() < 1e-12);
+        // 110 ms later the two bad entries (t=0, t=10) have aged out.
+        w.push(at(110), false);
+        assert_eq!(w.burn(0.5), 0.0);
+        // Entries exactly `period` old are evicted (half-open window).
+        let mut w = BurnWindow::time(SimDuration::from_millis(100));
+        w.push(at(0), true);
+        w.push(at(100), false);
+        assert!((w.burn(1.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_mode_monitor_fires_and_recovers_by_elapsed_time() {
+        let mut o = objective("wf");
+        o.window = WindowMode::Time {
+            fast: SimDuration::from_millis(50),
+            slow: SimDuration::from_millis(200),
+        };
+        o.fast_burn = 5.0;
+        o.slow_burn = 2.5;
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![o],
+        });
+        let wf = WorkflowId::new(0);
+        m.bind("wf", wf);
+        let slow = SimDuration::from_millis(500);
+        let fast = SimDuration::from_millis(10);
+        // A miss fires immediately (1/1 bad in both windows).
+        let v = m.evaluate(at(0), wf, slow, false);
+        assert!(matches!(
+            v.transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        // 60 ms later the miss has left the fast window; one hit resolves.
+        let v = m.evaluate(at(60), wf, fast, false);
+        assert_eq!(
+            v.transitions.as_slice(),
+            [SloTransition::Resolved { workflow: wf }]
+        );
+        assert!(!v.alert_active);
     }
 
     #[test]
@@ -389,17 +621,26 @@ mod tests {
 
         // First miss: fast burn = (1/1)/0.1 = 10 >= 5, slow = 10 >= 2.5
         // -> fires immediately, exactly once.
-        let t = m.evaluate(wf, slow, false);
-        assert!(matches!(t.as_slice(), [SloTransition::Fired { .. }]));
+        let v = m.evaluate(at(0), wf, slow, false);
+        assert!(matches!(
+            v.transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        assert!(v.alert_active && v.bad && v.evaluated);
         // Still violating: no duplicate fire.
-        assert!(m.evaluate(wf, slow, false).is_empty());
-        assert!(m.evaluate(wf, slow, false).is_empty());
+        assert!(m.evaluate(at(1), wf, slow, false).transitions.is_empty());
+        assert!(m.evaluate(at(2), wf, slow, false).transitions.is_empty());
 
         // One hit: fast burn = (1/2)/0.1 = 5, still >= 5 -> no transition;
         // a second hit empties the fast window of misses -> resolves.
-        assert!(m.evaluate(wf, fast, false).is_empty());
-        let t = m.evaluate(wf, fast, false);
-        assert_eq!(t.as_slice(), [SloTransition::Resolved { workflow: wf }]);
+        let v = m.evaluate(at(3), wf, fast, false);
+        assert!(v.transitions.is_empty() && v.alert_active && !v.bad);
+        let v = m.evaluate(at(4), wf, fast, false);
+        assert_eq!(
+            v.transitions.as_slice(),
+            [SloTransition::Resolved { workflow: wf }]
+        );
+        assert!(!v.alert_active);
 
         let report = m.report();
         assert_eq!(report.objectives, 1);
@@ -408,6 +649,8 @@ mod tests {
         assert_eq!(report.alerts_fired, 1);
         assert_eq!(report.alerts_resolved, 1);
         assert!(report.worst_fast_burn >= 10.0 - 1e-12);
+        assert_eq!(report.per_objective.len(), 1);
+        assert!(!report.per_objective[0].alert);
     }
 
     #[test]
@@ -416,16 +659,18 @@ mod tests {
             objectives: vec![objective("wf")],
         });
         // Not bound yet: nothing evaluates.
-        assert!(m
-            .evaluate(WorkflowId::new(0), SimDuration::from_secs(5), false)
-            .is_empty());
+        let v = m.evaluate(at(0), WorkflowId::new(0), SimDuration::from_secs(5), false);
+        assert!(v.transitions.is_empty() && !v.evaluated);
         assert_eq!(m.report().evaluations, 0);
+        assert!(m.has_objective_for("wf"));
+        assert!(!m.has_objective_for("other"));
         m.bind("other", WorkflowId::new(1)); // name mismatch: no binding
         m.bind("wf", WorkflowId::new(2));
-        assert!(m
-            .evaluate(WorkflowId::new(1), SimDuration::from_secs(5), false)
-            .is_empty());
-        m.evaluate(WorkflowId::new(2), SimDuration::from_secs(5), false);
+        assert!(
+            !m.evaluate(at(1), WorkflowId::new(1), SimDuration::from_secs(5), false)
+                .evaluated
+        );
+        m.evaluate(at(2), WorkflowId::new(2), SimDuration::from_secs(5), false);
         assert_eq!(m.report().evaluations, 1);
         assert_eq!(m.report().violations, 1);
     }
@@ -437,7 +682,8 @@ mod tests {
         });
         let wf = WorkflowId::new(0);
         m.bind("wf", wf);
-        m.evaluate(wf, SimDuration::ZERO, true);
+        let v = m.evaluate(at(0), wf, SimDuration::ZERO, true);
+        assert!(v.bad);
         assert_eq!(m.report().violations, 1);
     }
 
@@ -449,5 +695,149 @@ mod tests {
         })
         .report();
         assert!(!configured.is_zero());
+    }
+
+    // ---- BurnWindow boundary cases ------------------------------------
+
+    #[test]
+    fn window_of_one_tracks_only_the_latest_outcome() {
+        let mut o = objective("wf");
+        o.fast_window = 1;
+        o.slow_window = 1;
+        o.fast_burn = 1.0;
+        o.slow_burn = 1.0;
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![o],
+        });
+        let wf = WorkflowId::new(0);
+        m.bind("wf", wf);
+        let slow = SimDuration::from_millis(500);
+        let fast = SimDuration::from_millis(10);
+        // Every outcome flips the alert: single-completion windows have no
+        // hysteresis at all — the degenerate but legal configuration.
+        assert!(matches!(
+            m.evaluate(at(0), wf, slow, false).transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        assert!(matches!(
+            m.evaluate(at(1), wf, fast, false).transitions.as_slice(),
+            [SloTransition::Resolved { .. }]
+        ));
+        assert!(matches!(
+            m.evaluate(at(2), wf, slow, false).transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        assert_eq!(m.report().alerts_fired, 2);
+        assert_eq!(m.report().alerts_resolved, 1);
+    }
+
+    #[test]
+    fn error_budget_boundaries() {
+        // 0.0 and anything above 1.0 are rejected; 1.0 is the loosest
+        // legal budget ("every invocation may be bad").
+        let mut o = objective("wf");
+        o.error_budget = 0.0;
+        assert!(o.validate().is_err());
+        o.error_budget = 1.0 + 1e-9;
+        assert!(o.validate().is_err());
+        o.error_budget = 1.0;
+        assert!(o.validate().is_ok());
+        // With budget 1.0 the burn rate equals the bad fraction, capped at
+        // 1.0 — thresholds above 1.0 can then never fire.
+        let mut always_bad = objective("wf");
+        always_bad.error_budget = 1.0;
+        always_bad.fast_burn = 1.0;
+        always_bad.slow_burn = 1.0;
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![always_bad],
+        });
+        let wf = WorkflowId::new(0);
+        m.bind("wf", wf);
+        let v = m.evaluate(at(0), wf, SimDuration::from_secs(9), false);
+        assert!(matches!(
+            v.transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        assert!((m.report().worst_fast_burn - 1.0).abs() < 1e-12);
+        // Tiny budget: one miss in a window of 2 is already a 5x burn.
+        let mut tight = objective("wf");
+        tight.error_budget = 0.1;
+        let m2 = SloMonitor::new(&SloConfig {
+            objectives: vec![tight],
+        });
+        drop(m2); // construction alone must not fire anything
+    }
+
+    #[test]
+    fn fire_then_immediately_resolve_hysteresis() {
+        // fast window 2, slow window 4: a single miss fires; the alert
+        // must survive the first following hit (fast burn still at the
+        // threshold) and resolve only on the second — the multi-window
+        // hysteresis that suppresses one-completion flapping.
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![objective("wf")],
+        });
+        let wf = WorkflowId::new(0);
+        m.bind("wf", wf);
+        let slow = SimDuration::from_millis(500);
+        let fast = SimDuration::from_millis(10);
+        assert!(matches!(
+            m.evaluate(at(0), wf, slow, false).transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        let v = m.evaluate(at(1), wf, fast, false);
+        assert!(v.transitions.is_empty(), "one hit must not flap the alert");
+        assert!(v.alert_active);
+        let v = m.evaluate(at(2), wf, fast, false);
+        assert!(matches!(
+            v.transitions.as_slice(),
+            [SloTransition::Resolved { .. }]
+        ));
+        // A fresh miss re-fires: fire/resolve counts stay paired.
+        assert!(matches!(
+            m.evaluate(at(3), wf, slow, false).transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        let r = m.report();
+        assert_eq!(r.alerts_fired, 2);
+        assert_eq!(r.alerts_resolved, 1);
+    }
+
+    #[test]
+    fn disagreeing_windows_do_not_fire() {
+        // A long run of hits fills the slow window with good outcomes;
+        // a burst of 2 misses then saturates the fast window (burn 10)
+        // while the slow window stays below its threshold — no alert.
+        // Only once the slow window crosses too does the alert fire.
+        let mut o = objective("wf");
+        o.fast_window = 2;
+        o.slow_window = 8;
+        o.fast_burn = 5.0;
+        o.slow_burn = 3.0; // slow window needs >= 3/8 bad at budget 0.1... (3/8)/0.1 = 3.75
+        let mut m = SloMonitor::new(&SloConfig {
+            objectives: vec![o],
+        });
+        let wf = WorkflowId::new(0);
+        m.bind("wf", wf);
+        let slow = SimDuration::from_millis(500);
+        let fast = SimDuration::from_millis(10);
+        for i in 0..8 {
+            assert!(m.evaluate(at(i), wf, fast, false).transitions.is_empty());
+        }
+        // Two misses: fast burn = 10 >= 5, slow burn = (2/8)/0.1 = 2.5 < 3.
+        assert!(m.evaluate(at(8), wf, slow, false).transitions.is_empty());
+        let v = m.evaluate(at(9), wf, slow, false);
+        assert!(
+            v.transitions.is_empty(),
+            "fast window alone must not fire: {v:?}"
+        );
+        assert!(!v.alert_active);
+        // Third miss: slow burn = (3/8)/0.1 = 3.75 >= 3 -> both agree.
+        let v = m.evaluate(at(10), wf, slow, false);
+        assert!(matches!(
+            v.transitions.as_slice(),
+            [SloTransition::Fired { .. }]
+        ));
+        assert_eq!(m.report().alerts_fired, 1);
     }
 }

@@ -22,6 +22,8 @@ use faasflow_sim::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::degrade::DegradeLevel;
+
 /// One recorded lifecycle step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -328,6 +330,26 @@ pub enum TraceEvent {
         /// Instant.
         at: SimTime,
     },
+    /// The degradation controller moved a workflow into (or within) a
+    /// degraded state (see [`crate::DegradeConfig`]).
+    WorkflowDegraded {
+        /// The degraded workflow.
+        workflow: WorkflowId,
+        /// The state entered.
+        level: DegradeLevel,
+        /// Concurrency cap in force after the transition.
+        cap: u32,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A degraded workflow completed its recovery probes and returned to
+    /// full service.
+    WorkflowRestored {
+        /// The restored workflow.
+        workflow: WorkflowId,
+        /// Instant.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -357,7 +379,9 @@ impl TraceEvent {
             | TraceEvent::PlacementRebalanced { at, .. }
             | TraceEvent::HedgeResolved { at, .. }
             | TraceEvent::SloAlertFired { at, .. }
-            | TraceEvent::SloAlertResolved { at, .. } => *at,
+            | TraceEvent::SloAlertResolved { at, .. }
+            | TraceEvent::WorkflowDegraded { at, .. }
+            | TraceEvent::WorkflowRestored { at, .. } => *at,
         }
     }
 
@@ -448,7 +472,9 @@ impl TraceEvent {
             | TraceEvent::EngineRecovered { .. }
             | TraceEvent::PlacementRebalanced { .. }
             | TraceEvent::SloAlertFired { .. }
-            | TraceEvent::SloAlertResolved { .. } => None,
+            | TraceEvent::SloAlertResolved { .. }
+            | TraceEvent::WorkflowDegraded { .. }
+            | TraceEvent::WorkflowRestored { .. } => None,
         }
     }
 }
@@ -548,6 +574,15 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                 } => format!("slo     {workflow} fired (burn {fast_burn:.1}/{slow_burn:.1})"),
                 TraceEvent::SloAlertResolved { workflow, .. } => {
                     format!("slo     {workflow} resolved")
+                }
+                TraceEvent::WorkflowDegraded {
+                    workflow,
+                    level,
+                    cap,
+                    ..
+                } => format!("degrade {workflow} -> {} (cap {cap})", level.label()),
+                TraceEvent::WorkflowRestored { workflow, .. } => {
+                    format!("degrade {workflow} restored")
                 }
                 _ => unreachable!("only node-scoped events lack an invocation"),
             };
@@ -665,7 +700,9 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             | TraceEvent::EngineRecovered { .. }
             | TraceEvent::PlacementRebalanced { .. }
             | TraceEvent::SloAlertFired { .. }
-            | TraceEvent::SloAlertResolved { .. } => {
+            | TraceEvent::SloAlertResolved { .. }
+            | TraceEvent::WorkflowDegraded { .. }
+            | TraceEvent::WorkflowRestored { .. } => {
                 unreachable!("node-scoped events are rendered in the cluster section")
             }
         };

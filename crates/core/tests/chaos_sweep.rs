@@ -24,9 +24,9 @@ use std::collections::HashMap;
 use faasflow_container::NodeCaps;
 use faasflow_core::{
     AdaptiveHedge, AdmissionConfig, BackpressureConfig, BreakerConfig, ClientConfig, Cluster,
-    ClusterConfig, EngineCrash, EngineTarget, FaultPlan, HedgeConfig, JournalConfig, NetFault,
-    NodeCrash, OverloadConfig, PlacementConfig, RunReport, ScheduleMode, ShedPolicy, SloConfig,
-    SloObjective, StorageFault, StorageFaultKind, TraceEvent,
+    ClusterConfig, DegradeConfig, EngineCrash, EngineTarget, FaultPlan, HedgeConfig, JournalConfig,
+    NetFault, NodeCrash, OverloadConfig, PlacementConfig, RunReport, ScheduleMode, ShedPolicy,
+    SloConfig, SloObjective, StorageFault, StorageFaultKind, TraceEvent, WindowMode,
 };
 use faasflow_sim::{SimDuration, SimRng};
 use faasflow_wdl::{FunctionProfile, Step, Workflow};
@@ -221,7 +221,37 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
                 slow_window: 8 + rng.next_below(24) as u32,
                 fast_burn,
                 slow_burn: fast_burn * rng.range_f64(0.1, 1.0),
+                // A third of the monitored seeds use time-based windows
+                // (drawn after the count fields so earlier seeds keep
+                // their exact scenarios; count fields are ignored then).
+                window: if rng.chance(0.3) {
+                    let fast = SimDuration::from_millis(300 + rng.next_below(3000));
+                    WindowMode::Time {
+                        fast,
+                        slow: fast + SimDuration::from_millis(1000 + rng.next_below(10_000)),
+                    }
+                } else {
+                    WindowMode::Count
+                },
             }],
+        });
+    }
+    // The degradation controller rides on SLO alerts (its only input), so
+    // it is fuzzed on half the monitored seeds. Drawn last of all so every
+    // pre-existing seed keeps its exact scenario.
+    if config.slo.is_some() && rng.chance(0.5) {
+        let initial_cap = 2 + rng.next_below(8) as u32; // 2..=9
+        config.degrade = Some(DegradeConfig {
+            initial_cap,
+            min_cap: 1 + rng.next_below(u64::from(initial_cap)) as u32,
+            tighten: rng.range_f64(0.2, 0.9),
+            recover_step: 1 + rng.next_below(3) as u32,
+            cooldown: SimDuration::from_millis(200 + rng.next_below(4000)),
+            shed_admit_fraction: rng.range_f64(0.0, 1.0),
+            probe_fraction: rng.range_f64(0.1, 1.0),
+            probe_successes: 1 + rng.next_below(6) as u32,
+            suspend_hedges: rng.chance(0.5),
+            demote_shed_priority: rng.chance(0.5),
         });
     }
     (config, wf, invocations)
@@ -266,7 +296,9 @@ fn run_seed(seed: u64) -> (RunReport, Vec<TraceEvent>) {
 
 fn check_invariants(seed: u64, report: &RunReport, trace: &[TraceEvent]) {
     let mut sent_total = 0;
+    let mut shed_total = 0;
     for (name, wf) in &report.workflows {
+        shed_total += wf.shed;
         assert_eq!(
             wf.sent,
             wf.completed + wf.dead_lettered + wf.shed,
@@ -348,6 +380,55 @@ fn check_invariants(seed: u64, report: &RunReport, trace: &[TraceEvent]) {
         assert!(
             s.is_zero(),
             "seed {seed}: SLO counters without objectives ({s:?}); {}",
+            repro(seed)
+        );
+    }
+
+    // Degradation accounting: controller sheds are disjoint from the
+    // admission queue's (they never touch `overload.shed`), yet together
+    // the two cover every per-workflow shed — no refusal is double- or
+    // zero-counted. State-machine counters respect their causal order:
+    // every throttle needs a fired alert, every recovery a resolved one,
+    // every restore a recovery, every failed probe a launched probe.
+    let d = &report.degrade;
+    assert_eq!(
+        shed_total,
+        o.shed + d.sheds,
+        "seed {seed}: workflow sheds {shed_total} != overload {} + degrade {} ({d:?}); {}",
+        o.shed,
+        d.sheds,
+        repro(seed)
+    );
+    assert!(
+        d.throttles <= s.alerts_fired,
+        "seed {seed}: more throttles than alerts fired ({d:?} vs {s:?}); {}",
+        repro(seed)
+    );
+    assert!(
+        d.recoveries <= s.alerts_resolved,
+        "seed {seed}: more recoveries than alerts resolved ({d:?} vs {s:?}); {}",
+        repro(seed)
+    );
+    assert!(
+        d.restores <= d.recoveries,
+        "seed {seed}: more restores than recoveries ({d:?}); {}",
+        repro(seed)
+    );
+    assert!(
+        d.probe_failures <= d.probes,
+        "seed {seed}: more probe failures than probes ({d:?}); {}",
+        repro(seed)
+    );
+    assert_eq!(
+        d.sheds,
+        d.workflows.iter().map(|w| w.sheds).sum::<u64>(),
+        "seed {seed}: per-workflow degrade sheds don't sum ({d:?}); {}",
+        repro(seed)
+    );
+    if d.workflows_tracked == 0 {
+        assert!(
+            d.is_zero(),
+            "seed {seed}: degrade counters without tracked workflows ({d:?}); {}",
             repro(seed)
         );
     }

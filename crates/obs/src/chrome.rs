@@ -433,6 +433,65 @@ pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport
             ]));
             continue;
         }
+        // Degradation transitions render like the SLO alerts they answer:
+        // an instant per transition plus a severity counter track
+        // (0 normal, 1 recovering, 2 throttled, 3 shedding).
+        if let TraceEvent::WorkflowDegraded {
+            workflow,
+            level,
+            cap,
+            at,
+        } = event
+        {
+            events.push(obj(vec![
+                (
+                    "name",
+                    s(format!(
+                        "workflow degraded: {workflow} -> {}",
+                        level.label()
+                    )),
+                ),
+                ("cat", s("degrade")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                ("args", obj(vec![("cap", Value::UInt(u64::from(*cap)))])),
+            ]));
+            events.push(obj(vec![
+                ("name", s(format!("degrade state {workflow}"))),
+                ("ph", s("C")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![("level", Value::UInt(u64::from(level.as_level())))]),
+                ),
+            ]));
+            continue;
+        }
+        if let TraceEvent::WorkflowRestored { workflow, at } = event {
+            events.push(obj(vec![
+                ("name", s(format!("workflow restored: {workflow}"))),
+                ("cat", s("degrade")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+            ]));
+            events.push(obj(vec![
+                ("name", s(format!("degrade state {workflow}"))),
+                ("ph", s("C")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(0)),
+                ("args", obj(vec![("level", Value::UInt(0))])),
+            ]));
+            continue;
+        }
         let (name, node) = match event {
             TraceEvent::WorkerCrashed { worker, .. } => ("worker crashed", worker),
             TraceEvent::WorkerRestarted { worker, .. } => ("worker restarted", worker),

@@ -322,6 +322,100 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
             "faasflow_slo_worst_burn_rate{{window=\"slow\"}} {}",
             slo.worst_slow_burn
         );
+        if !slo.per_objective.is_empty() {
+            header(
+                &mut out,
+                "faasflow_slo_burn_rate",
+                "Final burn rate per objective and sliding window.",
+                "gauge",
+            );
+            for o in &slo.per_objective {
+                let wf = &o.workflow;
+                let _ = writeln!(
+                    out,
+                    "faasflow_slo_burn_rate{{workflow=\"{wf}\",window=\"fast\"}} {}",
+                    o.fast_burn
+                );
+                let _ = writeln!(
+                    out,
+                    "faasflow_slo_burn_rate{{workflow=\"{wf}\",window=\"slow\"}} {}",
+                    o.slow_burn
+                );
+            }
+            header(
+                &mut out,
+                "faasflow_slo_alert_active",
+                "Whether the objective's alert was firing at report time.",
+                "gauge",
+            );
+            for o in &slo.per_objective {
+                let _ = writeln!(
+                    out,
+                    "faasflow_slo_alert_active{{workflow=\"{}\"}} {}",
+                    o.workflow,
+                    u8::from(o.alert)
+                );
+            }
+        }
+    }
+
+    // --- SLO-driven degradation -------------------------------------------
+    // Only rendered when a DegradeConfig was set, mirroring the report's
+    // own omit-when-zero behaviour.
+    if !report.degrade.is_zero() {
+        header(
+            &mut out,
+            "faasflow_degrade_total",
+            "Degradation state-machine actions.",
+            "counter",
+        );
+        let d = &report.degrade;
+        for (kind, value) in [
+            ("workflows_tracked", u64::from(d.workflows_tracked)),
+            ("throttles", d.throttles),
+            ("escalations", d.escalations),
+            ("tightenings", d.tightenings),
+            ("recoveries", d.recoveries),
+            ("relapses", d.relapses),
+            ("restores", d.restores),
+            ("sheds", d.sheds),
+            ("probes", d.probes),
+            ("probe_failures", d.probe_failures),
+            ("hedges_suppressed", d.hedges_suppressed),
+            ("demoted_sheds", d.demoted_sheds),
+        ] {
+            let _ = writeln!(out, "faasflow_degrade_total{{kind=\"{kind}\"}} {value}");
+        }
+        if !d.workflows.is_empty() {
+            header(
+                &mut out,
+                "faasflow_degrade_state",
+                "Final degradation level per tracked workflow \
+                 (0 normal, 1 recovering, 2 throttled, 3 shedding).",
+                "gauge",
+            );
+            for w in &d.workflows {
+                let _ = writeln!(
+                    out,
+                    "faasflow_degrade_state{{workflow=\"{}\"}} {}",
+                    w.workflow,
+                    w.level.as_level()
+                );
+            }
+            header(
+                &mut out,
+                "faasflow_degrade_sheds_total",
+                "Arrivals refused at the degradation gate per workflow.",
+                "counter",
+            );
+            for w in &d.workflows {
+                let _ = writeln!(
+                    out,
+                    "faasflow_degrade_sheds_total{{workflow=\"{}\"}} {}",
+                    w.workflow, w.sheds
+                );
+            }
+        }
     }
 
     // --- Last resource sample per node -----------------------------------

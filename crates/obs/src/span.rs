@@ -641,7 +641,9 @@ impl TreeBuilder {
             | TraceEvent::EngineRecovered { .. }
             | TraceEvent::PlacementRebalanced { .. }
             | TraceEvent::SloAlertFired { .. }
-            | TraceEvent::SloAlertResolved { .. } => {
+            | TraceEvent::SloAlertResolved { .. }
+            | TraceEvent::WorkflowDegraded { .. }
+            | TraceEvent::WorkflowRestored { .. } => {
                 unreachable!("node-scoped events are handled by the forest builder")
             }
         }

@@ -9,15 +9,35 @@
 //! ```
 
 use faasflow::core::trace::render_timeline;
-use faasflow::core::{ClientConfig, Cluster, ClusterConfig, ClusterError};
+use faasflow::core::{
+    ClientConfig, Cluster, ClusterConfig, ClusterError, DegradeConfig, SloConfig, SloObjective,
+};
 use faasflow::obs::{
     aggregate, attribute, build_forest, extract, render_attribution_table, what_if, SpanKind,
 };
 use faasflow::workloads::Benchmark;
 
 fn main() -> Result<(), ClusterError> {
+    // An impossible 1 ms objective with single-completion windows makes
+    // the burn-rate alert fire on the very first invocation, so the
+    // timeline also shows the SLO alert edge and the degradation
+    // controller throttling the workflow in response. Neither subsystem
+    // draws randomness, so the rest of the timeline is unchanged.
     let config = ClusterConfig {
         trace: true,
+        slo: Some(SloConfig {
+            objectives: vec![SloObjective {
+                workflow: "FP".to_string(),
+                target: faasflow::sim::SimDuration::from_millis(1),
+                error_budget: 0.5,
+                fast_window: 1,
+                slow_window: 1,
+                fast_burn: 1.0,
+                slow_burn: 1.0,
+                ..SloObjective::default()
+            }],
+        }),
+        degrade: Some(DegradeConfig::default()),
         ..ClusterConfig::default()
     };
     let mut cluster = Cluster::new(config)?;
