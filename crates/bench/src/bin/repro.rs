@@ -25,6 +25,9 @@
 //!               throttle the offending workflow, sparing the innocent one
 //!   placement   load- & locality-aware placement vs the legacy
 //!               worker-0 tie-break: group skew, p99, remote bytes
+//!   grayfail    gray failures: slow/stuck/flaky workers and an asymmetric
+//!               link partition; MAD health detector off vs on, worker
+//!               quarantine, false suspicion and zombie fencing
 //!   perf        hot-path microbenchmarks -> BENCH_kernel.json
 //!   trace       causal spans, resource series, phase attribution
 //!               -> trace_*.json (Perfetto) + metrics_*.prom
@@ -168,6 +171,7 @@ fn main() {
         "overload" => overload(&scale),
         "degrade" => degrade(&scale),
         "placement" => placement(&scale),
+        "grayfail" => grayfail(&scale),
         "perf" => perf(quick),
         "trace" => trace_scenario(&scale, trace_out.as_deref().unwrap_or(".")),
         "critpath" => critpath_scenario(&scale),
@@ -188,6 +192,7 @@ fn main() {
             overload(&scale);
             degrade(&scale);
             placement(&scale);
+            grayfail(&scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -1716,6 +1721,315 @@ fn placement(scale: &Scale) {
     println!("spreading the pipelines off worker 0 shortens its admission queue, so");
     println!("puts stay within each workflow's FaaStore budget (fewer remote spills)");
     println!("and the end-to-end tail drops.");
+}
+
+// ====================================================================
+// grayfail — gray-failure detection, quarantine, zombie fencing
+// ====================================================================
+
+/// Gray failures degrade a worker while every fail-stop signal stays
+/// green: it heartbeats, accepts work, and renews its lease — it is just
+/// slow, stuck, or flaky. Part one sweeps those kinds over one worker and
+/// compares the tail with the differential health detector off vs on:
+/// the detector scores each worker's exec latency/failure rate against
+/// the fleet median (MAD outlier test), quarantines the sustained
+/// outlier, drains it, and half-open reinstates it once the window
+/// heals. Part two injects the inverse problem — an asymmetric link
+/// partition whose control plane passes while one data direction stalls,
+/// plus a forced false suspicion: the lease expires under a still-running
+/// worker, re-dispatch races the zombie, and its late completions must
+/// die on the admission fences (`zombie_fenced`).
+fn grayfail(scale: &Scale) {
+    use faasflow_container::NodeCaps;
+    use faasflow_core::{GrayFault, GrayFaultKind, HealthConfig, RunReport};
+
+    const WORKERS: u32 = 4;
+    const PIPELINES: usize = 6;
+    const RATE_PER_MIN: f64 = 30.0;
+
+    println!("\n=== Grayfail: gray-failure detection & worker quarantine ===");
+    println!(
+        "({PIPELINES} pipelines open loop {RATE_PER_MIN:.0} inv/min each on {WORKERS} \
+         workers x 2 cores;"
+    );
+    println!(" worker 1 degrades gray over t=6-36s while heartbeating normally;");
+    println!(" MAD health detector off vs on, quarantine drains + reinstates)");
+
+    let pipeline = |i: usize| {
+        Workflow::steps(
+            format!("pipe{i}"),
+            Step::sequence(vec![
+                Step::task("ingest", FunctionProfile::with_millis(60, 1 << 20)),
+                Step::foreach("crunch", FunctionProfile::with_millis(300, 1 << 20), 4),
+                Step::task("publish", FunctionProfile::with_millis(30, 0)),
+            ]),
+        )
+    };
+    let measure = (scale.open / 4).max(10);
+    let window = (
+        SimDuration::from_secs(6),
+        SimDuration::from_secs(30), // heals mid-run so reinstatement is observable
+    );
+    let cell = |(kind, health): (GrayFaultKind, Option<HealthConfig>)| {
+        let config = ClusterConfig {
+            workers: WORKERS,
+            node_caps: NodeCaps {
+                cores: 2,
+                ..NodeCaps::default()
+            },
+            // Load-aware placement spreads the pipelines, so the gray
+            // worker owns a real share of the fleet before it degrades.
+            placement_config: PlacementConfig::default(),
+            fault: FaultPlan {
+                gray_faults: vec![GrayFault {
+                    worker: 1,
+                    at: window.0,
+                    duration: window.1,
+                    kind,
+                }],
+                ..FaultPlan::default()
+            },
+            health,
+            ..faasflow_config()
+        };
+        let mut cluster = Cluster::new(config).expect("valid config");
+        for i in 0..PIPELINES {
+            cluster
+                .register(
+                    &pipeline(i),
+                    ClientConfig::OpenLoop {
+                        per_minute: RATE_PER_MIN,
+                        invocations: measure,
+                    },
+                )
+                .expect("registers");
+        }
+        cluster.run_until_idle();
+        cluster.report()
+    };
+    let kinds: [(&str, GrayFaultKind); 4] = [
+        ("slowdown x4", GrayFaultKind::ExecSlowdown { factor: 4.0 }),
+        ("slowdown x8", GrayFaultKind::ExecSlowdown { factor: 8.0 }),
+        ("stuck executor", GrayFaultKind::StuckExecutor),
+        (
+            "flaky 75% fail",
+            GrayFaultKind::FlakyExec { failure_rate: 0.75 },
+        ),
+    ];
+    let mut cells = Vec::new();
+    for &(_, kind) in &kinds {
+        cells.push((kind, None));
+        cells.push((kind, Some(HealthConfig::default())));
+    }
+    let results = parallel_map(cells, scale.threads, cell);
+
+    let mean_p99 = |r: &RunReport| {
+        let sum: f64 = r.workflows.values().map(|w| w.e2e.p99).sum();
+        sum / r.workflows.len().max(1) as f64
+    };
+    println!(
+        "{:<16} {:>11} {:>11} {:>6} {:>6} {:>7} {:>8}",
+        "gray fault", "off p99", "on p99", "cut%", "quar", "reinst", "orphans"
+    );
+    println!(
+        "{:<16} {:>11} {:>11} {:>6} {:>6} {:>7} {:>8}",
+        "", "(ms)", "(ms)", "", "", "", ""
+    );
+    rule(72);
+    for (i, (label, _)) in kinds.iter().enumerate() {
+        let (off, on) = (&results[2 * i], &results[2 * i + 1]);
+        let (off_p99, on_p99) = (mean_p99(off), mean_p99(on));
+        let cut = 100.0 * (1.0 - on_p99 / off_p99.max(1e-9));
+        println!(
+            "{:<16} {:>11.0} {:>11.0} {:>6.0} {:>6} {:>7} {:>8}",
+            label,
+            off_p99,
+            on_p99,
+            cut,
+            on.health.quarantines,
+            on.health.reinstatements,
+            on.health.quarantine_orphans,
+        );
+    }
+    rule(72);
+
+    for (i, (label, _)) in kinds.iter().enumerate() {
+        for (tag, report) in [("off", &results[2 * i]), ("on", &results[2 * i + 1])] {
+            for (name, wf) in &report.workflows {
+                assert_eq!(
+                    wf.sent,
+                    wf.completed + wf.dead_lettered + wf.shed,
+                    "{label}/{tag}/{name}: invocation leak"
+                );
+            }
+            assert_eq!(
+                report.live_invocation_states, 0,
+                "{label}/{tag}: leaked engine state"
+            );
+            let f = &report.faults;
+            assert_eq!(
+                f.dead_letter_retries_exhausted
+                    + f.dead_letter_crash_orphan
+                    + f.dead_letter_journal_unrecoverable
+                    + f.dead_letter_quarantine_orphan,
+                f.dead_letters,
+                "{label}/{tag}: every dead letter carries exactly one reason"
+            );
+        }
+        let (off, on) = (&results[2 * i], &results[2 * i + 1]);
+        assert_eq!(
+            off.health.evaluations, 0,
+            "{label}: detector off must never evaluate"
+        );
+        assert_eq!(
+            off.health.quarantines, 0,
+            "{label}: detector off must never quarantine"
+        );
+        assert!(
+            on.health.quarantines >= 1,
+            "{label}: the detector must quarantine the gray worker \
+             ({} quarantines)",
+            on.health.quarantines
+        );
+    }
+    for idx in [1usize, 2] {
+        let (label, _) = kinds[idx];
+        let (off_p99, on_p99) = (mean_p99(&results[2 * idx]), mean_p99(&results[2 * idx + 1]));
+        assert!(
+            on_p99 < off_p99,
+            "{label}: quarantining the gray worker must cut the tail \
+             (on {on_p99:.0} ms vs off {off_p99:.0} ms)"
+        );
+    }
+    {
+        let (off_p99, on_p99) = (mean_p99(&results[2]), mean_p99(&results[3]));
+        println!(
+            "grayfail: detector on cuts p99 under sustained gray faults \
+             (x8 slowdown {off_p99:.0} -> {on_p99:.0} ms)"
+        );
+    }
+
+    // --- part two: asymmetric partition, false suspicion, fencing ---
+    println!("\n--- asymmetric partition: control up, data-plane down one way ---");
+    println!("(legacy placement pins the group to worker 0; its outbound flows stall");
+    println!(" over t=3-15s while heartbeats keep passing, and the master is made to");
+    println!(" suspect it: the lease force-expires, re-dispatch races the zombie)");
+    let heavy = Workflow::steps(
+        "Heavy",
+        Step::sequence(vec![
+            Step::task("ingest", FunctionProfile::with_millis(200, 4 << 20)),
+            Step::foreach("crunch", FunctionProfile::with_millis(2000, 4 << 20), 6),
+            Step::task("merge", FunctionProfile::with_millis(100, 0)),
+        ]),
+    );
+    let n = scale.closed.min(40);
+    let run = |config: ClusterConfig| {
+        let mut cluster = Cluster::new(ClusterConfig {
+            workers: WORKERS,
+            fault: FaultPlan {
+                gray_faults: vec![GrayFault {
+                    worker: 0,
+                    at: SimDuration::from_secs(3),
+                    duration: SimDuration::from_secs(12),
+                    kind: GrayFaultKind::AsymmetricPartition {
+                        inbound: false,
+                        expire_lease: true,
+                    },
+                }],
+                ..FaultPlan::default()
+            },
+            health: Some(HealthConfig::default()),
+            ..config
+        })
+        .expect("valid config");
+        cluster
+            .register(&heavy, ClientConfig::ClosedLoop { invocations: n })
+            .expect("registers");
+        cluster.run_until_idle();
+        cluster.report()
+    };
+    let modes = parallel_map(vec![master_config(), faasflow_config()], scale.threads, run);
+    let (master, worker) = (&modes[0], &modes[1]);
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "metric", "HyperFlow(MSP)", "FaaSFlow(WSP)"
+    );
+    rule(62);
+    let mrow = |label: &str, m: u64, w: u64| println!("{label:<28} {m:>16} {w:>16}");
+    let m = master.workflow("Heavy");
+    let w = worker.workflow("Heavy");
+    mrow("invocations sent", m.sent, w.sent);
+    mrow("completed", m.completed, w.completed);
+    mrow("dead-lettered", m.dead_lettered, w.dead_lettered);
+    mrow(
+        "lease expiries (suspicion)",
+        master.faults.lease_expiries,
+        worker.faults.lease_expiries,
+    );
+    mrow(
+        "crash re-dispatches",
+        master.faults.crash_redispatches,
+        worker.faults.crash_redispatches,
+    );
+    mrow(
+        "zombies fenced",
+        master.health.zombie_fenced,
+        worker.health.zombie_fenced,
+    );
+    mrow(
+        "data flows stalled",
+        master.health.stalled_flows,
+        worker.health.stalled_flows,
+    );
+    mrow(
+        "quarantine orphans",
+        master.health.quarantine_orphans,
+        worker.health.quarantine_orphans,
+    );
+    mrow(
+        "live states (leak check)",
+        master.live_invocation_states,
+        worker.live_invocation_states,
+    );
+    rule(62);
+    for (label, report) in [("MasterSP", master), ("WorkerSP", worker)] {
+        let wf = report.workflow("Heavy");
+        assert_eq!(
+            wf.sent,
+            wf.completed + wf.dead_lettered + wf.shed,
+            "{label}: every invocation must reach exactly one terminal outcome"
+        );
+        assert_eq!(
+            report.live_invocation_states, 0,
+            "{label}: no leaked engine state"
+        );
+        assert!(
+            report.faults.lease_expiries >= 1,
+            "{label}: the forced false suspicion must expire the lease"
+        );
+        let f = &report.faults;
+        assert_eq!(
+            f.dead_letter_retries_exhausted
+                + f.dead_letter_crash_orphan
+                + f.dead_letter_journal_unrecoverable
+                + f.dead_letter_quarantine_orphan,
+            f.dead_letters,
+            "{label}: every dead letter carries exactly one reason"
+        );
+    }
+    let fenced = master.health.zombie_fenced + worker.health.zombie_fenced;
+    assert!(
+        fenced >= 1,
+        "the re-dispatch race must fence at least one zombie completion \
+         (MSP {} + WSP {})",
+        master.health.zombie_fenced,
+        worker.health.zombie_fenced
+    );
+    println!("grayfail: zombies fenced after false suspicion: {fenced} late completions discarded");
+    println!("grayfail: conservation held in every cell; no engine state leaked");
+    println!("a lease only proves a worker answers — not that it makes progress; the");
+    println!("detector catches what fail-stop misses, and admission fencing makes the");
+    println!("false-suspicion race safe: the suspect's late completions cannot land.");
 }
 
 // ====================================================================

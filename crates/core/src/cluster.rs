@@ -41,7 +41,8 @@ use faasflow_wdl::{DagParser, NodeKind, ParserConfig, Workflow, WorkflowDag};
 use crate::config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 use crate::degrade::{AdmitDecision, DegradeController, DegradeTransition};
 use crate::error::ClusterError;
-use crate::fault::{DeadLetterReason, EngineTarget, StorageFaultKind};
+use crate::fault::{DeadLetterReason, EngineTarget, GrayFaultKind, StorageFaultKind};
+use crate::health::{HealthDetector, HealthReport, HealthTransition};
 use crate::invocation::{InstanceState, InstanceToken, InvState};
 use crate::journal::{Journal, JournalRecord, TerminalOutcome};
 use crate::metrics::{
@@ -296,6 +297,14 @@ enum Event {
     /// Journal replay finished; the engine reconciles with cluster-visible
     /// progress and resumes.
     EngineRecovered { target: Option<usize>, era: u32 },
+    /// Fault plan: `gray_faults[idx]` window opens.
+    GrayFaultStart { idx: usize },
+    /// Fault plan: `gray_faults[idx]` window closes.
+    GrayFaultEnd { idx: usize },
+    /// A quarantined worker's cooldown elapsed; the health detector
+    /// half-opens it. `at` fences reopen events scheduled before a relapse
+    /// re-quarantined the worker.
+    HealthReopen { worker: usize, at: SimTime },
 }
 
 #[cfg(feature = "loop-profile")]
@@ -337,6 +346,9 @@ impl Event {
             Event::EngineCrash { .. } => "EngineCrash",
             Event::EngineRestart { .. } => "EngineRestart",
             Event::EngineRecovered { .. } => "EngineRecovered",
+            Event::GrayFaultStart { .. } => "GrayFaultStart",
+            Event::GrayFaultEnd { .. } => "GrayFaultEnd",
+            Event::HealthReopen { .. } => "HealthReopen",
         }
     }
 }
@@ -528,6 +540,38 @@ pub struct Cluster {
     /// SLO-driven degradation controller (`None` unless `config.degrade`
     /// is set).
     degrade: Option<DegradeController>,
+    /// Online gray-failure detector (`None` unless `config.health` is
+    /// set). Pure observer of completion samples: it never draws from the
+    /// RNG, so detector-off runs are bit-identical to pre-detector builds.
+    health: Option<HealthDetector>,
+    /// Gray-failure accounting held by the cluster: the injection counters
+    /// (`zombie_fenced`, `stalled_flows`, `stuck_deferrals`,
+    /// `quarantine_orphans`) tick here whether or not a detector is
+    /// watching; `report()` merges the detector's own counters in.
+    health_stats: HealthReport,
+    /// Workers the detector currently holds in quarantine: excluded from
+    /// the partition target set and from hedge candidate rings.
+    quarantined: Vec<bool>,
+    /// Per-worker exec slowdown multiplier (gray windows; 1.0 nominally).
+    gray_slowdown: Vec<f64>,
+    /// Per-worker stuck-executor window end: completions inside the window
+    /// defer to its closing edge.
+    gray_stuck_until: Vec<Option<SimTime>>,
+    /// Per-worker injected exec failure rate (gray windows; 0.0 nominally).
+    gray_flaky: Vec<f64>,
+    /// Per-worker asymmetric data-plane partition: `Some(true)` drops
+    /// flows toward the worker's node, `Some(false)` drops flows from it.
+    gray_partition: Vec<Option<bool>>,
+    /// Count of open asymmetric-partition windows (fast path for the
+    /// per-flow block check).
+    gray_partitions_active: u32,
+    /// Workers whose lease was force-expired while they were still alive:
+    /// their late completions die on the admission fences and are counted
+    /// as fenced zombies.
+    gray_zombie: Vec<bool>,
+    /// Data-plane payloads stalled by an asymmetric partition, keyed by
+    /// the partitioned worker; replayed when its window lifts.
+    gray_stalled: Vec<(usize, FlowTag)>,
     /// Streaming p99 of end-to-end latency per worker, attributed to every
     /// worker an invocation's placement touched. Only fed when the
     /// placement layer is enabled, so legacy runs are bit-identical.
@@ -642,6 +686,18 @@ impl Cluster {
             placement: PlacementReport::default(),
             slo: config.slo.as_ref().map(SloMonitor::new),
             degrade: config.degrade.map(DegradeController::new),
+            health: config
+                .health
+                .map(|h| HealthDetector::new(h, config.workers)),
+            health_stats: HealthReport::default(),
+            quarantined: vec![false; config.workers as usize],
+            gray_slowdown: vec![1.0; config.workers as usize],
+            gray_stuck_until: vec![None; config.workers as usize],
+            gray_flaky: vec![0.0; config.workers as usize],
+            gray_partition: vec![None; config.workers as usize],
+            gray_partitions_active: 0,
+            gray_zombie: vec![false; config.workers as usize],
+            gray_stalled: Vec::new(),
             worker_p99: (0..config.workers).map(|_| P2Quantile::new(0.99)).collect(),
             completions_since_skew_check: 0,
             tracer: Tracer::new(config.trace, config.trace_capacity),
@@ -696,6 +752,14 @@ impl Cluster {
         for (idx, c) in self.config.fault.engine_crashes.iter().enumerate() {
             self.queue
                 .schedule(SimTime::ZERO + c.at, Event::EngineCrash { idx });
+        }
+        for (idx, g) in self.config.fault.gray_faults.iter().enumerate() {
+            self.queue
+                .schedule(SimTime::ZERO + g.at, Event::GrayFaultStart { idx });
+            self.queue.schedule(
+                SimTime::ZERO + g.at + g.duration,
+                Event::GrayFaultEnd { idx },
+            );
         }
     }
 
@@ -1233,6 +1297,13 @@ impl Cluster {
                 .as_ref()
                 .map(DegradeController::report)
                 .unwrap_or_default(),
+            health: {
+                let mut health = self.health_stats.clone();
+                if let Some(h) = self.health.as_ref() {
+                    h.snapshot_into(&mut health);
+                }
+                health
+            },
             trace_dropped: self.tracer.dropped(),
             resources: self.resources_snapshot(),
         }
@@ -1276,12 +1347,14 @@ impl Cluster {
         loads
     }
 
-    /// The partition target set: alive workers, at residual capacity
-    /// (nominal minus live instances) when the placement layer is enabled,
-    /// at nominal capacity otherwise.
+    /// The partition target set: alive, non-quarantined workers, at
+    /// residual capacity (nominal minus live instances) when the placement
+    /// layer is enabled, at nominal capacity otherwise. Quarantine zeroes
+    /// a worker's share without declaring it dead: its running work keeps
+    /// completing, it just gets nothing new.
     fn placement_workers(&self, residual: bool, loads: &[WorkerLoad]) -> Vec<WorkerInfo> {
         (0..self.config.workers)
-            .filter(|&i| self.worker_alive[i as usize])
+            .filter(|&i| self.worker_alive[i as usize] && !self.quarantined[i as usize])
             .map(|i| {
                 let mut info =
                     WorkerInfo::new(self.config.worker_node(i), self.config.worker_capacity());
@@ -1689,6 +1762,9 @@ impl Cluster {
                 era,
             } => self.on_engine_restart(now, target, attempt, era),
             Event::EngineRecovered { target, era } => self.on_engine_recovered(now, target, era),
+            Event::GrayFaultStart { idx } => self.on_gray_fault_start(now, idx),
+            Event::GrayFaultEnd { idx } => self.on_gray_fault_end(now, idx),
+            Event::HealthReopen { worker, at } => self.on_health_reopen(now, worker, at),
         }
     }
 
@@ -2967,6 +3043,16 @@ impl Cluster {
             NodeKind::Function(profile) => profile.sample_exec(&mut self.rng),
             _ => SimDuration::ZERO,
         };
+        // A gray slowdown stretches the sampled compute without touching
+        // the RNG draw sequence.
+        let exec = if self.gray_slowdown[worker] != 1.0 {
+            exec.mul_f64(self.gray_slowdown[worker])
+        } else {
+            exec
+        };
+        if let Some(h) = self.health.as_mut() {
+            h.note_start(worker as u32, now);
+        }
         let worker_node = self.config.worker_node(worker as u32);
         self.tracer.record(|| TraceEvent::ExecStarted {
             workflow: token.workflow,
@@ -3013,21 +3099,39 @@ impl Cluster {
     }
 
     fn on_exec_done(&mut self, now: SimTime, worker: usize, token: InstanceToken, seq: u64) {
+        // A stuck executor accepts work but completes nothing: completions
+        // inside the window defer to its closing edge (strictly before it,
+        // so the re-fired event at the edge proceeds whatever the tie
+        // order against `GrayFaultEnd`).
+        if let Some(end) = self.gray_stuck_until[worker] {
+            if now < end {
+                self.health_stats.stuck_deferrals += 1;
+                self.queue
+                    .schedule(end, Event::ExecDone { worker, token, seq });
+                return;
+            }
+        }
         // Stale-event fence: the instance must still be this admission on
         // this worker (a crash orphans instances; a restart re-admits the
-        // same token under a fresh sequence number).
+        // same token under a fresh sequence number; an evacuation moves it
+        // elsewhere — the old home's late completion is a zombie's).
         let attempt;
+        let exec_started;
         {
             let Some(state) = self.invocations.get(&(token.workflow, token.invocation)) else {
+                self.on_exec_fenced(now, worker, token);
                 return;
             };
             let Some(inst) = state.instances.get(&token) else {
+                self.on_exec_fenced(now, worker, token);
                 return;
             };
             if inst.worker != worker || inst.seq != seq {
+                self.on_exec_fenced(now, worker, token);
                 return;
             }
             attempt = inst.retries;
+            exec_started = inst.exec_started;
         }
         // Failure injection: a transient execution error re-runs the
         // instance in place (the container is already warm) up to the
@@ -3035,9 +3139,15 @@ impl Cluster {
         // unless the fault plan dead-letters exhausted instances. The
         // short-circuit keeps the RNG draw sequence identical to builds
         // without the trace hook: one draw per completion iff the rate is
-        // non-zero.
-        let failed =
-            self.config.exec_failure_rate > 0.0 && self.rng.chance(self.config.exec_failure_rate);
+        // non-zero. A flaky-exec gray window raises the effective rate for
+        // this worker only (and never changes the draw sequence outside
+        // its window).
+        let rate = if self.gray_flaky[worker] > 0.0 {
+            self.config.exec_failure_rate.max(self.gray_flaky[worker])
+        } else {
+            self.config.exec_failure_rate
+        };
+        let failed = rate > 0.0 && self.rng.chance(rate);
         let worker_node = self.config.worker_node(worker as u32);
         self.tracer.record(|| TraceEvent::ExecFinished {
             workflow: token.workflow,
@@ -3049,6 +3159,23 @@ impl Cluster {
             failed,
             at: now,
         });
+        // Sample the completion into the health detector, but apply its
+        // transitions only after the completion itself is fully processed:
+        // a quarantine drain must never tear state out from under the
+        // handler that triggered it.
+        let transitions = self
+            .health
+            .as_mut()
+            .map(|h| h.note_complete(worker as u32, now - exec_started, failed, now));
+        self.exec_outcome(now, worker, token, failed);
+        if let Some(ts) = transitions {
+            self.apply_health_transitions(now, ts);
+        }
+    }
+
+    /// The outcome half of `ExecDone` handling, after the fences and the
+    /// failure draw: retry, dead-letter, or proceed to the output write.
+    fn exec_outcome(&mut self, now: SimTime, worker: usize, token: InstanceToken, failed: bool) {
         if failed {
             let state = self
                 .invocations
@@ -3192,7 +3319,9 @@ impl Cluster {
         let n = self.config.workers as usize;
         let mut admitted = None;
         for cand in (worker + 1..n).chain(0..worker) {
-            if !self.worker_alive[cand] {
+            // Quarantined workers take no hedges: a speculative copy on a
+            // gray worker is the straggler it was meant to beat.
+            if !self.worker_alive[cand] || self.quarantined[cand] {
                 continue;
             }
             if let Some(adm) = self.containers[cand].request_immediate(
@@ -3410,6 +3539,17 @@ impl Cluster {
     }
 
     fn on_flow_done(&mut self, now: SimTime, tag: FlowTag) {
+        // Asymmetric partition: the network delivered the flow, but the
+        // blocked direction drops the payload at the edge — it stalls
+        // until the window lifts, while control traffic keeps flowing
+        // (that asymmetry is what makes the failure gray).
+        if self.gray_partitions_active > 0 {
+            if let Some(w) = self.gray_partition_blocks(&tag) {
+                self.health_stats.stalled_flows += 1;
+                self.gray_stalled.push((w, tag));
+                return;
+            }
+        }
         match tag {
             FlowTag::Read {
                 token,
@@ -3730,9 +3870,19 @@ impl Cluster {
         self.scratch.hedge_tokens = hedge_tokens;
         self.orphans[w].append(&mut orphaned);
         self.scratch.tokens = orphaned;
-        // Heartbeats stop now; the lease expires after the detection delay.
+        // A fail-stop crash supersedes any gray suspicion: the corpse is
+        // not a zombie (its fenced events are ordinary crash cleanup), and
+        // the differential detector hands the worker to the lease path.
+        self.gray_zombie[w] = false;
+        self.quarantined[w] = false;
+        if let Some(h) = self.health.as_mut() {
+            h.on_worker_crash(w as u32);
+        }
+        // Heartbeats stop now; the lease expires after the detection delay
+        // (plus this worker's deterministic phase offset when heartbeat
+        // staggering is on).
         self.queue.schedule(
-            now + self.config.fault.detection_delay(),
+            now + self.config.fault.lease_delay(w as u32),
             Event::LeaseExpired { worker: w },
         );
         if let Some(after) = crash.restart_after {
@@ -3814,9 +3964,20 @@ impl Cluster {
         if !self.worker_alive[w] {
             self.worker_detected_down[w] = true;
         }
+        // False suspicion: a force-expired lease on a live worker behind an
+        // asymmetric partition. The master cannot tell a zombie from a
+        // corpse, so it recovers as if the node died; the zombie's late
+        // completions die on the fences.
+        let suspected = self.worker_alive[w] && self.gray_zombie[w];
         match self.config.mode {
-            ScheduleMode::MasterSp => self.recover_master_orphans(now, w),
-            ScheduleMode::WorkerSp => self.recover_worker_partition(now, w),
+            ScheduleMode::MasterSp => {
+                if suspected {
+                    self.evacuate_worker(now, w, DeadLetterReason::CrashOrphan);
+                } else {
+                    self.recover_master_orphans(now, w);
+                }
+            }
+            ScheduleMode::WorkerSp => self.recover_worker_partition(now, w, suspected),
         }
     }
 
@@ -3891,7 +4052,7 @@ impl Cluster {
     /// assignment, so failover is a real redeploy — re-partition every
     /// workflow over the surviving workers, then restart each invocation
     /// that had incomplete work pinned to state the dead node lost.
-    fn recover_worker_partition(&mut self, now: SimTime, w: usize) {
+    fn recover_worker_partition(&mut self, now: SimTime, w: usize, force: bool) {
         // Token-level orphans are superseded by invocation-level restarts.
         self.orphans[w].clear();
         let node = self.config.worker_node(w as u32);
@@ -3901,8 +4062,11 @@ impl Cluster {
                 continue;
             }
             // A restarted worker kept nothing for invocations begun before
-            // it came back; a still-dead worker kept nothing at all.
-            let lost_state = !self.worker_alive[w] || state.started < self.worker_up_since[w];
+            // it came back; a still-dead worker kept nothing at all. A
+            // false suspicion (`force`) distrusts the node wholesale even
+            // though it is alive — everything pinned there restarts.
+            let lost_state =
+                force || !self.worker_alive[w] || state.started < self.worker_up_since[w];
             if !lost_state {
                 continue;
             }
@@ -4381,6 +4545,19 @@ impl Cluster {
     /// original arrival instant is kept, so the measured latency includes
     /// the outage — faults cost latency, not accounting.
     fn restart_invocation(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        self.restart_invocation_as(now, wf, inv, DeadLetterReason::RetriesExhausted);
+    }
+
+    /// [`Self::restart_invocation`] with an explicit dead-letter reason
+    /// for the budget-exhausted case (a quarantine drain accounts its
+    /// casualties as quarantine orphans, not generic retry exhaustion).
+    fn restart_invocation_as(
+        &mut self,
+        now: SimTime,
+        wf: WorkflowId,
+        inv: InvocationId,
+        exhausted: DeadLetterReason,
+    ) {
         let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
             return;
         };
@@ -4389,7 +4566,7 @@ impl Cluster {
         }
         state.recovery_attempts += 1;
         if state.recovery_attempts > self.config.fault.max_recovery_attempts {
-            self.dead_letter_invocation(now, wf, inv, DeadLetterReason::RetriesExhausted);
+            self.dead_letter_invocation(now, wf, inv, exhausted);
             return;
         }
         state.epoch += 1;
@@ -4509,6 +4686,10 @@ impl Cluster {
                     DeadLetterReason::JournalUnrecoverable => {
                         self.faults.dead_letter_journal_unrecoverable += 1
                     }
+                    DeadLetterReason::QuarantineOrphan => {
+                        self.faults.dead_letter_quarantine_orphan += 1;
+                        self.health_stats.quarantine_orphans += 1;
+                    }
                 }
                 self.journal_append_master(
                     now,
@@ -4613,8 +4794,17 @@ impl Cluster {
         }
     }
 
-    /// Cancels every bulk transfer belonging to one invocation.
+    /// Cancels every bulk transfer belonging to one invocation, including
+    /// payloads stalled behind an asymmetric partition.
     fn cancel_invocation_flows(&mut self, now: SimTime, wf: WorkflowId, inv: InvocationId) {
+        if !self.gray_stalled.is_empty() {
+            self.gray_stalled.retain(|&(_, tag)| {
+                let t = match tag {
+                    FlowTag::Read { token, .. } | FlowTag::Write { token, .. } => token,
+                };
+                !(t.workflow == wf && t.invocation == inv)
+            });
+        }
         let mut doomed = std::mem::take(&mut self.scratch.flow_ids);
         doomed.extend(
             self.net
@@ -4678,6 +4868,342 @@ impl Cluster {
                 .set_nic(node, NicSpec::symmetric(self.config.worker_bandwidth), now);
         }
         self.reschedule_flow_timer(now);
+    }
+
+    // ==================================================================
+    // Gray failures & health detection
+    // ==================================================================
+
+    /// A gray-failure window opens. Unlike a crash, the worker keeps its
+    /// lease: it accepts work and answers heartbeats while quietly
+    /// misbehaving — exactly the failure class a liveness-only detector
+    /// cannot see. The effect vectors are passive state consulted by the
+    /// exec and flow paths, so a window over an idle worker changes
+    /// nothing.
+    fn on_gray_fault_start(&mut self, now: SimTime, idx: usize) {
+        let g = self.config.fault.gray_faults[idx];
+        let w = g.worker as usize;
+        match g.kind {
+            GrayFaultKind::ExecSlowdown { factor } => self.gray_slowdown[w] = factor,
+            GrayFaultKind::StuckExecutor => {
+                self.gray_stuck_until[w] = Some(SimTime::ZERO + g.at + g.duration);
+            }
+            GrayFaultKind::FlakyExec { failure_rate } => self.gray_flaky[w] = failure_rate,
+            GrayFaultKind::AsymmetricPartition {
+                inbound,
+                expire_lease,
+            } => {
+                self.gray_partition[w] = Some(inbound);
+                self.gray_partitions_active += 1;
+                // The false-suspicion path: the master stops hearing from
+                // the worker and force-expires its lease even though the
+                // node is alive and still executing. Re-dispatched work
+                // races the zombie; its late completions must be fenced.
+                if expire_lease && self.worker_alive[w] {
+                    self.gray_zombie[w] = true;
+                    self.queue.schedule(
+                        now + self.config.fault.lease_delay(g.worker),
+                        Event::LeaseExpired { worker: w },
+                    );
+                }
+            }
+        }
+    }
+
+    /// A gray-failure window closes: effects lift, and payloads stalled
+    /// behind an asymmetric partition finally deliver (heavily late — the
+    /// latency cost of the outage, not an accounting reset).
+    fn on_gray_fault_end(&mut self, now: SimTime, idx: usize) {
+        let g = self.config.fault.gray_faults[idx];
+        let w = g.worker as usize;
+        match g.kind {
+            GrayFaultKind::ExecSlowdown { .. } => self.gray_slowdown[w] = 1.0,
+            GrayFaultKind::StuckExecutor => self.gray_stuck_until[w] = None,
+            GrayFaultKind::FlakyExec { .. } => self.gray_flaky[w] = 0.0,
+            GrayFaultKind::AsymmetricPartition { .. } => {
+                self.gray_partition[w] = None;
+                self.gray_partitions_active = self.gray_partitions_active.saturating_sub(1);
+                self.gray_zombie[w] = false;
+                let stalled = std::mem::take(&mut self.gray_stalled);
+                for (sw, tag) in stalled {
+                    if sw == w {
+                        self.on_flow_done(now, tag);
+                    } else {
+                        self.gray_stalled.push((sw, tag));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether an open asymmetric-partition window blocks this flow's
+    /// payload: remote reads travel inbound to the instance's worker,
+    /// remote writes outbound from it. Loopback flows never leave the
+    /// node, so they always pass.
+    fn gray_partition_blocks(&self, tag: &FlowTag) -> Option<usize> {
+        let (token, remote, read) = match *tag {
+            FlowTag::Read { token, remote, .. } => (token, remote, true),
+            FlowTag::Write { token, remote, .. } => (token, remote, false),
+        };
+        if !remote {
+            return None;
+        }
+        let w = self
+            .invocations
+            .get(&(token.workflow, token.invocation))
+            .and_then(|s| s.instances.get(&token))
+            .map(|i| i.worker)?;
+        match self.gray_partition[w] {
+            Some(inbound) if inbound == read => Some(w),
+            _ => None,
+        }
+    }
+
+    /// An `ExecDone` died on the admission fences: the completing attempt
+    /// was superseded (crash recovery, restart, hedge win, evacuation).
+    /// Balance the detector's in-flight gauge, and when the worker is a
+    /// suspected-dead-but-alive zombie, count the rejection — fencing the
+    /// zombie's late completions is the partition-tolerance property the
+    /// report certifies.
+    fn on_exec_fenced(&mut self, now: SimTime, worker: usize, token: InstanceToken) {
+        if let Some(h) = self.health.as_mut() {
+            h.note_fenced(worker as u32);
+        }
+        if !self.gray_zombie[worker] {
+            return;
+        }
+        self.health_stats.zombie_fenced += 1;
+        let node = self.config.worker_node(worker as u32);
+        self.tracer.record(|| TraceEvent::ZombieFenced {
+            worker: node,
+            workflow: token.workflow,
+            invocation: token.invocation,
+            at: now,
+        });
+    }
+
+    /// A quarantined worker's cooldown elapsed; the detector half-opens it
+    /// (stale reopen events from before a relapse fence on `at`).
+    fn on_health_reopen(&mut self, now: SimTime, w: usize, at: SimTime) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        if let Some(t) = h.on_reopen(w as u32, at) {
+            self.apply_health_transitions(now, vec![t]);
+        }
+    }
+
+    /// Turns detector transitions into cluster actions: quarantine pulls
+    /// the worker out of the placement target set and hedge rings (and
+    /// optionally drains it), reinstating restores its capacity for the
+    /// half-open probes.
+    fn apply_health_transitions(&mut self, now: SimTime, transitions: Vec<HealthTransition>) {
+        for t in transitions {
+            match t {
+                HealthTransition::Quarantined {
+                    worker,
+                    score,
+                    reopen_at,
+                    relapse,
+                } => {
+                    let w = worker as usize;
+                    self.quarantined[w] = true;
+                    let node = self.config.worker_node(worker);
+                    self.tracer.record(|| TraceEvent::WorkerQuarantined {
+                        worker: node,
+                        score,
+                        relapse,
+                        at: now,
+                    });
+                    self.queue.schedule(
+                        reopen_at,
+                        Event::HealthReopen {
+                            worker: w,
+                            at: reopen_at,
+                        },
+                    );
+                    if self.config.health.is_some_and(|h| h.drain_on_quarantine) {
+                        self.drain_quarantined_worker(now, w);
+                    }
+                }
+                HealthTransition::Reinstating { worker } => {
+                    self.quarantined[worker as usize] = false;
+                }
+                HealthTransition::Reinstated { worker } => {
+                    let node = self.config.worker_node(worker);
+                    self.tracer.record(|| TraceEvent::WorkerReinstated {
+                        worker: node,
+                        at: now,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Steers work off a freshly quarantined worker without declaring it
+    /// dead: placements recompute over the healthy set and the instances
+    /// it was running re-run elsewhere, dead-lettering as quarantine
+    /// orphans once an invocation's recovery budget is spent.
+    fn drain_quarantined_worker(&mut self, now: SimTime, w: usize) {
+        let node = self.config.worker_node(w as u32);
+        match self.config.mode {
+            ScheduleMode::MasterSp => {
+                self.evacuate_worker(now, w, DeadLetterReason::QuarantineOrphan);
+            }
+            ScheduleMode::WorkerSp => {
+                if self.config.placement_config.enabled {
+                    let moved = self.rebalance_workflows_on(node);
+                    if moved > 0 {
+                        self.placement.recovery_rebalances += 1;
+                        self.placement.rebalanced_workflows += moved;
+                        self.tracer.record(|| TraceEvent::PlacementRebalanced {
+                            worker: node,
+                            workflows: moved,
+                            recovery: true,
+                            at: now,
+                        });
+                    }
+                } else {
+                    self.redeploy_all();
+                }
+                let mut impacted = std::mem::take(&mut self.scratch.inv_keys);
+                for (&key, state) in &self.invocations {
+                    if state.completed {
+                        continue;
+                    }
+                    let touches = state.instances.values().any(|i| i.worker == w)
+                        || state.dag.nodes().iter().any(|n| {
+                            !state.completed_nodes.contains(&n.id)
+                                && state.assignment.worker_of(n.id) == node
+                        });
+                    if touches {
+                        impacted.push(key);
+                    }
+                }
+                impacted.sort_unstable();
+                for &(wf, inv) in &impacted {
+                    self.restart_invocation_as(now, wf, inv, DeadLetterReason::QuarantineOrphan);
+                }
+                impacted.clear();
+                self.scratch.inv_keys = impacted;
+            }
+        }
+    }
+
+    /// Pulls every admitted instance off a live-but-distrusted worker
+    /// (MasterSP false suspicion, or a quarantine drain): each one is
+    /// re-dispatched to another live worker under a fresh admission and
+    /// the suspect's containers free up normally — its own late
+    /// completions die on the sequence fences. Invocations whose recovery
+    /// budget is spent dead-letter with `reason`.
+    fn evacuate_worker(&mut self, now: SimTime, w: usize, reason: DeadLetterReason) {
+        let mut tokens = std::mem::take(&mut self.scratch.tokens);
+        for state in self.invocations.values() {
+            tokens.extend(
+                state
+                    .instances
+                    .iter()
+                    .filter(|(_, i)| i.worker == w)
+                    .map(|(&t, _)| t),
+            );
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        // Bump per-invocation recovery budgets; exhausted ones dead-letter.
+        let mut invs = std::mem::take(&mut self.scratch.inv_keys);
+        invs.extend(tokens.iter().map(|t| (t.workflow, t.invocation)));
+        invs.sort_unstable();
+        invs.dedup();
+        for &(wf, inv) in &invs {
+            let Some(state) = self.invocations.get_mut(&(wf, inv)) else {
+                continue;
+            };
+            if state.completed {
+                continue;
+            }
+            state.recovery_attempts += 1;
+            if state.recovery_attempts > self.config.fault.max_recovery_attempts {
+                self.dead_letter_invocation(now, wf, inv, reason);
+            }
+        }
+        invs.clear();
+        self.scratch.inv_keys = invs;
+        for &token in &tokens {
+            // Transfers in flight for the attempt (including payloads
+            // stalled behind the partition) belong to the superseded copy.
+            self.cancel_hedge(now, token);
+            self.cancel_token_flows(now, token);
+            let Some(state) = self
+                .invocations
+                .get_mut(&(token.workflow, token.invocation))
+            else {
+                continue;
+            };
+            if state.completed
+                || state.epoch != token.epoch
+                || state.completed_nodes.contains(&token.function)
+            {
+                continue;
+            }
+            let Some(inst) = state.instances.remove(&token) else {
+                continue;
+            };
+            let admissions = self.containers[w].release(inst.container, now, &mut self.rng);
+            self.schedule_admissions(w, admissions);
+            self.track_utilization(now, w);
+            self.reschedule_expiry(now, w);
+            let Some(target) = self.pick_healthy_worker(w) else {
+                self.dead_letter_invocation(now, token.workflow, token.invocation, reason);
+                continue;
+            };
+            self.faults.crash_redispatches += 1;
+            self.request_instance(now, target, token);
+        }
+        tokens.clear();
+        self.scratch.tokens = tokens;
+    }
+
+    /// Cancels every bulk transfer belonging to one instance attempt,
+    /// including payloads stalled behind an asymmetric partition.
+    fn cancel_token_flows(&mut self, now: SimTime, token: InstanceToken) {
+        let mut doomed = std::mem::take(&mut self.scratch.flow_ids);
+        doomed.extend(
+            self.net
+                .iter()
+                .filter(|(_, f)| {
+                    let t = match f.tag {
+                        FlowTag::Read { token: t, .. } | FlowTag::Write { token: t, .. } => t,
+                    };
+                    t == token
+                })
+                .map(|(id, _)| id),
+        );
+        doomed.sort_unstable();
+        for &id in &doomed {
+            if self.net.cancel_flow(id, now).is_some() {
+                self.faults.flows_killed += 1;
+            }
+        }
+        doomed.clear();
+        self.scratch.flow_ids = doomed;
+        self.gray_stalled.retain(|&(_, tag)| {
+            let t = match tag {
+                FlowTag::Read { token: t, .. } | FlowTag::Write { token: t, .. } => t,
+            };
+            t != token
+        });
+        self.reschedule_flow_timer(now);
+    }
+
+    /// [`Self::pick_alive_worker`], preferring workers not under
+    /// quarantine (falling back to any live worker when every survivor is
+    /// quarantined).
+    fn pick_healthy_worker(&self, avoid: usize) -> Option<usize> {
+        let n = self.config.workers as usize;
+        (avoid + 1..n)
+            .chain(0..=avoid.min(n - 1))
+            .find(|&w| self.worker_alive[w] && !self.quarantined[w])
+            .or_else(|| self.pick_alive_worker(avoid))
     }
 
     /// Issues (or re-issues) a remote read: during a blackout the request

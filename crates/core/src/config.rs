@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::degrade::DegradeConfig;
 use crate::fault::{EngineTarget, FaultPlan};
+use crate::health::HealthConfig;
 use crate::journal::JournalConfig;
 use crate::overload::OverloadConfig;
 use crate::slo::SloConfig;
@@ -173,6 +174,12 @@ pub struct ClusterConfig {
     /// and draws no RNG — runs are then bit-identical to pre-degradation
     /// builds.
     pub degrade: Option<DegradeConfig>,
+    /// Online gray-failure health detection: per-worker exec latency and
+    /// failure statistics scored against the fleet median (MAD outlier
+    /// test) drive a Probation → Quarantined → half-open Reinstating
+    /// state machine. `None` (the default) watches nothing and draws no
+    /// RNG — runs are then bit-identical to pre-detector builds.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -210,6 +217,7 @@ impl Default for ClusterConfig {
             journal: JournalConfig::default(),
             slo: None,
             degrade: None,
+            health: None,
         }
     }
 }
@@ -326,6 +334,9 @@ impl ClusterConfig {
                         .to_string(),
                 );
             }
+        }
+        if let Some(health) = &self.health {
+            health.validate()?;
         }
         if self.mode == ScheduleMode::MasterSp && self.faastore {
             return Err(
@@ -449,6 +460,20 @@ mod tests {
             ..DegradeConfig::default()
         });
         assert!(c.validate().unwrap_err().contains("tighten"));
+    }
+
+    #[test]
+    fn health_knobs_are_validated_through_the_cluster() {
+        let mut c = ClusterConfig {
+            health: Some(HealthConfig::default()),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        c.health = Some(HealthConfig {
+            mad_threshold: -1.0,
+            ..HealthConfig::default()
+        });
+        assert!(c.validate().unwrap_err().contains("mad_threshold"));
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   The node underneath keeps running — containers finish their work —
 //!   but the engine's volatile trigger state and message queue are lost
 //!   and must be rebuilt from its journal plus worker-reported progress.
+//! * [`GrayFault`] — a worker degrades *without* dying: it heartbeats on
+//!   time while executing slower, hanging mid-exec, failing more often,
+//!   or sitting behind an asymmetric partition where control traffic
+//!   passes but data-plane flows stall. The lease detector is
+//!   structurally blind to this class; the online health detector
+//!   ([`crate::HealthConfig`]) exists to catch it.
 
 use faasflow_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
@@ -122,6 +128,62 @@ pub enum DeadLetterReason {
     /// The engine's journal could not be read back during recovery (store
     /// blacked out through every replay attempt).
     JournalUnrecoverable,
+    /// The invocation was purged while draining a quarantined worker and
+    /// its crash-recovery budget was already spent.
+    QuarantineOrphan,
+}
+
+/// How a [`GrayFault`] window misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GrayFaultKind {
+    /// Every execution on the worker takes `factor` times as long. The
+    /// worker keeps heartbeating, accepting and completing work — just
+    /// slowly.
+    ExecSlowdown {
+        /// Multiplier (> 1.0) on sampled execution times.
+        factor: f64,
+    },
+    /// The executor accepts instances but completes none of them until the
+    /// window ends; completions that would have landed inside the window
+    /// are deferred to its closing edge.
+    StuckExecutor,
+    /// Executions fail at an elevated rate for the window (the worker's
+    /// effective failure rate becomes `max(base, failure_rate)`).
+    FlakyExec {
+        /// Probability in `(0, 1]` that an exec on this worker fails.
+        failure_rate: f64,
+    },
+    /// Control traffic (heartbeats, dispatch, completion reports) passes
+    /// but bulk data-plane flows crossing the link in one direction stall
+    /// until the window heals — the classic gray partition the lease
+    /// detector cannot see.
+    AsymmetricPartition {
+        /// `true` stalls flows *into* the worker (it cannot fetch inputs);
+        /// `false` stalls flows *out of* it (peers cannot fetch its
+        /// outputs).
+        inbound: bool,
+        /// When `true`, the master additionally suspects the worker — its
+        /// lease is force-expired one detection delay into the window even
+        /// though heartbeats still arrive. Re-dispatch then races the
+        /// still-running zombie, whose late completions must be fenced
+        /// (`zombie_fenced`).
+        expire_lease: bool,
+    },
+}
+
+/// One gray-failure window on a worker: the node stays "alive" by every
+/// fail-stop signal while degrading in a way only differential health
+/// statistics can catch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrayFault {
+    /// Worker index whose behaviour degrades.
+    pub worker: u32,
+    /// Window start.
+    pub at: SimDuration,
+    /// Window length (must be positive).
+    pub duration: SimDuration,
+    /// What kind of gray failure this is.
+    pub kind: GrayFaultKind,
 }
 
 /// Exponential backoff with full-range jitter, used for storage retries and
@@ -199,6 +261,9 @@ pub struct FaultPlan {
     pub net_faults: Vec<NetFault>,
     /// Scheduling-engine crashes (central or per-worker).
     pub engine_crashes: Vec<EngineCrash>,
+    /// Gray-failure windows: the worker stays "alive" while degrading.
+    #[serde(default)]
+    pub gray_faults: Vec<GrayFault>,
     /// Workers heartbeat the failure detector at this interval.
     pub heartbeat_interval: SimDuration,
     /// Missed heartbeats before a worker's lease expires and recovery
@@ -214,6 +279,14 @@ pub struct FaultPlan {
     /// of completing as if it had succeeded. Defaults to `false`, the
     /// legacy pass-through behaviour.
     pub dead_letter_on_exhaustion: bool,
+    /// When `true`, each worker's heartbeat phase is offset by a
+    /// deterministic per-worker fraction of the heartbeat interval (derived
+    /// from the worker index, not RNG), so simultaneous crashes don't
+    /// expire every lease at the same instant and synchronize a recovery
+    /// storm. Defaults to `false`: every lease expires exactly
+    /// [`FaultPlan::detection_delay`] after the crash, as before.
+    #[serde(default)]
+    pub stagger_heartbeats: bool,
 }
 
 impl Default for FaultPlan {
@@ -223,11 +296,13 @@ impl Default for FaultPlan {
             storage_faults: Vec::new(),
             net_faults: Vec::new(),
             engine_crashes: Vec::new(),
+            gray_faults: Vec::new(),
             heartbeat_interval: SimDuration::from_millis(500),
             lease_misses: 3,
             backoff: BackoffPolicy::default(),
             max_recovery_attempts: 5,
             dead_letter_on_exhaustion: false,
+            stagger_heartbeats: false,
         }
     }
 }
@@ -239,11 +314,26 @@ impl FaultPlan {
             && self.storage_faults.is_empty()
             && self.net_faults.is_empty()
             && self.engine_crashes.is_empty()
+            && self.gray_faults.is_empty()
     }
 
     /// Time from a crash to its lease expiring (recovery kicking in).
     pub fn detection_delay(&self) -> SimDuration {
         self.heartbeat_interval * u64::from(self.lease_misses)
+    }
+
+    /// Time from worker `worker`'s crash (or suspicion) to its lease
+    /// expiring. Without heartbeat staggering this is exactly
+    /// [`FaultPlan::detection_delay`]; with it, each worker adds a
+    /// deterministic phase offset of `(worker mod 8) / 8` heartbeat
+    /// intervals so simultaneous crashes expire at distinct instants.
+    pub fn lease_delay(&self, worker: u32) -> SimDuration {
+        let base = self.detection_delay();
+        if self.stagger_heartbeats {
+            base + self.heartbeat_interval.mul_f64(f64::from(worker % 8) / 8.0)
+        } else {
+            base
+        }
     }
 
     /// Validates the plan against a cluster with `workers` worker nodes.
@@ -261,6 +351,58 @@ impl FaultPlan {
                     "node crash targets worker {} but the cluster has {workers}",
                     c.worker
                 ));
+            }
+        }
+        // Two crash windows of the same worker must not overlap: a second
+        // crash landing while the worker is already down (or exactly at its
+        // restart instant) makes recovery order-dependent.
+        for w in 0..workers {
+            let mut windows: Vec<&NodeCrash> =
+                self.node_crashes.iter().filter(|c| c.worker == w).collect();
+            windows.sort_by_key(|c| c.at);
+            for pair in windows.windows(2) {
+                let end = pair[0].restart_after.map(|r| pair[0].at + r);
+                let overlaps = match end {
+                    // No restart: the worker is down forever, any later
+                    // crash of it is unreachable.
+                    None => true,
+                    Some(end) => pair[1].at <= end,
+                };
+                if overlaps {
+                    return Err(format!(
+                        "overlapping crash windows for worker {w}: crash at {:?} \
+                         lands before the crash at {:?} has restarted",
+                        pair[1].at, pair[0].at
+                    ));
+                }
+            }
+        }
+        for g in &self.gray_faults {
+            if g.worker >= workers {
+                return Err(format!(
+                    "gray fault targets worker {} but the cluster has {workers}",
+                    g.worker
+                ));
+            }
+            if g.duration.is_zero() {
+                return Err("gray fault windows must have positive duration".into());
+            }
+            match g.kind {
+                GrayFaultKind::ExecSlowdown { factor } => {
+                    if !(factor.is_finite() && factor > 1.0) {
+                        return Err(format!(
+                            "gray exec slowdown factor must be > 1, got {factor}"
+                        ));
+                    }
+                }
+                GrayFaultKind::FlakyExec { failure_rate } => {
+                    if !(failure_rate.is_finite() && failure_rate > 0.0 && failure_rate <= 1.0) {
+                        return Err(format!(
+                            "gray flaky-exec failure_rate must be in (0,1], got {failure_rate}"
+                        ));
+                    }
+                }
+                GrayFaultKind::StuckExecutor | GrayFaultKind::AsymmetricPartition { .. } => {}
             }
         }
         for s in &self.storage_faults {
@@ -364,6 +506,138 @@ mod tests {
         });
         assert!(plan.validate(4).is_err());
         assert!(!plan.is_empty(), "engine crashes make the plan non-empty");
+    }
+
+    #[test]
+    fn overlapping_crash_windows_are_rejected() {
+        // Second crash lands while the first is still down.
+        let mut plan = FaultPlan::default();
+        plan.node_crashes.push(NodeCrash {
+            worker: 1,
+            at: SimDuration::from_secs(1),
+            restart_after: Some(SimDuration::from_secs(2)),
+        });
+        plan.node_crashes.push(NodeCrash {
+            worker: 1,
+            at: SimDuration::from_secs(2),
+            restart_after: None,
+        });
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.contains("overlapping crash windows"), "{err}");
+
+        // A crash exactly at the restart instant is order-dependent too.
+        plan.node_crashes[1].at = SimDuration::from_secs(3);
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.contains("overlapping crash windows"), "{err}");
+
+        // Any crash after a no-restart crash of the same worker overlaps.
+        let mut plan = FaultPlan::default();
+        plan.node_crashes.push(NodeCrash {
+            worker: 0,
+            at: SimDuration::from_secs(1),
+            restart_after: None,
+        });
+        plan.node_crashes.push(NodeCrash {
+            worker: 0,
+            at: SimDuration::from_secs(30),
+            restart_after: None,
+        });
+        assert!(plan.validate(4).is_err());
+
+        // Disjoint windows and different workers are fine.
+        let mut plan = FaultPlan::default();
+        plan.node_crashes.push(NodeCrash {
+            worker: 1,
+            at: SimDuration::from_secs(1),
+            restart_after: Some(SimDuration::from_secs(1)),
+        });
+        plan.node_crashes.push(NodeCrash {
+            worker: 1,
+            at: SimDuration::from_millis(2500),
+            restart_after: None,
+        });
+        plan.node_crashes.push(NodeCrash {
+            worker: 2,
+            at: SimDuration::from_secs(1),
+            restart_after: None,
+        });
+        plan.validate(4).expect("disjoint windows are valid");
+    }
+
+    #[test]
+    fn gray_fault_windows_are_validated() {
+        let gray = |kind| GrayFault {
+            worker: 0,
+            at: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(2),
+            kind,
+        };
+
+        // Zero-length windows are rejected for every kind.
+        let mut plan = FaultPlan::default();
+        plan.gray_faults.push(GrayFault {
+            duration: SimDuration::ZERO,
+            ..gray(GrayFaultKind::StuckExecutor)
+        });
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.contains("positive duration"), "{err}");
+
+        // Out-of-range target.
+        let mut plan = FaultPlan::default();
+        plan.gray_faults.push(GrayFault {
+            worker: 4,
+            ..gray(GrayFaultKind::StuckExecutor)
+        });
+        assert!(plan.validate(4).is_err());
+
+        // Slowdown must actually slow down.
+        let mut plan = FaultPlan::default();
+        plan.gray_faults
+            .push(gray(GrayFaultKind::ExecSlowdown { factor: 1.0 }));
+        assert!(plan.validate(4).is_err());
+
+        // Flaky rate must be a probability above zero.
+        let mut plan = FaultPlan::default();
+        plan.gray_faults
+            .push(gray(GrayFaultKind::FlakyExec { failure_rate: 1.5 }));
+        assert!(plan.validate(4).is_err());
+
+        // A well-formed plan of each kind passes and is non-empty.
+        let mut plan = FaultPlan::default();
+        plan.gray_faults
+            .push(gray(GrayFaultKind::ExecSlowdown { factor: 8.0 }));
+        plan.gray_faults.push(gray(GrayFaultKind::StuckExecutor));
+        plan.gray_faults
+            .push(gray(GrayFaultKind::FlakyExec { failure_rate: 0.5 }));
+        plan.gray_faults
+            .push(gray(GrayFaultKind::AsymmetricPartition {
+                inbound: true,
+                expire_lease: true,
+            }));
+        plan.validate(4).expect("well-formed gray faults are valid");
+        assert!(!plan.is_empty(), "gray faults make the plan non-empty");
+    }
+
+    #[test]
+    fn staggered_lease_delay_offsets_by_worker_index() {
+        let mut plan = FaultPlan::default();
+        assert_eq!(plan.lease_delay(0), plan.detection_delay());
+        assert_eq!(plan.lease_delay(5), plan.detection_delay());
+
+        plan.stagger_heartbeats = true;
+        assert_eq!(plan.lease_delay(0), plan.detection_delay());
+        assert_eq!(
+            plan.lease_delay(1),
+            plan.detection_delay() + SimDuration::from_micros(62_500)
+        );
+        assert_ne!(plan.lease_delay(1), plan.lease_delay(2));
+        // Offsets wrap every 8 workers but stay below one full interval,
+        // so detection_delay semantics (lower bound) are preserved.
+        assert_eq!(plan.lease_delay(3), plan.lease_delay(11));
+        for w in 0..16 {
+            assert!(plan.lease_delay(w) < plan.detection_delay() + plan.heartbeat_interval);
+            assert!(plan.lease_delay(w) >= plan.detection_delay());
+        }
     }
 
     #[test]

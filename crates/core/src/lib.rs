@@ -43,6 +43,7 @@ pub mod config;
 pub mod degrade;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod invocation;
 pub mod journal;
 pub mod metrics;
@@ -56,9 +57,10 @@ pub use config::{ClientConfig, ClusterConfig, ReclamationMode, ScheduleMode};
 pub use degrade::{DegradeConfig, DegradeLevel, DegradeReport, WorkflowDegradeSnapshot};
 pub use error::ClusterError;
 pub use fault::{
-    BackoffPolicy, DeadLetterReason, EngineCrash, EngineTarget, FaultPlan, NetFault, NodeCrash,
-    StorageFault, StorageFaultKind,
+    BackoffPolicy, DeadLetterReason, EngineCrash, EngineTarget, FaultPlan, GrayFault,
+    GrayFaultKind, NetFault, NodeCrash, StorageFault, StorageFaultKind,
 };
+pub use health::{HealthConfig, HealthLevel, HealthReport, WorkerHealthSnapshot};
 pub use invocation::InstanceToken;
 pub use journal::{Journal, JournalConfig, JournalRecord, TerminalOutcome};
 pub use metrics::{

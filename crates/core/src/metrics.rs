@@ -7,6 +7,7 @@ use faasflow_sim::{NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::degrade::DegradeReport;
+use crate::health::HealthReport;
 use crate::slo::SloReport;
 
 /// Per-workflow measurement accumulators (crate-internal mutable side).
@@ -155,6 +156,12 @@ pub struct RunReport {
     /// [`crate::ClusterConfig::degrade`] is unset; omitted from serialized
     /// reports in that case so pre-degradation goldens stay bit-identical).
     pub degrade: DegradeReport,
+    /// Gray-failure injection and health-detector accounting (all zero
+    /// when no [`crate::GrayFault`] fires and
+    /// [`crate::ClusterConfig::health`] is unset; omitted from serialized
+    /// reports in that case so pre-gray-failure goldens stay
+    /// bit-identical).
+    pub health: HealthReport,
     /// Trace events rejected by the `trace_capacity` cap (0 when tracing
     /// is off or the cap was never hit).
     pub trace_dropped: u64,
@@ -196,6 +203,9 @@ impl Serialize for RunReport {
         }
         if !self.degrade.is_zero() {
             put!(degrade);
+        }
+        if !self.health.is_zero() {
+            put!(health);
         }
         put!(trace_dropped);
         put!(resources);
@@ -245,6 +255,12 @@ impl Deserialize for RunReport {
                 Some((_, v)) => DegradeReport::from_value(v)?,
                 None => DegradeReport::default(),
             },
+            // Absent in pre-gray-failure reports (and runs without gray
+            // faults or a HealthConfig).
+            health: match m.iter().find(|(k, _)| k == "health") {
+                Some((_, v)) => HealthReport::from_value(v)?,
+                None => HealthReport::default(),
+            },
             trace_dropped: get!(trace_dropped),
             resources: get!(resources),
         })
@@ -253,7 +269,12 @@ impl Deserialize for RunReport {
 
 /// What the fault-injection subsystem did during a run — every recovery
 /// action is counted, distinguishing the recovery paths from one another.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written:
+/// `dead_letter_quarantine_orphan` is omitted when zero so committed
+/// goldens from before the quarantine path keep their exact `faults`
+/// block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultReport {
     /// Worker-node crashes injected.
     pub worker_crashes: u64,
@@ -282,6 +303,67 @@ pub struct FaultReport {
     /// Dead letters caused by an unreadable journal at recovery (store
     /// blacked out through every replay attempt).
     pub dead_letter_journal_unrecoverable: u64,
+    /// Dead letters purged while draining a quarantined worker whose
+    /// invocations had no crash-recovery budget left.
+    pub dead_letter_quarantine_orphan: u64,
+}
+
+impl Serialize for FaultReport {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = Vec::new();
+        macro_rules! put {
+            ($field:ident) => {
+                m.push((stringify!($field).to_string(), self.$field.to_value()))
+            };
+        }
+        put!(worker_crashes);
+        put!(worker_restarts);
+        put!(lease_expiries);
+        put!(crash_redispatches);
+        put!(flows_killed);
+        put!(storage_backoff_waits);
+        put!(message_retransmits);
+        put!(dead_letters);
+        put!(dead_letter_retries_exhausted);
+        put!(dead_letter_crash_orphan);
+        put!(dead_letter_journal_unrecoverable);
+        if self.dead_letter_quarantine_orphan != 0 {
+            put!(dead_letter_quarantine_orphan);
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for FaultReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let m = serde::expect_map(value, "FaultReport")?;
+        macro_rules! get {
+            ($field:ident) => {
+                serde::field(m, stringify!($field), "FaultReport")?
+            };
+        }
+        Ok(FaultReport {
+            worker_crashes: get!(worker_crashes),
+            worker_restarts: get!(worker_restarts),
+            lease_expiries: get!(lease_expiries),
+            crash_redispatches: get!(crash_redispatches),
+            flows_killed: get!(flows_killed),
+            storage_backoff_waits: get!(storage_backoff_waits),
+            message_retransmits: get!(message_retransmits),
+            dead_letters: get!(dead_letters),
+            dead_letter_retries_exhausted: get!(dead_letter_retries_exhausted),
+            dead_letter_crash_orphan: get!(dead_letter_crash_orphan),
+            dead_letter_journal_unrecoverable: get!(dead_letter_journal_unrecoverable),
+            // Absent in pre-quarantine reports (and runs without one).
+            dead_letter_quarantine_orphan: match m
+                .iter()
+                .find(|(k, _)| k == "dead_letter_quarantine_orphan")
+            {
+                Some((_, v)) => u64::from_value(v)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 /// What the engine-crash recovery subsystem did during a run: crash and
@@ -515,6 +597,7 @@ mod tests {
             placement: PlacementReport::default(),
             slo: SloReport::default(),
             degrade: DegradeReport::default(),
+            health: HealthReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -585,6 +668,7 @@ mod tests {
             placement: PlacementReport::default(),
             slo: SloReport::default(),
             degrade: DegradeReport::default(),
+            health: HealthReport::default(),
             trace_dropped: 0,
             resources: None,
         };
@@ -616,6 +700,7 @@ mod tests {
             placement: PlacementReport::default(),
             slo: SloReport::default(),
             degrade: DegradeReport::default(),
+            health: HealthReport::default(),
             trace_dropped: 0,
             resources: None,
         };

@@ -350,6 +350,42 @@ pub enum TraceEvent {
         /// Instant.
         at: SimTime,
     },
+    /// The health detector quarantined a worker: its differential stats
+    /// scored as a sustained fleet outlier (see [`crate::HealthConfig`]).
+    /// The worker is *not* declared dead — its lease stays valid — but its
+    /// placement capacity is zeroed and hedges steer away from it.
+    WorkerQuarantined {
+        /// The quarantined worker.
+        worker: NodeId,
+        /// MAD score at the transition ([`crate::health::STUCK_SCORE`] for
+        /// a stuck executor).
+        score: f64,
+        /// `true` when this is a relapse out of the half-open probe phase.
+        relapse: bool,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A quarantined worker passed its half-open probes and returned to
+    /// full service.
+    WorkerReinstated {
+        /// The reinstated worker.
+        worker: NodeId,
+        /// Instant.
+        at: SimTime,
+    },
+    /// A late completion from a suspected-dead-but-alive worker was
+    /// rejected by the seq/epoch fences (the false-suspicion path of an
+    /// asymmetric partition).
+    ZombieFenced {
+        /// The zombie worker whose stale completion was fenced.
+        worker: NodeId,
+        /// Workflow of the fenced completion.
+        workflow: WorkflowId,
+        /// Invocation of the fenced completion.
+        invocation: InvocationId,
+        /// Instant.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -381,7 +417,10 @@ impl TraceEvent {
             | TraceEvent::SloAlertFired { at, .. }
             | TraceEvent::SloAlertResolved { at, .. }
             | TraceEvent::WorkflowDegraded { at, .. }
-            | TraceEvent::WorkflowRestored { at, .. } => *at,
+            | TraceEvent::WorkflowRestored { at, .. }
+            | TraceEvent::WorkerQuarantined { at, .. }
+            | TraceEvent::WorkerReinstated { at, .. }
+            | TraceEvent::ZombieFenced { at, .. } => *at,
         }
     }
 
@@ -474,7 +513,12 @@ impl TraceEvent {
             | TraceEvent::SloAlertFired { .. }
             | TraceEvent::SloAlertResolved { .. }
             | TraceEvent::WorkflowDegraded { .. }
-            | TraceEvent::WorkflowRestored { .. } => None,
+            | TraceEvent::WorkflowRestored { .. }
+            | TraceEvent::WorkerQuarantined { .. }
+            | TraceEvent::WorkerReinstated { .. }
+            // Deliberately node-scoped: the fenced completion belongs to a
+            // superseded attempt, not the invocation's live span tree.
+            | TraceEvent::ZombieFenced { .. } => None,
         }
     }
 }
@@ -584,6 +628,24 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
                 TraceEvent::WorkflowRestored { workflow, .. } => {
                     format!("degrade {workflow} restored")
                 }
+                TraceEvent::WorkerQuarantined {
+                    worker,
+                    score,
+                    relapse,
+                    ..
+                } => format!(
+                    "health  {worker} quarantined (score {score:.1}{})",
+                    if *relapse { ", relapse" } else { "" }
+                ),
+                TraceEvent::WorkerReinstated { worker, .. } => {
+                    format!("health  {worker} reinstated")
+                }
+                TraceEvent::ZombieFenced {
+                    worker,
+                    workflow,
+                    invocation,
+                    ..
+                } => format!("fence   zombie {worker} ({workflow}/{invocation})"),
                 _ => unreachable!("only node-scoped events lack an invocation"),
             };
             let _ = writeln!(out, "  {t:>9.2} ms  {line}");
@@ -702,7 +764,10 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             | TraceEvent::SloAlertFired { .. }
             | TraceEvent::SloAlertResolved { .. }
             | TraceEvent::WorkflowDegraded { .. }
-            | TraceEvent::WorkflowRestored { .. } => {
+            | TraceEvent::WorkflowRestored { .. }
+            | TraceEvent::WorkerQuarantined { .. }
+            | TraceEvent::WorkerReinstated { .. }
+            | TraceEvent::ZombieFenced { .. } => {
                 unreachable!("node-scoped events are rendered in the cluster section")
             }
         };

@@ -24,9 +24,10 @@ use std::collections::HashMap;
 use faasflow_container::NodeCaps;
 use faasflow_core::{
     AdaptiveHedge, AdmissionConfig, BackpressureConfig, BreakerConfig, ClientConfig, Cluster,
-    ClusterConfig, DegradeConfig, EngineCrash, EngineTarget, FaultPlan, HedgeConfig, JournalConfig,
-    NetFault, NodeCrash, OverloadConfig, PlacementConfig, RunReport, ScheduleMode, ShedPolicy,
-    SloConfig, SloObjective, StorageFault, StorageFaultKind, TraceEvent, WindowMode,
+    ClusterConfig, DegradeConfig, EngineCrash, EngineTarget, FaultPlan, GrayFault, GrayFaultKind,
+    HealthConfig, HedgeConfig, JournalConfig, NetFault, NodeCrash, OverloadConfig, PlacementConfig,
+    RunReport, ScheduleMode, ShedPolicy, SloConfig, SloObjective, StorageFault, StorageFaultKind,
+    TraceEvent, WindowMode,
 };
 use faasflow_sim::{SimDuration, SimRng};
 use faasflow_wdl::{FunctionProfile, Step, Workflow};
@@ -254,6 +255,58 @@ fn scenario(seed: u64) -> (ClusterConfig, Workflow, u32) {
             demote_shed_priority: rng.chance(0.5),
         });
     }
+    // Gray failures on half the seeds, drawn after everything above so
+    // every pre-existing seed keeps its exact scenario. Each degraded
+    // worker gets exactly one window — the gray effect vectors assume at
+    // most one active window per worker per kind.
+    if rng.chance(0.5) {
+        let count = 1 + rng.next_below(u64::from(workers.min(3)));
+        let mut degraded: Vec<u32> = Vec::new();
+        for _ in 0..count {
+            let w = rng.next_below(u64::from(workers)) as u32;
+            if degraded.contains(&w) {
+                continue;
+            }
+            degraded.push(w);
+            let kind = match rng.next_below(4) {
+                0 => GrayFaultKind::ExecSlowdown {
+                    factor: rng.range_f64(2.0, 10.0),
+                },
+                1 => GrayFaultKind::StuckExecutor,
+                2 => GrayFaultKind::FlakyExec {
+                    failure_rate: rng.range_f64(0.2, 0.9),
+                },
+                _ => GrayFaultKind::AsymmetricPartition {
+                    inbound: rng.chance(0.5),
+                    expire_lease: rng.chance(0.5),
+                },
+            };
+            config.fault.gray_faults.push(GrayFault {
+                worker: w,
+                at: SimDuration::from_millis(200 + rng.next_below(3000)),
+                duration: SimDuration::from_millis(500 + rng.next_below(5000)),
+                kind,
+            });
+        }
+    }
+    // The health detector runs on some seeds with and some without gray
+    // faults (the quiet path must stay quiet), with thresholds fuzzed
+    // from hair-trigger to lethargic. Drawn last of all.
+    if rng.chance(0.4) {
+        let window = 8 + rng.next_below(40) as usize;
+        config.health = Some(HealthConfig {
+            window,
+            min_samples: 2 + rng.next_below(6) as usize, // <= 7 < window
+            mad_threshold: rng.range_f64(1.5, 6.0),
+            failure_threshold: rng.range_f64(0.1, 0.9),
+            stuck_after: SimDuration::from_millis(500 + rng.next_below(8000)),
+            probation_after: 1 + rng.next_below(4) as u32,
+            quarantine_after: 1 + rng.next_below(4) as u32,
+            cooldown: SimDuration::from_millis(500 + rng.next_below(8000)),
+            reinstate_probes: 1 + rng.next_below(6) as u32,
+            drain_on_quarantine: rng.chance(0.7),
+        });
+    }
     (config, wf, invocations)
 }
 
@@ -342,9 +395,73 @@ fn check_invariants(seed: u64, report: &RunReport, trace: &[TraceEvent]) {
     assert_eq!(
         f.dead_letter_retries_exhausted
             + f.dead_letter_crash_orphan
-            + f.dead_letter_journal_unrecoverable,
+            + f.dead_letter_journal_unrecoverable
+            + f.dead_letter_quarantine_orphan,
         f.dead_letters,
         "seed {seed}: dead-letter reasons don't sum ({f:?}); {}",
+        repro(seed)
+    );
+
+    // Health-detector accounting. The config is re-derived from the seed
+    // so the invariants can distinguish "off" from "quiet".
+    let (config, _, _) = scenario(seed);
+    let h = &report.health;
+    if config.health.is_none() {
+        assert_eq!(
+            (h.evaluations, h.probations, h.quarantines, h.relapses),
+            (0, 0, 0, 0),
+            "seed {seed}: detector counters without a detector ({h:?}); {}",
+            repro(seed)
+        );
+        assert_eq!(
+            f.dead_letter_quarantine_orphan,
+            0,
+            "seed {seed}: quarantine orphans without a detector; {}",
+            repro(seed)
+        );
+    }
+    if config.fault.gray_faults.is_empty() {
+        assert_eq!(
+            (h.zombie_fenced, h.stalled_flows, h.stuck_deferrals),
+            (0, 0, 0),
+            "seed {seed}: gray-fault counters without gray faults ({h:?}); {}",
+            repro(seed)
+        );
+    }
+    assert_eq!(
+        h.quarantine_orphans,
+        f.dead_letter_quarantine_orphan,
+        "seed {seed}: quarantine-orphan counters disagree ({h:?} vs {f:?}); {}",
+        repro(seed)
+    );
+    assert!(
+        h.probations >= h.quarantines,
+        "seed {seed}: a quarantine without a probation ({h:?}); {}",
+        repro(seed)
+    );
+    assert!(
+        h.reinstatements <= h.quarantines + h.relapses,
+        "seed {seed}: more reinstatements than quarantine episodes ({h:?}); {}",
+        repro(seed)
+    );
+    if h.quarantines == 0 {
+        assert_eq!(
+            (h.relapses, h.reinstatements),
+            (0, 0),
+            "seed {seed}: relapse/reinstate without a first quarantine ({h:?}); {}",
+            repro(seed)
+        );
+    }
+    // Quarantine must never take the whole fleet: the detector requires
+    // a healthy majority signal, so at least one worker stays placeable.
+    let quarantined_now = h
+        .workers
+        .iter()
+        .filter(|w| w.level == faasflow_core::HealthLevel::Quarantined)
+        .count();
+    assert!(
+        h.workers.is_empty() || quarantined_now < h.workers.len(),
+        "seed {seed}: the entire fleet ended quarantined ({h:?}); {}",
         repro(seed)
     );
     // Engine crash/recovery accounting is consistent: the target split

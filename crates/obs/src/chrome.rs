@@ -492,6 +492,85 @@ pub fn chrome_trace(forest: &SpanForest, resources: Option<&ResourceSeriesReport
             ]));
             continue;
         }
+        // Health detector transitions: an instant on the worker's process
+        // row plus a per-worker state counter track (0 healthy, 3
+        // quarantined — the half-open Reinstating phase has no trace event
+        // of its own, so the counter steps straight back to 0 on
+        // reinstatement).
+        if let TraceEvent::WorkerQuarantined {
+            worker,
+            score,
+            relapse,
+            at,
+        } = event
+        {
+            let pid = Value::UInt(worker.index() as u64 + 1);
+            events.push(obj(vec![
+                (
+                    "name",
+                    s(if *relapse {
+                        "worker quarantined (relapse)"
+                    } else {
+                        "worker quarantined"
+                    }),
+                ),
+                ("cat", s("health")),
+                ("ph", s("i")),
+                ("s", s("p")),
+                ("ts", us(*at)),
+                ("pid", pid.clone()),
+                ("tid", Value::UInt(0)),
+                ("args", obj(vec![("score", Value::Float(*score))])),
+            ]));
+            events.push(obj(vec![
+                ("name", s("health state")),
+                ("ph", s("C")),
+                ("ts", us(*at)),
+                ("pid", pid),
+                ("tid", Value::UInt(0)),
+                ("args", obj(vec![("level", Value::UInt(3))])),
+            ]));
+            continue;
+        }
+        if let TraceEvent::WorkerReinstated { worker, at } = event {
+            let pid = Value::UInt(worker.index() as u64 + 1);
+            events.push(obj(vec![
+                ("name", s("worker reinstated")),
+                ("cat", s("health")),
+                ("ph", s("i")),
+                ("s", s("p")),
+                ("ts", us(*at)),
+                ("pid", pid.clone()),
+                ("tid", Value::UInt(0)),
+            ]));
+            events.push(obj(vec![
+                ("name", s("health state")),
+                ("ph", s("C")),
+                ("ts", us(*at)),
+                ("pid", pid),
+                ("tid", Value::UInt(0)),
+                ("args", obj(vec![("level", Value::UInt(0))])),
+            ]));
+            continue;
+        }
+        if let TraceEvent::ZombieFenced {
+            worker,
+            workflow,
+            invocation,
+            at,
+        } = event
+        {
+            events.push(obj(vec![
+                ("name", s(format!("zombie fenced: {workflow}/{invocation}"))),
+                ("cat", s("health")),
+                ("ph", s("i")),
+                ("s", s("p")),
+                ("ts", us(*at)),
+                ("pid", Value::UInt(worker.index() as u64 + 1)),
+                ("tid", Value::UInt(0)),
+            ]));
+            continue;
+        }
         let (name, node) = match event {
             TraceEvent::WorkerCrashed { worker, .. } => ("worker crashed", worker),
             TraceEvent::WorkerRestarted { worker, .. } => ("worker restarted", worker),

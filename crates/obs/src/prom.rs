@@ -198,6 +198,7 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
         ("retries_exhausted", f.dead_letter_retries_exhausted),
         ("engine_crash_orphan", f.dead_letter_crash_orphan),
         ("journal_unrecoverable", f.dead_letter_journal_unrecoverable),
+        ("quarantine_orphan", f.dead_letter_quarantine_orphan),
     ] {
         let _ = writeln!(
             out,
@@ -414,6 +415,67 @@ pub fn prometheus_snapshot(report: &RunReport) -> String {
                     "faasflow_degrade_sheds_total{{workflow=\"{}\"}} {}",
                     w.workflow, w.sheds
                 );
+            }
+        }
+    }
+
+    // --- Gray-failure detection -------------------------------------------
+    // Mirrors `HealthReport`'s own omit-when-zero behaviour.
+    if !report.health.is_zero() {
+        header(
+            &mut out,
+            "faasflow_health_total",
+            "Gray-failure detector actions and injection effects.",
+            "counter",
+        );
+        let h = &report.health;
+        for (kind, value) in [
+            ("evaluations", h.evaluations),
+            ("probations", h.probations),
+            ("quarantines", h.quarantines),
+            ("relapses", h.relapses),
+            ("reinstatements", h.reinstatements),
+            ("zombies_fenced", h.zombie_fenced),
+            ("quarantine_orphans", h.quarantine_orphans),
+            ("stalled_flows", h.stalled_flows),
+            ("stuck_deferrals", h.stuck_deferrals),
+        ] {
+            let _ = writeln!(out, "faasflow_health_total{{kind=\"{kind}\"}} {value}");
+        }
+        if !h.workers.is_empty() {
+            header(
+                &mut out,
+                "faasflow_worker_health",
+                "Final health level per worker \
+                 (0 healthy, 1 probation, 2 reinstating, 3 quarantined).",
+                "gauge",
+            );
+            for w in &h.workers {
+                let _ = writeln!(
+                    out,
+                    "faasflow_worker_health{{worker=\"{}\"}} {}",
+                    w.worker,
+                    w.level.as_level()
+                );
+            }
+            header(
+                &mut out,
+                "faasflow_worker_health_detail",
+                "Per-worker detector window statistics.",
+                "gauge",
+            );
+            for w in &h.workers {
+                for (gauge, value) in [
+                    ("median_exec_us", w.median_exec_us as f64),
+                    ("failure_rate", w.failure_rate),
+                    ("quarantines", w.quarantines as f64),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "faasflow_worker_health_detail{{worker=\"{}\",gauge=\"{gauge}\"}} {value}",
+                        w.worker
+                    );
+                }
             }
         }
     }

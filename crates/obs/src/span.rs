@@ -643,7 +643,10 @@ impl TreeBuilder {
             | TraceEvent::SloAlertFired { .. }
             | TraceEvent::SloAlertResolved { .. }
             | TraceEvent::WorkflowDegraded { .. }
-            | TraceEvent::WorkflowRestored { .. } => {
+            | TraceEvent::WorkflowRestored { .. }
+            | TraceEvent::WorkerQuarantined { .. }
+            | TraceEvent::WorkerReinstated { .. }
+            | TraceEvent::ZombieFenced { .. } => {
                 unreachable!("node-scoped events are handled by the forest builder")
             }
         }
